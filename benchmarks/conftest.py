@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+Budgets default to laptop-friendly values so the full suite regenerates
+every table and figure in minutes; set ``REPRO_BENCH_SCALE`` (e.g. 10 or
+40) to approach the paper's 2500-iteration static budgets.  The comparison
+matrix (technique x model) is executed once per session and shared by the
+Fig. 9/10/11/12 and Table 2/3 benchmarks, mirroring how the paper derives
+those results from the same runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.harness import ComparisonRunner
+from repro.experiments.setup import bench_scale
+
+
+def _scaled(value: int) -> int:
+    return max(4, int(value * bench_scale()))
+
+
+@pytest.fixture(scope="session")
+def comparison_runner() -> ComparisonRunner:
+    """The shared technique x model comparison runner."""
+    return ComparisonRunner(
+        iterations=_scaled(60),
+        top_n=_scaled(60),
+        random_mapping_trials=_scaled(30),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_models() -> list:
+    """Models covered by the comparison benchmarks.
+
+    All 11 by default; ``REPRO_BENCH_MODELS=resnet18,bert`` restricts the
+    set for quick runs.
+    """
+    env = os.environ.get("REPRO_BENCH_MODELS")
+    if env:
+        return [m.strip() for m in env.split(",") if m.strip()]
+    from repro.workloads.registry import MODEL_NAMES
+
+    return list(MODEL_NAMES)

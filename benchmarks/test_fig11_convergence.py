@@ -1,0 +1,40 @@
+"""Benchmark for Fig. 11: latency-vs-iteration convergence curves.
+
+Paper claim: for EfficientNet and Transformer, Explainable-DSE reduces the
+objective at almost every acquisition attempt and converges within tens of
+iterations to solutions 2.1-35x better than the black-box curves.
+Shape checks: the explainable codesign curve ends feasible and at or below
+the black-box codesign curves (with slack for the scaled budget).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import fig11
+
+
+def test_fig11_convergence(benchmark, comparison_runner):
+    result = benchmark.pedantic(
+        lambda: fig11.run(comparison_runner),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    for model in fig11.FIG11_MODELS:
+        explainable = result.final_latency(model, "ExplainableDSE-Codesign")
+        assert math.isfinite(explainable), model
+        for technique in (
+            "Random Search-Codesign",
+            "HyperMapper 2.0-Codesign",
+        ):
+            other = result.final_latency(model, technique)
+            if math.isfinite(other):
+                assert explainable <= other * 1.5, (model, technique)
+
+        # Convergence curves are best-so-far, hence non-increasing.
+        for technique, series in result.trajectories[model].items():
+            finite = [v for v in series if math.isfinite(v)]
+            assert all(a >= b for a, b in zip(finite, finite[1:])), technique

@@ -1,0 +1,31 @@
+"""Benchmark for Fig. 12: feasibility of acquired solutions.
+
+Paper claim: 87% of Explainable-DSE codesign acquisitions met area+power
+(15% met all three constraints), vs ~15-50% (area+power) and ~0.1-0.6%
+(all) for the black-box techniques.  Shape check: Explainable-DSE's
+all-constraints feasibility fraction is the highest of all techniques.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig12
+
+
+def test_fig12_feasibility(benchmark, comparison_runner, bench_models):
+    result = benchmark.pedantic(
+        lambda: fig12.run(comparison_runner, models=bench_models),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    means = result.mean_fractions()
+    explainable = means["ExplainableDSE-Codesign"]["all constraints"]
+    for technique, row in means.items():
+        if technique.startswith("ExplainableDSE"):
+            continue
+        assert explainable >= row["all constraints"], technique
+        # Fractions are probabilities.
+        assert 0.0 <= row["area+power"] <= 1.0
+        assert row["all constraints"] <= row["area+power"] + 1e-9

@@ -1,0 +1,38 @@
+"""Benchmark for Fig. 15: black-box mappers on ResNet18 layers.
+
+Paper claim: random search reaches low-latency mappings for all layers
+within seconds; simulated annealing fails to map some layers; the genetic
+algorithm costs the most time; Bayesian optimization's per-trial overhead
+is prohibitive.  Shape checks: random search maps every layer, and the
+pruned top-N mapper is at least as good as the black-box mappers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import fig15
+from repro.experiments.setup import bench_scale
+
+
+def test_fig15_mappers(benchmark):
+    trials = max(40, int(120 * bench_scale()))
+    result = benchmark.pedantic(
+        lambda: fig15.run(trials=trials, bo_trials=max(15, trials // 4)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    random_total = result.total_latency("random")
+    assert math.isfinite(random_total)  # random maps every layer
+
+    topn_total = result.total_latency("top-n (dMazeRunner-like)")
+    assert math.isfinite(topn_total)
+    assert topn_total <= random_total * 1.2
+
+    # BO's surrogate refits dominate its runtime per trial.
+    bo_rate = result.seconds["bayesian"] / max(15, trials // 4)
+    random_rate = result.seconds["random"] / trials
+    assert bo_rate > random_rate

@@ -1,0 +1,35 @@
+"""Benchmark for Fig. 3: DSE effectiveness on EfficientNetB0.
+
+Paper claim: for the EfficientNetB0 edge exploration, non-explainable
+DSEs produce solutions up to 35x slower, with 18-52% feasibility (area and
+power only) and hours-to-days search times, while Explainable-DSE converges
+in minutes.  Shape check: Explainable-DSE's best latency is the lowest (or
+within slack) and it uses no more evaluations than the baselines.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import fig3
+
+
+def test_fig3_effectiveness(benchmark, comparison_runner):
+    result = benchmark.pedantic(
+        lambda: fig3.run(comparison_runner),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    explainable = result.rows["ExplainableDSE-Codesign"]
+    assert math.isfinite(explainable["best latency (ms)"])
+    best_baseline = min(
+        row["best latency (ms)"]
+        for technique, row in result.rows.items()
+        if not technique.startswith("ExplainableDSE")
+    )
+    if math.isfinite(best_baseline):
+        assert explainable["best latency (ms)"] <= best_baseline * 1.5
+    assert explainable["evaluations"] <= comparison_runner.iterations

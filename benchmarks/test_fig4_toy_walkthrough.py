@@ -1,0 +1,34 @@
+"""Benchmark for Fig. 4: the two-parameter toy walkthrough.
+
+Paper claim: on the (PEs, L2 size) toy space for a ResNet CONV5_2 layer,
+Explainable-DSE first scales PEs (computation bottleneck), then memory and
+bandwidth resources (DMA bottleneck), reaching the efficient corner in a
+handful of acquisitions, while HyperMapper keeps sampling inefficient
+points.  Shape checks: the explainable trajectory improves latency
+monotonically in best-so-far terms and ends at or below HyperMapper's.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig4
+
+
+def test_fig4_toy_walkthrough(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig4.run(iterations=20, top_n=80),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    explainable_latencies = [step[2] for step in result.explainable_path]
+    hypermapper_latencies = [step[2] for step in result.hypermapper_path]
+    assert min(explainable_latencies) < explainable_latencies[0]
+    assert min(explainable_latencies) <= min(hypermapper_latencies) * 1.25
+
+    # The first mitigation should touch the PE count (computation is the
+    # initial bottleneck at (64 PEs, 64 kB)), visible as a PE increase
+    # within the first few acquisitions.
+    early_pes = [step[0] for step in result.explainable_path[:4]]
+    assert max(early_pes) > early_pes[0]

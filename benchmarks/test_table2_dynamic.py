@@ -1,0 +1,32 @@
+"""Benchmark for Table 2: dynamic (short-budget) DSE latencies.
+
+Paper claim: under a 100-iteration budget, non-explainable techniques
+mostly fail to find feasible designs ('-'/'-*' cells) while Explainable-DSE
+lands solutions one to two orders of magnitude faster.  Shape check:
+Explainable-DSE has at least as many feasible cells as every baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def test_table2_dynamic(benchmark, comparison_runner, bench_models):
+    result = benchmark.pedantic(
+        lambda: table2.run(comparison_runner, models=bench_models),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    feasible_cells = {
+        technique: sum(1 for ok in row.values() if ok)
+        for technique, row in result.met_all.items()
+    }
+    explainable = feasible_cells["ExplainableDSE-Codesign"]
+    assert explainable >= max(
+        count
+        for technique, count in feasible_cells.items()
+        if technique != "ExplainableDSE-Codesign"
+    ), feasible_cells

@@ -1,0 +1,36 @@
+"""Benchmark for Table 7: mapping-space size analysis.
+
+Paper claim: per-layer mapping spaces hold up to O(10^36) configurations;
+factorization cuts them to O(10^10)-O(10^21) and reuse-aware ordering
+pruning to O(10^9)-O(10^15).  Shape checks: the pruning cascade is
+monotone for every model and GEMM layers keep 3 (vs 15) orderings.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table7
+
+
+def test_table7_space_size(benchmark):
+    result = benchmark.pedantic(
+        lambda: table7.run(samples=100),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    assert len(result.rows) == 11
+    for model, size in result.rows.items():
+        assert size.tile_sizings_log10 >= size.valid_factor_tilings_log10
+        assert size.full_space_log10 >= size.factor_space_log10
+        assert size.factor_space_log10 >= size.reuse_aware_space_log10
+        if size.hw_valid_tilings_log10 is not None:
+            assert (
+                size.hw_valid_tilings_log10
+                <= size.valid_factor_tilings_log10
+            )
+    assert result.rows["transformer"].unique_reuse_orderings == 3
+    assert result.rows["resnet18"].unique_reuse_orderings == 15
+    # The biggest spaces reach the paper's magnitudes.
+    assert max(s.full_space_log10 for s in result.rows.values()) >= 28

@@ -1,0 +1,97 @@
+"""Advanced workflow: custom model -> sensitivity -> DSE -> Pareto.
+
+Chains the library's adoption-oriented features end to end:
+
+1. define a custom DNN via the JSON workload schema;
+2. characterize the design space with one-at-a-time sensitivity analysis
+   (the §C route to building bottleneck intuition for a new workload);
+3. explore with Explainable-DSE, then hand off to black-box refinement
+   (the §B hybrid methodology);
+4. recover the latency/energy Pareto front from the trial log and persist
+   the run to JSON.
+
+Run:  python examples/advanced_workflow.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.arch import build_edge_design_space
+from repro.core.dse import Constraint, Sense, save_result
+from repro.cost import CostEvaluator
+from repro.experiments.pareto import pareto_front
+from repro.experiments.sensitivity import analyze_sensitivity
+from repro.mapping import TopNMapper
+from repro.optim import HybridDSE
+from repro.workloads import workload_from_dict
+
+CUSTOM_MODEL = {
+    "name": "keyword_spotter",
+    "task": "audio",
+    "layers": [
+        {"name": "conv1", "op": "conv", "in": 1, "out": 64,
+         "output": [25, 5], "kernel": [10, 4], "stride": 2},
+        {"name": "dw1", "op": "dwconv", "channels": 64, "output": [25, 5]},
+        {"name": "pw1", "op": "conv", "in": 64, "out": 64,
+         "output": [25, 5], "kernel": [1, 1]},
+        {"name": "dw2", "op": "dwconv", "channels": 64, "output": [25, 5],
+         "repeats": 3},
+        {"name": "pw2", "op": "conv", "in": 64, "out": 64,
+         "output": [25, 5], "kernel": [1, 1], "repeats": 3},
+        {"name": "fc", "op": "gemm", "rows": 12, "inner": 64, "cols": 1},
+    ],
+}
+
+
+def main() -> None:
+    workload = workload_from_dict(CUSTOM_MODEL)
+    print(f"Custom workload: {workload.name}, "
+          f"{workload.repeated_layer_count} layers, "
+          f"{workload.total_macs / 1e6:.1f} MMACs/inference")
+
+    space = build_edge_design_space()
+    evaluator = CostEvaluator(workload, TopNMapper(top_n=80))
+    constraints = [
+        Constraint("area", "area_mm2", 25.0),
+        Constraint("power", "power_w", 1.0),
+        Constraint("throughput", "throughput", 1000.0, Sense.GEQ),
+    ]
+
+    print("\n--- 1. sensitivity characterization (base = minimum point) ---")
+    report = analyze_sensitivity(
+        space,
+        evaluator,
+        parameters=["pes", "l2_kb", "offchip_bw_mbps", "noc_datawidth"],
+        max_values_per_parameter=4,
+    )
+    print(report.format("latency_ms"))
+
+    print("\n--- 2. hybrid exploration (explainable warm start + BO) ---")
+    hybrid = HybridDSE(
+        space,
+        evaluator,
+        constraints,
+        max_evaluations=60,
+        warm_start_fraction=0.6,
+    )
+    result = hybrid.run()
+    print(f"technique: {result.technique}")
+    if result.best is not None:
+        print(f"best design: {result.best.point}")
+        print(f"costs: { {k: round(v, 4) for k, v in result.best.costs.items()} }")
+    else:
+        print("no feasible design within the budget")
+
+    print("\n--- 3. latency/energy Pareto front from the trial log ---")
+    front = pareto_front([result], cost_keys=("latency_ms", "energy_mj"))
+    print(front.format())
+
+    out = Path(tempfile.gettempdir()) / "keyword_spotter_dse.json"
+    save_result(result, out)
+    print(f"\nRun persisted to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-use-pep517` (and plain `pip install -e .` on older
+tooling) routes through this file; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

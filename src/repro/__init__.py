@@ -1,0 +1,39 @@
+"""repro: a reproduction of "Explainable-DSE" (Dave et al., ASPLOS 2023).
+
+An agile and explainable design-space-exploration framework for
+hardware/software codesigns of deep learning accelerators using bottleneck
+analysis, together with every substrate it depends on: a DNN workload zoo,
+an analytical accelerator cost model (latency / energy / area / power), a
+dMazeRunner-style mapper, a generic bottleneck-model API, and the
+non-explainable baseline optimizers the paper compares against.
+
+Quickstart::
+
+    from repro import explore
+    result = explore("resnet18", iterations=40)
+    print(result.best.config, result.best.costs)
+"""
+
+from repro.version import __version__  # noqa: F401
+
+__all__ = ["__version__", "explore"]
+
+
+def explore(model: str, iterations: int = 50, **kwargs):
+    """Run Explainable-DSE on a benchmark model with edge defaults.
+
+    A convenience wrapper around
+    :func:`repro.experiments.setup.run_explainable_dse`.  See
+    :mod:`repro.core.dse.explainable` for the full-control API.
+
+    Args:
+        model: Benchmark model name (see ``repro.workloads.MODEL_NAMES``).
+        iterations: Evaluation budget (candidate evaluations).
+        **kwargs: Forwarded to the experiment runner (e.g. ``mapping_mode``).
+
+    Returns:
+        A :class:`repro.core.dse.result.DSEResult`.
+    """
+    from repro.experiments.setup import run_explainable_dse
+
+    return run_explainable_dse(model, iterations=iterations, **kwargs)

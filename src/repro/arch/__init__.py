@@ -1,0 +1,30 @@
+"""Accelerator architecture template and design-space definitions."""
+
+from repro.arch.accelerator import (
+    AcceleratorConfig,
+    build_edge_design_space,
+    config_from_point,
+    point_from_config,
+)
+from repro.arch.design_space import DesignPoint, DesignSpace
+from repro.arch.parameters import Parameter, geometric_values, linear_values
+from repro.arch.templates import (
+    build_cloud_design_space,
+    edge_tpu_like_point,
+    eyeriss_like_point,
+)
+
+__all__ = [
+    "AcceleratorConfig",
+    "DesignPoint",
+    "DesignSpace",
+    "Parameter",
+    "build_cloud_design_space",
+    "build_edge_design_space",
+    "edge_tpu_like_point",
+    "eyeriss_like_point",
+    "config_from_point",
+    "geometric_values",
+    "linear_values",
+    "point_from_config",
+]

@@ -1,0 +1,184 @@
+"""Accelerator architecture template and the Table 1 edge design space.
+
+The template follows the spatial-architecture model shared by Eyeriss-like
+edge accelerators and the dMazeRunner/Timeloop cost models: a 2-D array of
+PEs with private register files (L1), a shared scratchpad (L2), a DMA engine
+to off-chip memory, and four dedicated NoCs — one per read/write operand
+(input activations, weights, partial-sum reads, output writes).  Each NoC
+has a configurable datawidth, a number of physical unicast links (expressed
+in Table 1 as a fraction of the PE count), and a time-sharing ("virtual
+unicast") degree for serving more PE groups than physical links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Tuple
+
+from repro.arch.design_space import DesignPoint, DesignSpace
+from repro.arch.parameters import Parameter, geometric_values, linear_values
+from repro.workloads.layers import OPERANDS, Operand
+
+__all__ = [
+    "AcceleratorConfig",
+    "build_edge_design_space",
+    "config_from_point",
+    "point_from_config",
+    "OFFCHIP_BW_VALUES_MBPS",
+]
+
+#: Table 1 off-chip bandwidth options (MB per second).
+OFFCHIP_BW_VALUES_MBPS: Tuple[int, ...] = (
+    1024,
+    2048,
+    4096,
+    6400,
+    8192,
+    12800,
+    19200,
+    25600,
+    38400,
+    51200,
+)
+
+#: Table 1 virtual unicast (time-sharing) options: 2**(3i), i in [0, 3].
+VIRT_UNICAST_VALUES: Tuple[int, ...] = (1, 8, 64, 512)
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A concrete hardware configuration of the accelerator template.
+
+    Attributes:
+        pes: Number of processing elements (each one scalar MAC per cycle).
+        l1_bytes: Register-file (local buffer) capacity per PE, bytes.
+        l2_kb: Shared scratchpad capacity, kilobytes.
+        offchip_bw_mbps: Off-chip DRAM bandwidth, megabytes per second.
+        noc_datawidth_bits: Datawidth of each operand NoC, bits.
+        phys_unicast_factor: Per-operand multiplier ``i``; the NoC provides
+            ``pes * i / 64`` concurrent physical unicast links (Table 1).
+        virt_unicast: Per-operand time-sharing degree over a physical link.
+        freq_mhz: Accelerator clock (500 MHz in all paper experiments).
+        bytes_per_element: Data precision (int16 -> 2).
+    """
+
+    pes: int
+    l1_bytes: int
+    l2_kb: int
+    offchip_bw_mbps: int
+    noc_datawidth_bits: int
+    phys_unicast_factor: Mapping[Operand, int]
+    virt_unicast: Mapping[Operand, int]
+    freq_mhz: int = 500
+    bytes_per_element: int = 2
+
+    def __post_init__(self) -> None:
+        if self.pes < 1 or self.l1_bytes < 1 or self.l2_kb < 1:
+            raise ValueError("pes, l1_bytes and l2_kb must be positive")
+        if self.offchip_bw_mbps < 1 or self.noc_datawidth_bits < 1:
+            raise ValueError("bandwidths must be positive")
+        for op in OPERANDS:
+            if op not in self.phys_unicast_factor or op not in self.virt_unicast:
+                raise ValueError(f"missing NoC configuration for operand {op}")
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def l2_bytes(self) -> int:
+        return self.l2_kb * 1024
+
+    @property
+    def total_l1_bytes(self) -> int:
+        return self.l1_bytes * self.pes
+
+    def physical_links(self, operand: Operand) -> int:
+        """Concurrent physical unicast links of ``operand``'s NoC."""
+        return max(1, self.pes * self.phys_unicast_factor[operand] // 64)
+
+    def effective_links(self, operand: Operand) -> int:
+        """Distinct data streams deliverable per broadcast round, including
+        time-shared (virtual) unicasting."""
+        return self.physical_links(operand) * self.virt_unicast[operand]
+
+    @property
+    def noc_bytes_per_cycle(self) -> float:
+        """Bytes deliverable per cycle per physical link."""
+        return self.noc_datawidth_bits / 8.0
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """Off-chip bytes per accelerator cycle.
+
+        ``MB/s / (cycles/s) = MB/cycle``; with MHz-denominated frequency the
+        megas cancel: ``mbps / freq_mhz`` bytes per cycle.
+        """
+        return self.offchip_bw_mbps / self.freq_mhz
+
+    def describe(self) -> str:
+        """One-line summary used in logs and explanations."""
+        links = "/".join(str(self.physical_links(op)) for op in OPERANDS)
+        virt = "/".join(str(self.virt_unicast[op]) for op in OPERANDS)
+        return (
+            f"PEs={self.pes} L1={self.l1_bytes}B L2={self.l2_kb}kB "
+            f"BW={self.offchip_bw_mbps}MBps NoC={self.noc_datawidth_bits}b "
+            f"links={links} virt={virt}"
+        )
+
+
+def build_edge_design_space() -> DesignSpace:
+    """The Table 1 design space for edge DNN inference accelerators.
+
+    13 parameters: PEs, L1, L2, off-chip BW, NoC datawidth, and a physical
+    plus virtual unicast setting per operand NoC.  Size is
+    7*8*7*10*16*(64^4)*(4^4) ~ 2.6e14 hardware configurations.
+    """
+    params = [
+        Parameter("pes", geometric_values(64, 4096)),
+        Parameter("l1_bytes", geometric_values(8, 1024)),
+        Parameter("l2_kb", geometric_values(64, 4096)),
+        Parameter("offchip_bw_mbps", OFFCHIP_BW_VALUES_MBPS),
+        Parameter("noc_datawidth", linear_values(16, 16)),
+    ]
+    for op in OPERANDS:
+        params.append(
+            Parameter(f"phys_unicast_{op.value}", tuple(range(1, 65)))
+        )
+    for op in OPERANDS:
+        params.append(
+            Parameter(f"virt_unicast_{op.value}", VIRT_UNICAST_VALUES)
+        )
+    return DesignSpace(params)
+
+
+def config_from_point(
+    point: Mapping[str, Any], freq_mhz: int = 500, bytes_per_element: int = 2
+) -> AcceleratorConfig:
+    """Build an :class:`AcceleratorConfig` from a Table 1 design point."""
+    return AcceleratorConfig(
+        pes=point["pes"],
+        l1_bytes=point["l1_bytes"],
+        l2_kb=point["l2_kb"],
+        offchip_bw_mbps=point["offchip_bw_mbps"],
+        noc_datawidth_bits=point["noc_datawidth"],
+        phys_unicast_factor={
+            op: point[f"phys_unicast_{op.value}"] for op in OPERANDS
+        },
+        virt_unicast={op: point[f"virt_unicast_{op.value}"] for op in OPERANDS},
+        freq_mhz=freq_mhz,
+        bytes_per_element=bytes_per_element,
+    )
+
+
+def point_from_config(config: AcceleratorConfig) -> DesignPoint:
+    """Inverse of :func:`config_from_point` (drops freq/precision)."""
+    point: DesignPoint = {
+        "pes": config.pes,
+        "l1_bytes": config.l1_bytes,
+        "l2_kb": config.l2_kb,
+        "offchip_bw_mbps": config.offchip_bw_mbps,
+        "noc_datawidth": config.noc_datawidth_bits,
+    }
+    for op in OPERANDS:
+        point[f"phys_unicast_{op.value}"] = config.phys_unicast_factor[op]
+        point[f"virt_unicast_{op.value}"] = config.virt_unicast[op]
+    return point

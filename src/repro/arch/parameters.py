@@ -1,0 +1,122 @@
+"""Design-space parameter definitions.
+
+The DSE problem (paper §A.1) is a discrete constrained minimisation over
+integer/real/categorical parameters whose values come from explicit lists
+or generator expressions.  :class:`Parameter` captures one such axis.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+__all__ = ["Parameter", "geometric_values", "linear_values"]
+
+
+def geometric_values(start: int, stop: int, ratio: int = 2) -> Tuple[int, ...]:
+    """Geometric progression ``start, start*ratio, ... <= stop`` (inclusive)."""
+    if start < 1 or ratio < 2:
+        raise ValueError("start must be >= 1 and ratio >= 2")
+    values = []
+    v = start
+    while v <= stop:
+        values.append(v)
+        v *= ratio
+    return tuple(values)
+
+
+def linear_values(step: int, count: int) -> Tuple[int, ...]:
+    """Arithmetic progression ``step, 2*step, ..., count*step``."""
+    if step < 1 or count < 1:
+        raise ValueError("step and count must be >= 1")
+    return tuple(step * i for i in range(1, count + 1))
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One discrete design-space axis.
+
+    Attributes:
+        name: Unique parameter name (e.g. ``"pes"``).
+        values: Ordered tuple of admissible values.  Numeric parameters must
+            be sorted ascending; categorical parameters keep their listed
+            order but are never rounded.
+        categorical: True when values are unordered labels.
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+    categorical: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"parameter {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"parameter {self.name!r} has duplicate values")
+        if not self.categorical:
+            if list(self.values) != sorted(self.values):
+                raise ValueError(
+                    f"numeric parameter {self.name!r} values must be sorted"
+                )
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    @property
+    def minimum(self) -> Any:
+        return self.values[0]
+
+    @property
+    def maximum(self) -> Any:
+        return self.values[-1]
+
+    def index_of(self, value: Any) -> int:
+        """Index of an exact value.
+
+        Raises:
+            ValueError: if ``value`` is not in the parameter's value list.
+        """
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{value!r} not a valid value for parameter {self.name!r}"
+            ) from None
+
+    def contains(self, value: Any) -> bool:
+        return value in self.values
+
+    def round_up(self, target: float) -> Any:
+        """Smallest admissible value >= ``target`` (else the maximum).
+
+        The paper (§4.5): "if a predicted value is not present in the defined
+        design space (e.g., non-power-of-2), the DSE rounds it up to the
+        closest value".
+        """
+        if self.categorical:
+            raise TypeError(f"cannot round categorical parameter {self.name!r}")
+        idx = bisect.bisect_left(self.values, target)
+        if idx >= len(self.values):
+            return self.values[-1]
+        return self.values[idx]
+
+    def round_down(self, target: float) -> Any:
+        """Largest admissible value <= ``target`` (else the minimum)."""
+        if self.categorical:
+            raise TypeError(f"cannot round categorical parameter {self.name!r}")
+        idx = bisect.bisect_right(self.values, target) - 1
+        if idx < 0:
+            return self.values[0]
+        return self.values[idx]
+
+    def neighbors(self, value: Any) -> Tuple[Any, ...]:
+        """Immediately adjacent values (for local-search baselines)."""
+        idx = self.index_of(value)
+        out = []
+        if idx > 0:
+            out.append(self.values[idx - 1])
+        if idx + 1 < len(self.values):
+            out.append(self.values[idx + 1])
+        return tuple(out)

@@ -1,0 +1,96 @@
+"""Reference architecture configurations and design-space variants.
+
+Besides the Table 1 edge space, users often want (a) concrete well-known
+configurations to evaluate or use as DSE initial points, and (b) a larger
+cloud-class space.  The reference points approximate published chips on
+this template's parameters (per the paper's Table 4 comparison, the
+template models scalar-MAC arrays with data-distribution NoCs, so these
+are template-domain analogues, not cycle-accurate replicas).
+"""
+
+from __future__ import annotations
+
+
+from repro.arch.accelerator import OFFCHIP_BW_VALUES_MBPS, VIRT_UNICAST_VALUES
+from repro.arch.design_space import DesignPoint, DesignSpace
+from repro.arch.parameters import Parameter, geometric_values, linear_values
+from repro.workloads.layers import OPERANDS
+
+__all__ = [
+    "eyeriss_like_point",
+    "edge_tpu_like_point",
+    "build_cloud_design_space",
+]
+
+
+def _noc_settings(point: DesignPoint, phys: int, virt: int) -> None:
+    for op in OPERANDS:
+        point[f"phys_unicast_{op.value}"] = phys
+        point[f"virt_unicast_{op.value}"] = virt
+
+
+def eyeriss_like_point() -> DesignPoint:
+    """An Eyeriss-like configuration on the Table 1 axes.
+
+    Eyeriss [8]: 168 PEs (nearest Table 1 value: 128), 512 B RF per PE,
+    108 kB shared buffer (nearest: 128 kB), modest off-chip bandwidth, and
+    heavily time-multiplexed NoCs (its configurable single bus).
+    """
+    point: DesignPoint = {
+        "pes": 128,
+        "l1_bytes": 512,
+        "l2_kb": 128,
+        "offchip_bw_mbps": 1024,
+        "noc_datawidth": 64,
+        }
+    _noc_settings(point, phys=4, virt=64)
+    return point
+
+
+def edge_tpu_like_point() -> DesignPoint:
+    """An Edge-TPU-like configuration on the Table 1 axes.
+
+    The Coral Edge TPU is a ~4 TOPS (int8) systolic design: ~2048
+    16-bit-equivalent MACs, multi-megabyte on-chip buffering, and LPDDR4
+    bandwidth; systolic forwarding is approximated with wide physical
+    unicast provisioning.
+    """
+    point: DesignPoint = {
+        "pes": 2048,
+        "l1_bytes": 64,
+        "l2_kb": 4096,
+        "offchip_bw_mbps": 25600,
+        "noc_datawidth": 128,
+    }
+    _noc_settings(point, phys=32, virt=8)
+    return point
+
+
+def build_cloud_design_space() -> DesignSpace:
+    """A cloud-inference-class design space (TPU-scale upper bounds).
+
+    Same axes as Table 1 with the resource ranges extended upward:
+    up to 64k PEs, 16 KiB register files, 64 MiB scratchpads, and HBM-class
+    off-chip bandwidth.  Constraints would likewise be relaxed (hundreds
+    of mm^2, tens of watts); the DSE machinery is unchanged.
+    """
+    params = [
+        Parameter("pes", geometric_values(256, 65536)),
+        Parameter("l1_bytes", geometric_values(64, 16384)),
+        Parameter("l2_kb", geometric_values(512, 65536)),
+        Parameter(
+            "offchip_bw_mbps",
+            tuple(OFFCHIP_BW_VALUES_MBPS)
+            + (102400, 204800, 409600, 819200),
+        ),
+        Parameter("noc_datawidth", linear_values(32, 16)),
+    ]
+    for op in OPERANDS:
+        params.append(
+            Parameter(f"phys_unicast_{op.value}", tuple(range(1, 65)))
+        )
+    for op in OPERANDS:
+        params.append(
+            Parameter(f"virt_unicast_{op.value}", VIRT_UNICAST_VALUES)
+        )
+    return DesignSpace(params)

@@ -1,0 +1,20 @@
+"""Core contribution: bottleneck models and the Explainable-DSE framework."""
+
+from repro.core.bottleneck import (
+    BottleneckFinding,
+    BottleneckModel,
+    analyze_tree,
+    build_latency_bottleneck_model,
+)
+from repro.core.dse import Constraint, DSEResult, ExplainableDSE, Sense
+
+__all__ = [
+    "BottleneckFinding",
+    "BottleneckModel",
+    "Constraint",
+    "DSEResult",
+    "ExplainableDSE",
+    "Sense",
+    "analyze_tree",
+    "build_latency_bottleneck_model",
+]

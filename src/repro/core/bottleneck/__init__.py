@@ -1,0 +1,46 @@
+"""Bottleneck models: trees, the specification API, and the analyzer."""
+
+from repro.core.bottleneck.analyzer import BottleneckFinding, analyze_tree
+from repro.core.bottleneck.api import (
+    BottleneckModel,
+    MitigationContext,
+    ParameterPrediction,
+)
+from repro.core.bottleneck.energy_model import (
+    build_energy_bottleneck_model,
+    build_energy_tree,
+)
+from repro.core.bottleneck.latency_model import (
+    LayerExecutionContext,
+    build_latency_bottleneck_model,
+    build_latency_tree,
+)
+from repro.core.bottleneck.resource_models import (
+    ResourceContext,
+    build_area_bottleneck_model,
+    build_power_bottleneck_model,
+)
+from repro.core.bottleneck.tree import Node, NodeOp, add, div, leaf, maximum, mul
+
+__all__ = [
+    "BottleneckFinding",
+    "BottleneckModel",
+    "LayerExecutionContext",
+    "MitigationContext",
+    "Node",
+    "NodeOp",
+    "ParameterPrediction",
+    "ResourceContext",
+    "add",
+    "analyze_tree",
+    "build_area_bottleneck_model",
+    "build_energy_bottleneck_model",
+    "build_energy_tree",
+    "build_latency_bottleneck_model",
+    "build_latency_tree",
+    "build_power_bottleneck_model",
+    "div",
+    "leaf",
+    "maximum",
+    "mul",
+]

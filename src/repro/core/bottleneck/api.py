@@ -1,0 +1,154 @@
+"""The bottleneck-model API (paper §4.3, Fig. 7).
+
+Designers (or automation tools) express a domain-specific bottleneck model
+to the domain-independent DSE through up to three data structures:
+
+1. a **tree builder** producing the populated bottleneck graph for the
+   current solution (Fig. 7a);
+2. an **affected-parameters dictionary** mapping factor (node) names to the
+   design parameters that mitigate them (Fig. 7b);
+3. **mitigation subroutines** — handles keyed by parameter name that
+   predict the parameter's next value from its current value, the required
+   scaling ``s``, and the execution characteristics (Fig. 7c).
+
+When a parameter has no mitigation handle, the DSE falls back to its
+black-box counterpart (sampling the neighbouring value) — exactly the
+degradation path the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.bottleneck.analyzer import BottleneckFinding, analyze_tree
+from repro.core.bottleneck.tree import Node
+
+__all__ = [
+    "MitigationContext",
+    "MitigationFn",
+    "BottleneckModel",
+    "ParameterPrediction",
+]
+
+
+@dataclass(frozen=True)
+class MitigationContext:
+    """Everything a mitigation subroutine may consult.
+
+    Attributes:
+        scaling: Required cost scaling ``s`` from the analyzer.
+        finding: The full bottleneck finding (path, contribution, operand
+            metadata on the node).
+        execution: Domain execution characteristics (for DNN accelerators,
+            an :class:`repro.cost.ExecutionInfo`); None for resource models.
+        extra: Model-specific context (hardware config, thresholds, ...).
+    """
+
+    scaling: float
+    finding: BottleneckFinding
+    execution: Optional[object] = None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+#: Predicts a parameter's next (raw, un-rounded) value.
+MitigationFn = Callable[[Any, MitigationContext], float]
+
+
+@dataclass(frozen=True)
+class ParameterPrediction:
+    """A (parameter, predicted value) pair with its provenance."""
+
+    parameter: str
+    value: float
+    finding: BottleneckFinding
+    source: str  # "mitigation" or "neighbor-fallback"
+
+    def describe(self) -> str:
+        return (
+            f"{self.parameter} -> {self.value:g} "
+            f"[{self.source}; {self.finding.describe()}]"
+        )
+
+
+@dataclass
+class BottleneckModel:
+    """A domain-specific bottleneck model pluggable into the DSE.
+
+    Attributes:
+        name: Model label (e.g. ``"dnn-accelerator-latency"``).
+        build_tree: Callable producing the populated tree for the current
+            solution; its single argument is a model-specific context
+            object (for the DNN latency model, a per-layer execution
+            record).
+        affected_parameters: Factor (node) name -> design parameter names
+            that mitigate it.
+        mitigations: Parameter name -> mitigation subroutine.
+    """
+
+    name: str
+    build_tree: Callable[[Any], Node]
+    affected_parameters: Dict[str, Tuple[str, ...]]
+    mitigations: Dict[str, MitigationFn] = field(default_factory=dict)
+
+    def predict(
+        self,
+        context: Any,
+        current_values: Mapping[str, Any],
+        target_value: Optional[float] = None,
+        max_findings: int = 3,
+        execution: Optional[object] = None,
+        extra: Optional[Mapping[str, Any]] = None,
+    ) -> List[ParameterPrediction]:
+        """Analyze one solution and predict mitigating parameter values.
+
+        Args:
+            context: Input to ``build_tree``.
+            current_values: Current design-point values, keyed by parameter.
+            target_value: Optional constraint threshold (see analyzer).
+            max_findings: How many ranked bottleneck factors (with known
+                affected parameters) to turn into predictions.
+            execution: Execution characteristics forwarded to mitigations.
+            extra: Extra context forwarded to mitigations.
+
+        Returns:
+            Parameter predictions, most critical bottleneck first.  A
+            parameter appears at most once (from its highest-ranked factor).
+        """
+        tree = self.build_tree(context)
+        findings = analyze_tree(tree, target_value=target_value)
+        predictions: List[ParameterPrediction] = []
+        seen_params: set = set()
+        used_findings = 0
+        for finding in findings:
+            params = self.affected_parameters.get(finding.name)
+            if not params:
+                continue
+            used_findings += 1
+            if used_findings > max_findings:
+                break
+            mit_context = MitigationContext(
+                scaling=finding.scaling,
+                finding=finding,
+                execution=execution,
+                extra=dict(extra or {}),
+            )
+            for param in params:
+                if param in seen_params or param not in current_values:
+                    continue
+                handle = self.mitigations.get(param)
+                if handle is None:
+                    continue  # DSE applies its neighbour fallback itself.
+                value = handle(current_values[param], mit_context)
+                if value is None:
+                    continue
+                seen_params.add(param)
+                predictions.append(
+                    ParameterPrediction(
+                        parameter=param,
+                        value=float(value),
+                        finding=finding,
+                        source="mitigation",
+                    )
+                )
+        return predictions

@@ -1,0 +1,94 @@
+"""Energy bottleneck model for DNN accelerators (objective extension).
+
+The paper's framework optimizes a single objective but is explicitly
+designed for other costs than latency (§4.2); this model instantiates the
+API for energy: per-layer energy is additive over the MAC datapath,
+register files, NoC transfers, scratchpad accesses, and off-chip traffic
+(per operand).  Mitigations grow the register file / scratchpad to convert
+remaining reuse into less data movement — the same §4.7 sizing subroutines
+the latency model uses, driven by the energy tree's scalings.
+"""
+
+from __future__ import annotations
+
+from repro.core.bottleneck.api import BottleneckModel
+from repro.core.bottleneck.latency_model import (
+    LayerExecutionContext,
+    mitigate_rf_size,
+    mitigate_spm_size,
+)
+from repro.core.bottleneck.tree import Node, add, leaf
+from repro.cost.energy import RF_ACCESSES_PER_MAC
+from repro.cost.technology import TECH_45NM
+from repro.workloads.layers import OPERANDS
+
+__all__ = ["build_energy_tree", "build_energy_bottleneck_model"]
+
+
+def build_energy_tree(context: LayerExecutionContext) -> Node:
+    """Per-layer energy (pJ) as an additive component tree."""
+    execution = context.execution
+    config = context.config
+    tech = TECH_45NM
+
+    mac_pj = execution.macs * tech.mac_energy_pj
+    rf_pj = (
+        execution.macs
+        * RF_ACCESSES_PER_MAC
+        * config.bytes_per_element
+        * tech.rf_energy_per_byte(config.l1_bytes)
+    )
+    spm_per_byte = tech.spm_energy_per_byte(config.l2_bytes)
+
+    noc_children = [
+        leaf(
+            f"e_noc_{op.value}",
+            execution.data_noc.get(op, 0.0) * tech.noc_energy_pj,
+            operand=op,
+        )
+        for op in OPERANDS
+    ]
+    dram_children = [
+        leaf(
+            f"e_dram_{op.value}",
+            execution.data_offchip.get(op, 0.0) * tech.dram_energy_pj,
+            operand=op,
+        )
+        for op in OPERANDS
+    ]
+    spm_pj = (
+        sum(execution.data_noc.values()) + sum(execution.data_offchip.values())
+    ) * spm_per_byte
+
+    return add(
+        "energy",
+        [
+            leaf("e_mac", mac_pj),
+            leaf("e_rf", rf_pj),
+            add("e_noc", noc_children),
+            leaf("e_spm", spm_pj),
+            add("e_dram", dram_children),
+        ],
+    )
+
+
+def build_energy_bottleneck_model() -> BottleneckModel:
+    """Energy bottleneck model: data-movement factors map to buffer sizing.
+
+    The MAC and RF terms are workload-intrinsic (no hardware parameter
+    reduces them without changing precision), so only the movement factors
+    carry affected parameters.
+    """
+    affected = {}
+    for op in OPERANDS:
+        affected[f"e_noc_{op.value}"] = ("l1_bytes",)
+        affected[f"e_dram_{op.value}"] = ("l2_kb",)
+    return BottleneckModel(
+        name="dnn-accelerator-energy",
+        build_tree=build_energy_tree,
+        affected_parameters=affected,
+        mitigations={
+            "l1_bytes": mitigate_rf_size,
+            "l2_kb": mitigate_spm_size,
+        },
+    )

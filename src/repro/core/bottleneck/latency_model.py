@@ -1,0 +1,272 @@
+"""DNN-accelerator latency bottleneck model (paper Fig. 8 and §4.7).
+
+The tree expresses per-layer latency as the maximum of three overlapped
+factors — computation, on-chip NoC communication (a max over the four
+dedicated operand NoCs), and off-chip DMA time (additive over serialized
+operand transfers).  Mitigation subroutines implement the §4.7 update
+rules: PE scaling, off-chip-bandwidth re-dimensioning, NoC width/link
+scaling clamped to one-shot-broadcast feasibility, and register-file /
+scratchpad sizing driven by remaining reuse (Amdahl-corrected for the
+scratchpad, where operands share the DMA serially).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.core.bottleneck.api import (
+    BottleneckModel,
+    MitigationContext,
+)
+from repro.core.bottleneck.tree import Node, add, leaf, maximum
+from repro.cost.execution_info import ExecutionInfo
+from repro.workloads.layers import OPERANDS, LayerShape, Operand
+
+__all__ = [
+    "LayerExecutionContext",
+    "build_latency_tree",
+    "build_latency_bottleneck_model",
+]
+
+
+@dataclass(frozen=True)
+class LayerExecutionContext:
+    """Input to the latency bottleneck model: one layer's optimized run."""
+
+    layer: LayerShape
+    execution: ExecutionInfo
+    config: AcceleratorConfig
+
+
+def build_latency_tree(context: LayerExecutionContext) -> Node:
+    """Populate the Fig. 8 latency tree from execution characteristics."""
+    execution = context.execution
+    noc_children = [
+        leaf(
+            f"t_noc_{op.value}",
+            execution.t_noc.get(op, 0.0),
+            operand=op,
+        )
+        for op in OPERANDS
+    ]
+    total_offchip = max(execution.total_offchip_bytes, 1e-12)
+    bytes_per_cycle = context.config.dram_bytes_per_cycle
+    dma_children = [
+        leaf(
+            f"dma_{op.value}",
+            execution.data_offchip.get(op, 0.0) / bytes_per_cycle,
+            operand=op,
+            footprint_fraction=execution.data_offchip.get(op, 0.0)
+            / total_offchip,
+        )
+        for op in OPERANDS
+    ]
+    return maximum(
+        "latency",
+        [
+            leaf("t_comp", execution.t_comp),
+            maximum("t_noc", noc_children),
+            add("t_dma", dma_children),
+        ],
+    )
+
+
+# -- helpers ----------------------------------------------------------------------
+
+
+def _operand_of(ctx: MitigationContext, fallback_from_noc: bool) -> Operand:
+    """Operand of the bottleneck factor (node metadata, else worst factor)."""
+    op = ctx.finding.node.metadata.get("operand")
+    if isinstance(op, Operand):
+        return op
+    execution: ExecutionInfo = ctx.execution
+    if fallback_from_noc:
+        return max(execution.t_noc, key=execution.t_noc.get)
+    return max(execution.data_offchip, key=execution.data_offchip.get)
+
+
+def _config(ctx: MitigationContext) -> AcceleratorConfig:
+    return ctx.extra["config"]
+
+
+# -- mitigation subroutines (paper §4.7) ------------------------------------------
+
+
+def mitigate_pes(current: float, ctx: MitigationContext) -> float:
+    """``PEs_new = s * PEs_current``."""
+    return current * ctx.scaling
+
+
+def mitigate_offchip_bw(current: float, ctx: MitigationContext) -> float:
+    """Re-dimension bandwidth so the whole footprint moves in t_dma / s."""
+    execution: ExecutionInfo = ctx.execution
+    if execution.t_dma <= 0:
+        return current
+    scaled_t_dma = execution.t_dma / ctx.scaling
+    footprint = execution.total_offchip_bytes
+    bytes_per_cycle = footprint / scaled_t_dma
+    return bytes_per_cycle * _config(ctx).freq_mhz
+
+
+def mitigate_noc_width(current: float, ctx: MitigationContext) -> float:
+    """Scale NoC datawidth, clamped to a one-shot broadcast of the tile."""
+    execution: ExecutionInfo = ctx.execution
+    op = _operand_of(ctx, fallback_from_noc=True)
+    max_width_feasible = execution.noc_bytes_per_group.get(op, 0.0) * 8
+    width_scaled = current * ctx.scaling
+    if max_width_feasible <= 0:
+        return width_scaled
+    return min(width_scaled, max_width_feasible)
+
+
+def _array_underutilized(ctx: MitigationContext) -> bool:
+    """True when the mapper could not occupy the PE array (typically
+    because NoC unicast capability caps the spatial unrolling)."""
+    execution: ExecutionInfo = ctx.execution
+    return execution.pes_used < 0.9 * _config(ctx).pes
+
+
+def mitigate_phys_unicast(current: float, ctx: MitigationContext) -> float:
+    """Scale physical unicast links toward the demanded concurrent groups.
+
+    The Table 1 parameter is the multiplier ``i`` with
+    ``links = pes * i / 64``; the subroutine converts the link-domain
+    prediction back to the multiplier domain.
+
+    Fired from a compute-time bottleneck (underutilized array), the links
+    are the unrolling limiter, so the multiplier itself scales by ``s``.
+    """
+    execution: ExecutionInfo = ctx.execution
+    config = _config(ctx)
+    if ctx.finding.name == "t_comp":
+        if not _array_underutilized(ctx):
+            return None
+        return min(current * ctx.scaling, 64.0)
+    op = _operand_of(ctx, fallback_from_noc=True)
+    links_current = config.physical_links(op)
+    max_links_feasible = max(execution.noc_groups_needed.get(op, 1), 1)
+    links_new = min(links_current * ctx.scaling, max_links_feasible)
+    return links_new * 64.0 / config.pes
+
+
+def mitigate_virt_unicast(current: float, ctx: MitigationContext) -> float:
+    """Provide enough time-shared rounds to serve the demanded groups.
+
+    Fired from a compute-time bottleneck (underutilized array), the
+    time-sharing degree is the unrolling limiter and scales by ``s``.
+    """
+    execution: ExecutionInfo = ctx.execution
+    config = _config(ctx)
+    if ctx.finding.name == "t_comp":
+        if not _array_underutilized(ctx):
+            return None
+        return current * ctx.scaling
+    op = _operand_of(ctx, fallback_from_noc=True)
+    groups = max(execution.noc_groups_needed.get(op, 1), 1)
+    links = config.physical_links(op)
+    return float(math.ceil(groups / links))
+
+
+def _reuse_driven_size(
+    per_operand_bytes, reuse_available, target_scaling: float
+) -> float:
+    """Shared RF/SPM sizing rule: grow each operand's chunk by the portion
+    of the target scaling its remaining reuse cannot already provide."""
+    total = 0.0
+    for op in (Operand.I, Operand.W, Operand.O):
+        available = max(reuse_available.get(op, 1.0), 1.0)
+        growth = target_scaling / min(available, target_scaling)
+        total += per_operand_bytes.get(op, 0.0) * growth
+    return total
+
+
+def mitigate_rf_size(current: float, ctx: MitigationContext) -> float:
+    """Grow the register file to exploit the bottleneck operand's reuse."""
+    execution: ExecutionInfo = ctx.execution
+    op = _operand_of(ctx, fallback_from_noc=True)
+    target = min(
+        max(execution.reuse_available_rf.get(op, 1.0), 1.0), ctx.scaling
+    )
+    if target <= 1.0:
+        return current
+    return _reuse_driven_size(
+        execution.data_rf, execution.reuse_available_rf, target
+    )
+
+
+def mitigate_spm_size(current: float, ctx: MitigationContext) -> float:
+    """Grow the scratchpad; Amdahl-corrected for serialized DMA operands.
+
+    With the bottleneck operand contributing fraction ``f`` of the off-chip
+    footprint, exploiting ``s``-fold reuse of it speeds DMA by
+    ``A = 1 / ((1 - f) + f / s)``.
+    """
+    execution: ExecutionInfo = ctx.execution
+    op = _operand_of(ctx, fallback_from_noc=False)
+    total = execution.total_offchip_bytes
+    if total <= 0:
+        return current
+    f = execution.data_offchip.get(op, 0.0) / total
+    s = ctx.scaling
+    amdahl = 1.0 / ((1.0 - f) + f / s) if f > 0 else 1.0
+    target = min(
+        max(execution.reuse_available_spm.get(op, 1.0), 1.0), amdahl
+    )
+    if target <= 1.0:
+        return current
+    new_bytes = _reuse_driven_size(
+        execution.data_spm, execution.reuse_available_spm, target
+    )
+    # Double buffering and the kB parameter domain.
+    return 2.0 * new_bytes / 1024.0
+
+
+def build_latency_bottleneck_model() -> BottleneckModel:
+    """The full latency bottleneck model for DNN accelerators.
+
+    Factor -> parameter associations (the Fig. 7b dictionary):
+
+    * computation time      -> PE count;
+    * per-operand NoC time  -> NoC datawidth, that operand's physical and
+      virtual unicast links, and the register-file size (more RF reuse
+      means fewer distribution events);
+    * per-operand DMA time  -> scratchpad size (more reuse) and off-chip
+      bandwidth;
+    * total DMA time        -> off-chip bandwidth.
+    """
+    affected = {
+        # Compute time: the array itself, or — when the array cannot be
+        # occupied — the unicast capability capping the spatial unrolling.
+        "t_comp": ("pes",)
+        + tuple(f"virt_unicast_{op.value}" for op in OPERANDS)
+        + tuple(f"phys_unicast_{op.value}" for op in OPERANDS),
+        "t_dma": ("offchip_bw_mbps",),
+    }
+    for op in OPERANDS:
+        affected[f"t_noc_{op.value}"] = (
+            "noc_datawidth",
+            f"phys_unicast_{op.value}",
+            f"virt_unicast_{op.value}",
+            "l1_bytes",
+        )
+        affected[f"dma_{op.value}"] = ("l2_kb", "offchip_bw_mbps")
+
+    mitigations = {
+        "pes": mitigate_pes,
+        "offchip_bw_mbps": mitigate_offchip_bw,
+        "noc_datawidth": mitigate_noc_width,
+        "l1_bytes": mitigate_rf_size,
+        "l2_kb": mitigate_spm_size,
+    }
+    for op in OPERANDS:
+        mitigations[f"phys_unicast_{op.value}"] = mitigate_phys_unicast
+        mitigations[f"virt_unicast_{op.value}"] = mitigate_virt_unicast
+
+    return BottleneckModel(
+        name="dnn-accelerator-latency",
+        build_tree=build_latency_tree,
+        affected_parameters=affected,
+        mitigations=mitigations,
+    )

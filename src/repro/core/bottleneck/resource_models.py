@@ -1,0 +1,113 @@
+"""Bottleneck models for resource constraints: area and max power.
+
+When the current solution violates an inequality constraint, the critical
+cost switches from the objective to the violated constraint (paper §4.1,
+§4.6 and footnote 4: "DSE could intelligently let communication time
+increase but meet constraints first through reduced buffer/NoC sizes").
+These models express which components consume the constrained resource and
+provide *down*-scaling mitigations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.core.bottleneck.api import BottleneckModel, MitigationContext
+from repro.core.bottleneck.tree import Node, add, leaf
+from repro.cost.area import AreaBreakdown
+from repro.cost.power import PowerBreakdown
+from repro.workloads.layers import OPERANDS
+
+__all__ = [
+    "ResourceContext",
+    "build_area_tree",
+    "build_power_tree",
+    "build_area_bottleneck_model",
+    "build_power_bottleneck_model",
+]
+
+_PHYS_PARAMS = tuple(f"phys_unicast_{op.value}" for op in OPERANDS)
+_VIRT_PARAMS = tuple(f"virt_unicast_{op.value}" for op in OPERANDS)
+
+
+@dataclass(frozen=True)
+class ResourceContext:
+    """Input to the resource bottleneck models."""
+
+    config: AcceleratorConfig
+    area: AreaBreakdown
+    power: PowerBreakdown
+
+
+def build_area_tree(context: ResourceContext) -> Node:
+    """Area = PE array + scratchpad + NoCs + controller (additive)."""
+    area = context.area
+    return add(
+        "area",
+        [
+            leaf("area_pe_array", area.pe_array_mm2),
+            leaf("area_spm", area.spm_mm2),
+            leaf("area_noc", area.noc_mm2),
+            leaf("area_controller", area.controller_mm2),
+        ],
+    )
+
+
+def build_power_tree(context: ResourceContext) -> Node:
+    """Peak power = PEs + NoCs + scratchpad + off-chip interface."""
+    power = context.power
+    return add(
+        "power",
+        [
+            leaf("power_pe", power.pe_w),
+            leaf("power_noc", power.noc_w),
+            leaf("power_spm", power.spm_w),
+            leaf("power_offchip", power.offchip_w),
+        ],
+    )
+
+
+def _downscale(current: float, ctx: MitigationContext) -> float:
+    """Shrink a parameter by the required scaling (constraint mitigation)."""
+    return current / ctx.scaling
+
+
+def build_area_bottleneck_model() -> BottleneckModel:
+    """Area-constraint bottleneck model with down-scaling mitigations."""
+    affected = {
+        "area_pe_array": ("pes", "l1_bytes"),
+        "area_spm": ("l2_kb",),
+        "area_noc": ("noc_datawidth",) + _PHYS_PARAMS,
+    }
+    params = {"pes", "l1_bytes", "l2_kb", "noc_datawidth", *_PHYS_PARAMS}
+    return BottleneckModel(
+        name="dnn-accelerator-area",
+        build_tree=build_area_tree,
+        affected_parameters=affected,
+        mitigations={p: _downscale for p in params},
+    )
+
+
+def build_power_bottleneck_model() -> BottleneckModel:
+    """Power-constraint bottleneck model with down-scaling mitigations."""
+    affected = {
+        "power_pe": ("pes", "l1_bytes"),
+        "power_noc": ("noc_datawidth",) + _PHYS_PARAMS,
+        "power_spm": ("noc_datawidth", "l2_kb"),
+        "power_offchip": ("offchip_bw_mbps",),
+    }
+    params = {
+        "pes",
+        "l1_bytes",
+        "l2_kb",
+        "noc_datawidth",
+        "offchip_bw_mbps",
+        *_PHYS_PARAMS,
+    }
+    return BottleneckModel(
+        name="dnn-accelerator-power",
+        build_tree=build_power_tree,
+        affected_parameters=affected,
+        mitigations={p: _downscale for p in params},
+    )

@@ -1,0 +1,150 @@
+"""Bottleneck-model trees (paper Fig. 2 / Fig. 7a / Fig. 8).
+
+A bottleneck model is a tree whose nodes are mathematical combinators —
+``max``, ``add``, ``mul``, ``div`` — over cost factors, with leaves holding
+populated values of design parameters or execution characteristics.  Unlike
+a cost model that returns one number, the tree is *explicitly analyzable*:
+contributions can be computed per node, the dominating path traced, and the
+scaling required to re-balance the cost derived.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+__all__ = ["NodeOp", "Node", "leaf", "add", "mul", "div", "maximum"]
+
+
+class NodeOp(enum.Enum):
+    """Combinator of a bottleneck-tree node."""
+
+    LEAF = "leaf"
+    MAX = "max"
+    ADD = "add"
+    MUL = "mul"
+    DIV = "div"
+
+
+@dataclass(frozen=True)
+class Node:
+    """One node of a bottleneck model.
+
+    Attributes:
+        name: Unique-ish label; the affected-parameters dictionary of the
+            bottleneck API keys on these names.
+        op: Combinator applied to the children's values.
+        children: Sub-factors (empty for leaves).
+        raw_value: Populated value for leaves; ignored for internal nodes.
+        metadata: Free-form annotations (e.g. the operand a factor belongs
+            to) surfaced to mitigation subroutines and explanations.
+    """
+
+    name: str
+    op: NodeOp
+    children: Tuple["Node", ...] = ()
+    raw_value: Optional[float] = None
+    metadata: Dict[str, object] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.op is NodeOp.LEAF:
+            if self.children:
+                raise ValueError(f"leaf node {self.name!r} cannot have children")
+            if self.raw_value is None:
+                raise ValueError(f"leaf node {self.name!r} needs a value")
+        else:
+            if not self.children:
+                raise ValueError(f"{self.op} node {self.name!r} needs children")
+            if self.op is NodeOp.DIV and len(self.children) != 2:
+                raise ValueError(
+                    f"div node {self.name!r} needs exactly 2 children"
+                )
+
+    # -- evaluation ------------------------------------------------------------
+
+    @property
+    def value(self) -> float:
+        """Evaluate the subtree (leaves must be populated)."""
+        if self.op is NodeOp.LEAF:
+            return float(self.raw_value)
+        child_values = [c.value for c in self.children]
+        if self.op is NodeOp.MAX:
+            return max(child_values)
+        if self.op is NodeOp.ADD:
+            return sum(child_values)
+        if self.op is NodeOp.MUL:
+            out = 1.0
+            for v in child_values:
+                out *= v
+            return out
+        # DIV
+        numerator, denominator = child_values
+        if denominator == 0:
+            return float("inf")
+        return numerator / denominator
+
+    # -- traversal ----------------------------------------------------------------
+
+    def walk(self) -> Iterator["Node"]:
+        """Depth-first pre-order traversal."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Node"]:
+        """First node with the given name, or None."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable tree rendering with values and percentages."""
+        total = self.value
+        lines = []
+
+        def _render(node: Node, depth: int) -> None:
+            share = (node.value / total * 100.0) if total else 0.0
+            lines.append(
+                f"{'  ' * depth}{node.name} [{node.op.value}] "
+                f"= {node.value:.4g} ({share:.1f}%)"
+            )
+            for child in node.children:
+                _render(child, depth + 1)
+
+        _render(self, indent)
+        return "\n".join(lines)
+
+
+# -- construction helpers --------------------------------------------------------
+
+
+def leaf(name: str, value: float, **metadata: object) -> Node:
+    """A populated leaf (design parameter or execution characteristic)."""
+    return Node(name=name, op=NodeOp.LEAF, raw_value=float(value), metadata=metadata)
+
+
+def add(name: str, children: Sequence[Node], **metadata: object) -> Node:
+    """An additive cost factor (e.g. DMA time over serialized operands)."""
+    return Node(name=name, op=NodeOp.ADD, children=tuple(children), metadata=metadata)
+
+
+def mul(name: str, children: Sequence[Node], **metadata: object) -> Node:
+    """A multiplicative cost factor."""
+    return Node(name=name, op=NodeOp.MUL, children=tuple(children), metadata=metadata)
+
+
+def div(name: str, numerator: Node, denominator: Node, **metadata: object) -> Node:
+    """A ratio factor (work / capability)."""
+    return Node(
+        name=name,
+        op=NodeOp.DIV,
+        children=(numerator, denominator),
+        metadata=metadata,
+    )
+
+
+def maximum(name: str, children: Sequence[Node], **metadata: object) -> Node:
+    """An overlap factor: the slowest of concurrent activities dominates."""
+    return Node(name=name, op=NodeOp.MAX, children=tuple(children), metadata=metadata)

@@ -1,0 +1,45 @@
+"""Explainable-DSE framework: constraints, aggregation, and the search loop."""
+
+from repro.core.dse.aggregation import (
+    AggregatedPrediction,
+    SubFunctionPredictions,
+    aggregate_parameter_values,
+    default_threshold,
+    select_bottleneck_subfunctions,
+)
+from repro.core.dse.constraints import (
+    Constraint,
+    Sense,
+    all_satisfied,
+    constraints_budget,
+    violated_constraints,
+)
+from repro.core.dse.explainable import ExplainableDSE
+from repro.core.dse.result import DSEResult, TrialRecord, select_best
+from repro.core.dse.serialization import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+__all__ = [
+    "AggregatedPrediction",
+    "Constraint",
+    "DSEResult",
+    "ExplainableDSE",
+    "Sense",
+    "SubFunctionPredictions",
+    "TrialRecord",
+    "aggregate_parameter_values",
+    "all_satisfied",
+    "constraints_budget",
+    "default_threshold",
+    "load_result",
+    "result_from_dict",
+    "result_to_dict",
+    "save_result",
+    "select_best",
+    "select_bottleneck_subfunctions",
+    "violated_constraints",
+]

@@ -1,0 +1,136 @@
+"""Aggregation of per-sub-function bottleneck mitigation (paper §4.4).
+
+Workloads comprise many sub-functions (DNN layers) with diverse execution
+characteristics, so per-layer bottleneck analysis yields *multiple*
+predicted values for the same parameter.  Explainable-DSE (i) restricts
+attention to the bottleneck sub-functions — the top-K layers whose
+fractional cost contribution exceeds a threshold — and (ii) resolves value
+conflicts per parameter by taking the **minimum** prediction, avoiding
+over-aggressive jumps that exhaust the constraints budget for the sake of a
+single layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bottleneck.api import ParameterPrediction
+
+__all__ = [
+    "SubFunctionPredictions",
+    "AggregatedPrediction",
+    "default_threshold",
+    "select_bottleneck_subfunctions",
+    "aggregate_parameter_values",
+]
+
+
+@dataclass(frozen=True)
+class SubFunctionPredictions:
+    """Bottleneck predictions from one sub-function (layer).
+
+    Attributes:
+        name: Sub-function (layer) name.
+        weight: Fractional contribution of the sub-function to the total
+            cost (its latency x repeats / total latency).
+        predictions: Parameter predictions from its bottleneck analysis.
+    """
+
+    name: str
+    weight: float
+    predictions: Tuple[ParameterPrediction, ...]
+
+
+@dataclass(frozen=True)
+class AggregatedPrediction:
+    """Final value chosen for a parameter after aggregation."""
+
+    parameter: str
+    value: float
+    contributing_subfunctions: Tuple[str, ...]
+    candidate_values: Tuple[float, ...]
+
+
+def default_threshold(num_subfunctions: int) -> float:
+    """The paper's contribution threshold: ``0.5 * (1 / l)``.
+
+    With ``l`` unique layers, only layers consuming more than half of an
+    equal share of the cost are considered bottleneck sub-functions.
+    """
+    if num_subfunctions < 1:
+        raise ValueError("need at least one sub-function")
+    return 0.5 / num_subfunctions
+
+
+def select_bottleneck_subfunctions(
+    subfunctions: Sequence[SubFunctionPredictions],
+    top_k: int = 5,
+    threshold: Optional[float] = None,
+) -> List[SubFunctionPredictions]:
+    """Keep the top-K sub-functions above the contribution threshold."""
+    if threshold is None:
+        threshold = default_threshold(max(len(subfunctions), 1))
+    eligible = [sf for sf in subfunctions if sf.weight >= threshold]
+    eligible.sort(key=lambda sf: -sf.weight)
+    return eligible[:top_k]
+
+
+#: Conflict-resolution rules for multiple predicted values of a parameter
+#: (§4.4(i)); the paper selects "min" — "max" converges faster but favours
+#: a single sub-function and exhausts the constraints budget, and "mean"
+#: sits between — all three are provided for ablation studies.
+AGGREGATION_RULES = {
+    "min": min,
+    "max": max,
+    "mean": lambda values: sum(values) / len(values),
+}
+
+
+def aggregate_parameter_values(
+    subfunctions: Sequence[SubFunctionPredictions],
+    top_k: int = 5,
+    threshold: Optional[float] = None,
+    rule: str = "min",
+) -> List[AggregatedPrediction]:
+    """Aggregate per-layer predictions into one value per parameter.
+
+    Applies the sub-function filter, then the conflict-resolution ``rule``
+    per parameter — the paper's default is the minimum (§4.4(i):
+    "selecting the minimum value as the final prediction").
+
+    Returns:
+        One :class:`AggregatedPrediction` per parameter, ordered by the
+        weight of the heaviest sub-function that proposed it (so the DSE
+        acquires candidates for the most critical bottlenecks first).
+    """
+    if rule not in AGGREGATION_RULES:
+        raise ValueError(
+            f"unknown aggregation rule {rule!r}; "
+            f"available: {sorted(AGGREGATION_RULES)}"
+        )
+    resolve = AGGREGATION_RULES[rule]
+    selected = select_bottleneck_subfunctions(subfunctions, top_k, threshold)
+    by_param: Dict[str, List[Tuple[float, str, float]]] = {}
+    for sf in selected:
+        for prediction in sf.predictions:
+            by_param.setdefault(prediction.parameter, []).append(
+                (prediction.value, sf.name, sf.weight)
+            )
+    aggregated = []
+    for parameter, entries in by_param.items():
+        values = tuple(v for v, _, _ in entries)
+        aggregated.append(
+            AggregatedPrediction(
+                parameter=parameter,
+                value=resolve(values),
+                contributing_subfunctions=tuple(name for _, name, _ in entries),
+                candidate_values=values,
+            )
+        )
+    weight_of = {
+        agg.parameter: max(w for _, _, w in by_param[agg.parameter])
+        for agg in aggregated
+    }
+    aggregated.sort(key=lambda a: -weight_of[a.parameter])
+    return aggregated

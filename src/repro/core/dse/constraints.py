@@ -1,0 +1,95 @@
+"""Inequality constraints and the constraints-budget accounting of §4.6.
+
+A constraint bounds one scalar cost from above (``area <= 75``) or below
+(``throughput >= 40``).  Its *utilization* normalizes the cost to the
+threshold so that values <= 1 are feasible; the *constraints budget* of a
+solution is the mean utilization over all constraints — the quantity the
+DSE minimizes while still infeasible and uses to discount the objective
+(``objective x budget``) once feasible.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
+
+__all__ = [
+    "Sense",
+    "Constraint",
+    "violated_constraints",
+    "constraints_budget",
+    "all_satisfied",
+]
+
+
+class Sense(enum.Enum):
+    """Direction of an inequality constraint."""
+
+    LEQ = "<="
+    GEQ = ">="
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One inequality constraint on a scalar cost.
+
+    Attributes:
+        name: Human-readable label (``"area"``).
+        cost_key: Key into an evaluation's cost dictionary (``"area_mm2"``).
+        bound: Threshold value.
+        sense: ``LEQ`` (cost must stay below) or ``GEQ`` (above).
+    """
+
+    name: str
+    cost_key: str
+    bound: float
+    sense: Sense = Sense.LEQ
+
+    def __post_init__(self) -> None:
+        if self.bound <= 0:
+            raise ValueError(f"constraint {self.name!r} needs a positive bound")
+
+    def utilization(self, costs: Mapping[str, float]) -> float:
+        """Normalized usage of the constraint budget; <= 1 is feasible.
+
+        ``LEQ``: value / bound.  ``GEQ``: bound / value (an infinite or zero
+        cost yields infinite utilization).
+        """
+        value = costs[self.cost_key]
+        if self.sense is Sense.LEQ:
+            return value / self.bound
+        if value <= 0 or not math.isfinite(value):
+            return math.inf
+        return self.bound / value
+
+    def satisfied(self, costs: Mapping[str, float]) -> bool:
+        return self.utilization(costs) <= 1.0
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.cost_key} {self.sense.value} {self.bound:g}"
+
+
+def violated_constraints(
+    costs: Mapping[str, float], constraints: Sequence[Constraint]
+) -> List[Constraint]:
+    """Constraints not met by ``costs``, most-violated first."""
+    out = [c for c in constraints if not c.satisfied(costs)]
+    out.sort(key=lambda c: -c.utilization(costs))
+    return out
+
+
+def all_satisfied(
+    costs: Mapping[str, float], constraints: Sequence[Constraint]
+) -> bool:
+    return all(c.satisfied(costs) for c in constraints)
+
+
+def constraints_budget(
+    costs: Mapping[str, float], constraints: Sequence[Constraint]
+) -> float:
+    """Mean normalized utilization over all constraints (§4.6)."""
+    if not constraints:
+        return 0.0
+    return sum(c.utilization(costs) for c in constraints) / len(constraints)

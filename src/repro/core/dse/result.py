@@ -1,0 +1,129 @@
+"""Uniform DSE result records shared by Explainable-DSE and all baselines.
+
+Every optimizer produces the same :class:`DSEResult` so the experiment
+harness can compare efficiency (best feasible objective), feasibility
+(fraction of acquisitions meeting constraint subsets), agility (evaluations
+and wall-clock), and per-attempt objective reduction (Table 3) uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence
+
+from repro.arch.design_space import DesignPoint
+from repro.core.dse.constraints import Constraint, all_satisfied
+
+__all__ = ["TrialRecord", "DSEResult", "select_best"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One evaluated design point during a DSE run."""
+
+    index: int
+    point: DesignPoint
+    costs: Mapping[str, float]
+    feasible: bool
+    mappable: bool
+    utilizations: Mapping[str, float] = field(default_factory=dict)
+    note: str = ""
+
+    @property
+    def objective(self) -> float:
+        return self.costs.get("latency_ms", math.inf)
+
+    def meets(self, constraint_names: Sequence[str]) -> bool:
+        """Feasibility under a subset of constraints (by name)."""
+        return all(
+            self.utilizations.get(name, math.inf) <= 1.0
+            for name in constraint_names
+        )
+
+
+@dataclass
+class DSEResult:
+    """Outcome of one DSE run.
+
+    Attributes:
+        technique: Optimizer label (e.g. ``"explainable"``).
+        model: Workload name.
+        trials: Every evaluated design point, in evaluation order.
+        best: The best feasible trial (None when none was feasible —
+            the paper's dashed / starred table cells).
+        evaluations: Unique cost-model invocations consumed.
+        wall_seconds: Wall-clock time of the run.
+        explanations: Human-readable bottleneck-analysis log (empty for
+            non-explainable baselines — that is the point of the paper).
+    """
+
+    technique: str
+    model: str
+    trials: List[TrialRecord]
+    best: Optional[TrialRecord]
+    evaluations: int
+    wall_seconds: float
+    explanations: List[str] = field(default_factory=list)
+
+    @property
+    def best_objective(self) -> float:
+        return self.best.objective if self.best else math.inf
+
+    @property
+    def found_feasible(self) -> bool:
+        return self.best is not None
+
+    def feasibility_fraction(
+        self, constraint_names: Optional[Sequence[str]] = None
+    ) -> float:
+        """Fraction of evaluated solutions meeting the given constraints
+        (all recorded constraints when ``constraint_names`` is None)."""
+        if not self.trials:
+            return 0.0
+        if constraint_names is None:
+            good = sum(1 for t in self.trials if t.feasible)
+        else:
+            good = sum(1 for t in self.trials if t.meets(constraint_names))
+        return good / len(self.trials)
+
+    def best_so_far_trajectory(self) -> List[float]:
+        """Best feasible objective after each trial (inf before the first
+        feasible solution) — the Fig. 11 convergence curve."""
+        best = math.inf
+        out = []
+        for t in self.trials:
+            if t.feasible and t.objective < best:
+                best = t.objective
+            out.append(best)
+        return out
+
+    def per_attempt_reduction(self) -> float:
+        """Geometric-mean per-attempt objective reduction over feasible
+        improvements (Table 3's metric), as a fraction (0.30 = 30%).
+
+        Computed over consecutive best-so-far values: each attempt that
+        improved the incumbent contributes its reduction ratio; attempts
+        that did not improve contribute 1.0 (no reduction).
+        """
+        trajectory = [v for v in self.best_so_far_trajectory() if math.isfinite(v)]
+        if len(trajectory) < 2:
+            return 0.0
+        ratios = []
+        for previous, current in zip(trajectory, trajectory[1:]):
+            ratios.append(current / previous if previous > 0 else 1.0)
+        log_sum = sum(math.log(r) for r in ratios if r > 0)
+        geomean = math.exp(log_sum / len(ratios))
+        return 1.0 - geomean
+
+
+def select_best(
+    trials: Sequence[TrialRecord],
+    constraints: Sequence[Constraint],
+    objective: str = "latency_ms",
+) -> Optional[TrialRecord]:
+    """Best (lowest-objective) trial meeting all constraints, else None."""
+    feasible = [t for t in trials if all_satisfied(t.costs, constraints)]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda t: t.costs.get(objective, math.inf))

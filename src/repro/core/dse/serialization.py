@@ -1,0 +1,121 @@
+"""DSE result serialization: persist runs to JSON and reload them.
+
+Exploration runs are expensive; persisting them lets the CLI dump results
+for later comparison, lets dashboards consume them, and lets tests assert
+on fixed historical runs.  The format is plain JSON with a schema version.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.dse.result import DSEResult, TrialRecord
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+
+SCHEMA_VERSION = 1
+
+
+def _encode_float(value: float) -> Any:
+    """JSON has no inf/nan; encode them as strings."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)  # 'inf', '-inf', 'nan'
+    return value
+
+
+def _decode_float(value: Any) -> Any:
+    if isinstance(value, str) and value in ("inf", "-inf", "nan"):
+        return float(value)
+    return value
+
+
+def _encode_costs(costs: Dict[str, float]) -> Dict[str, Any]:
+    return {k: _encode_float(v) for k, v in costs.items()}
+
+
+def _decode_costs(costs: Dict[str, Any]) -> Dict[str, float]:
+    return {k: _decode_float(v) for k, v in costs.items()}
+
+
+def _trial_to_dict(trial: TrialRecord) -> Dict[str, Any]:
+    return {
+        "index": trial.index,
+        "point": dict(trial.point),
+        "costs": _encode_costs(dict(trial.costs)),
+        "feasible": trial.feasible,
+        "mappable": trial.mappable,
+        "utilizations": _encode_costs(dict(trial.utilizations)),
+        "note": trial.note,
+    }
+
+
+def _trial_from_dict(data: Dict[str, Any]) -> TrialRecord:
+    return TrialRecord(
+        index=int(data["index"]),
+        point=dict(data["point"]),
+        costs=_decode_costs(data["costs"]),
+        feasible=bool(data["feasible"]),
+        mappable=bool(data["mappable"]),
+        utilizations=_decode_costs(data.get("utilizations", {})),
+        note=str(data.get("note", "")),
+    )
+
+
+def result_to_dict(result: DSEResult) -> Dict[str, Any]:
+    """Serialize a DSE result to a JSON-compatible dictionary."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "technique": result.technique,
+        "model": result.model,
+        "evaluations": result.evaluations,
+        "wall_seconds": result.wall_seconds,
+        "best_index": result.best.index if result.best else None,
+        "trials": [_trial_to_dict(t) for t in result.trials],
+        "explanations": list(result.explanations),
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> DSEResult:
+    """Rebuild a DSE result from its dictionary form.
+
+    Raises:
+        ValueError: on schema mismatch or a dangling best index.
+    """
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema {schema!r}; expected {SCHEMA_VERSION}"
+        )
+    trials = [_trial_from_dict(t) for t in data["trials"]]
+    best_index = data.get("best_index")
+    best = None
+    if best_index is not None:
+        matches = [t for t in trials if t.index == best_index]
+        if not matches:
+            raise ValueError(f"best_index {best_index} not among trials")
+        best = matches[0]
+    return DSEResult(
+        technique=str(data["technique"]),
+        model=str(data["model"]),
+        trials=trials,
+        best=best,
+        evaluations=int(data["evaluations"]),
+        wall_seconds=float(data["wall_seconds"]),
+        explanations=list(data.get("explanations", [])),
+    )
+
+
+def save_result(result: DSEResult, path: Union[str, Path]) -> None:
+    """Write a result to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(result_to_dict(result), handle, indent=2)
+        handle.write("\n")
+
+
+def load_result(path: Union[str, Path]) -> DSEResult:
+    """Load a result from a JSON file."""
+    with open(path) as handle:
+        return result_from_dict(json.load(handle))

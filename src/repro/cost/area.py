@@ -1,0 +1,63 @@
+"""Area model: silicon area of a hardware configuration (mm^2, 45 nm).
+
+Accelergy/CACTI-style accounting over the template's components: the PE
+array (datapath + private register files), the banked scratchpad, the four
+operand NoCs (wiring scales with physical links x datawidth), and a fixed
+DMA/control block.  Area is mapping-independent, so it is computed once per
+hardware configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.cost.technology import TECH_45NM, TechnologyModel
+from repro.workloads.layers import OPERANDS
+
+__all__ = ["AreaBreakdown", "accelerator_area"]
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Component areas of a hardware configuration, mm^2."""
+
+    pe_array_mm2: float
+    spm_mm2: float
+    noc_mm2: float
+    controller_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return (
+            self.pe_array_mm2
+            + self.spm_mm2
+            + self.noc_mm2
+            + self.controller_mm2
+        )
+
+    def contributions(self) -> dict:
+        """Fractional contribution per component (for bottleneck analysis)."""
+        total = self.total_mm2
+        return {
+            "pe_array": self.pe_array_mm2 / total,
+            "spm": self.spm_mm2 / total,
+            "noc": self.noc_mm2 / total,
+            "controller": self.controller_mm2 / total,
+        }
+
+
+def accelerator_area(
+    config: AcceleratorConfig, tech: TechnologyModel = TECH_45NM
+) -> AreaBreakdown:
+    """Total silicon area of the configuration."""
+    pe_array = config.pes * tech.pe_area(config.l1_bytes)
+    spm = tech.spm_area(config.l2_bytes)
+    total_links = sum(config.physical_links(op) for op in OPERANDS)
+    noc = tech.noc_area(total_links, config.noc_datawidth_bits)
+    return AreaBreakdown(
+        pe_array_mm2=pe_array,
+        spm_mm2=spm,
+        noc_mm2=noc,
+        controller_mm2=tech.controller_area_mm2,
+    )

@@ -1,0 +1,105 @@
+"""Energy model: per-layer and per-model energy from execution traffic.
+
+Accelergy-style component accounting: each byte moved at each hierarchy
+level is charged that level's per-byte energy from the technology model,
+and each (padded) MAC is charged the datapath energy plus the register-file
+accesses that feed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.cost.execution_info import ExecutionInfo
+from repro.cost.technology import TECH_45NM, TechnologyModel
+
+__all__ = ["EnergyBreakdown", "layer_energy"]
+
+#: Register-file bytes touched per MAC: read input + read weight + update
+#: the output accumulator (read+write), in elements of ``bytes_per_element``.
+RF_ACCESSES_PER_MAC = 4
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one layer execution, picojoules, by component."""
+
+    mac_pj: float
+    rf_pj: float
+    noc_pj: float
+    spm_pj: float
+    dram_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.mac_pj + self.rf_pj + self.noc_pj + self.spm_pj + self.dram_pj
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_pj * 1e-9
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Scale all components (e.g. by a layer's repeat count)."""
+        return EnergyBreakdown(
+            mac_pj=self.mac_pj * factor,
+            rf_pj=self.rf_pj * factor,
+            noc_pj=self.noc_pj * factor,
+            spm_pj=self.spm_pj * factor,
+            dram_pj=self.dram_pj * factor,
+        )
+
+    @staticmethod
+    def zero() -> "EnergyBreakdown":
+        return EnergyBreakdown(0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            mac_pj=self.mac_pj + other.mac_pj,
+            rf_pj=self.rf_pj + other.rf_pj,
+            noc_pj=self.noc_pj + other.noc_pj,
+            spm_pj=self.spm_pj + other.spm_pj,
+            dram_pj=self.dram_pj + other.dram_pj,
+        )
+
+
+def layer_energy(
+    execution: ExecutionInfo,
+    config: AcceleratorConfig,
+    tech: TechnologyModel = TECH_45NM,
+) -> EnergyBreakdown:
+    """Energy of one layer execution from its traffic characteristics.
+
+    Components:
+
+    * **MAC**: padded MAC count (idle-padded work still clocks the array is
+      *not* charged — only true MACs consume datapath energy);
+    * **RF**: ``RF_ACCESSES_PER_MAC`` element accesses per true MAC at the
+      size-dependent RF energy;
+    * **NoC**: bytes distributed over the four operand networks;
+    * **SPM**: scratchpad reads feeding the NoCs plus writes of DMA-fetched
+      data, at the size-dependent SPM energy;
+    * **DRAM**: all off-chip traffic at the DRAM per-byte energy.
+    """
+    bpe = config.bytes_per_element
+    mac_pj = execution.macs * tech.mac_energy_pj
+    rf_pj = (
+        execution.macs
+        * RF_ACCESSES_PER_MAC
+        * bpe
+        * tech.rf_energy_per_byte(config.l1_bytes)
+    )
+    noc_bytes = sum(execution.data_noc.values())
+    noc_pj = noc_bytes * tech.noc_energy_pj
+    offchip_bytes = sum(execution.data_offchip.values())
+    spm_pj = (noc_bytes + offchip_bytes) * tech.spm_energy_per_byte(
+        config.l2_bytes
+    )
+    dram_pj = offchip_bytes * tech.dram_energy_pj
+    return EnergyBreakdown(
+        mac_pj=mac_pj,
+        rf_pj=rf_pj,
+        noc_pj=noc_pj,
+        spm_pj=spm_pj,
+        dram_pj=dram_pj,
+    )

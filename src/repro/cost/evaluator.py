@@ -1,0 +1,176 @@
+"""Top-level cost evaluator: one design point -> all costs.
+
+This is the "Target System and Cost Models" block of the paper's framework
+(Fig. 5): given a hardware design point it optimizes per-layer mappings
+through the configured mapper (the software subspace optimization of §4.8),
+and populates latency, energy, area, and max power.  It also retains the
+per-layer :class:`ExecutionInfo` so the bottleneck analyzer can reason
+about the software-optimized execution.
+
+Evaluations are cached by design point; the cache also serves as the DSE
+iteration ledger (``evaluations`` counts unique cost-model invocations,
+matching how the paper counts "iterations").
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Mapping, Tuple
+
+from repro.arch.accelerator import AcceleratorConfig, config_from_point
+from repro.arch.design_space import DesignPoint
+from repro.cost.area import AreaBreakdown, accelerator_area
+from repro.cost.energy import EnergyBreakdown, layer_energy
+from repro.cost.power import PowerBreakdown, max_power
+from repro.cost.technology import TECH_45NM, TechnologyModel
+from repro.workloads.layers import LayerShape, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.mapping.mapper import MappingResult
+
+__all__ = ["Evaluation", "CostEvaluator"]
+
+#: Mapper protocol: (layer, config) -> MappingResult.
+Mapper = Callable[[LayerShape, AcceleratorConfig], "MappingResult"]
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """All costs of one design point for one workload.
+
+    Attributes:
+        point: The evaluated hardware design point.
+        config: The instantiated accelerator configuration.
+        layer_results: Per unique layer name, the optimized mapping result.
+        costs: Scalar costs: ``latency_ms``, ``area_mm2``, ``power_w``,
+            ``energy_mj``, and ``throughput`` (inferences/second).
+            ``latency_ms`` and ``energy_mj`` are ``inf`` when any layer has
+            no feasible mapping on this hardware.
+        area: Component-level area breakdown.
+        power: Component-level peak-power breakdown.
+        mappable: True when every layer found a feasible mapping.
+    """
+
+    point: DesignPoint
+    config: AcceleratorConfig
+    layer_results: Mapping[str, MappingResult]
+    costs: Mapping[str, float]
+    area: AreaBreakdown
+    power: PowerBreakdown
+    mappable: bool
+
+    @property
+    def latency_ms(self) -> float:
+        return self.costs["latency_ms"]
+
+    def layer_latency_cycles(self, layer: LayerShape) -> float:
+        """Latency (cycles) of one invocation of a unique layer."""
+        return self.layer_results[layer.name].latency
+
+
+class CostEvaluator:
+    """Evaluate (and cache) design points for one workload.
+
+    Args:
+        workload: The DNN(s) to optimize for.
+        mapper: Mapping optimizer invoked per (layer, hardware) pair.
+        tech: Technology model for energy/area/power.
+        freq_mhz: Accelerator clock; Table 1 fixes 500 MHz.
+        bytes_per_element: Data precision (int16 -> 2).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        mapper: Mapper,
+        tech: TechnologyModel = TECH_45NM,
+        freq_mhz: int = 500,
+        bytes_per_element: int = 2,
+    ):
+        self.workload = workload
+        self.mapper = mapper
+        self.tech = tech
+        self.freq_mhz = freq_mhz
+        self.bytes_per_element = bytes_per_element
+        self._cache: Dict[Tuple, Evaluation] = {}
+        self.evaluations = 0  # unique cost-model invocations
+        self.calls = 0  # total evaluate() calls (cache hits included)
+        self.total_seconds = 0.0
+
+    def _key(self, point: Mapping) -> Tuple:
+        return tuple(sorted(point.items()))
+
+    def evaluate(self, point: DesignPoint) -> Evaluation:
+        """Evaluate a design point (cached)."""
+        self.calls += 1
+        key = self._key(point)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        started = time.perf_counter()
+        evaluation = self._evaluate_uncached(point)
+        self.total_seconds += time.perf_counter() - started
+        self.evaluations += 1
+        self._cache[key] = evaluation
+        return evaluation
+
+    def _evaluate_uncached(self, point: DesignPoint) -> Evaluation:
+        config = config_from_point(
+            point,
+            freq_mhz=self.freq_mhz,
+            bytes_per_element=self.bytes_per_element,
+        )
+        area = accelerator_area(config, self.tech)
+        power = max_power(config, self.tech)
+
+        layer_results: Dict[str, MappingResult] = {}
+        total_cycles = 0.0
+        energy = EnergyBreakdown.zero()
+        mappable = True
+        for layer in self.workload.layers:
+            result = self.mapper(layer, config)
+            layer_results[layer.name] = result
+            if not result.feasible:
+                mappable = False
+                continue
+            total_cycles += result.latency * layer.repeats
+            energy = energy + layer_energy(
+                result.execution, config, self.tech
+            ).scaled(layer.repeats)
+
+        if mappable:
+            latency_ms = total_cycles / (self.freq_mhz * 1e3)
+            energy_mj = energy.total_mj
+            throughput = 1000.0 / latency_ms if latency_ms > 0 else math.inf
+        else:
+            latency_ms = math.inf
+            energy_mj = math.inf
+            throughput = 0.0
+
+        costs = {
+            "latency_ms": latency_ms,
+            "area_mm2": area.total_mm2,
+            "power_w": power.total_w,
+            "energy_mj": energy_mj,
+            "throughput": throughput,
+        }
+        return Evaluation(
+            point=dict(point),
+            config=config,
+            layer_results=layer_results,
+            costs=costs,
+            area=area,
+            power=power,
+            mappable=mappable,
+        )
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def reset_counters(self) -> None:
+        """Zero the iteration/time counters (cache is retained)."""
+        self.evaluations = 0
+        self.calls = 0
+        self.total_seconds = 0.0

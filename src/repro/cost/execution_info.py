@@ -1,0 +1,106 @@
+"""Execution characteristics of a mapped layer.
+
+:class:`ExecutionInfo` is the contract between the cost model and the
+bottleneck analyzer: everything Section 4.7 of the paper lists as
+"information embedded in the bottleneck model" (``T_comp``/``T_comm``/
+``T_dma``, per-operand off-chip and NoC traffic, NoC group demands, and
+available-but-unexploited reuse per buffer level) is populated here by the
+latency model and consumed by the mitigation subroutines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.workloads.layers import Operand
+
+__all__ = ["ExecutionInfo", "InfeasibleMapping"]
+
+
+@dataclass(frozen=True)
+class InfeasibleMapping:
+    """Why a (mapping, hardware) pair cannot execute.
+
+    The paper distinguishes constraint violations from *incompatibility*:
+    e.g. a dataflow demanding more concurrent unicast streams than the NoC
+    (physical x virtual links) can provide (§6.2).
+    """
+
+    reason: str
+    operand: Optional[Operand] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = f" (operand {self.operand.value})" if self.operand else ""
+        return self.reason + suffix
+
+
+@dataclass(frozen=True)
+class ExecutionInfo:
+    """Per-layer execution characteristics of an optimized mapping.
+
+    Times are in accelerator cycles; data sizes in bytes.
+
+    Attributes:
+        t_comp: Cycles spent computing on the PE array.
+        t_noc: Per-operand on-chip communication cycles (dedicated NoCs run
+            concurrently; the max is the communication critical path).
+        t_dma: Cycles of off-chip transfers via the DMA engine (operands are
+            transferred one by one, so this is additive over operands).
+        data_offchip: Off-chip traffic per operand, bytes.
+        data_noc: Data distributed over each operand's NoC, bytes
+            (unique bytes x destination groups).
+        noc_groups_needed: Concurrent PE groups needing distinct data of the
+            operand (paper's ``NoC_groups_needed``).
+        noc_bytes_per_group: Bytes broadcast to the PEs of one group per
+            distribution event (paper's ``NoC_bytes_per_group``).
+        data_rf: Bytes of each operand resident in one PE's register file.
+        data_spm: Bytes of each operand resident in the scratchpad.
+        reuse_available_rf: Remaining (unexploited) temporal reuse of each
+            operand above the RF level; >= 1.  Growing the RF converts this
+            into fewer NoC distribution events.
+        reuse_available_spm: Same for the scratchpad vs off-chip traffic.
+        pes_used: PEs occupied by the spatial unrolling.
+        macs: True (unpadded) MAC count of the layer.
+        utilized_macs_fraction: True MACs / padded iterations x PEs used —
+            the compute utilization of the mapping.
+    """
+
+    t_comp: float
+    t_noc: Dict[Operand, float]
+    t_dma: float
+    data_offchip: Dict[Operand, float]
+    data_noc: Dict[Operand, float]
+    noc_groups_needed: Dict[Operand, int]
+    noc_bytes_per_group: Dict[Operand, float]
+    data_rf: Dict[Operand, float]
+    data_spm: Dict[Operand, float]
+    reuse_available_rf: Dict[Operand, float]
+    reuse_available_spm: Dict[Operand, float]
+    pes_used: int
+    macs: int
+    utilized_macs_fraction: float
+
+    @property
+    def t_noc_max(self) -> float:
+        """Communication critical path over the four concurrent NoCs."""
+        return max(self.t_noc.values()) if self.t_noc else 0.0
+
+    @property
+    def latency(self) -> float:
+        """Per-layer latency with double-buffered overlap: max of factors."""
+        return max(self.t_comp, self.t_noc_max, self.t_dma)
+
+    @property
+    def total_offchip_bytes(self) -> float:
+        return sum(self.data_offchip.values())
+
+    @property
+    def bottleneck_factor(self) -> str:
+        """Which of the three time factors dominates ('comp'/'noc'/'dma')."""
+        factors = {
+            "comp": self.t_comp,
+            "noc": self.t_noc_max,
+            "dma": self.t_dma,
+        }
+        return max(factors, key=factors.get)

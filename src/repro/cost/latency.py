@@ -1,0 +1,193 @@
+"""Analytical per-layer latency model (dMazeRunner-style).
+
+Given a layer, a mapping, and a hardware configuration, this module derives
+the three overlapped execution-time factors of the paper's bottleneck model
+(Fig. 8) — computation on the PE array, operand distribution over the four
+dedicated NoCs, and off-chip DMA transfers — together with every execution
+characteristic the bottleneck analyzer needs (§4.7).
+
+Modeling assumptions (shared with dMazeRunner/Timeloop-class models):
+
+* one MAC per PE per cycle; compute time is the padded temporal iteration
+  count ``prod(f_dram * f_spm * f_rf)``;
+* double buffering overlaps the three factors, so per-layer latency is
+  their maximum;
+* each operand's NoC distributes register-file tiles to PE groups; groups
+  beyond the physical link count are served by time-shared ("virtual")
+  unicast rounds, and a mapping is *incompatible* with the hardware when
+  even time-sharing cannot cover the demanded concurrent groups;
+* the DMA engine transfers operands one by one (additive), while the four
+  NoCs run concurrently (max).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Union
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.cost.execution_info import ExecutionInfo, InfeasibleMapping
+from repro.mapping.mapping import (
+    Level,
+    Mapping,
+    _relevant_dims,
+    operand_tile_elements,
+)
+from repro.workloads.layers import LayerShape, Operand
+
+__all__ = ["evaluate_layer_mapping", "DATA_OPERANDS"]
+
+#: Operands with their own storage footprint (PSUM aliases O's tensor).
+DATA_OPERANDS = (Operand.I, Operand.W, Operand.O)
+
+
+def evaluate_layer_mapping(
+    layer: LayerShape,
+    mapping: Mapping,
+    config: AcceleratorConfig,
+) -> Union[ExecutionInfo, InfeasibleMapping]:
+    """Evaluate one (layer, mapping, hardware) triple.
+
+    Returns:
+        An :class:`ExecutionInfo` on success, or an
+        :class:`InfeasibleMapping` describing why the mapping cannot run on
+        this hardware (capacity overflow or NoC incompatibility).
+    """
+    bpe = config.bytes_per_element
+
+    # -- resource feasibility -------------------------------------------------
+    pes_used = mapping.pes_used
+    if pes_used > config.pes:
+        return InfeasibleMapping(
+            f"spatial unrolling needs {pes_used} PEs, hardware has {config.pes}"
+        )
+
+    rf_tile = mapping.rf_tile
+    rf_bytes = {
+        op: operand_tile_elements(layer, rf_tile, op) * bpe
+        for op in DATA_OPERANDS
+    }
+    if sum(rf_bytes.values()) > config.l1_bytes:
+        return InfeasibleMapping(
+            f"RF tile needs {sum(rf_bytes.values())} B, "
+            f"register file holds {config.l1_bytes} B"
+        )
+
+    spm_tile = mapping.spm_tile
+    spm_bytes = {
+        op: operand_tile_elements(layer, spm_tile, op) * bpe
+        for op in DATA_OPERANDS
+    }
+    # Double buffering: the next tile streams in while the current computes.
+    if 2 * sum(spm_bytes.values()) > config.l2_bytes:
+        return InfeasibleMapping(
+            f"double-buffered SPM tile needs {2 * sum(spm_bytes.values())} B, "
+            f"scratchpad holds {config.l2_bytes} B"
+        )
+
+    # -- NoC compatibility ------------------------------------------------------
+    groups = {
+        op: mapping.spatial_groups(layer, op)
+        for op in (Operand.I, Operand.W, Operand.O)
+    }
+    groups[Operand.PSUM] = groups[Operand.O]
+    rounds: Dict[Operand, int] = {}
+    for op, g in groups.items():
+        links = config.physical_links(op)
+        r = math.ceil(g / links)
+        if r > config.virt_unicast[op]:
+            return InfeasibleMapping(
+                f"mapping demands {g} concurrent unicast groups; NoC provides "
+                f"{links} physical x {config.virt_unicast[op]} virtual links",
+                operand=op,
+            )
+        rounds[op] = r
+
+    # -- computation --------------------------------------------------------------
+    t_comp = float(
+        mapping.temporal_iterations(Level.DRAM)
+        * mapping.temporal_iterations(Level.SPM)
+        * mapping.temporal_iterations(Level.RF)
+    )
+
+    # -- NoC distribution -----------------------------------------------------------
+    dram_iters = mapping.temporal_iterations(Level.DRAM)
+    fetches2 = {
+        op: mapping.fetches_at(Level.SPM, layer, op) for op in DATA_OPERANDS
+    }
+    out_tiles2 = math.prod(
+        mapping.factors[Level.SPM][d]
+        for d in _relevant_dims(layer.operator, Operand.O)
+    )
+    events = {
+        Operand.I: dram_iters * fetches2[Operand.I],
+        Operand.W: dram_iters * fetches2[Operand.W],
+        Operand.O: dram_iters * fetches2[Operand.O],
+        Operand.PSUM: dram_iters * max(0, fetches2[Operand.O] - out_tiles2),
+    }
+    tile_bytes_for = {
+        Operand.I: rf_bytes[Operand.I],
+        Operand.W: rf_bytes[Operand.W],
+        Operand.O: rf_bytes[Operand.O],
+        Operand.PSUM: rf_bytes[Operand.O],
+    }
+    noc_bpc = config.noc_bytes_per_cycle
+    t_noc: Dict[Operand, float] = {}
+    data_noc: Dict[Operand, float] = {}
+    for op in groups:
+        per_event_cycles = rounds[op] * tile_bytes_for[op] / noc_bpc
+        t_noc[op] = events[op] * per_event_cycles
+        data_noc[op] = events[op] * groups[op] * tile_bytes_for[op]
+
+    # -- DMA transfers -----------------------------------------------------------------
+    fetches3 = {
+        op: mapping.fetches_at(Level.DRAM, layer, op) for op in DATA_OPERANDS
+    }
+    data_offchip: Dict[Operand, float] = {
+        Operand.I: fetches3[Operand.I] * spm_bytes[Operand.I],
+        Operand.W: fetches3[Operand.W] * spm_bytes[Operand.W],
+    }
+    out_writes = fetches3[Operand.O] * spm_bytes[Operand.O]
+    full_tile = mapping.tile_dims(*Level)
+    padded_out_bytes = operand_tile_elements(layer, full_tile, Operand.O) * bpe
+    data_offchip[Operand.O] = float(out_writes)
+    data_offchip[Operand.PSUM] = float(max(0, out_writes - padded_out_bytes))
+    t_dma = sum(data_offchip.values()) / config.dram_bytes_per_cycle
+
+    # -- remaining (unexploited) reuse -------------------------------------------------
+    reuse_available_rf: Dict[Operand, float] = {}
+    reuse_available_spm: Dict[Operand, float] = {}
+    for op in DATA_OPERANDS:
+        relevant = _relevant_dims(layer.operator, op)
+        spm_factors = mapping.factors[Level.SPM]
+        dram_factors = mapping.factors[Level.DRAM]
+        min2 = math.prod(spm_factors[d] for d in relevant)
+        min3 = math.prod(dram_factors[d] for d in relevant)
+        reuse_available_rf[op] = fetches2[op] / min2
+        reuse_available_spm[op] = fetches3[op] / min3
+    reuse_available_rf[Operand.PSUM] = reuse_available_rf[Operand.O]
+    reuse_available_spm[Operand.PSUM] = reuse_available_spm[Operand.O]
+
+    data_rf = dict(rf_bytes)
+    data_rf[Operand.PSUM] = rf_bytes[Operand.O]
+    data_spm = dict(spm_bytes)
+    data_spm[Operand.PSUM] = spm_bytes[Operand.O]
+
+    utilization = layer.macs / (t_comp * pes_used) if t_comp else 0.0
+
+    return ExecutionInfo(
+        t_comp=t_comp,
+        t_noc=t_noc,
+        t_dma=t_dma,
+        data_offchip=data_offchip,
+        data_noc=data_noc,
+        noc_groups_needed=dict(groups),
+        noc_bytes_per_group={op: float(b) for op, b in tile_bytes_for.items()},
+        data_rf={op: float(b) for op, b in data_rf.items()},
+        data_spm={op: float(b) for op, b in data_spm.items()},
+        reuse_available_rf=reuse_available_rf,
+        reuse_available_spm=reuse_available_spm,
+        pes_used=pes_used,
+        macs=layer.macs,
+        utilized_macs_fraction=utilization,
+    )

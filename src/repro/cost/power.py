@@ -1,0 +1,76 @@
+"""Maximum-power model (watts).
+
+Following the paper's methodology (§4.2): "the maximum power is obtained
+from the maximum energy consumed by all design components in a single
+cycle".  In a peak cycle every PE issues a MAC with its register-file
+accesses, every NoC link carries a full-width flit, the scratchpad feeds
+the NoCs, and the off-chip interface runs at full bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.cost.energy import RF_ACCESSES_PER_MAC
+from repro.cost.technology import TECH_45NM, TechnologyModel
+from repro.workloads.layers import OPERANDS
+
+__all__ = ["PowerBreakdown", "max_power"]
+
+#: Off-chip interface (PHY + controller) energy per byte, pJ.  The DRAM
+#: device itself draws from the system budget, not the accelerator's.
+OFFCHIP_INTERFACE_PJ_PER_BYTE = 8.0
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Peak power per component, watts."""
+
+    pe_w: float
+    noc_w: float
+    spm_w: float
+    offchip_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.pe_w + self.noc_w + self.spm_w + self.offchip_w
+
+    def contributions(self) -> dict:
+        """Fractional contribution per component (for bottleneck analysis)."""
+        total = self.total_w
+        return {
+            "pe": self.pe_w / total,
+            "noc": self.noc_w / total,
+            "spm": self.spm_w / total,
+            "offchip": self.offchip_w / total,
+        }
+
+
+def max_power(
+    config: AcceleratorConfig, tech: TechnologyModel = TECH_45NM
+) -> PowerBreakdown:
+    """Peak power of the configuration at its clock frequency."""
+    hz = config.freq_mhz * 1e6
+    pj_to_w = hz * 1e-12
+
+    pe_pj = config.pes * (
+        tech.mac_energy_pj
+        + RF_ACCESSES_PER_MAC
+        * config.bytes_per_element
+        * tech.rf_energy_per_byte(config.l1_bytes)
+    )
+    noc_bytes_per_cycle = sum(
+        config.physical_links(op) * config.noc_bytes_per_cycle
+        for op in OPERANDS
+    )
+    noc_pj = noc_bytes_per_cycle * tech.noc_energy_pj
+    spm_pj = noc_bytes_per_cycle * tech.spm_energy_per_byte(config.l2_bytes)
+    offchip_pj = config.dram_bytes_per_cycle * OFFCHIP_INTERFACE_PJ_PER_BYTE
+
+    return PowerBreakdown(
+        pe_w=pe_pj * pj_to_w,
+        noc_w=noc_pj * pj_to_w,
+        spm_w=spm_pj * pj_to_w,
+        offchip_w=offchip_pj * pj_to_w,
+    )

@@ -1,0 +1,84 @@
+"""Technology model: per-access energies and per-component areas (45 nm).
+
+Plays the role Accelergy [80] (with its CACTI [50] and Aladdin [65]
+plugins) plays in the paper: given component sizes, produce energy-per-
+access, area, and peak-power figures for a 45 nm technology node.
+
+The absolute numbers are calibrated to the published Eyeriss (scaled from
+65 nm) and Horowitz-survey figures: a 16-bit MAC costs ~1 pJ; register
+files cost a fraction of that per byte; scratchpad SRAM energy/area scale
+with the square root of capacity (CACTI-like); DRAM costs two orders of
+magnitude more than on-chip SRAM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TechnologyModel", "TECH_45NM"]
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """Per-access energy (pJ) and area (mm^2) primitives.
+
+    All energies are *per byte* unless noted; area helpers take component
+    capacities in bytes.
+    """
+
+    #: Energy of one 16-bit multiply-accumulate, pJ.
+    mac_energy_pj: float = 1.0
+    #: Register-file access energy per byte at the 512 B reference size.
+    rf_energy_ref_pj: float = 0.15
+    rf_ref_bytes: int = 512
+    #: Scratchpad access energy per byte at the 1 MiB reference size.
+    spm_energy_ref_pj: float = 1.0
+    spm_ref_bytes: int = 1 << 20
+    #: Off-chip DRAM access energy per byte.
+    dram_energy_pj: float = 100.0
+    #: NoC transfer energy per byte (wire + switching).
+    noc_energy_pj: float = 0.5
+    #: Area of one PE datapath (MAC + pipeline + control), mm^2.
+    mac_area_mm2: float = 0.0012
+    #: Register-file area per byte (small arrays are density-poor), mm^2.
+    rf_area_per_byte_mm2: float = 5.0e-5
+    #: Scratchpad SRAM area per byte, mm^2.
+    spm_area_per_byte_mm2: float = 8.0e-6
+    #: Scratchpad banking/peripheral overhead, mm^2 per bank of 64 KiB.
+    spm_bank_area_mm2: float = 0.05
+    #: NoC area per physical link per bit of datawidth, mm^2.
+    noc_area_per_link_bit_mm2: float = 2.0e-5
+    #: Fixed area of the DMA engine and global control, mm^2.
+    controller_area_mm2: float = 1.0
+
+    # -- energy --------------------------------------------------------------
+
+    def rf_energy_per_byte(self, rf_bytes: int) -> float:
+        """RF access energy per byte; sqrt scaling with capacity, floored."""
+        scale = math.sqrt(max(rf_bytes, 1) / self.rf_ref_bytes)
+        return max(0.03, self.rf_energy_ref_pj * scale)
+
+    def spm_energy_per_byte(self, spm_bytes: int) -> float:
+        """Scratchpad access energy per byte; sqrt scaling with capacity."""
+        scale = math.sqrt(max(spm_bytes, 1) / self.spm_ref_bytes)
+        return max(0.2, self.spm_energy_ref_pj * scale)
+
+    # -- area -----------------------------------------------------------------
+
+    def pe_area(self, rf_bytes: int) -> float:
+        """Area of one PE (datapath + private register file), mm^2."""
+        return self.mac_area_mm2 + rf_bytes * self.rf_area_per_byte_mm2
+
+    def spm_area(self, spm_bytes: int) -> float:
+        """Scratchpad area including banking overhead, mm^2."""
+        banks = max(1, math.ceil(spm_bytes / (64 * 1024)))
+        return spm_bytes * self.spm_area_per_byte_mm2 + banks * self.spm_bank_area_mm2
+
+    def noc_area(self, total_links: int, datawidth_bits: int) -> float:
+        """Total NoC wiring/switch area across all operand networks, mm^2."""
+        return total_links * datawidth_bits * self.noc_area_per_link_bit_mm2
+
+
+#: The default 45 nm technology instance used throughout the experiments.
+TECH_45NM = TechnologyModel()

@@ -1,0 +1,100 @@
+"""Cost-model validation: roofline lower bounds and consistency checks.
+
+Analytical models drift; these checks pin the latency model against
+physics-style lower bounds that any correct model must respect:
+
+* **compute roofline** — a layer cannot finish faster than
+  ``true MACs / PE count`` cycles;
+* **bandwidth roofline** — it cannot finish faster than moving each
+  operand across the off-chip boundary once at full bandwidth (when the
+  mapping actually touches DRAM);
+* **traffic floor** — per-operand off-chip traffic is at least the (padded)
+  tensor footprint.
+
+The test suite applies them to randomly sampled mappings; users can call
+:func:`validate_execution` on their own model outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.cost.execution_info import ExecutionInfo
+from repro.workloads.layers import LayerShape, Operand
+
+__all__ = ["RooflineBounds", "roofline_bounds", "validate_execution"]
+
+
+@dataclass(frozen=True)
+class RooflineBounds:
+    """Lower bounds on a layer's execution (cycles / bytes)."""
+
+    compute_cycles: float
+    bandwidth_cycles: float
+    offchip_bytes: float
+
+    @property
+    def latency_cycles(self) -> float:
+        return max(self.compute_cycles, self.bandwidth_cycles)
+
+
+def roofline_bounds(
+    layer: LayerShape, config: AcceleratorConfig
+) -> RooflineBounds:
+    """Machine-balance lower bounds for one layer on one configuration."""
+    compute = layer.macs / config.pes
+    footprint = float(layer.total_footprint_bytes)
+    bandwidth = footprint / config.dram_bytes_per_cycle
+    return RooflineBounds(
+        compute_cycles=compute,
+        bandwidth_cycles=bandwidth,
+        offchip_bytes=footprint,
+    )
+
+
+def validate_execution(
+    layer: LayerShape,
+    execution: ExecutionInfo,
+    config: AcceleratorConfig,
+) -> List[str]:
+    """Check one execution against the rooflines; returns violations.
+
+    An empty list means the execution respects every bound.  The
+    bandwidth roofline is only asserted when the mapping moves at least
+    one full footprint off-chip (fully on-chip-resident cases are bounded
+    by compute alone).
+    """
+    problems: List[str] = []
+    bounds = roofline_bounds(layer, config)
+
+    if execution.t_comp * execution.pes_used < layer.macs - 1e-6:
+        problems.append(
+            f"compute impossible: {execution.t_comp} cycles on "
+            f"{execution.pes_used} PEs < {layer.macs} MACs"
+        )
+    if execution.latency < bounds.compute_cycles - 1e-6:
+        problems.append(
+            f"latency {execution.latency:.1f} below compute roofline "
+            f"{bounds.compute_cycles:.1f}"
+        )
+    total_offchip = execution.total_offchip_bytes
+    if total_offchip >= bounds.offchip_bytes:
+        min_dma = total_offchip / config.dram_bytes_per_cycle
+        if execution.t_dma < min_dma - 1e-6:
+            problems.append(
+                f"DMA time {execution.t_dma:.1f} below its own traffic "
+                f"at full bandwidth ({min_dma:.1f})"
+            )
+    for op in (Operand.I, Operand.W):
+        # Reads must bring each live byte in at least once; padding only
+        # increases the footprint, so the true tensor bytes are a floor.
+        floor = layer.tensor_bytes(op)
+        if execution.data_offchip.get(op, 0.0) < floor - 1e-6:
+            problems.append(
+                f"off-chip traffic of {op.value} "
+                f"({execution.data_offchip.get(op, 0.0):.0f} B) below the "
+                f"tensor footprint ({floor} B)"
+            )
+    return problems

@@ -1,0 +1,57 @@
+"""Experiment harness: one module per paper figure/table (see DESIGN.md)."""
+
+from repro.experiments import (  # noqa: F401
+    fig3,
+    fig4,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig14,
+    fig15,
+    table2,
+    table3,
+    table7,
+)
+from repro.experiments.pareto import ParetoFront, pareto_front
+from repro.experiments.sensitivity import SensitivityReport, analyze_sensitivity
+from repro.experiments.harness import (
+    DYNAMIC_TECHNIQUES,
+    PAPER_TECHNIQUES,
+    ComparisonRunner,
+    TechniqueSpec,
+)
+from repro.experiments.setup import (
+    BASELINE_TECHNIQUES,
+    edge_constraints,
+    make_evaluator,
+    run_baseline,
+    run_explainable_dse,
+)
+
+__all__ = [
+    "BASELINE_TECHNIQUES",
+    "ComparisonRunner",
+    "DYNAMIC_TECHNIQUES",
+    "PAPER_TECHNIQUES",
+    "ParetoFront",
+    "SensitivityReport",
+    "analyze_sensitivity",
+    "pareto_front",
+    "TechniqueSpec",
+    "edge_constraints",
+    "fig3",
+    "fig4",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig14",
+    "fig15",
+    "make_evaluator",
+    "run_baseline",
+    "run_explainable_dse",
+    "table2",
+    "table3",
+    "table7",
+]

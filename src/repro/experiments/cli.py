@@ -1,0 +1,173 @@
+"""Command-line interface: run any paper experiment or a single DSE.
+
+Usage::
+
+    python -m repro explore resnet18 --iterations 60
+    python -m repro compare efficientnetb0 --iterations 40
+    python -m repro experiment table7
+    python -m repro experiment fig4
+    python -m repro list-models
+
+The heavyweight matrix experiments (fig9/fig10/fig11/fig12/table2/table3)
+share one comparison run per invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    fig3,
+    fig4,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig14,
+    fig15,
+    table2,
+    table3,
+    table7,
+)
+from repro.experiments.harness import ComparisonRunner
+from repro.experiments.setup import run_explainable_dse
+from repro.workloads.registry import MODEL_NAMES
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments runnable via ``python -m repro experiment <name>``.
+MATRIX_EXPERIMENTS = {
+    "fig3": fig3,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "table2": table2,
+    "table3": table3,
+}
+STANDALONE_EXPERIMENTS = {
+    "fig4": lambda args: fig4.run(iterations=args.iterations),
+    "fig14": lambda args: fig14.run(iterations=args.iterations),
+    "fig15": lambda args: fig15.run(),
+    "table7": lambda args: table7.run(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Explainable-DSE (ASPLOS 2023) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    explore = sub.add_parser(
+        "explore", help="run Explainable-DSE on one benchmark model"
+    )
+    explore.add_argument("model", choices=MODEL_NAMES)
+    explore.add_argument("--iterations", type=int, default=60)
+    explore.add_argument(
+        "--mapping", choices=("codesign", "fixed"), default="codesign"
+    )
+    explore.add_argument("--explain", action="store_true",
+                         help="print the full explanation log")
+    explore.add_argument("--save", metavar="PATH", default=None,
+                         help="persist the run to a JSON file")
+
+    compare = sub.add_parser(
+        "compare", help="compare all techniques on one model (Fig. 3 slice)"
+    )
+    compare.add_argument("model", choices=MODEL_NAMES)
+    compare.add_argument("--iterations", type=int, default=40)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate paper tables/figures ('all' for a report)"
+    )
+    experiment.add_argument(
+        "name",
+        choices=sorted({**MATRIX_EXPERIMENTS, **STANDALONE_EXPERIMENTS})
+        + ["all"],
+    )
+    experiment.add_argument("--iterations", type=int, default=60)
+    experiment.add_argument(
+        "--models", default=None, help="comma-separated model subset"
+    )
+    experiment.add_argument(
+        "--out", default=None, help="write the 'all' report to this file"
+    )
+
+    sub.add_parser("list-models", help="list the benchmark models")
+    return parser
+
+
+def _cmd_explore(args) -> int:
+    result = run_explainable_dse(
+        args.model, iterations=args.iterations, mapping_mode=args.mapping
+    )
+    print(f"{result.technique} on {args.model}: "
+          f"{result.evaluations} evaluations, {result.wall_seconds:.1f}s")
+    if result.best is None:
+        print("no all-constraints-feasible design found")
+    else:
+        print(f"best point: {result.best.point}")
+        print(f"costs: { {k: round(v, 4) for k, v in result.best.costs.items()} }")
+    lines = result.explanations if args.explain else result.explanations[:10]
+    for line in lines:
+        print(f"  {line}")
+    if args.save:
+        from repro.core.dse.serialization import save_result
+
+        save_result(result, args.save)
+        print(f"saved run to {args.save}")
+    return 0 if result.best is not None else 1
+
+
+def _cmd_compare(args) -> int:
+    runner = ComparisonRunner(iterations=args.iterations)
+    print(fig3.run(runner, model=args.model).format())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.name == "all":
+        from repro.experiments.report_all import generate_report
+
+        runner = ComparisonRunner(iterations=args.iterations)
+        models = args.models.split(",") if args.models else None
+        report = generate_report(runner, models=models)
+        text = report.format()
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"report written to {args.out}")
+        else:
+            print(text)
+        return 0
+    if args.name in STANDALONE_EXPERIMENTS:
+        result = STANDALONE_EXPERIMENTS[args.name](args)
+    else:
+        runner = ComparisonRunner(iterations=args.iterations)
+        kwargs = {}
+        if args.models:
+            kwargs["models"] = args.models.split(",")
+        result = MATRIX_EXPERIMENTS[args.name].run(runner, **kwargs)
+    print(result.format())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-models":
+        for model in MODEL_NAMES:
+            print(model)
+        return 0
+    if args.command == "explore":
+        return _cmd_explore(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return _cmd_experiment(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

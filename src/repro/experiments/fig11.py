@@ -1,0 +1,71 @@
+"""Figure 11: latency reduced over iterations (convergence curves).
+
+The paper plots best-so-far latency against iterations for EfficientNet
+(CV) and Transformer (NLP): Explainable-DSE descends at almost every
+acquisition attempt and converges within tens of iterations, while
+black-box curves plateau high.  The reproduction extracts the same
+best-so-far trajectories from the comparison runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import (
+    PAPER_TECHNIQUES,
+    ComparisonRunner,
+)
+from repro.experiments.reporting import format_series
+
+__all__ = ["Fig11Result", "run", "FIG11_MODELS"]
+
+#: The two models the paper plots.
+FIG11_MODELS = ("efficientnetb0", "transformer")
+
+#: Curves shown in the paper's Fig. 11 panels.
+FIG11_TECHNIQUES = (
+    "Random Search-FixDF",
+    "HyperMapper 2.0-FixDF",
+    "Random Search-Codesign",
+    "HyperMapper 2.0-Codesign",
+    "ExplainableDSE-FixDF",
+    "ExplainableDSE-Codesign",
+)
+
+
+@dataclass
+class Fig11Result:
+    """Best-so-far latency trajectories: [model][technique] -> series."""
+
+    trajectories: Dict[str, Dict[str, List[float]]]
+
+    def final_latency(self, model: str, technique: str) -> float:
+        series = self.trajectories[model][technique]
+        return series[-1] if series else float("inf")
+
+    def format(self) -> str:
+        lines = []
+        for model, curves in self.trajectories.items():
+            lines.append(f"Fig. 11 — best-so-far latency (ms) for {model}:")
+            lines.append(format_series(curves))
+            lines.append("")
+        return "\n".join(lines)
+
+
+def run(
+    runner: Optional[ComparisonRunner] = None,
+    models: Sequence[str] = FIG11_MODELS,
+    technique_labels: Sequence[str] = FIG11_TECHNIQUES,
+) -> Fig11Result:
+    """Extract the Fig. 11 convergence curves from comparison runs."""
+    runner = runner or ComparisonRunner()
+    specs = [
+        spec for spec in PAPER_TECHNIQUES if spec.label in technique_labels
+    ]
+    matrix = runner.run_matrix(specs, models)
+    trajectories: Dict[str, Dict[str, List[float]]] = {m: {} for m in models}
+    for label, row in matrix.items():
+        for model, result in row.items():
+            trajectories[model][label] = result.best_so_far_trajectory()
+    return Fig11Result(trajectories=trajectories)

@@ -1,0 +1,75 @@
+"""Figure 12: feasibility of the solutions each technique acquires.
+
+The paper reports what fraction of each technique's acquisitions met (a)
+the area and power constraints and (b) all three constraints including
+throughput: black-box techniques sit at ~15-50% for (a) but ~0.1-0.6% for
+(b), while Explainable-DSE reaches 87% / 15% by prioritizing feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.harness import (
+    PAPER_TECHNIQUES,
+    ComparisonRunner,
+    TechniqueSpec,
+)
+from repro.experiments.reporting import format_table
+
+__all__ = ["Fig12Result", "run"]
+
+
+@dataclass
+class Fig12Result:
+    """Feasible-acquisition fractions per technique (mean across models)."""
+
+    area_power_fraction: Dict[str, Dict[str, float]]
+    all_constraints_fraction: Dict[str, Dict[str, float]]
+
+    def mean_fractions(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for technique in self.area_power_fraction:
+            ap = self.area_power_fraction[technique].values()
+            allc = self.all_constraints_fraction[technique].values()
+            out[technique] = {
+                "area+power": sum(ap) / len(ap),
+                "all constraints": sum(allc) / len(allc),
+            }
+        return out
+
+    def format(self) -> str:
+        return (
+            "Fig. 12 — fraction of acquisitions meeting constraints "
+            "(mean across models)\n"
+            + format_table(
+                self.mean_fractions(),
+                columns=["area+power", "all constraints"],
+            )
+        )
+
+
+def run(
+    runner: Optional[ComparisonRunner] = None,
+    models: Optional[Sequence[str]] = None,
+    techniques: Sequence[TechniqueSpec] = PAPER_TECHNIQUES,
+) -> Fig12Result:
+    """Extract feasibility fractions from the comparison matrix."""
+    runner = runner or ComparisonRunner()
+    matrix = runner.run_matrix(techniques, models)
+    area_power = {
+        label: {
+            m: r.feasibility_fraction(["area", "power"])
+            for m, r in row.items()
+        }
+        for label, row in matrix.items()
+    }
+    all_constraints = {
+        label: {m: r.feasibility_fraction() for m, r in row.items()}
+        for label, row in matrix.items()
+    }
+    return Fig12Result(
+        area_power_fraction=area_power,
+        all_constraints_fraction=all_constraints,
+    )

@@ -1,0 +1,106 @@
+"""Figure 15: quality of mappings from different black-box mappers.
+
+The paper compares random search, simulated annealing, a genetic
+algorithm, and Bayesian optimization for mapping ResNet18 layers onto a
+fixed hardware configuration (the minimum Table 1 point, per the paper's
+footnote): random search reaches low-latency mappings for all layers,
+SA fails on some, GA costs the most time.  The reproduction runs all four
+(plus the dMazeRunner-style top-N mapper as the non-black-box reference)
+per unique ResNet18 layer.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.accelerator import build_edge_design_space, config_from_point
+from repro.experiments.reporting import format_table
+from repro.mapping.blackbox_mappers import (
+    AnnealingMapper,
+    BayesianMapper,
+    GeneticMapper,
+)
+from repro.mapping.mapper import RandomSearchMapper, TopNMapper
+from repro.workloads.registry import load_workload
+
+__all__ = ["Fig15Result", "run"]
+
+
+@dataclass
+class Fig15Result:
+    """Per-layer best mapping latency per mapper, plus mapper runtimes."""
+
+    latency_cycles: Dict[str, Dict[str, float]]  # [mapper][layer]
+    seconds: Dict[str, float]
+
+    def total_latency(self, mapper: str) -> float:
+        values = self.latency_cycles[mapper].values()
+        if any(not math.isfinite(v) for v in values):
+            return math.inf
+        return sum(values)
+
+    def format(self) -> str:
+        layers = list(next(iter(self.latency_cycles.values())).keys())
+        lines = [
+            "Fig. 15 — best mapping latency (cycles) per ResNet18 layer",
+            format_table(
+                self.latency_cycles, columns=layers, row_header="mapper"
+            ),
+            "",
+            "Mapper runtime (s) and total latency over layers:",
+        ]
+        for mapper in self.latency_cycles:
+            total = self.total_latency(mapper)
+            rendered = f"{total:.4g}" if math.isfinite(total) else "failed to map some layers"
+            lines.append(
+                f"  {mapper}: {self.seconds[mapper]:.2f}s, total {rendered}"
+            )
+        return "\n".join(lines)
+
+
+def run(
+    trials: int = 150,
+    bo_trials: int = 40,
+    seed: int = 0,
+    model: str = "resnet18",
+) -> Fig15Result:
+    """Run all mappers per unique layer on a mid-range configuration.
+
+    ``bo_trials`` is separate because Bayesian optimization's surrogate
+    refit makes full-budget runs prohibitively slow — exactly the paper's
+    finding when it selected random search for codesign runs (§F).
+    """
+    space = build_edge_design_space()
+    point = space.minimum_point()
+    point.update(
+        pes=1024,
+        l1_bytes=256,
+        l2_kb=512,
+        offchip_bw_mbps=8192,
+        noc_datawidth=128,
+    )
+    for op in ("I", "W", "O", "PSUM"):
+        point[f"phys_unicast_{op}"] = 16
+        point[f"virt_unicast_{op}"] = 64
+    config = config_from_point(point)
+
+    mappers = {
+        "random": RandomSearchMapper(trials=trials, seed=seed),
+        "annealing": AnnealingMapper(trials=trials, seed=seed),
+        "genetic": GeneticMapper(trials=trials, seed=seed),
+        "bayesian": BayesianMapper(trials=bo_trials, seed=seed),
+        "top-n (dMazeRunner-like)": TopNMapper(top_n=trials),
+    }
+    workload = load_workload(model)
+    latency: Dict[str, Dict[str, float]] = {name: {} for name in mappers}
+    seconds: Dict[str, float] = {}
+    for name, mapper in mappers.items():
+        started = time.perf_counter()
+        for layer in workload.layers:
+            result = mapper(layer, config)
+            latency[name][layer.name] = result.latency
+        seconds[name] = time.perf_counter() - started
+    return Fig15Result(latency_cycles=latency, seconds=seconds)

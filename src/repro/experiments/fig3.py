@@ -1,0 +1,69 @@
+"""Figure 3: effectiveness of non-explainable vs explainable DSE.
+
+Three panels for an EfficientNetB0 edge-accelerator exploration:
+(a) efficiency — latency of the best obtained solution; (b) feasibility —
+percentage of evaluated solutions meeting constraints; (c) agility —
+exploration time.  A single-model slice of the full comparison matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.harness import (
+    PAPER_TECHNIQUES,
+    ComparisonRunner,
+    TechniqueSpec,
+)
+from repro.experiments.reporting import format_table
+
+__all__ = ["Fig3Result", "run", "FIG3_MODEL"]
+
+FIG3_MODEL = "efficientnetb0"
+
+
+@dataclass
+class Fig3Result:
+    """Efficiency / feasibility / agility rows for one model."""
+
+    model: str
+    rows: Dict[str, Dict[str, float]]  # [technique][metric]
+
+    def format(self) -> str:
+        return (
+            f"Fig. 3 — DSE effectiveness for {self.model}\n"
+            + format_table(
+                self.rows,
+                columns=[
+                    "best latency (ms)",
+                    "feasible (%)",
+                    "area+power feasible (%)",
+                    "search time (s)",
+                    "evaluations",
+                ],
+            )
+        )
+
+
+def run(
+    runner: Optional[ComparisonRunner] = None,
+    model: str = FIG3_MODEL,
+    techniques: Sequence[TechniqueSpec] = PAPER_TECHNIQUES,
+) -> Fig3Result:
+    """Run (or reuse) the comparison for the Fig. 3 model."""
+    runner = runner or ComparisonRunner()
+    rows: Dict[str, Dict[str, float]] = {}
+    for spec in techniques:
+        result = runner.run(spec, model)
+        rows[spec.label] = {
+            "best latency (ms)": result.best_objective,
+            "feasible (%)": result.feasibility_fraction() * 100,
+            "area+power feasible (%)": result.feasibility_fraction(
+                ["area", "power"]
+            )
+            * 100,
+            "search time (s)": result.wall_seconds,
+            "evaluations": result.evaluations,
+        }
+    return Fig3Result(model=model, rows=rows)

@@ -1,0 +1,127 @@
+"""Figure 4: toy two-parameter walkthrough (PEs x shared-memory size).
+
+The paper contrasts HyperMapper 2.0 and Explainable-DSE on a deliberately
+tiny problem — exploring only the PE count and the L2 scratchpad size for a
+single ResNet CONV5_2 layer — showing that the black-box optimizer keeps
+acquiring inefficient points while the bottleneck-guided search walks
+straight to the efficient corner (first scaling PEs to balance compute,
+then memory/bandwidth once DMA dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.arch.accelerator import build_edge_design_space
+from repro.arch.design_space import DesignSpace
+from repro.arch.parameters import Parameter
+from repro.core.dse.constraints import Constraint
+from repro.core.dse.explainable import ExplainableDSE
+from repro.cost.evaluator import CostEvaluator
+from repro.experiments.setup import AREA_BUDGET_MM2, POWER_BUDGET_W
+from repro.mapping.mapper import TopNMapper
+from repro.optim.hypermapper import HyperMapperDSE
+from repro.workloads.layers import Workload
+from repro.workloads.registry import load_workload
+
+__all__ = ["Fig4Result", "run", "build_toy_space"]
+
+#: The single layer explored (ResNet CONV5_2-like: 512x512 3x3 at 7x7).
+TOY_LAYER_MODEL = "resnet18"
+TOY_LAYER_NAME = "conv5_x"
+
+
+def build_toy_space() -> Tuple[DesignSpace, Dict[str, object]]:
+    """Two free parameters (pes, l2_kb); the rest pinned mid-range.
+
+    Returns the reduced design space and the pinned base point fragment.
+    """
+    full = build_edge_design_space()
+    pinned = {
+        "l1_bytes": 128,
+        "offchip_bw_mbps": 8192,
+        "noc_datawidth": 128,
+    }
+    for op in ("I", "W", "O", "PSUM"):
+        pinned[f"phys_unicast_{op}"] = 16
+        pinned[f"virt_unicast_{op}"] = 64
+    params: List[Parameter] = [
+        full.parameter("pes"),
+        full.parameter("l2_kb"),
+    ]
+    params.extend(
+        Parameter(name, (value,)) for name, value in pinned.items()
+    )
+    return DesignSpace(params), pinned
+
+
+@dataclass
+class Fig4Result:
+    """Acquisition trajectories of both techniques on the toy space."""
+
+    explainable_path: List[Tuple[int, int, float]]  # (pes, l2_kb, latency)
+    hypermapper_path: List[Tuple[int, int, float]]
+    explanations: List[str]
+
+    def format(self) -> str:
+        lines = ["Fig. 4 — toy DSE over (PEs, L2 kB) for ResNet CONV5_2-like layer"]
+        lines.append("Explainable-DSE acquisitions:")
+        for pes, l2, latency in self.explainable_path:
+            lines.append(f"  PEs={pes:5d} L2={l2:5d}kB latency={latency:.4g}ms")
+        lines.append("HyperMapper 2.0 acquisitions:")
+        for pes, l2, latency in self.hypermapper_path:
+            lines.append(f"  PEs={pes:5d} L2={l2:5d}kB latency={latency:.4g}ms")
+        return "\n".join(lines)
+
+
+def _single_layer_workload() -> Workload:
+    layer = load_workload(TOY_LAYER_MODEL).layer(TOY_LAYER_NAME)
+    return Workload(
+        name=f"{TOY_LAYER_MODEL}.{TOY_LAYER_NAME}",
+        layers=(layer,),
+        total_layers=1,
+        task="toy",
+    )
+
+
+def run(iterations: int = 25, top_n: int = 100, seed: int = 0) -> Fig4Result:
+    """Run both techniques on the toy two-parameter problem."""
+    space, _ = build_toy_space()
+    workload = _single_layer_workload()
+    constraints = [
+        Constraint("area", "area_mm2", AREA_BUDGET_MM2),
+        Constraint("power", "power_w", POWER_BUDGET_W),
+    ]
+
+    def _path(trials) -> List[Tuple[int, int, float]]:
+        return [
+            (t.point["pes"], t.point["l2_kb"], t.costs["latency_ms"])
+            for t in trials
+        ]
+
+    explainable = ExplainableDSE(
+        space,
+        CostEvaluator(workload, TopNMapper(top_n=top_n)),
+        constraints,
+        max_evaluations=iterations,
+    )
+    explainable_result = explainable.run(
+        {**space.minimum_point(), "pes": 64, "l2_kb": 64}
+    )
+
+    hypermapper = HyperMapperDSE(
+        space,
+        CostEvaluator(workload, TopNMapper(top_n=top_n)),
+        constraints,
+        max_evaluations=iterations,
+        seed=seed,
+        initial_samples=5,
+    )
+    hypermapper_result = hypermapper.run()
+
+    return Fig4Result(
+        explainable_path=_path(explainable_result.trials),
+        hypermapper_path=_path(hypermapper_result.trials),
+        explanations=explainable_result.explanations,
+    )

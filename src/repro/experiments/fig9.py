@@ -1,0 +1,78 @@
+"""Figure 9: latency of codesigns obtained under the static budget.
+
+The paper reports, per benchmark model, the best feasible latency each
+technique reaches in 2500 iterations; Explainable-DSE obtains ~6x lower
+latency on average.  The reproduction runs the same technique matrix at a
+configurable (default scaled-down) budget and reports best latencies plus
+the geomean advantage of Explainable-DSE codesign over every other row.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.harness import (
+    PAPER_TECHNIQUES,
+    ComparisonRunner,
+    TechniqueSpec,
+)
+from repro.experiments.reporting import format_table
+from repro.workloads.registry import MODEL_NAMES
+
+__all__ = ["Fig9Result", "run"]
+
+REFERENCE_TECHNIQUE = "ExplainableDSE-Codesign"
+
+
+@dataclass
+class Fig9Result:
+    """Best feasible latency (ms) per technique per model."""
+
+    latency_ms: Dict[str, Dict[str, float]]  # [technique][model]
+    iterations: int
+
+    def geomean_speedup_over(self, technique: str) -> float:
+        """Geomean latency ratio of ``technique`` vs Explainable-Codesign,
+        over models where both found a feasible solution."""
+        reference = self.latency_ms[REFERENCE_TECHNIQUE]
+        other = self.latency_ms[technique]
+        ratios = [
+            other[m] / reference[m]
+            for m in reference
+            if math.isfinite(other.get(m, math.inf))
+            and math.isfinite(reference[m])
+            and reference[m] > 0
+        ]
+        if not ratios:
+            return math.inf
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+    def format(self) -> str:
+        table = format_table(self.latency_ms, columns=list(MODEL_NAMES))
+        lines = [f"Fig. 9 — best feasible latency (ms), {self.iterations} iterations",
+                 table, "",
+                 "Geomean latency vs ExplainableDSE-Codesign:"]
+        for technique in self.latency_ms:
+            if technique == REFERENCE_TECHNIQUE:
+                continue
+            ratio = self.geomean_speedup_over(technique)
+            rendered = f"{ratio:.2f}x" if math.isfinite(ratio) else "no feasible overlap"
+            lines.append(f"  {technique}: {rendered}")
+        return "\n".join(lines)
+
+
+def run(
+    runner: Optional[ComparisonRunner] = None,
+    models: Optional[Sequence[str]] = None,
+    techniques: Sequence[TechniqueSpec] = PAPER_TECHNIQUES,
+) -> Fig9Result:
+    """Execute (or reuse) the comparison matrix and extract Fig. 9."""
+    runner = runner or ComparisonRunner()
+    matrix = runner.run_matrix(techniques, models)
+    latency = {
+        label: {model: result.best_objective for model, result in row.items()}
+        for label, row in matrix.items()
+    }
+    return Fig9Result(latency_ms=latency, iterations=runner.iterations)

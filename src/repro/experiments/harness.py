@@ -1,0 +1,125 @@
+"""Shared experiment harness: memoized technique x model comparison runs.
+
+Figures 9, 10, 12 and Tables 2, 3 all consume the same underlying runs
+(one DSE per technique per model), so the harness memoizes them per
+process: an 11-model x 10-technique comparison is executed once and every
+experiment module reads from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.dse.result import DSEResult
+from repro.experiments.setup import (
+    BASELINE_TECHNIQUES,
+    run_baseline,
+    run_explainable_dse,
+)
+from repro.workloads.registry import MODEL_NAMES
+
+__all__ = [
+    "TechniqueSpec",
+    "PAPER_TECHNIQUES",
+    "DYNAMIC_TECHNIQUES",
+    "ComparisonRunner",
+]
+
+
+@dataclass(frozen=True)
+class TechniqueSpec:
+    """One (optimizer, mapping mode) combination from the paper's tables."""
+
+    label: str
+    kind: str  # "explainable" or a BASELINE_TECHNIQUES key
+    mapping_mode: str  # "fixed", "codesign", or "random-mapper"
+
+    def __post_init__(self) -> None:
+        if self.kind != "explainable" and self.kind not in BASELINE_TECHNIQUES:
+            raise ValueError(f"unknown technique kind {self.kind!r}")
+
+
+#: The ten technique rows of Fig. 9 / Table 2 (fixed-dataflow baselines,
+#: the two black-box codesigns the paper found effective, and
+#: Explainable-DSE codesign), plus Explainable-DSE with fixed dataflow.
+PAPER_TECHNIQUES: Tuple[TechniqueSpec, ...] = (
+    TechniqueSpec("Grid Search-FixDF", "grid", "fixed"),
+    TechniqueSpec("Random Search-FixDF", "random", "fixed"),
+    TechniqueSpec("Simulated Annealing-FixDF", "annealing", "fixed"),
+    TechniqueSpec("Genetic Algorithm-FixDF", "genetic", "fixed"),
+    TechniqueSpec("Bayesian Optimization-FixDF", "bayesian", "fixed"),
+    TechniqueSpec("HyperMapper 2.0-FixDF", "hypermapper", "fixed"),
+    TechniqueSpec("Reinforcement Learning-FixDF", "reinforcement", "fixed"),
+    TechniqueSpec("Random Search-Codesign", "random", "random-mapper"),
+    TechniqueSpec("HyperMapper 2.0-Codesign", "hypermapper", "random-mapper"),
+    TechniqueSpec("ExplainableDSE-FixDF", "explainable", "fixed"),
+    TechniqueSpec("ExplainableDSE-Codesign", "explainable", "codesign"),
+)
+
+#: Table 2 rows (the dynamic-DSE comparison drops ExplainableDSE-FixDF).
+DYNAMIC_TECHNIQUES: Tuple[TechniqueSpec, ...] = tuple(
+    spec for spec in PAPER_TECHNIQUES if spec.label != "ExplainableDSE-FixDF"
+)
+
+
+class ComparisonRunner:
+    """Runs and memoizes (technique, model) DSE results.
+
+    Args:
+        iterations: Evaluation budget per run.
+        top_n: Mapping budget of Explainable-DSE's codesign mapper.
+        random_mapping_trials: Mapping trials of the black-box codesigns.
+        seed: Seed shared by all stochastic optimizers.
+    """
+
+    def __init__(
+        self,
+        iterations: int = 60,
+        top_n: int = 100,
+        random_mapping_trials: int = 60,
+        seed: int = 0,
+    ):
+        self.iterations = iterations
+        self.top_n = top_n
+        self.random_mapping_trials = random_mapping_trials
+        self.seed = seed
+        self._cache: Dict[Tuple[str, str], DSEResult] = {}
+
+    def run(self, spec: TechniqueSpec, model: str) -> DSEResult:
+        """Run (or fetch) one technique on one model."""
+        key = (spec.label, model)
+        if key not in self._cache:
+            if spec.kind == "explainable":
+                result = run_explainable_dse(
+                    model,
+                    iterations=self.iterations,
+                    mapping_mode=spec.mapping_mode,
+                    top_n=self.top_n,
+                )
+            else:
+                result = run_baseline(
+                    spec.kind,
+                    model,
+                    iterations=self.iterations,
+                    mapping_mode=spec.mapping_mode,
+                    seed=self.seed,
+                    random_mapping_trials=self.random_mapping_trials,
+                )
+            result.technique = spec.label
+            self._cache[key] = result
+        return self._cache[key]
+
+    def run_matrix(
+        self,
+        techniques: Sequence[TechniqueSpec],
+        models: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Dict[str, DSEResult]]:
+        """Run a technique x model matrix; returns [label][model] results."""
+        models = list(models or MODEL_NAMES)
+        out: Dict[str, Dict[str, DSEResult]] = {}
+        for spec in techniques:
+            out[spec.label] = {
+                model: self.run(spec, model) for model in models
+            }
+        return out

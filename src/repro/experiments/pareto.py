@@ -1,0 +1,98 @@
+"""Pareto-front extraction over multiple costs.
+
+The framework minimizes a single objective (§4.2), but every run's trial
+log records all costs, so multi-objective trade-offs (latency vs energy vs
+area) can be recovered afterwards.  This module extracts the
+non-dominated set from one or more runs — the standard post-processing
+the paper points to for multi-objective extensions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.dse.result import DSEResult, TrialRecord
+from repro.experiments.reporting import format_table
+
+__all__ = ["ParetoFront", "pareto_front", "dominates"]
+
+
+def dominates(
+    a: TrialRecord, b: TrialRecord, cost_keys: Sequence[str]
+) -> bool:
+    """True when ``a`` is no worse than ``b`` on every cost and strictly
+    better on at least one (all costs minimized)."""
+    strictly_better = False
+    for key in cost_keys:
+        va = a.costs.get(key, math.inf)
+        vb = b.costs.get(key, math.inf)
+        if va > vb:
+            return False
+        if va < vb:
+            strictly_better = True
+    return strictly_better
+
+
+@dataclass
+class ParetoFront:
+    """The non-dominated trials over the chosen costs."""
+
+    cost_keys: Tuple[str, ...]
+    points: List[TrialRecord]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def format(self) -> str:
+        rows = {}
+        for trial in self.points:
+            label = f"#{trial.index}"
+            rows[label] = {
+                key: trial.costs.get(key, math.inf) for key in self.cost_keys
+            }
+        return (
+            f"Pareto front over {', '.join(self.cost_keys)} "
+            f"({len(self.points)} points)\n"
+            + format_table(rows, columns=list(self.cost_keys), row_header="trial")
+        )
+
+
+def pareto_front(
+    results: Iterable[DSEResult],
+    cost_keys: Sequence[str] = ("latency_ms", "energy_mj"),
+    feasible_only: bool = True,
+) -> ParetoFront:
+    """Extract the non-dominated set from one or more runs' trials.
+
+    Args:
+        results: Runs whose trials to pool.
+        cost_keys: Costs to trade off (all minimized).
+        feasible_only: Restrict to all-constraints-feasible trials.
+    """
+    pool: List[TrialRecord] = []
+    for result in results:
+        for trial in result.trials:
+            if feasible_only and not trial.feasible:
+                continue
+            if any(
+                not math.isfinite(trial.costs.get(key, math.inf))
+                for key in cost_keys
+            ):
+                continue
+            pool.append(trial)
+
+    front: List[TrialRecord] = []
+    for candidate in pool:
+        if any(dominates(other, candidate, cost_keys) for other in pool):
+            continue
+        # Deduplicate identical cost vectors.
+        vector = tuple(candidate.costs.get(k) for k in cost_keys)
+        if any(
+            tuple(f.costs.get(k) for k in cost_keys) == vector for f in front
+        ):
+            continue
+        front.append(candidate)
+    front.sort(key=lambda t: t.costs.get(cost_keys[0], math.inf))
+    return ParetoFront(cost_keys=tuple(cost_keys), points=front)

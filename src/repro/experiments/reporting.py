@@ -1,0 +1,78 @@
+"""Plain-text table / series rendering for experiment outputs.
+
+The paper's figures are bar charts and convergence curves; the harness
+prints the same rows and series as aligned text tables so results can be
+compared without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_cell", "format_series"]
+
+
+def format_cell(value, precision: int = 3) -> str:
+    """Render one table cell; infeasible results become the paper's dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return "-*"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, object]],
+    columns: Sequence[str],
+    row_header: str = "technique",
+    precision: int = 3,
+) -> str:
+    """Render ``rows[row][column]`` as an aligned text table."""
+    header = [row_header] + list(columns)
+    body: List[List[str]] = []
+    for row_name, cells in rows.items():
+        body.append(
+            [row_name]
+            + [format_cell(cells.get(col), precision) for col in columns]
+        )
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    max_points: int = 20,
+    label: str = "iteration",
+) -> str:
+    """Render convergence curves as a compact text table, subsampled."""
+    lines = []
+    for name, values in series.items():
+        values = list(values)
+        if not values:
+            lines.append(f"{name}: (empty)")
+            continue
+        step = max(1, len(values) // max_points)
+        picks = list(range(0, len(values), step))
+        if picks[-1] != len(values) - 1:
+            picks.append(len(values) - 1)
+        rendered = ", ".join(
+            f"{i}:{format_cell(values[i])}" for i in picks
+        )
+        lines.append(f"{name} ({label}:value): {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""One-at-a-time sensitivity analysis of costs to design parameters.
+
+§C of the paper suggests that when no first-hand bottleneck model exists,
+"designers could estimate bottleneck mitigation through characterization
+or sensitivity analysis of design parameters".  This module provides that
+characterization tool: sweep each parameter across its range from a base
+point (everything else pinned) and report how each cost responds — a
+tornado-style summary that reveals which parameters a bottleneck model
+should associate with which factors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.design_space import DesignPoint, DesignSpace
+from repro.cost.evaluator import CostEvaluator
+from repro.experiments.reporting import format_table
+
+__all__ = ["ParameterSweep", "SensitivityReport", "analyze_sensitivity"]
+
+
+@dataclass(frozen=True)
+class ParameterSweep:
+    """Cost response of one parameter's sweep.
+
+    Attributes:
+        parameter: Swept parameter name.
+        values: Parameter values evaluated (ascending).
+        costs: Per cost key, the cost at each value.
+    """
+
+    parameter: str
+    values: Tuple[object, ...]
+    costs: Mapping[str, Tuple[float, ...]]
+
+    def swing(self, cost_key: str) -> float:
+        """Max/min ratio of a cost across the sweep (1.0 = insensitive).
+
+        Infinite costs (unmappable points) are excluded; returns ``nan``
+        when fewer than two finite samples remain.
+        """
+        finite = [v for v in self.costs[cost_key] if math.isfinite(v)]
+        if len(finite) < 2 or min(finite) <= 0:
+            return math.nan
+        return max(finite) / min(finite)
+
+    def monotone_direction(self, cost_key: str) -> str:
+        """'decreasing', 'increasing', 'mixed', or 'flat' over the sweep."""
+        finite = [v for v in self.costs[cost_key] if math.isfinite(v)]
+        if len(finite) < 2:
+            return "flat"
+        decreasing = all(a >= b - 1e-12 for a, b in zip(finite, finite[1:]))
+        increasing = all(a <= b + 1e-12 for a, b in zip(finite, finite[1:]))
+        if decreasing and increasing:
+            return "flat"
+        if decreasing:
+            return "decreasing"
+        if increasing:
+            return "increasing"
+        return "mixed"
+
+
+@dataclass
+class SensitivityReport:
+    """All parameter sweeps from one base point."""
+
+    base_point: DesignPoint
+    sweeps: Dict[str, ParameterSweep]
+    cost_keys: Tuple[str, ...]
+
+    def ranked_parameters(self, cost_key: str) -> List[Tuple[str, float]]:
+        """Parameters ranked by their swing on ``cost_key`` (largest first)."""
+        swings = [
+            (name, sweep.swing(cost_key))
+            for name, sweep in self.sweeps.items()
+        ]
+        swings.sort(
+            key=lambda item: -(item[1] if math.isfinite(item[1]) else 0.0)
+        )
+        return swings
+
+    def format(self, cost_key: str = "latency_ms") -> str:
+        rows = {}
+        for name, swing in self.ranked_parameters(cost_key):
+            sweep = self.sweeps[name]
+            rows[name] = {
+                "swing (max/min)": swing,
+                "direction": sweep.monotone_direction(cost_key),
+                "range": f"{sweep.values[0]}..{sweep.values[-1]}",
+            }
+        return (
+            f"Sensitivity of {cost_key} (one-at-a-time from base point)\n"
+            + format_table(
+                rows,
+                columns=["swing (max/min)", "direction", "range"],
+                row_header="parameter",
+            )
+        )
+
+
+def analyze_sensitivity(
+    space: DesignSpace,
+    evaluator: CostEvaluator,
+    base_point: Optional[DesignPoint] = None,
+    parameters: Optional[Sequence[str]] = None,
+    cost_keys: Sequence[str] = ("latency_ms", "area_mm2", "power_w", "energy_mj"),
+    max_values_per_parameter: int = 8,
+) -> SensitivityReport:
+    """Sweep each parameter one-at-a-time from a base point.
+
+    Args:
+        space: The design space.
+        evaluator: Cost evaluator (cached: repeated base points are free).
+        base_point: Pin for the non-swept parameters (default: minimum).
+        parameters: Subset of parameters to sweep (default: all).
+        cost_keys: Costs to record.
+        max_values_per_parameter: Cap on evaluated values per axis
+            (log-spaced subset of the parameter's range).
+    """
+    base = dict(base_point or space.minimum_point())
+    space.validate(base)
+    names = list(parameters or space.names)
+    sweeps: Dict[str, ParameterSweep] = {}
+    for name in names:
+        param = space.parameter(name)
+        values = list(param.values)
+        if len(values) > max_values_per_parameter:
+            step = (len(values) - 1) / (max_values_per_parameter - 1)
+            picks = sorted({round(i * step) for i in range(max_values_per_parameter)})
+            values = [values[i] for i in picks]
+        costs: Dict[str, List[float]] = {key: [] for key in cost_keys}
+        for value in values:
+            evaluation = evaluator.evaluate(
+                space.with_value(base, name, value)
+            )
+            for key in cost_keys:
+                costs[key].append(evaluation.costs[key])
+        sweeps[name] = ParameterSweep(
+            parameter=name,
+            values=tuple(values),
+            costs={key: tuple(series) for key, series in costs.items()},
+        )
+    return SensitivityReport(
+        base_point=base, sweeps=sweeps, cost_keys=tuple(cost_keys)
+    )

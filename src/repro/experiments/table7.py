@@ -1,0 +1,103 @@
+"""Table 7: size of the per-layer mapping space under successive prunings.
+
+For one representative layer per benchmark model the paper reports the
+number of tile sizings (arbitrary vs factor-constrained vs hardware-valid),
+the ordering counts before/after reuse pruning, and the resulting full /
+factorization-constrained / reuse-aware mapping-space sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.arch.accelerator import build_edge_design_space, config_from_point
+from repro.experiments.reporting import format_table
+from repro.mapping.space_size import MappingSpaceSize, analyze_mapping_space
+from repro.workloads.registry import load_workload
+
+__all__ = ["TABLE7_LAYERS", "Table7Result", "run"]
+
+#: Representative large-space layer per model (paper Table 7's choices,
+#: mapped onto this repository's layer names).
+TABLE7_LAYERS: Dict[str, str] = {
+    "resnet18": "conv2_x",
+    "mobilenetv2": "s2_expand",
+    "efficientnetb0": "s2_expand_first",
+    "vgg16": "conv1_2",
+    "resnet50": "conv2_3x3",
+    "vision_transformer": "patch_embed",
+    "fasterrcnn_mobilenetv3": "b10_expand",
+    "yolov5": "down1",
+    "transformer": "decoder.output_projection",
+    "bert": "encoder.layer.0.output.dense",
+    "wav2vec2": "encoder.layers.0.feed_forward",
+}
+
+
+@dataclass
+class Table7Result:
+    """Per-model mapping-space analysis rows."""
+
+    rows: Dict[str, MappingSpaceSize]
+
+    def format(self) -> str:
+        table = {}
+        for model, size in self.rows.items():
+            table[model] = {
+                "layer": size.layer_name,
+                "A(sizings)": f"1e{size.tile_sizings_log10:.0f}",
+                "B(factors)": f"1e{size.valid_factor_tilings_log10:.0f}",
+                "C(hw-valid)": (
+                    f"1e{size.hw_valid_tilings_log10:.0f}"
+                    if size.hw_valid_tilings_log10 is not None
+                    else "-"
+                ),
+                "D(orders)": f"1e{size.orderings_per_level_log10:.0f}",
+                "E(reuse)": str(size.unique_reuse_orderings),
+                "F(full)": f"1e{size.full_space_log10:.0f}",
+                "G(factor)": f"1e{size.factor_space_log10:.0f}",
+                "H(reuse-aware)": f"1e{size.reuse_aware_space_log10:.0f}",
+            }
+        return "Table 7 — mapping-space sizes\n" + format_table(
+            table,
+            columns=[
+                "layer",
+                "A(sizings)",
+                "B(factors)",
+                "C(hw-valid)",
+                "D(orders)",
+                "E(reuse)",
+                "F(full)",
+                "G(factor)",
+                "H(reuse-aware)",
+            ],
+            row_header="model",
+        )
+
+
+def run(samples: int = 200, with_hardware: bool = True) -> Table7Result:
+    """Analyze the Table 7 layers (optionally estimating column C on a
+    mid-range hardware configuration)."""
+    config = None
+    if with_hardware:
+        space = build_edge_design_space()
+        point = space.minimum_point()
+        point.update(
+            pes=1024,
+            l1_bytes=256,
+            l2_kb=512,
+            offchip_bw_mbps=8192,
+            noc_datawidth=128,
+        )
+        for op in ("I", "W", "O", "PSUM"):
+            point[f"phys_unicast_{op}"] = 16
+            point[f"virt_unicast_{op}"] = 8
+        config = config_from_point(point)
+    rows = {}
+    for model, layer_name in TABLE7_LAYERS.items():
+        layer = load_workload(model).layer(layer_name)
+        rows[model] = analyze_mapping_space(
+            layer, config=config, samples=samples
+        )
+    return Table7Result(rows=rows)

@@ -1,0 +1,54 @@
+"""Mapping substrate: tilings, orderings, dataflows, and mappers."""
+
+from repro.mapping.dataflow import build_output_stationary_mapping
+from repro.mapping.factorization import (
+    count_ordered_factorizations,
+    divisors,
+    ordered_factorizations,
+    prime_factorization,
+    smooth_pad,
+)
+from repro.mapping.mapper import (
+    FixedDataflowMapper,
+    MappingResult,
+    RandomSearchMapper,
+    TopNMapper,
+)
+from repro.mapping.mapping import (
+    Level,
+    Mapping,
+    MappingError,
+    operand_tile_elements,
+    padded_bounds,
+)
+from repro.mapping.ordering import (
+    count_unique_reuse_orderings,
+    maximal_reuse_orderings,
+    reuse_signature,
+    unique_reuse_signatures,
+)
+from repro.mapping.space_size import MappingSpaceSize, analyze_mapping_space
+
+__all__ = [
+    "FixedDataflowMapper",
+    "Level",
+    "Mapping",
+    "MappingError",
+    "MappingResult",
+    "MappingSpaceSize",
+    "RandomSearchMapper",
+    "TopNMapper",
+    "analyze_mapping_space",
+    "build_output_stationary_mapping",
+    "count_ordered_factorizations",
+    "count_unique_reuse_orderings",
+    "divisors",
+    "maximal_reuse_orderings",
+    "reuse_signature",
+    "unique_reuse_signatures",
+    "operand_tile_elements",
+    "ordered_factorizations",
+    "padded_bounds",
+    "prime_factorization",
+    "smooth_pad",
+]

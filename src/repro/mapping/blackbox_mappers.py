@@ -1,0 +1,362 @@
+"""Black-box optimizers over the per-layer mapping space (paper Fig. 15).
+
+The paper compares the quality of mappings obtained by random search,
+simulated annealing, a genetic algorithm, and Bayesian optimization when
+exploring the factorization-pruned mapping space of single DNN layers
+(§F): random search wins on time-to-quality, SA fails to map some layers,
+and GA is slow.  These mappers share one genome representation — the
+per-dimension (RF, spatial, SPM, DRAM) divisor split plus the two
+stationary-operand choices — and all return a :class:`MappingResult`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.cost.execution_info import ExecutionInfo, InfeasibleMapping
+import repro.cost.latency as _cost_latency
+from repro.mapping.dataflow import SPATIAL_DIMS
+from repro.mapping.factorization import divisors
+from repro.mapping.mapper import MappingResult
+from repro.mapping.mapping import (
+    STATIONARY_CHOICES,
+    Mapping,
+    padded_bounds,
+)
+from repro.workloads.layers import LOOP_DIMS, LayerShape, Operand
+
+__all__ = [
+    "MappingGenome",
+    "random_genome",
+    "AnnealingMapper",
+    "GeneticMapper",
+    "BayesianMapper",
+]
+
+
+@dataclass(frozen=True)
+class MappingGenome:
+    """Genetic representation of one mapping.
+
+    ``splits[dim] = (rf, spatial, spm, dram)`` factors multiplying to the
+    padded bound of ``dim``.
+    """
+
+    splits: Tuple[Tuple[int, int, int, int], ...]  # indexed by LOOP_DIMS
+    dram_stationary: Operand
+    spm_stationary: Operand
+
+    def to_mapping(self) -> Mapping:
+        rf, spatial, spm, dram = {}, {}, {}, {}
+        for d, (f_rf, f_sp, f_spm, f_dram) in zip(LOOP_DIMS, self.splits):
+            rf[d], spatial[d], spm[d], dram[d] = f_rf, f_sp, f_spm, f_dram
+        return Mapping.from_level_maps(
+            dram=dram,
+            spm=spm,
+            spatial=spatial,
+            rf=rf,
+            dram_stationary=self.dram_stationary,
+            spm_stationary=self.spm_stationary,
+        )
+
+    def features(self) -> List[float]:
+        """Log2 factor vector for surrogate models (28 + 2 entries)."""
+        out: List[float] = []
+        for split in self.splits:
+            out.extend(math.log2(f) for f in split)
+        out.append(float(STATIONARY_CHOICES.index(self.dram_stationary)))
+        out.append(float(STATIONARY_CHOICES.index(self.spm_stationary)))
+        return out
+
+
+def _random_split(bound: int, spatial_cap: int, rng: random.Random) -> Tuple[int, int, int, int]:
+    """Random (rf, spatial, spm, dram) divisor split of ``bound``."""
+    rest = bound
+    rf = rng.choice(divisors(rest))
+    rest //= rf
+    spatial_options = [f for f in divisors(rest) if f <= spatial_cap] or [1]
+    spatial = rng.choice(spatial_options)
+    rest //= spatial
+    spm = rng.choice(divisors(rest))
+    dram = rest // spm
+    return rf, spatial, spm, dram
+
+
+def random_genome(
+    layer: LayerShape, config: AcceleratorConfig, rng: random.Random
+) -> MappingGenome:
+    """Uniformly sample a genome respecting the PE budget."""
+    bounds = padded_bounds(layer)
+    splits: List[Tuple[int, int, int, int]] = []
+    budget = config.pes
+    for d in LOOP_DIMS:
+        cap = budget if d in SPATIAL_DIMS else 1
+        split = _random_split(bounds[d], cap, rng)
+        budget //= split[1]
+        splits.append(split)
+    return MappingGenome(
+        splits=tuple(splits),
+        dram_stationary=rng.choice(STATIONARY_CHOICES),
+        spm_stationary=rng.choice(STATIONARY_CHOICES),
+    )
+
+
+def _repair(genome: MappingGenome, config: AcceleratorConfig) -> MappingGenome:
+    """Fold spatial factors into DRAM loops until the PE budget fits."""
+    used = math.prod(split[1] for split in genome.splits)
+    if used <= config.pes:
+        return genome
+    splits = [list(s) for s in genome.splits]
+    for s in splits:
+        if used <= config.pes:
+            break
+        rf, spatial, spm, dram = s
+        if spatial > 1:
+            used //= spatial
+            s[3] = dram * spatial
+            s[1] = 1
+    return replace(genome, splits=tuple(tuple(s) for s in splits))
+
+
+def _mutate(
+    genome: MappingGenome,
+    layer: LayerShape,
+    config: AcceleratorConfig,
+    rng: random.Random,
+) -> MappingGenome:
+    """Re-sample one dimension's split or one stationary choice."""
+    bounds = padded_bounds(layer)
+    roll = rng.random()
+    if roll < 0.1:
+        return replace(genome, dram_stationary=rng.choice(STATIONARY_CHOICES))
+    if roll < 0.2:
+        return replace(genome, spm_stationary=rng.choice(STATIONARY_CHOICES))
+    i = rng.randrange(len(LOOP_DIMS))
+    d = LOOP_DIMS[i]
+    others = math.prod(s[1] for j, s in enumerate(genome.splits) if j != i)
+    cap = max(1, config.pes // others) if d in SPATIAL_DIMS else 1
+    splits = list(genome.splits)
+    splits[i] = _random_split(bounds[d], cap, rng)
+    return replace(genome, splits=tuple(splits))
+
+
+class _BlackBoxMapperBase:
+    """Shared evaluation bookkeeping for the Fig. 15 mappers."""
+
+    def __init__(self, trials: int = 200, seed: int = 0):
+        if trials < 1:
+            raise ValueError("trials must be >= 1")
+        self.trials = trials
+        self.seed = seed
+
+    def _rng(self, layer: LayerShape, config: AcceleratorConfig) -> random.Random:
+        return random.Random(
+            (self.seed, layer.name, config.pes, config.l2_kb).__hash__()
+        )
+
+    @staticmethod
+    def _score(
+        layer: LayerShape, genome: MappingGenome, config: AcceleratorConfig
+    ) -> Tuple[float, Optional[ExecutionInfo], Mapping]:
+        mapping = genome.to_mapping()
+        outcome = _cost_latency.evaluate_layer_mapping(layer, mapping, config)
+        if isinstance(outcome, InfeasibleMapping):
+            return math.inf, None, mapping
+        return outcome.latency, outcome, mapping
+
+
+class AnnealingMapper(_BlackBoxMapperBase):
+    """Simulated annealing over the mapping genome."""
+
+    name = "sa-mapper"
+
+    def __init__(self, trials: int = 200, seed: int = 0, cooling: float = 0.97):
+        super().__init__(trials, seed)
+        self.cooling = cooling
+
+    def __call__(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> MappingResult:
+        rng = self._rng(layer, config)
+        current = random_genome(layer, config, rng)
+        current_score, best_exec, best_mapping = self._score(
+            layer, current, config
+        )
+        best_score = current_score
+        feasible = int(math.isfinite(current_score))
+        temperature = 2.0
+        for _ in range(self.trials - 1):
+            candidate = _repair(
+                _mutate(current, layer, config, rng), config
+            )
+            score, execution, mapping = self._score(layer, candidate, config)
+            if math.isfinite(score):
+                feasible += 1
+            delta = (
+                math.log(score) - math.log(current_score)
+                if math.isfinite(score) and math.isfinite(current_score)
+                else (1.0 if not math.isfinite(score) else -1.0)
+            )
+            if delta <= 0 or rng.random() < math.exp(
+                -delta / max(temperature, 1e-9)
+            ):
+                current, current_score = candidate, score
+            if score < best_score:
+                best_score, best_exec, best_mapping = score, execution, mapping
+            temperature *= self.cooling
+        return MappingResult(
+            mapping=best_mapping if best_exec else None,
+            execution=best_exec,
+            candidates_evaluated=self.trials,
+            feasible_candidates=feasible,
+        )
+
+
+class GeneticMapper(_BlackBoxMapperBase):
+    """Genetic algorithm over mapping genomes (GAMMA-like, but on the
+    factorization-pruned space)."""
+
+    name = "ga-mapper"
+
+    def __init__(
+        self,
+        trials: int = 200,
+        seed: int = 0,
+        population_size: int = 16,
+        mutation_rate: float = 0.3,
+    ):
+        super().__init__(trials, seed)
+        self.population_size = population_size
+        self.mutation_rate = mutation_rate
+
+    def _crossover(
+        self, a: MappingGenome, b: MappingGenome, rng: random.Random
+    ) -> MappingGenome:
+        splits = tuple(
+            sa if rng.random() < 0.5 else sb
+            for sa, sb in zip(a.splits, b.splits)
+        )
+        return MappingGenome(
+            splits=splits,
+            dram_stationary=rng.choice((a.dram_stationary, b.dram_stationary)),
+            spm_stationary=rng.choice((a.spm_stationary, b.spm_stationary)),
+        )
+
+    def __call__(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> MappingResult:
+        rng = self._rng(layer, config)
+        evaluated = 0
+        feasible = 0
+        best = (math.inf, None, None)
+
+        def score(genome: MappingGenome):
+            nonlocal evaluated, feasible, best
+            evaluated += 1
+            result = self._score(layer, genome, config)
+            if math.isfinite(result[0]):
+                feasible += 1
+            if result[0] < best[0]:
+                best = result
+            return result[0]
+
+        population = [
+            random_genome(layer, config, rng)
+            for _ in range(self.population_size)
+        ]
+        fitness = [score(g) for g in population]
+        while evaluated < self.trials:
+            ranked = sorted(range(len(population)), key=lambda i: fitness[i])
+            parents = [population[i] for i in ranked[: max(2, len(ranked) // 2)]]
+            next_population = parents[:2]
+            while len(next_population) < self.population_size:
+                child = self._crossover(
+                    rng.choice(parents), rng.choice(parents), rng
+                )
+                if rng.random() < self.mutation_rate:
+                    child = _mutate(child, layer, config, rng)
+                next_population.append(_repair(child, config))
+            population = next_population
+            fitness = []
+            for genome in population:
+                if evaluated >= self.trials:
+                    fitness.append(math.inf)
+                    continue
+                fitness.append(score(genome))
+        return MappingResult(
+            mapping=best[2] if best[1] else None,
+            execution=best[1],
+            candidates_evaluated=evaluated,
+            feasible_candidates=feasible,
+        )
+
+
+class BayesianMapper(_BlackBoxMapperBase):
+    """GP + EI Bayesian optimization over mapping genomes.
+
+    Matches the paper's observation that BO's per-acquisition overhead is
+    prohibitive for mapping spaces (§F) — the GP refit per trial dominates.
+    """
+
+    name = "bo-mapper"
+
+    def __init__(
+        self,
+        trials: int = 60,
+        seed: int = 0,
+        initial_samples: int = 10,
+        candidate_pool: int = 64,
+    ):
+        super().__init__(trials, seed)
+        self.initial_samples = initial_samples
+        self.candidate_pool = candidate_pool
+
+    def __call__(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> MappingResult:
+        from repro.optim.gaussian_process import (
+            GaussianProcess,
+            expected_improvement,
+        )
+
+        rng = self._rng(layer, config)
+        xs: List[List[float]] = []
+        ys: List[float] = []
+        feasible = 0
+        best = (math.inf, None, None)
+
+        def observe(genome: MappingGenome) -> None:
+            nonlocal feasible, best
+            result = self._score(layer, genome, config)
+            latency = result[0]
+            if math.isfinite(latency):
+                feasible += 1
+            if latency < best[0]:
+                best = result
+            xs.append(genome.features())
+            ys.append(math.log(latency) if math.isfinite(latency) else 50.0)
+
+        for _ in range(min(self.initial_samples, self.trials)):
+            observe(random_genome(layer, config, rng))
+        while len(ys) < self.trials:
+            gp = GaussianProcess().fit(np.array(xs), np.array(ys))
+            pool = [
+                random_genome(layer, config, rng)
+                for _ in range(self.candidate_pool)
+            ]
+            features = np.array([g.features() for g in pool])
+            mean, var = gp.predict(features)
+            ei = expected_improvement(mean, var, min(ys))
+            observe(pool[int(np.argmax(ei))])
+        return MappingResult(
+            mapping=best[2] if best[1] else None,
+            execution=best[1],
+            candidates_evaluated=len(ys),
+            feasible_candidates=feasible,
+        )

@@ -1,0 +1,154 @@
+"""Fixed output-stationary dataflow (SOC-MOP schema).
+
+The paper's fixed-dataflow experiments give every DSE technique the same
+optimized output-stationary mapping schema [7]: outputs stay resident in
+the PE register files while reduction loops stream past, spatial unrolling
+parallelises independent output dimensions, and scratchpad tiles grow
+greedily to exploit reuse.  Unlike the top-N mapper this produces exactly
+one mapping per (layer, hardware) pair — adapted to fit capacities, but not
+searched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.mapping.factorization import divisors
+from repro.mapping.mapping import Mapping, operand_tile_elements, padded_bounds
+from repro.workloads.layers import LOOP_DIMS, Dim, LayerShape, Operand
+
+__all__ = ["build_output_stationary_mapping", "greedy_tile"]
+
+#: Dimensions eligible for spatial unrolling.  The architecture template
+#: supports spatial *data distribution* only (no cross-PE reduction), so
+#: reduction dimensions (C, FY, FX) stay temporal (paper Table 4).
+SPATIAL_DIMS = (Dim.M, Dim.OY, Dim.OX, Dim.N)
+
+
+def _largest_divisor_leq(n: int, cap: int) -> int:
+    """Largest divisor of ``n`` that is <= ``cap`` (at least 1)."""
+    best = 1
+    for d in divisors(n):
+        if d > cap:
+            break
+        best = d
+    return best
+
+
+def greedy_tile(
+    layer: LayerShape,
+    remaining: Dict[Dim, int],
+    order: Sequence[Dim],
+    byte_budget: int,
+    base_tile: Dict[Dim, int],
+    bytes_per_element: int,
+) -> Dict[Dim, int]:
+    """Greedily grow tile factors along ``order`` within a byte budget.
+
+    Starting from factor 1 per dimension, each dimension in ``order`` is
+    grown to the largest divisor of its remaining bound such that the
+    I+W+O tile footprint (``base_tile`` extents scaled by the chosen
+    factors) still fits ``byte_budget``.
+
+    Returns:
+        The chosen per-dimension factors (1 for dims not in ``order``).
+    """
+    chosen: Dict[Dim, int] = {d: 1 for d in LOOP_DIMS}
+
+    def _footprint(candidate: Dict[Dim, int]) -> int:
+        tile = {d: base_tile[d] * candidate[d] for d in LOOP_DIMS}
+        return sum(
+            operand_tile_elements(layer, tile, op) * bytes_per_element
+            for op in (Operand.I, Operand.W, Operand.O)
+        )
+
+    if _footprint(chosen) > byte_budget:
+        return chosen  # even the unit tile overflows; caller will reject.
+    for d in order:
+        options = [f for f in divisors(remaining[d])]
+        best = 1
+        for f in options:
+            trial = dict(chosen)
+            trial[d] = f
+            if _footprint(trial) <= byte_budget:
+                best = f
+            else:
+                break
+        chosen[d] = best
+    return chosen
+
+
+def build_output_stationary_mapping(
+    layer: LayerShape, config: AcceleratorConfig
+) -> Optional[Mapping]:
+    """Construct the SOC-MOP output-stationary mapping for a layer.
+
+    Steps:
+      1. spatially unroll independent output dims (M, then OY, OX) up to
+         the PE count;
+      2. keep outputs stationary in the RF: grow the RF tile along the
+         reduction dims (FY, FX, C) within the register-file budget;
+      3. grow the scratchpad tile along (C, OY, OX, M, N) within half the
+         scratchpad (double buffering);
+      4. leave the remainder to DRAM-level loops, outputs stationary at
+         both temporal levels.
+
+    Returns ``None`` when even the unit tile cannot fit the register file
+    (the hardware is too small for the schema).
+    """
+    bounds = padded_bounds(layer)
+    bpe = config.bytes_per_element
+
+    # 1. Spatial unrolling over independent output dimensions.
+    spatial: Dict[Dim, int] = {d: 1 for d in LOOP_DIMS}
+    budget = config.pes
+    for d in SPATIAL_DIMS:
+        f = _largest_divisor_leq(bounds[d], budget)
+        spatial[d] = f
+        budget //= f
+        if budget <= 1:
+            break
+
+    remaining = {d: bounds[d] // spatial[d] for d in LOOP_DIMS}
+
+    # 2. RF tile: output-stationary accumulation over reduction dims.
+    rf = greedy_tile(
+        layer,
+        remaining,
+        order=(Dim.FY, Dim.FX, Dim.C, Dim.OX),
+        byte_budget=config.l1_bytes,
+        base_tile={d: 1 for d in LOOP_DIMS},
+        bytes_per_element=bpe,
+    )
+    base_after_rf = {d: rf[d] * spatial[d] for d in LOOP_DIMS}
+    unit_tile_bytes = sum(
+        operand_tile_elements(layer, {d: 1 for d in LOOP_DIMS}, op) * bpe
+        for op in (Operand.I, Operand.W, Operand.O)
+    )
+    if unit_tile_bytes > config.l1_bytes:
+        return None
+    remaining = {d: remaining[d] // rf[d] for d in LOOP_DIMS}
+
+    # 3. SPM tile with double buffering.
+    spm = greedy_tile(
+        layer,
+        remaining,
+        order=(Dim.C, Dim.OY, Dim.OX, Dim.M, Dim.N),
+        byte_budget=config.l2_bytes // 2,
+        base_tile=base_after_rf,
+        bytes_per_element=bpe,
+    )
+    remaining = {d: remaining[d] // spm[d] for d in LOOP_DIMS}
+
+    # 4. Remainder to DRAM; outputs stationary at both temporal levels.
+    mapping = Mapping.from_level_maps(
+        dram=remaining,
+        spm=spm,
+        spatial=spatial,
+        rf=rf,
+        dram_stationary=Operand.O,
+        spm_stationary=Operand.O,
+    )
+    mapping.validate_for(layer)
+    return mapping

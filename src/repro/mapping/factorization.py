@@ -1,0 +1,112 @@
+"""Integer factorization utilities for loop tiling.
+
+Loop tilings are valid only when the per-level tile counts of a dimension
+multiply to the (possibly padded) loop bound, so everything downstream —
+tiling enumeration, mapping-space size analysis (Table 7), and the top-N
+mapper — rests on these helpers.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import Iterator, List, Tuple
+
+__all__ = [
+    "divisors",
+    "prime_factorization",
+    "ordered_factorizations",
+    "count_ordered_factorizations",
+    "smooth_pad",
+]
+
+
+@functools.lru_cache(maxsize=65536)
+def divisors(n: int) -> Tuple[int, ...]:
+    """All positive divisors of ``n``, ascending."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    small, large = [], []
+    i = 1
+    while i * i <= n:
+        if n % i == 0:
+            small.append(i)
+            if i != n // i:
+                large.append(n // i)
+        i += 1
+    return tuple(small + large[::-1])
+
+
+@functools.lru_cache(maxsize=65536)
+def prime_factorization(n: int) -> Tuple[Tuple[int, int], ...]:
+    """Prime factorization as ``((prime, exponent), ...)``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    factors: List[Tuple[int, int]] = []
+    remaining = n
+    p = 2
+    while p * p <= remaining:
+        if remaining % p == 0:
+            exp = 0
+            while remaining % p == 0:
+                remaining //= p
+                exp += 1
+            factors.append((p, exp))
+        p += 1 if p == 2 else 2
+    if remaining > 1:
+        factors.append((remaining, 1))
+    return tuple(factors)
+
+
+def ordered_factorizations(n: int, parts: int) -> Iterator[Tuple[int, ...]]:
+    """All ordered ``parts``-tuples of positive ints whose product is ``n``.
+
+    These are the valid per-level tile-count assignments of a loop with
+    bound ``n`` across ``parts`` levels of the processing hierarchy.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if parts == 1:
+        yield (n,)
+        return
+    for d in divisors(n):
+        for rest in ordered_factorizations(n // d, parts - 1):
+            yield (d,) + rest
+
+
+@functools.lru_cache(maxsize=65536)
+def count_ordered_factorizations(n: int, parts: int) -> int:
+    """Number of ordered factorizations of ``n`` into ``parts`` factors.
+
+    Multiplicative over prime powers: for ``p^e`` the count is the number
+    of weak compositions ``C(e + parts - 1, parts - 1)``.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    total = 1
+    for _, exp in prime_factorization(n):
+        total *= math.comb(exp + parts - 1, parts - 1)
+    return total
+
+
+@functools.lru_cache(maxsize=65536)
+def smooth_pad(n: int, max_prime: int = 7) -> int:
+    """Smallest integer >= ``n`` with no prime factor above ``max_prime``.
+
+    Mappers pad awkward loop bounds (e.g. the prime 197 of ViT's sequence
+    length) so that tilings with useful parallelism exist; padded iterations
+    execute as idle work.  dMazeRunner and Timeloop both support padding.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    candidate = n
+    while True:
+        remaining = candidate
+        for p in (2, 3, 5, 7, 11, 13):
+            if p > max_prime:
+                break
+            while remaining % p == 0:
+                remaining //= p
+        if remaining == 1:
+            return candidate
+        candidate += 1

@@ -1,0 +1,431 @@
+"""Mapping optimizers: dMazeRunner-style top-N search and a Timeloop-like
+random mapper.
+
+The top-N mapper (paper §4.8) formulates a pruned mapping space —
+utilization-pruned spatial unrollings, reuse-maximal loop orderings, and a
+small catalog of greedy tile-growth strategies per buffer level — then
+evaluates up to N candidates linearly and returns the latency-optimal one.
+The random mapper samples the same pruned tiling structure at random, which
+is how the paper configures black-box codesign baselines (§F: "Timeloop-like
+random search").
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.cost.execution_info import ExecutionInfo, InfeasibleMapping
+import repro.cost.energy as _cost_energy
+import repro.cost.latency as _cost_latency
+from repro.mapping.dataflow import (
+    SPATIAL_DIMS,
+    build_output_stationary_mapping,
+    greedy_tile,
+)
+from repro.mapping.factorization import divisors
+from repro.mapping.mapping import (
+    STATIONARY_CHOICES,
+    Mapping,
+    padded_bounds,
+)
+from repro.workloads.layers import LOOP_DIMS, Dim, LayerShape
+
+__all__ = [
+    "MappingResult",
+    "FixedDataflowMapper",
+    "TopNMapper",
+    "RandomSearchMapper",
+]
+
+#: Greedy RF tile-growth orders (different strategies reach different
+#: corners of the tiling space; reduction-first is output-stationary-like,
+#: output-first is weight-stationary-like).
+RF_GROWTH_ORDERS: Tuple[Tuple[Dim, ...], ...] = (
+    (Dim.FY, Dim.FX, Dim.C, Dim.OX),
+    (Dim.OX, Dim.OY, Dim.M),
+    (Dim.C, Dim.M),
+    (Dim.M, Dim.OX, Dim.C),
+)
+
+#: Greedy SPM tile-growth orders.
+SPM_GROWTH_ORDERS: Tuple[Tuple[Dim, ...], ...] = (
+    (Dim.C, Dim.OY, Dim.OX, Dim.M, Dim.N),
+    (Dim.M, Dim.C, Dim.FY, Dim.FX),
+    (Dim.OY, Dim.OX, Dim.N, Dim.M),
+)
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """Outcome of optimizing a layer's mapping on one hardware config.
+
+    ``execution`` is ``None`` when no feasible mapping exists — the
+    hardware is incompatible with every candidate (paper §6.2's infeasible-
+    by-incompatibility case).
+    """
+
+    mapping: Optional[Mapping]
+    execution: Optional[ExecutionInfo]
+    candidates_evaluated: int
+    feasible_candidates: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.execution is not None
+
+    @property
+    def latency(self) -> float:
+        return self.execution.latency if self.execution else float("inf")
+
+
+def _log_spaced(values: Sequence[int], keep: int) -> Tuple[int, ...]:
+    """Thin an ascending sequence to ~``keep`` log-spaced entries,
+    always keeping the first and last."""
+    if len(values) <= keep:
+        return tuple(values)
+    picks = {0, len(values) - 1}
+    step = (len(values) - 1) / (keep - 1)
+    for i in range(1, keep - 1):
+        picks.add(round(i * step))
+    return tuple(values[i] for i in sorted(picks))
+
+
+def enumerate_spatial_unrollings(
+    layer: LayerShape,
+    config: AcceleratorConfig,
+    max_options_per_dim: int = 8,
+    max_combos: int = 24,
+    min_utilization: float = 0.25,
+) -> List[Dict[Dim, int]]:
+    """Utilization-pruned spatial unrollings over independent output dims.
+
+    Enumerates divisor combinations over (M, OY, OX, N) with total PE use
+    <= the PE count, discards combos below ``min_utilization`` of the PEs
+    (relaxing the threshold when that empties the space, as the paper's
+    adaptive hyperparameter adjustment does), and keeps the
+    ``max_combos`` highest-occupancy ones.
+    """
+    bounds = padded_bounds(layer)
+    options: Dict[Dim, Tuple[int, ...]] = {}
+    for d in SPATIAL_DIMS:
+        divs = [f for f in divisors(bounds[d]) if f <= config.pes]
+        options[d] = _log_spaced(divs, max_options_per_dim)
+
+    combos: List[Tuple[int, Dict[Dim, int]]] = []
+    for picks in itertools.product(*(options[d] for d in SPATIAL_DIMS)):
+        used = 1
+        for f in picks:
+            used *= f
+        if used > config.pes:
+            continue
+        spatial = {d: 1 for d in LOOP_DIMS}
+        for d, f in zip(SPATIAL_DIMS, picks):
+            spatial[d] = f
+        combos.append((used, spatial))
+
+    combos.sort(key=lambda item: -item[0])
+    no_unrolling = {d: 1 for d in LOOP_DIMS}
+    # Keep a spread across utilization tiers (power-of-two buckets of PEs
+    # used), preferring high occupancy but retaining mid/low unrollings:
+    # NoC link limits often rule out the widest unrollings, and adaptive
+    # threshold adjustment (paper §4.8) must still find executable ones.
+    buckets: Dict[int, int] = {}
+    per_bucket = max(2, max_combos // 8)
+    kept: List[Dict[Dim, int]] = []
+    for used, spatial in combos:
+        if used < 2:
+            continue
+        bucket = used.bit_length()
+        if buckets.get(bucket, 0) >= per_bucket:
+            continue
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+        kept.append(spatial)
+        if len(kept) >= max_combos - 1:
+            break
+    # The purely temporal mapping is always NoC-compatible; keep it as a
+    # fallback so adaptive mapping can execute on any hardware (fixed
+    # dataflows lack this escape hatch — paper §6.2).
+    kept.append(no_unrolling)
+    return kept
+
+
+def _tiling_candidates(
+    layer: LayerShape,
+    config: AcceleratorConfig,
+    spatial_choices: Iterable[Dict[Dim, int]],
+) -> Iterable[Mapping]:
+    """Yield mappings from the pruned (spatial x RF x SPM x ordering) space,
+    round-robining across spatial unrollings so a bounded evaluation budget
+    still touches every spatial option (including the compatibility
+    fallback) before exhausting one unrolling's tiling variants."""
+    generators = [
+        _candidates_for_spatial(layer, config, spatial)
+        for spatial in spatial_choices
+    ]
+    seen = set()
+    while generators:
+        for generator in list(generators):
+            emitted = False
+            for structure_key, mapping in generator:
+                if structure_key in seen:
+                    continue
+                seen.add(structure_key)
+                yield mapping
+                emitted = True
+                break
+            if not emitted:
+                generators.remove(generator)
+
+
+def _candidates_for_spatial(
+    layer: LayerShape,
+    config: AcceleratorConfig,
+    spatial: Dict[Dim, int],
+) -> Iterable[Tuple[tuple, Mapping]]:
+    """All (structure-key, mapping) pairs for one spatial unrolling."""
+    bounds = padded_bounds(layer)
+    bpe = config.bytes_per_element
+    remaining0 = {d: bounds[d] // spatial[d] for d in LOOP_DIMS}
+    for rf_order in RF_GROWTH_ORDERS:
+        rf = greedy_tile(
+            layer,
+            remaining0,
+            order=rf_order,
+            byte_budget=config.l1_bytes,
+            base_tile={d: 1 for d in LOOP_DIMS},
+            bytes_per_element=bpe,
+        )
+        remaining1 = {d: remaining0[d] // rf[d] for d in LOOP_DIMS}
+        base = {d: rf[d] * spatial[d] for d in LOOP_DIMS}
+        for spm_order in SPM_GROWTH_ORDERS:
+            spm = greedy_tile(
+                layer,
+                remaining1,
+                order=spm_order,
+                byte_budget=config.l2_bytes // 2,
+                base_tile=base,
+                bytes_per_element=bpe,
+            )
+            dram = {d: remaining1[d] // spm[d] for d in LOOP_DIMS}
+            structure = (
+                tuple(spatial[d] for d in LOOP_DIMS),
+                tuple(rf[d] for d in LOOP_DIMS),
+                tuple(spm[d] for d in LOOP_DIMS),
+            )
+            for dram_st in STATIONARY_CHOICES:
+                for spm_st in STATIONARY_CHOICES:
+                    key = structure + (dram_st, spm_st)
+                    yield key, Mapping.from_level_maps(
+                        dram=dram,
+                        spm=spm,
+                        spatial=spatial,
+                        rf=rf,
+                        dram_stationary=dram_st,
+                        spm_stationary=spm_st,
+                    )
+
+
+#: Mapping-objective scorers: map an execution to the value minimized by
+#: the mapper.  ``edp`` is the energy-delay product — dMazeRunner-class
+#: mappers commonly optimize either metric.
+def _score_latency(
+    layer: LayerShape, execution: ExecutionInfo, config: AcceleratorConfig
+) -> float:
+    return execution.latency
+
+
+def _score_energy(
+    layer: LayerShape, execution: ExecutionInfo, config: AcceleratorConfig
+) -> float:
+    return _cost_energy.layer_energy(execution, config).total_pj
+
+
+def _score_edp(
+    layer: LayerShape, execution: ExecutionInfo, config: AcceleratorConfig
+) -> float:
+    return execution.latency * _cost_energy.layer_energy(
+        execution, config
+    ).total_pj
+
+
+MAPPING_OBJECTIVES = {
+    "latency": _score_latency,
+    "energy": _score_energy,
+    "edp": _score_edp,
+}
+
+
+def _best_of(
+    layer: LayerShape,
+    config: AcceleratorConfig,
+    mappings: Iterable[Mapping],
+    budget: int,
+    objective: str = "latency",
+) -> MappingResult:
+    """Evaluate up to ``budget`` mappings, returning the objective-optimal."""
+    scorer = MAPPING_OBJECTIVES[objective]
+    best_exec: Optional[ExecutionInfo] = None
+    best_mapping: Optional[Mapping] = None
+    best_score = float("inf")
+    evaluated = 0
+    feasible = 0
+    for mapping in mappings:
+        if evaluated >= budget:
+            break
+        evaluated += 1
+        outcome = _cost_latency.evaluate_layer_mapping(layer, mapping, config)
+        if isinstance(outcome, InfeasibleMapping):
+            continue
+        feasible += 1
+        score = scorer(layer, outcome, config)
+        if score < best_score:
+            best_exec = outcome
+            best_mapping = mapping
+            best_score = score
+    return MappingResult(
+        mapping=best_mapping,
+        execution=best_exec,
+        candidates_evaluated=evaluated,
+        feasible_candidates=feasible,
+    )
+
+
+class FixedDataflowMapper:
+    """One deterministic output-stationary mapping per (layer, hardware)."""
+
+    name = "fixed-dataflow"
+
+    def __call__(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> MappingResult:
+        mapping = build_output_stationary_mapping(layer, config)
+        if mapping is None:
+            return MappingResult(None, None, 0, 0)
+        outcome = _cost_latency.evaluate_layer_mapping(layer, mapping, config)
+        if isinstance(outcome, InfeasibleMapping):
+            return MappingResult(None, None, 1, 0)
+        return MappingResult(mapping, outcome, 1, 1)
+
+
+class TopNMapper:
+    """dMazeRunner-style pruned-space mapper with a top-N budget.
+
+    Args:
+        top_n: Maximum mappings evaluated per (layer, hardware) pair.
+        max_spatial: Spatial-unrolling combinations retained after
+            utilization pruning.
+        objective: Mapping metric minimized: ``"latency"`` (default),
+            ``"energy"``, or ``"edp"``.
+    """
+
+    name = "top-n"
+
+    def __init__(
+        self,
+        top_n: int = 200,
+        max_spatial: int = 16,
+        objective: str = "latency",
+    ):
+        if top_n < 1:
+            raise ValueError("top_n must be >= 1")
+        if objective not in MAPPING_OBJECTIVES:
+            raise ValueError(
+                f"unknown mapping objective {objective!r}; "
+                f"available: {sorted(MAPPING_OBJECTIVES)}"
+            )
+        self.top_n = top_n
+        self.max_spatial = max_spatial
+        self.objective = objective
+
+    def __call__(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> MappingResult:
+        spatial_choices = enumerate_spatial_unrollings(
+            layer, config, max_combos=self.max_spatial
+        )
+        candidates = _tiling_candidates(layer, config, spatial_choices)
+        return _best_of(
+            layer,
+            config,
+            candidates,
+            budget=self.top_n,
+            objective=self.objective,
+        )
+
+
+class RandomSearchMapper:
+    """Timeloop-like random mapper over the factorization-pruned space.
+
+    Samples random per-dimension divisor splits (DRAM/SPM/SPATIAL/RF) and
+    random stationary choices, evaluating ``trials`` candidates.  This is
+    the mapping optimizer the paper gives the black-box codesign baselines.
+    """
+
+    name = "random"
+
+    def __init__(
+        self, trials: int = 200, seed: int = 0, objective: str = "latency"
+    ):
+        if trials < 1:
+            raise ValueError("trials must be >= 1")
+        if objective not in MAPPING_OBJECTIVES:
+            raise ValueError(
+                f"unknown mapping objective {objective!r}; "
+                f"available: {sorted(MAPPING_OBJECTIVES)}"
+            )
+        self.trials = trials
+        self.seed = seed
+        self.objective = objective
+
+    def _random_mapping(
+        self,
+        layer: LayerShape,
+        config: AcceleratorConfig,
+        rng: random.Random,
+    ) -> Mapping:
+        bounds = padded_bounds(layer)
+        spatial: Dict[Dim, int] = {d: 1 for d in LOOP_DIMS}
+        budget = config.pes
+        for d in SPATIAL_DIMS:
+            opts = [f for f in divisors(bounds[d]) if f <= budget]
+            spatial[d] = rng.choice(opts)
+            budget //= spatial[d]
+        rf: Dict[Dim, int] = {}
+        spm: Dict[Dim, int] = {}
+        dram: Dict[Dim, int] = {}
+        for d in LOOP_DIMS:
+            rest = bounds[d] // spatial[d]
+            rf[d] = rng.choice(divisors(rest))
+            rest //= rf[d]
+            spm[d] = rng.choice(divisors(rest))
+            dram[d] = rest // spm[d]
+        return Mapping.from_level_maps(
+            dram=dram,
+            spm=spm,
+            spatial=spatial,
+            rf=rf,
+            dram_stationary=rng.choice(STATIONARY_CHOICES),
+            spm_stationary=rng.choice(STATIONARY_CHOICES),
+        )
+
+    def __call__(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> MappingResult:
+        # Deterministic per (layer, config) stream so evaluations cache.
+        rng = random.Random(
+            (self.seed, layer.name, config.pes, config.l1_bytes).__hash__()
+        )
+        candidates = (
+            self._random_mapping(layer, config, rng) for _ in range(self.trials)
+        )
+        return _best_of(
+            layer,
+            config,
+            candidates,
+            budget=self.trials,
+            objective=self.objective,
+        )

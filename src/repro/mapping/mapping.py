@@ -1,0 +1,283 @@
+"""Mapping representation: loop tiling + ordering across the hierarchy.
+
+A mapping distributes each of the seven loop dimensions across four levels
+of the accelerator's processing hierarchy:
+
+* ``DRAM``    — outer temporal loops iterating over scratchpad (L2) tiles;
+* ``SPM``     — temporal loops iterating over register-file tiles;
+* ``SPATIAL`` — unrolling across the PE array;
+* ``RF``      — innermost temporal loops executed inside each PE.
+
+Per dimension, the four tile counts multiply to the *padded* loop bound.
+Loop *ordering* is captured by the stationary operand chosen at each
+temporal level: dMazeRunner/ZigZag-style pruning keeps only orderings with
+unique maximal reuse, which (per memory level) reduce to the choice of the
+operand whose irrelevant loops are placed innermost.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping as MappingT, Tuple
+
+from repro.mapping.factorization import smooth_pad
+from repro.workloads.layers import (
+    LOOP_DIMS,
+    Dim,
+    LayerShape,
+    Operand,
+    OperatorType,
+)
+
+__all__ = [
+    "Level",
+    "Mapping",
+    "MappingError",
+    "padded_bounds",
+    "operand_tile_elements",
+    "STATIONARY_CHOICES",
+]
+
+#: Operands eligible as the stationary choice of a temporal level.
+STATIONARY_CHOICES: Tuple[Operand, ...] = (Operand.O, Operand.W, Operand.I)
+
+
+class Level(enum.Enum):
+    """Processing-hierarchy levels, outermost first."""
+
+    DRAM = "DRAM"
+    SPM = "SPM"
+    SPATIAL = "SPATIAL"
+    RF = "RF"
+
+
+class MappingError(ValueError):
+    """A structurally invalid mapping (bad factors, unknown dims, ...)."""
+
+
+@functools.lru_cache(maxsize=None)
+def _free_dims(
+    operator: "OperatorType", stationary: Operand, operand: Operand
+) -> Tuple[Dim, ...]:
+    """Dims irrelevant to both ``stationary`` and ``operand`` (cached)."""
+    from repro.workloads.layers import operand_dims
+
+    blocked = operand_dims(operator, stationary) | operand_dims(operator, operand)
+    return tuple(d for d in LOOP_DIMS if d not in blocked)
+
+
+@functools.lru_cache(maxsize=None)
+def _relevant_dims(operator: "OperatorType", operand: Operand) -> Tuple[Dim, ...]:
+    """Dims indexing ``operand`` (cached tuple for hot loops)."""
+    from repro.workloads.layers import operand_dims
+
+    relevant = operand_dims(operator, operand)
+    return tuple(d for d in LOOP_DIMS if d in relevant)
+
+
+@functools.lru_cache(maxsize=4096)
+def _padded_bounds_cached(layer: LayerShape) -> Tuple[int, ...]:
+    return tuple(smooth_pad(layer.dim(d)) for d in LOOP_DIMS)
+
+
+def padded_bounds(layer: LayerShape) -> Dict[Dim, int]:
+    """Loop bounds padded to 7-smooth integers (see ``smooth_pad``)."""
+    return dict(zip(LOOP_DIMS, _padded_bounds_cached(layer)))
+
+
+def operand_tile_elements(
+    layer: LayerShape, tile: MappingT[Dim, int], operand: Operand
+) -> int:
+    """Elements of ``operand`` covered by a tile with the given extents.
+
+    Input activations use halo-extended spatial extents derived from the
+    tile's output and filter extents and the layer stride.
+    """
+    dwise = layer.operator is OperatorType.DWCONV
+    if operand is Operand.W:
+        channels = 1 if dwise else tile[Dim.C]
+        return tile[Dim.M] * channels * tile[Dim.FY] * tile[Dim.FX]
+    if operand in (Operand.O, Operand.PSUM):
+        return tile[Dim.N] * tile[Dim.M] * tile[Dim.OY] * tile[Dim.OX]
+    # Input activations.
+    channels = tile[Dim.M] if dwise else tile[Dim.C]
+    rows = (tile[Dim.OY] - 1) * layer.stride + tile[Dim.FY]
+    cols = (tile[Dim.OX] - 1) * layer.stride + tile[Dim.FX]
+    return tile[Dim.N] * channels * rows * cols
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A complete mapping of one layer onto the accelerator template.
+
+    Attributes:
+        factors: ``factors[level][dim]`` tile count of ``dim`` at ``level``.
+        dram_stationary: Operand whose irrelevant loops are innermost at the
+            DRAM level (maximal off-chip reuse for that operand).
+        spm_stationary: Same choice for the SPM->RF (NoC) level.
+    """
+
+    factors: MappingT[Level, MappingT[Dim, int]]
+    dram_stationary: Operand = Operand.O
+    spm_stationary: Operand = Operand.O
+
+    def __post_init__(self) -> None:
+        for level in Level:
+            if level not in self.factors:
+                raise MappingError(f"missing factors for level {level}")
+            for d in LOOP_DIMS:
+                f = self.factors[level].get(d, None)
+                if f is None or f < 1:
+                    raise MappingError(
+                        f"invalid factor for {d} at {level}: {f!r}"
+                    )
+        if self.dram_stationary not in STATIONARY_CHOICES:
+            raise MappingError(
+                f"dram_stationary must be one of {STATIONARY_CHOICES}"
+            )
+        if self.spm_stationary not in STATIONARY_CHOICES:
+            raise MappingError(
+                f"spm_stationary must be one of {STATIONARY_CHOICES}"
+            )
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def from_level_maps(
+        dram: MappingT[Dim, int],
+        spm: MappingT[Dim, int],
+        spatial: MappingT[Dim, int],
+        rf: MappingT[Dim, int],
+        dram_stationary: Operand = Operand.O,
+        spm_stationary: Operand = Operand.O,
+    ) -> "Mapping":
+        """Build a mapping from per-level factor dictionaries.
+
+        Missing dimensions default to factor 1.
+        """
+
+        def _complete(partial: MappingT[Dim, int]) -> Dict[Dim, int]:
+            return {d: int(partial.get(d, 1)) for d in LOOP_DIMS}
+
+        return Mapping(
+            factors={
+                Level.DRAM: _complete(dram),
+                Level.SPM: _complete(spm),
+                Level.SPATIAL: _complete(spatial),
+                Level.RF: _complete(rf),
+            },
+            dram_stationary=dram_stationary,
+            spm_stationary=spm_stationary,
+        )
+
+    # -- validation ------------------------------------------------------------
+
+    def validate_for(self, layer: LayerShape) -> None:
+        """Raise :class:`MappingError` unless factors cover the padded bounds."""
+        bounds = padded_bounds(layer)
+        for d in LOOP_DIMS:
+            product = math.prod(self.factors[level][d] for level in Level)
+            if product != bounds[d]:
+                raise MappingError(
+                    f"factors of {d} multiply to {product}, "
+                    f"expected padded bound {bounds[d]}"
+                )
+
+    # -- geometry ---------------------------------------------------------------
+
+    def level_factor(self, level: Level, dim: Dim) -> int:
+        return self.factors[level][dim]
+
+    def tile_dims(self, *levels: Level) -> Dict[Dim, int]:
+        """Tile extents covered by the given (inner) levels combined."""
+        return {
+            d: math.prod(self.factors[level][d] for level in levels)
+            for d in LOOP_DIMS
+        }
+
+    @property
+    def rf_tile(self) -> Dict[Dim, int]:
+        """Per-PE innermost tile extents."""
+        return self.tile_dims(Level.RF)
+
+    @property
+    def spatial_tile(self) -> Dict[Dim, int]:
+        """Extents covered by one full PE-array pass (RF x SPATIAL)."""
+        return self.tile_dims(Level.RF, Level.SPATIAL)
+
+    @property
+    def spm_tile(self) -> Dict[Dim, int]:
+        """Extents resident in the scratchpad (RF x SPATIAL x SPM)."""
+        return self.tile_dims(Level.RF, Level.SPATIAL, Level.SPM)
+
+    @property
+    def pes_used(self) -> int:
+        """PEs occupied by the spatial unrolling."""
+        return math.prod(self.factors[Level.SPATIAL][d] for d in LOOP_DIMS)
+
+    def temporal_iterations(self, level: Level) -> int:
+        """Number of iterations of the temporal loops at ``level``."""
+        if level is Level.SPATIAL:
+            raise MappingError("SPATIAL is not a temporal level")
+        return math.prod(self.factors[level][d] for d in LOOP_DIMS)
+
+    # -- reuse ------------------------------------------------------------------
+
+    def reuse_at(self, level: Level, layer: LayerShape, operand: Operand) -> int:
+        """Temporal reuse of ``operand``'s tile across ``level``'s loops.
+
+        With stationary operand ``s`` at the level, the innermost contiguous
+        loop run irrelevant to both ``s`` and ``operand`` provides reuse:
+        ``reuse = prod(factors[d] for d not in D_s | D_op)``.
+        """
+        if level is Level.DRAM:
+            stationary = self.dram_stationary
+        elif level is Level.SPM:
+            stationary = self.spm_stationary
+        else:
+            raise MappingError(f"reuse defined only for temporal levels, not {level}")
+        free = _free_dims(layer.operator, stationary, operand)
+        factors = self.factors[level]
+        reuse = 1
+        for d in free:
+            reuse *= factors[d]
+        return reuse
+
+    def fetches_at(self, level: Level, layer: LayerShape, operand: Operand) -> int:
+        """Tile fetch events of ``operand`` caused by ``level``'s loops."""
+        total = self.temporal_iterations(level)
+        reuse = self.reuse_at(level, layer, operand)
+        return total // reuse
+
+    def spatial_groups(self, layer: LayerShape, operand: Operand) -> int:
+        """PE groups needing *distinct* data of ``operand`` per array pass.
+
+        This is the paper's ``NoC_groups_needed`` execution characteristic:
+        spatially-unrolled dimensions relevant to the operand multiply the
+        number of simultaneously-needed unique data streams; irrelevant
+        spatial dimensions are served by broadcast.
+        """
+        factors = self.factors[Level.SPATIAL]
+        groups = 1
+        for d in _relevant_dims(layer.operator, operand):
+            groups *= factors[d]
+        return groups
+
+    def describe(self) -> str:
+        """Compact multi-line rendering for logs and explanations."""
+        lines = []
+        for level in Level:
+            nontrivial = {
+                d.value: f
+                for d, f in self.factors[level].items()
+                if f > 1
+            }
+            lines.append(f"{level.value:8s} {nontrivial or '{}'}")
+        lines.append(
+            f"stationary: DRAM={self.dram_stationary.value} "
+            f"SPM={self.spm_stationary.value}"
+        )
+        return "\n".join(lines)

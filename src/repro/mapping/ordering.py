@@ -1,0 +1,141 @@
+"""Loop-ordering analysis: deriving the unique-reuse ordering counts.
+
+dMazeRunner's key pruning insight (paper §F, Table 7 column E) is that of
+the thousands of loop orderings at a memory level, only a handful produce
+*unique data reuse*: what matters to the cost of an ordering is, for each
+operand, the run of innermost loops irrelevant to it (those provide
+temporal reuse of the operand's tile).  Orderings inducing the same
+(reuse-dims per operand) signature are cost-equivalent.
+
+This module enumerates orderings, computes their reuse signatures, and
+counts the equivalence classes — reproducing the paper's "15 orderings
+with unique data reuse for convolutions, 3 for GEMMs" numbers from first
+principles rather than as constants.  It also identifies the *maximal*
+reuse orderings (one per operand), which are the ones the cost model's
+``stationary`` choice exposes.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.workloads.layers import (
+    LOOP_DIMS,
+    Dim,
+    Operand,
+    OperatorType,
+    operand_dims,
+)
+
+__all__ = [
+    "ReuseSignature",
+    "reuse_signature",
+    "unique_reuse_signatures",
+    "count_unique_reuse_orderings",
+    "maximal_reuse_orderings",
+]
+
+#: Operands with distinct storage (PSUM aliases O for reuse purposes).
+_REUSE_OPERANDS = (Operand.I, Operand.W, Operand.O)
+
+#: The canonical nest dimensions per operator type.  Convolutions use the
+#: full 7-deep nest (the paper's 28-deep nest = 7 dims x 4 levels); GEMMs
+#: use the 3-dim nest (the paper's 12-deep nest).  Depthwise convolutions
+#: execute inside the convolutional nest, so dMazeRunner counts them with
+#: the convolution orderings (see ``count_unique_reuse_orderings``).
+_ACTIVE_DIMS: Dict[OperatorType, Tuple[Dim, ...]] = {
+    OperatorType.CONV: LOOP_DIMS,
+    OperatorType.DWCONV: LOOP_DIMS,
+    OperatorType.GEMM: (Dim.M, Dim.C, Dim.OX),
+}
+
+#: A reuse signature: per operand, the set of dims whose loops sit in the
+#: innermost contiguous run of loops irrelevant to the operand.
+ReuseSignature = Tuple[FrozenSet[Dim], ...]
+
+
+def reuse_signature(
+    ordering: Sequence[Dim], operator: OperatorType
+) -> ReuseSignature:
+    """Reuse signature of one loop ordering (outermost first).
+
+    For each operand, walk the ordering from the innermost loop outward,
+    collecting dimensions until the first loop *relevant* to the operand:
+    those innermost irrelevant loops reuse the operand's tile.
+    """
+    signature: List[FrozenSet[Dim]] = []
+    for operand in _REUSE_OPERANDS:
+        relevant = operand_dims(operator, operand)
+        reused: Set[Dim] = set()
+        for dim in reversed(list(ordering)):
+            if dim in relevant:
+                break
+            reused.add(dim)
+        signature.append(frozenset(reused))
+    return tuple(signature)
+
+
+@functools.lru_cache(maxsize=None)
+def unique_reuse_signatures(
+    operator: OperatorType,
+) -> Tuple[ReuseSignature, ...]:
+    """All distinct reuse signatures over the operator's nest dims.
+
+    Depthwise convolutions delegate to the convolutional nest: they are
+    invoked inside it, so the ordering space is the convolution's.
+    """
+    if operator is OperatorType.DWCONV:
+        return unique_reuse_signatures(OperatorType.CONV)
+    dims = _ACTIVE_DIMS[operator]
+    signatures: Set[ReuseSignature] = set()
+    for ordering in itertools.permutations(dims):
+        signatures.add(reuse_signature(ordering, operator))
+    return tuple(sorted(signatures, key=repr))
+
+
+def count_unique_reuse_orderings(operator: OperatorType) -> int:
+    """Number of cost-distinct loop orderings at one memory level.
+
+    Derives the paper's Table 7 column E from first principles:
+    15 for (depthwise) convolutions, 3 for GEMMs.
+    """
+    return len(unique_reuse_signatures(operator))
+
+
+@dataclass(frozen=True)
+class MaximalReuseOrdering:
+    """One maximal-reuse ordering: the operand it keeps stationary and a
+    representative loop order realizing it."""
+
+    stationary: Operand
+    ordering: Tuple[Dim, ...]
+    reuse_dims: FrozenSet[Dim]
+
+
+def maximal_reuse_orderings(
+    operator: OperatorType,
+) -> Tuple[MaximalReuseOrdering, ...]:
+    """The per-operand maximal-reuse orderings (3 per level).
+
+    For each operand, the ordering placing *all* of its irrelevant dims
+    innermost maximizes its temporal reuse; these are the orderings the
+    cost model's ``stationary`` parameter selects among (the "few with
+    maximum reuse of various tensors" the paper keeps).
+    """
+    dims = _ACTIVE_DIMS[operator]
+    out = []
+    for operand in _REUSE_OPERANDS:
+        relevant = operand_dims(operator, operand)
+        inner = tuple(d for d in dims if d not in relevant)
+        outer = tuple(d for d in dims if d in relevant)
+        out.append(
+            MaximalReuseOrdering(
+                stationary=operand,
+                ordering=outer + inner,
+                reuse_dims=frozenset(inner),
+            )
+        )
+    return tuple(out)

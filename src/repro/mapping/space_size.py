@@ -1,0 +1,159 @@
+"""Mapping-space size analysis (reproduces the structure of Table 7).
+
+The paper quantifies how pruning shrinks the per-layer mapping space:
+
+=====  ===========================================================
+col A  tile sizings with arbitrary (non-factor) per-level sizes
+col B  tile sizings restricted to valid factorizations
+col C  valid tilings w.r.t. a hardware configuration (resources fit)
+col D  loop orderings at one memory level (7! orders, ~O(10^4))
+col E  orderings with unique / maximal data reuse (15/3 conv, 3/3 gemm)
+col F  full mapping space               A * D^2
+col G  factorization-constrained space  B * D^2
+col H  factorization + reuse-aware      B * E^2
+=====  ===========================================================
+
+Columns A/B/D/E/F/G/H are closed-form; column C is estimated by sampling
+random valid factorizations and measuring the feasible fraction on the
+given hardware configuration.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.cost.execution_info import InfeasibleMapping
+import repro.cost.latency as _cost_latency
+from repro.mapping.factorization import (
+    count_ordered_factorizations,
+    divisors,
+)
+from repro.mapping.mapping import Mapping, padded_bounds
+from repro.workloads.layers import LOOP_DIMS, Dim, LayerShape, OperatorType
+
+__all__ = ["MappingSpaceSize", "analyze_mapping_space"]
+
+#: Levels across which each loop dimension is tiled.
+TILING_LEVELS = 4
+
+#: Unique-reuse ordering counts (dMazeRunner [15]): 15 for convolutions,
+#: 3 for GEMMs.  Derived from first principles by
+#: :func:`repro.mapping.ordering.count_unique_reuse_orderings`; kept here
+#: as constants for cheap table generation and cross-checked in tests.
+UNIQUE_REUSE_ORDERINGS = {
+    OperatorType.CONV: 15,
+    OperatorType.DWCONV: 15,
+    OperatorType.GEMM: 3,
+}
+
+
+@dataclass(frozen=True)
+class MappingSpaceSize:
+    """Log10 sizes of the mapping space under successive prunings."""
+
+    layer_name: str
+    tile_sizings_log10: float  # A
+    valid_factor_tilings_log10: float  # B
+    hw_valid_tilings_log10: Optional[float]  # C (None if not estimated)
+    orderings_per_level_log10: float  # D
+    unique_reuse_orderings: int  # E
+    full_space_log10: float  # F = A * D^2
+    factor_space_log10: float  # G = B * D^2
+    reuse_aware_space_log10: float  # H = B * E^2
+
+
+def _nontrivial_dims(layer: LayerShape) -> int:
+    """Loop dims with bound > 1 (orderings permute only these)."""
+    bounds = padded_bounds(layer)
+    return sum(1 for d in LOOP_DIMS if bounds[d] > 1)
+
+
+def analyze_mapping_space(
+    layer: LayerShape,
+    config: Optional[AcceleratorConfig] = None,
+    samples: int = 200,
+    seed: int = 0,
+) -> MappingSpaceSize:
+    """Compute the Table 7 row for one layer.
+
+    Args:
+        layer: The layer to analyze.
+        config: Optional hardware configuration; when given, column C is
+            estimated by Monte-Carlo sampling ``samples`` random valid
+            factorizations and scaling column B by the feasible fraction.
+        samples: Sample count for the column-C estimate.
+        seed: RNG seed for the column-C estimate.
+    """
+    bounds = padded_bounds(layer)
+
+    # A: arbitrary per-level tile sizes (three free levels per dim).
+    tile_sizings = sum(
+        (TILING_LEVELS - 1) * math.log10(bounds[d])
+        for d in LOOP_DIMS
+        if bounds[d] > 1
+    )
+
+    # B: valid ordered factorizations across the four levels.
+    valid_factor = sum(
+        math.log10(count_ordered_factorizations(bounds[d], TILING_LEVELS))
+        for d in LOOP_DIMS
+    )
+
+    # D: orderings at one memory level: permutations of non-trivial loops.
+    orderings = math.log10(max(math.factorial(_nontrivial_dims(layer)), 1))
+
+    # E: unique-reuse orderings kept after dMazeRunner-style pruning.
+    unique = UNIQUE_REUSE_ORDERINGS[layer.operator]
+
+    # C: hardware-valid fraction, Monte-Carlo over valid factorizations.
+    hw_valid: Optional[float] = None
+    if config is not None and samples > 0:
+        rng = random.Random(seed)
+        feasible = 0
+        for _ in range(samples):
+            mapping = _random_factorized_mapping(layer, rng)
+            outcome = _cost_latency.evaluate_layer_mapping(layer, mapping, config)
+            if not isinstance(outcome, InfeasibleMapping):
+                feasible += 1
+        fraction = feasible / samples
+        if fraction > 0:
+            hw_valid = valid_factor + math.log10(fraction)
+        else:
+            # All samples infeasible: report an upper bound one sample deep.
+            hw_valid = valid_factor - math.log10(samples)
+
+    return MappingSpaceSize(
+        layer_name=layer.name,
+        tile_sizings_log10=tile_sizings,
+        valid_factor_tilings_log10=valid_factor,
+        hw_valid_tilings_log10=hw_valid,
+        orderings_per_level_log10=orderings,
+        unique_reuse_orderings=unique,
+        full_space_log10=tile_sizings + 2 * orderings,
+        factor_space_log10=valid_factor + 2 * orderings,
+        reuse_aware_space_log10=valid_factor + 2 * math.log10(unique),
+    )
+
+
+def _random_factorized_mapping(
+    layer: LayerShape, rng: random.Random
+) -> Mapping:
+    """Uniformly sample per-dimension divisor splits (no pruning)."""
+    bounds = padded_bounds(layer)
+    rf: Dict[Dim, int] = {}
+    spatial: Dict[Dim, int] = {}
+    spm: Dict[Dim, int] = {}
+    dram: Dict[Dim, int] = {}
+    for d in LOOP_DIMS:
+        rest = bounds[d]
+        rf[d] = rng.choice(divisors(rest))
+        rest //= rf[d]
+        spatial[d] = rng.choice(divisors(rest))
+        rest //= spatial[d]
+        spm[d] = rng.choice(divisors(rest))
+        dram[d] = rest // spm[d]
+    return Mapping.from_level_maps(dram=dram, spm=spm, spatial=spatial, rf=rf)

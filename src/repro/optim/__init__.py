@@ -1,0 +1,29 @@
+"""Non-explainable baseline optimizers the paper compares against."""
+
+from repro.optim.annealing import SimulatedAnnealing
+from repro.optim.base import BaselineOptimizer, penalized_objective
+from repro.optim.bayesian import BayesianOptimization
+from repro.optim.gaussian_process import GaussianProcess, expected_improvement
+from repro.optim.genetic import GeneticAlgorithm
+from repro.optim.grid import GridSearch
+from repro.optim.hybrid import HybridDSE
+from repro.optim.hypermapper import HyperMapperDSE
+from repro.optim.local_search import LocalSearch
+from repro.optim.random_search import RandomSearch
+from repro.optim.reinforcement import ReinforcementLearningDSE
+
+__all__ = [
+    "BaselineOptimizer",
+    "BayesianOptimization",
+    "GaussianProcess",
+    "GeneticAlgorithm",
+    "GridSearch",
+    "HybridDSE",
+    "HyperMapperDSE",
+    "LocalSearch",
+    "RandomSearch",
+    "ReinforcementLearningDSE",
+    "SimulatedAnnealing",
+    "expected_improvement",
+    "penalized_objective",
+]

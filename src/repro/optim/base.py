@@ -1,0 +1,154 @@
+"""Shared machinery for the non-explainable baseline optimizers.
+
+Every baseline (grid, random, simulated annealing, genetic, Bayesian,
+HyperMapper-like constrained BO, ConfuciuX-like RL) is a black-box
+optimizer over the hardware design space: it sees only the scalar costs of
+evaluated points — never *why* a point is slow — which is precisely the
+limitation the paper attributes their excessive sampling to (§2).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.design_space import DesignPoint, DesignSpace
+from repro.core.dse.constraints import Constraint, all_satisfied
+from repro.core.dse.result import DSEResult, TrialRecord, select_best
+from repro.cost.evaluator import CostEvaluator, Evaluation
+
+__all__ = ["BaselineOptimizer", "penalized_objective"]
+
+#: Penalty weight per unit of constraint over-utilization, applied to the
+#: log-domain objective of unconstrained optimizers.
+PENALTY_WEIGHT = 10.0
+
+
+def penalized_objective(
+    costs: Dict[str, float],
+    constraints: Sequence[Constraint],
+    objective: str = "latency_ms",
+) -> float:
+    """Log-domain objective with additive constraint-violation penalties.
+
+    Unconstrained black-box methods (SA, GA, plain BO) need a single
+    scalar; infeasible points are penalized proportionally to how far each
+    constraint is over budget.  Unmappable points (infinite latency) map to
+    a large finite value so comparisons stay well-defined.
+    """
+    value = costs.get(objective, math.inf)
+    if not math.isfinite(value) or value <= 0:
+        base = 1e9
+    else:
+        base = value
+    score = math.log(base)
+    for constraint in constraints:
+        utilization = constraint.utilization(costs)
+        if not math.isfinite(utilization):
+            score += PENALTY_WEIGHT * 10
+        elif utilization > 1.0:
+            score += PENALTY_WEIGHT * (utilization - 1.0)
+    return score
+
+
+class BaselineOptimizer(abc.ABC):
+    """Base class: budget accounting, trial recording, result assembly.
+
+    Subclasses implement :meth:`_optimize`, calling :meth:`_evaluate` for
+    every acquisition; the budget is enforced there (an exhausted budget
+    raises :class:`_BudgetExhausted`, which ``run`` absorbs).
+    """
+
+    #: Short label used in experiment tables.
+    name = "baseline"
+
+    class _BudgetExhausted(Exception):
+        pass
+
+    def __init__(
+        self,
+        design_space: DesignSpace,
+        evaluator: CostEvaluator,
+        constraints: Sequence[Constraint],
+        objective: str = "latency_ms",
+        max_evaluations: int = 100,
+        seed: int = 0,
+    ):
+        if max_evaluations < 1:
+            raise ValueError("max_evaluations must be >= 1")
+        self.space = design_space
+        self.evaluator = evaluator
+        self.constraints = list(constraints)
+        self.objective = objective
+        self.max_evaluations = max_evaluations
+        self.seed = seed
+        self._trials: List[TrialRecord] = []
+        self._base_evaluations = 0
+
+    # -- template method --------------------------------------------------------
+
+    def run(self, initial_point: Optional[DesignPoint] = None) -> DSEResult:
+        """Run the optimizer until the evaluation budget is exhausted."""
+        started = time.perf_counter()
+        self._trials = []
+        self._base_evaluations = self.evaluator.evaluations
+        try:
+            self._optimize(initial_point)
+        except BaselineOptimizer._BudgetExhausted:
+            pass
+        best = select_best(
+            self._trials, self.constraints, objective=self.objective
+        )
+        return DSEResult(
+            technique=self.name,
+            model=self.evaluator.workload.name,
+            trials=self._trials,
+            best=best,
+            evaluations=self.evaluator.evaluations - self._base_evaluations,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    @abc.abstractmethod
+    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+        """Acquisition loop; call :meth:`_evaluate` per candidate."""
+
+    # -- helpers -------------------------------------------------------------------
+
+    @property
+    def budget_left(self) -> int:
+        return self.max_evaluations - (
+            self.evaluator.evaluations - self._base_evaluations
+        )
+
+    def _evaluate(self, point: DesignPoint, note: str = "") -> Evaluation:
+        """Evaluate one point, recording a trial; raises when out of budget.
+
+        Re-evaluations of cached points do not consume budget (matching how
+        iteration counts are reported for the paper's baselines).
+        """
+        if self.budget_left <= 0:
+            raise BaselineOptimizer._BudgetExhausted()
+        evaluation = self.evaluator.evaluate(point)
+        utilizations = {
+            c.name: c.utilization(evaluation.costs) for c in self.constraints
+        }
+        self._trials.append(
+            TrialRecord(
+                index=len(self._trials),
+                point=dict(point),
+                costs=dict(evaluation.costs),
+                feasible=all_satisfied(evaluation.costs, self.constraints),
+                mappable=evaluation.mappable,
+                utilizations=utilizations,
+                note=note,
+            )
+        )
+        return evaluation
+
+    def _score(self, evaluation: Evaluation) -> float:
+        """Penalized log-objective of an evaluation (lower is better)."""
+        return penalized_objective(
+            evaluation.costs, self.constraints, self.objective
+        )

@@ -1,0 +1,131 @@
+"""Minimal Gaussian-process regression (RBF kernel) built on numpy.
+
+Supports the Bayesian-optimization baselines: exact GP regression with an
+isotropic RBF kernel over normalized index vectors, jittered Cholesky
+solves, and predictive mean/variance.  Deliberately small — no gradients,
+no hyperparameter optimization beyond a median-distance lengthscale
+heuristic — because the baselines only need a competent surrogate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["GaussianProcess", "expected_improvement", "normal_cdf"]
+
+
+def _rbf_kernel(a: np.ndarray, b: np.ndarray, lengthscale: float) -> np.ndarray:
+    """Isotropic squared-exponential kernel matrix."""
+    sq = (
+        np.sum(a**2, axis=1)[:, None]
+        + np.sum(b**2, axis=1)[None, :]
+        - 2.0 * a @ b.T
+    )
+    return np.exp(-0.5 * np.maximum(sq, 0.0) / (lengthscale**2))
+
+
+def normal_cdf(x: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via erf (avoids a scipy dependency here)."""
+    from math import sqrt
+
+    return 0.5 * (1.0 + _erf(x / sqrt(2.0)))
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    """Vectorized Abramowitz-Stegun 7.1.26 erf approximation (~1e-7)."""
+    x = np.asarray(x, dtype=float)
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-ax * ax))
+
+
+@dataclass
+class GaussianProcess:
+    """Exact GP regression with an RBF kernel.
+
+    Attributes:
+        noise: Observation noise variance added to the kernel diagonal.
+        lengthscale: RBF lengthscale; None selects the median pairwise
+            distance of the training inputs (a standard heuristic).
+    """
+
+    noise: float = 1e-4
+    lengthscale: Optional[float] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Fit on inputs ``x`` (n x d) and targets ``y`` (n,)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y row counts differ")
+        self._x = x
+        self._y_mean = float(np.mean(y))
+        self._y_std = float(np.std(y)) or 1.0
+        y_norm = (y - self._y_mean) / self._y_std
+        if self.lengthscale is None:
+            self._ls = self._median_distance(x)
+        else:
+            self._ls = self.lengthscale
+        k = _rbf_kernel(x, x, self._ls)
+        k[np.diag_indices_from(k)] += self.noise
+        jitter = 1e-10
+        while True:
+            try:
+                self._chol = np.linalg.cholesky(
+                    k + jitter * np.eye(len(k))
+                )
+                break
+            except np.linalg.LinAlgError:
+                jitter *= 10
+                if jitter > 1e-2:
+                    raise
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, y_norm)
+        )
+        return self
+
+    @staticmethod
+    def _median_distance(x: np.ndarray) -> float:
+        if len(x) < 2:
+            return 1.0
+        sq = (
+            np.sum(x**2, axis=1)[:, None]
+            + np.sum(x**2, axis=1)[None, :]
+            - 2.0 * x @ x.T
+        )
+        distances = np.sqrt(np.maximum(sq, 0.0))
+        upper = distances[np.triu_indices_from(distances, k=1)]
+        median = float(np.median(upper))
+        return median if median > 0 else 1.0
+
+    def predict(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Predictive mean and variance at query points ``x`` (m x d)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        k_star = _rbf_kernel(x, self._x, self._ls)
+        mean = k_star @ self._alpha
+        v = np.linalg.solve(self._chol, k_star.T)
+        var = 1.0 - np.sum(v**2, axis=0)
+        var = np.maximum(var, 1e-12)
+        return (
+            mean * self._y_std + self._y_mean,
+            var * self._y_std**2,
+        )
+
+
+def expected_improvement(
+    mean: np.ndarray, var: np.ndarray, best: float, xi: float = 0.01
+) -> np.ndarray:
+    """EI for *minimization*: expected amount below ``best - xi``."""
+    std = np.sqrt(var)
+    improvement = best - xi - mean
+    z = improvement / std
+    pdf = np.exp(-0.5 * z**2) / np.sqrt(2.0 * np.pi)
+    return improvement * normal_cdf(z) + std * pdf

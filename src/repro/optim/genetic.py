@@ -1,0 +1,109 @@
+"""Genetic algorithm (black-box baseline; the paper used scikit-opt [3]).
+
+Generational GA over index vectors: tournament selection, uniform
+crossover, per-gene mutation, and elitism, with fitness the negated
+penalized log-objective.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.arch.design_space import DesignPoint
+from repro.optim.base import BaselineOptimizer
+
+__all__ = ["GeneticAlgorithm"]
+
+
+class GeneticAlgorithm(BaselineOptimizer):
+    """Generational genetic algorithm.
+
+    Args:
+        population_size: Individuals per generation.
+        tournament: Tournament size for parent selection.
+        crossover_rate: Probability of crossing two parents (else clone).
+        mutation_rate: Per-gene probability of a random resample.
+        elites: Top individuals copied unchanged into the next generation.
+    """
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        *args,
+        population_size: int = 20,
+        tournament: int = 3,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.15,
+        elites: int = 2,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if elites >= population_size:
+            raise ValueError("elites must be < population_size")
+        self.population_size = population_size
+        self.tournament = tournament
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+        self.elites = elites
+
+    # -- GA operators over index vectors -----------------------------------------
+
+    def _random_genome(self, rng: random.Random) -> Tuple[int, ...]:
+        return tuple(
+            rng.randrange(p.cardinality) for p in self.space.parameters
+        )
+
+    def _crossover(
+        self, a: Tuple[int, ...], b: Tuple[int, ...], rng: random.Random
+    ) -> Tuple[int, ...]:
+        return tuple(ai if rng.random() < 0.5 else bi for ai, bi in zip(a, b))
+
+    def _mutate(
+        self, genome: Tuple[int, ...], rng: random.Random
+    ) -> Tuple[int, ...]:
+        out = list(genome)
+        for i, param in enumerate(self.space.parameters):
+            if rng.random() < self.mutation_rate:
+                out[i] = rng.randrange(param.cardinality)
+        return tuple(out)
+
+    def _fitness(self, genome: Tuple[int, ...]) -> float:
+        point = self.space.from_indices(genome)
+        return -self._score(self._evaluate(point, note="ga"))
+
+    # -- main loop -----------------------------------------------------------------
+
+    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+        rng = random.Random(self.seed)
+        population: List[Tuple[int, ...]] = [
+            self._random_genome(rng) for _ in range(self.population_size)
+        ]
+        if initial_point is not None:
+            population[0] = self.space.to_indices(initial_point)
+        fitness = [self._fitness(g) for g in population]
+
+        def _tournament_pick() -> Tuple[int, ...]:
+            contenders = rng.sample(
+                range(len(population)), k=min(self.tournament, len(population))
+            )
+            return population[max(contenders, key=lambda i: fitness[i])]
+
+        while self.budget_left > 0:
+            ranked = sorted(
+                range(len(population)), key=lambda i: -fitness[i]
+            )
+            next_population = [population[i] for i in ranked[: self.elites]]
+            while len(next_population) < self.population_size:
+                parent_a = _tournament_pick()
+                if rng.random() < self.crossover_rate:
+                    parent_b = _tournament_pick()
+                    child = self._crossover(parent_a, parent_b, rng)
+                else:
+                    child = parent_a
+                next_population.append(self._mutate(child, rng))
+            population = next_population
+            fitness = [self._fitness(g) for g in population]

@@ -1,0 +1,42 @@
+"""Grid search (non-feedback baseline, e.g. [32, 49] in the paper).
+
+Enumerates a stratified grid over the design space and strides through it
+so the evaluation budget covers the whole grid rather than a corner: grid
+enumeration varies the last axes fastest, so naive truncation would fix the
+leading parameters at their first grid value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.arch.design_space import DesignPoint
+from repro.optim.base import BaselineOptimizer
+
+__all__ = ["GridSearch"]
+
+
+class GridSearch(BaselineOptimizer):
+    """Strided stratified grid search."""
+
+    name = "grid"
+
+    def __init__(self, *args, points_per_axis: int = 3, **kwargs):
+        super().__init__(*args, **kwargs)
+        if points_per_axis < 1:
+            raise ValueError("points_per_axis must be >= 1")
+        self.points_per_axis = points_per_axis
+
+    def _grid_size(self) -> int:
+        size = 1
+        for param in self.space.parameters:
+            size *= min(self.points_per_axis, param.cardinality)
+        return size
+
+    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+        total = self._grid_size()
+        stride = max(1, total // self.max_evaluations)
+        grid = self.space.grid(self.points_per_axis)
+        for point in itertools.islice(grid, 0, None, stride):
+            self._evaluate(point, note="grid")

@@ -1,0 +1,39 @@
+"""Random search (non-feedback baseline, e.g. [41, 53] in the paper).
+
+Uniform sampling of the design space.  Surprisingly competitive among the
+black-box techniques for this problem (the paper found it one of the two
+most effective baselines and used it as the codesign mapper driver, §F).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.arch.design_space import DesignPoint
+from repro.optim.base import BaselineOptimizer
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(BaselineOptimizer):
+    """Uniform random sampling without replacement (per-run dedup)."""
+
+    name = "random"
+
+    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+        rng = random.Random(self.seed)
+        seen = set()
+        if initial_point is not None:
+            seen.add(self.space.point_key(initial_point))
+            self._evaluate(initial_point, note="initial")
+        misses = 0
+        while self.budget_left > 0 and misses < 1000:
+            point = self.space.random_point(rng)
+            key = self.space.point_key(point)
+            if key in seen:
+                misses += 1
+                continue
+            misses = 0
+            seen.add(key)
+            self._evaluate(point, note="random")

@@ -1,0 +1,129 @@
+"""ConfuciuX-style constrained reinforcement learning [36].
+
+The paper generalized ConfuciuX to arbitrary parameter counts, per-
+parameter option-list sizes, and multiple constraints with utilization-
+shaped rewards — this module implements that generalized agent: a
+factored categorical policy (one softmax head of logits per design
+parameter), REINFORCE updates with a moving-average baseline, and a reward
+combining the log-objective with constraint-utilization penalties.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.design_space import DesignPoint
+from repro.optim.base import BaselineOptimizer
+
+__all__ = ["ReinforcementLearningDSE"]
+
+
+class ReinforcementLearningDSE(BaselineOptimizer):
+    """Policy-gradient DSE with a factored categorical policy.
+
+    Args:
+        learning_rate: Logit step size.
+        batch_size: Episodes per policy update.
+        entropy_bonus: Entropy regularization weight (keeps exploration up).
+        baseline_decay: Moving-average reward baseline decay.
+    """
+
+    name = "reinforcement"
+
+    def __init__(
+        self,
+        *args,
+        learning_rate: float = 0.25,
+        batch_size: int = 4,
+        entropy_bonus: float = 0.01,
+        baseline_decay: float = 0.9,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.entropy_bonus = entropy_bonus
+        self.baseline_decay = baseline_decay
+
+    # -- policy ------------------------------------------------------------------
+
+    def _sample(
+        self, logits: List[np.ndarray], rng: np.random.Generator
+    ) -> List[int]:
+        actions = []
+        for head in logits:
+            probs = _softmax(head)
+            actions.append(int(rng.choice(len(head), p=probs)))
+        return actions
+
+    def _reward(self, evaluation) -> float:
+        """Negated log-objective with constraint-utilization shaping.
+
+        The ConfuciuX-style reward favours meeting constraints first:
+        each over-budget constraint subtracts its excess utilization; a
+        feasible design earns the (bounded) objective reward.
+        """
+        costs = evaluation.costs
+        value = costs.get(self.objective, math.inf)
+        if math.isfinite(value) and value > 0:
+            reward = -math.log(value)
+        else:
+            reward = -25.0
+        for constraint in self.constraints:
+            utilization = constraint.utilization(costs)
+            if not math.isfinite(utilization):
+                reward -= 25.0
+            elif utilization > 1.0:
+                reward -= 2.0 * (utilization - 1.0)
+        return reward
+
+    # -- main loop -----------------------------------------------------------------
+
+    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+        rng = np.random.default_rng(self.seed)
+        logits = [
+            np.zeros(param.cardinality) for param in self.space.parameters
+        ]
+        baseline = 0.0
+        have_baseline = False
+
+        while self.budget_left > 0:
+            batch: List[tuple] = []
+            for _ in range(self.batch_size):
+                if self.budget_left <= 0:
+                    break
+                actions = self._sample(logits, rng)
+                point = self.space.from_indices(actions)
+                evaluation = self._evaluate(point, note="rl-episode")
+                batch.append((actions, self._reward(evaluation)))
+            if not batch:
+                break
+            rewards = [r for _, r in batch]
+            mean_reward = sum(rewards) / len(rewards)
+            if not have_baseline:
+                baseline = mean_reward
+                have_baseline = True
+            else:
+                baseline = (
+                    self.baseline_decay * baseline
+                    + (1 - self.baseline_decay) * mean_reward
+                )
+            for actions, reward in batch:
+                advantage = reward - baseline
+                for head, action in zip(logits, actions):
+                    probs = _softmax(head)
+                    gradient = -probs
+                    gradient[action] += 1.0
+                    entropy_grad = -probs * (np.log(probs + 1e-12) + 1.0)
+                    head += self.learning_rate * (
+                        advantage * gradient + self.entropy_bonus * entropy_grad
+                    )
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    z = x - np.max(x)
+    e = np.exp(z)
+    return e / np.sum(e)

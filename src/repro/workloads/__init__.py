@@ -1,0 +1,46 @@
+"""DNN workload substrate: layer shapes and the 11-model benchmark zoo."""
+
+from repro.workloads.layers import (
+    Dim,
+    LayerShape,
+    Operand,
+    OperatorType,
+    Workload,
+    conv2d,
+    depthwise_conv2d,
+    gemm,
+)
+from repro.workloads.io import (
+    load_workload_json,
+    save_workload_json,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workloads.multi import combine_workloads, load_combined_workload
+from repro.workloads.registry import (
+    MODEL_NAMES,
+    available_models,
+    load_all_workloads,
+    load_workload,
+)
+
+__all__ = [
+    "Dim",
+    "LayerShape",
+    "Operand",
+    "OperatorType",
+    "Workload",
+    "conv2d",
+    "depthwise_conv2d",
+    "gemm",
+    "MODEL_NAMES",
+    "available_models",
+    "combine_workloads",
+    "load_combined_workload",
+    "load_all_workloads",
+    "load_workload",
+    "load_workload_json",
+    "save_workload_json",
+    "workload_from_dict",
+    "workload_to_dict",
+]

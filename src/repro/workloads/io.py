@@ -1,0 +1,173 @@
+"""Workload import/export: JSON specifications for custom DNNs.
+
+Downstream users rarely want to hand-write :class:`LayerShape` tuples;
+this module defines a small JSON schema for workloads so models extracted
+from any framework can be dropped in:
+
+```json
+{
+  "name": "my_model",
+  "task": "cv",
+  "total_layers": 3,
+  "layers": [
+    {"name": "conv1", "op": "conv", "in": 3, "out": 64,
+     "output": [112, 112], "kernel": [7, 7], "stride": 2},
+    {"name": "dw", "op": "dwconv", "channels": 64, "output": [56, 56]},
+    {"name": "fc", "op": "gemm", "rows": 1000, "inner": 64, "cols": 1}
+  ]
+}
+```
+
+``repeats`` and ``batch`` are optional on every layer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.workloads.layers import (
+    LayerShape,
+    OperatorType,
+    Workload,
+    conv2d,
+    depthwise_conv2d,
+    gemm,
+)
+
+__all__ = [
+    "workload_from_dict",
+    "workload_to_dict",
+    "load_workload_json",
+    "save_workload_json",
+    "WorkloadSpecError",
+]
+
+
+class WorkloadSpecError(ValueError):
+    """A malformed workload specification."""
+
+
+def _require(entry: Dict[str, Any], *keys: str) -> None:
+    missing = [k for k in keys if k not in entry]
+    if missing:
+        raise WorkloadSpecError(
+            f"layer {entry.get('name', '?')!r} missing fields: {missing}"
+        )
+
+
+def _layer_from_dict(entry: Dict[str, Any]) -> LayerShape:
+    if "name" not in entry or "op" not in entry:
+        raise WorkloadSpecError(f"layer entry needs 'name' and 'op': {entry}")
+    op = str(entry["op"]).lower()
+    common = {
+        "repeats": int(entry.get("repeats", 1)),
+        "batch": int(entry.get("batch", 1)),
+    }
+    if op == "conv":
+        _require(entry, "in", "out", "output")
+        return conv2d(
+            entry["name"],
+            int(entry["in"]),
+            int(entry["out"]),
+            tuple(entry["output"]),
+            kernel=tuple(entry.get("kernel", (3, 3))),
+            stride=int(entry.get("stride", 1)),
+            **common,
+        )
+    if op == "dwconv":
+        _require(entry, "channels", "output")
+        return depthwise_conv2d(
+            entry["name"],
+            int(entry["channels"]),
+            tuple(entry["output"]),
+            kernel=tuple(entry.get("kernel", (3, 3))),
+            stride=int(entry.get("stride", 1)),
+            **common,
+        )
+    if op == "gemm":
+        _require(entry, "rows", "inner", "cols")
+        return gemm(
+            entry["name"],
+            int(entry["rows"]),
+            int(entry["inner"]),
+            int(entry["cols"]),
+            **common,
+        )
+    raise WorkloadSpecError(f"unknown operator {entry['op']!r}")
+
+
+def workload_from_dict(spec: Dict[str, Any]) -> Workload:
+    """Build a workload from a parsed JSON specification."""
+    if "name" not in spec or "layers" not in spec:
+        raise WorkloadSpecError("workload spec needs 'name' and 'layers'")
+    if not spec["layers"]:
+        raise WorkloadSpecError("workload spec has no layers")
+    layers = tuple(_layer_from_dict(entry) for entry in spec["layers"])
+    total = int(
+        spec.get("total_layers", sum(layer.repeats for layer in layers))
+    )
+    return Workload(
+        name=str(spec["name"]),
+        layers=layers,
+        total_layers=total,
+        task=str(spec.get("task", "custom")),
+    )
+
+
+def workload_to_dict(workload: Workload) -> Dict[str, Any]:
+    """Serialize a workload back to the JSON schema."""
+    layers: List[Dict[str, Any]] = []
+    for layer in workload.layers:
+        d = layer.dim_map
+        from repro.workloads.layers import Dim
+
+        entry: Dict[str, Any] = {"name": layer.name}
+        if layer.operator is OperatorType.GEMM:
+            entry.update(
+                op="gemm",
+                rows=d[Dim.M],
+                inner=d[Dim.C],
+                cols=d[Dim.OX],
+            )
+        elif layer.operator is OperatorType.DWCONV:
+            entry.update(
+                op="dwconv",
+                channels=d[Dim.M],
+                output=[d[Dim.OY], d[Dim.OX]],
+                kernel=[d[Dim.FY], d[Dim.FX]],
+                stride=layer.stride,
+            )
+        else:
+            entry.update(
+                op="conv",
+                **{"in": d[Dim.C], "out": d[Dim.M]},
+                output=[d[Dim.OY], d[Dim.OX]],
+                kernel=[d[Dim.FY], d[Dim.FX]],
+                stride=layer.stride,
+            )
+        if layer.repeats != 1:
+            entry["repeats"] = layer.repeats
+        if d[Dim.N] != 1:
+            entry["batch"] = d[Dim.N]
+        layers.append(entry)
+    return {
+        "name": workload.name,
+        "task": workload.task,
+        "total_layers": workload.total_layers,
+        "layers": layers,
+    }
+
+
+def load_workload_json(path: Union[str, Path]) -> Workload:
+    """Load a workload from a JSON file."""
+    with open(path) as handle:
+        return workload_from_dict(json.load(handle))
+
+
+def save_workload_json(workload: Workload, path: Union[str, Path]) -> None:
+    """Write a workload to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(workload_to_dict(workload), handle, indent=2)
+        handle.write("\n")

@@ -1,0 +1,371 @@
+"""Workload representation: DNN layers as perfectly nested loops.
+
+The execution-critical operators of the paper's benchmark DNNs (CONV,
+depthwise CONV, and GEMM) are all expressible as a seven-deep perfectly
+nested loop over the dimensions ``N, M, C, OY, OX, FY, FX`` (batch, output
+channels, input channels, output rows, output columns, filter rows, filter
+columns).  A GEMM of shape ``(M x K) @ (K x cols)`` is the special case
+``C = K, OX = cols, OY = FY = FX = 1``.
+
+Every mapping, cost-model, and bottleneck-analysis computation in this
+repository starts from :class:`LayerShape`.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Tuple
+
+__all__ = [
+    "Dim",
+    "Operand",
+    "OperatorType",
+    "LayerShape",
+    "conv2d",
+    "depthwise_conv2d",
+    "gemm",
+    "LOOP_DIMS",
+    "OPERANDS",
+    "operand_dims",
+]
+
+
+class Dim(enum.Enum):
+    """The seven loop dimensions of a DNN operator nest."""
+
+    N = "N"
+    M = "M"
+    C = "C"
+    OY = "OY"
+    OX = "OX"
+    FY = "FY"
+    FX = "FX"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dim.{self.value}"
+
+
+#: Canonical loop order used when serialising dimension vectors.
+LOOP_DIMS: Tuple[Dim, ...] = (
+    Dim.N,
+    Dim.M,
+    Dim.C,
+    Dim.OY,
+    Dim.OX,
+    Dim.FY,
+    Dim.FX,
+)
+
+
+class Operand(enum.Enum):
+    """Data operands of a DNN operator.
+
+    DNN accelerators (e.g. Eyeriss-like templates) use four dedicated NoCs
+    for four read/write operands: input activations ``I``, weights ``W``,
+    partial-sum reads ``PSUM`` and output writes ``O``.
+    """
+
+    I = "I"
+    W = "W"
+    O = "O"
+    PSUM = "PSUM"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Operand.{self.value}"
+
+
+#: All operands, in NoC order.
+OPERANDS: Tuple[Operand, ...] = (Operand.I, Operand.W, Operand.O, Operand.PSUM)
+
+#: Reduction dimensions: iterating them produces partial sums for outputs.
+REDUCTION_DIMS: FrozenSet[Dim] = frozenset({Dim.C, Dim.FY, Dim.FX})
+
+
+class OperatorType(enum.Enum):
+    """Functional type of a layer's execution-critical operator."""
+
+    CONV = "CONV"
+    DWCONV = "DWCONV"
+    GEMM = "GEMM"
+
+
+@functools.lru_cache(maxsize=None)
+def _operand_dim_table(operator: OperatorType) -> Dict[Operand, FrozenSet[Dim]]:
+    """Index dimensions per operand for a given operator type.
+
+    An operand is *indexed* by a dimension if changing the loop variable
+    changes which data element of the operand is accessed.  Dimensions not
+    in the set provide data reuse for that operand.
+    """
+    if operator is OperatorType.DWCONV:
+        # Depthwise: one filter per channel; M enumerates channels, no C
+        # reduction across channels.
+        weight = frozenset({Dim.M, Dim.FY, Dim.FX})
+        inp = frozenset({Dim.N, Dim.M, Dim.OY, Dim.OX, Dim.FY, Dim.FX})
+    else:
+        weight = frozenset({Dim.M, Dim.C, Dim.FY, Dim.FX})
+        inp = frozenset({Dim.N, Dim.C, Dim.OY, Dim.OX, Dim.FY, Dim.FX})
+    out = frozenset({Dim.N, Dim.M, Dim.OY, Dim.OX})
+    return {
+        Operand.I: inp,
+        Operand.W: weight,
+        Operand.O: out,
+        Operand.PSUM: out,
+    }
+
+
+def operand_dims(operator: OperatorType, operand: Operand) -> FrozenSet[Dim]:
+    """Return the dimensions that index ``operand`` for ``operator``."""
+    return _operand_dim_table(operator)[operand]
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """Shape of a single execution-critical DNN layer.
+
+    Attributes:
+        name: Human-readable layer name (unique inside a model).
+        operator: CONV / DWCONV / GEMM.
+        dims: Loop bound per :class:`Dim`.
+        stride: Convolution stride (1 for GEMM).
+        repeats: Number of layers in the model sharing this exact shape.
+            The paper analyses layers with *unique* tensor shapes and weighs
+            them by multiplicity; ``repeats`` carries that multiplicity.
+        bytes_per_element: Data precision in bytes (int16 -> 2).
+    """
+
+    name: str
+    operator: OperatorType
+    dims: Tuple[int, int, int, int, int, int, int]
+    stride: int = 1
+    repeats: int = 1
+    bytes_per_element: int = 2
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != len(LOOP_DIMS):
+            raise ValueError(
+                f"dims must have {len(LOOP_DIMS)} entries, got {len(self.dims)}"
+            )
+        if any(d < 1 for d in self.dims):
+            raise ValueError(f"loop bounds must be >= 1, got {self.dims}")
+        if self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+
+    # -- dimension accessors -------------------------------------------------
+
+    def dim(self, d: Dim) -> int:
+        """Loop bound of dimension ``d``."""
+        return self.dims[LOOP_DIMS.index(d)]
+
+    @property
+    def dim_map(self) -> Dict[Dim, int]:
+        """Loop bounds keyed by :class:`Dim`."""
+        return dict(zip(LOOP_DIMS, self.dims))
+
+    # -- derived sizes -------------------------------------------------------
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate operations for one invocation."""
+        return math.prod(self.dims)
+
+    @property
+    def input_rows(self) -> int:
+        return (self.dim(Dim.OY) - 1) * self.stride + self.dim(Dim.FY)
+
+    @property
+    def input_cols(self) -> int:
+        return (self.dim(Dim.OX) - 1) * self.stride + self.dim(Dim.FX)
+
+    def operand_dims(self, operand: Operand) -> FrozenSet[Dim]:
+        """Dimensions indexing ``operand`` for this layer's operator."""
+        return operand_dims(self.operator, operand)
+
+    def tensor_elements(self, operand: Operand) -> int:
+        """Total number of elements of ``operand`` touched by the layer."""
+        d = self.dim_map
+        if operand is Operand.W:
+            channels = 1 if self.operator is OperatorType.DWCONV else d[Dim.C]
+            return d[Dim.M] * channels * d[Dim.FY] * d[Dim.FX]
+        if operand in (Operand.O, Operand.PSUM):
+            return d[Dim.N] * d[Dim.M] * d[Dim.OY] * d[Dim.OX]
+        # Input activations: halo-extended spatial extent.
+        channels = d[Dim.M] if self.operator is OperatorType.DWCONV else d[Dim.C]
+        return d[Dim.N] * channels * self.input_rows * self.input_cols
+
+    def tensor_bytes(self, operand: Operand) -> int:
+        """Footprint of ``operand`` in bytes."""
+        return self.tensor_elements(operand) * self.bytes_per_element
+
+    @property
+    def total_footprint_bytes(self) -> int:
+        """Combined I+W+O footprint (PSUM shares the O tensor)."""
+        return sum(
+            self.tensor_bytes(op) for op in (Operand.I, Operand.W, Operand.O)
+        )
+
+    def with_batch(self, batch: int) -> "LayerShape":
+        """Return a copy with batch dimension ``N`` replaced."""
+        dims = list(self.dims)
+        dims[LOOP_DIMS.index(Dim.N)] = batch
+        return replace(self, dims=tuple(dims))
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        d = self.dim_map
+        return (
+            f"{self.name} [{self.operator.value}] "
+            f"N={d[Dim.N]} M={d[Dim.M]} C={d[Dim.C]} "
+            f"OY={d[Dim.OY]} OX={d[Dim.OX]} FY={d[Dim.FY]} FX={d[Dim.FX]} "
+            f"stride={self.stride} x{self.repeats}"
+        )
+
+
+def conv2d(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    output_hw: Tuple[int, int],
+    kernel: Tuple[int, int] = (3, 3),
+    stride: int = 1,
+    batch: int = 1,
+    repeats: int = 1,
+) -> LayerShape:
+    """Build a standard convolution layer shape."""
+    oy, ox = output_hw
+    fy, fx = kernel
+    return LayerShape(
+        name=name,
+        operator=OperatorType.CONV,
+        dims=(batch, out_channels, in_channels, oy, ox, fy, fx),
+        stride=stride,
+        repeats=repeats,
+    )
+
+
+def depthwise_conv2d(
+    name: str,
+    channels: int,
+    output_hw: Tuple[int, int],
+    kernel: Tuple[int, int] = (3, 3),
+    stride: int = 1,
+    batch: int = 1,
+    repeats: int = 1,
+) -> LayerShape:
+    """Build a depthwise convolution layer shape (C collapsed to 1)."""
+    oy, ox = output_hw
+    fy, fx = kernel
+    return LayerShape(
+        name=name,
+        operator=OperatorType.DWCONV,
+        dims=(batch, channels, 1, oy, ox, fy, fx),
+        stride=stride,
+        repeats=repeats,
+    )
+
+
+def gemm(
+    name: str,
+    rows: int,
+    inner: int,
+    cols: int,
+    batch: int = 1,
+    repeats: int = 1,
+) -> LayerShape:
+    """Build a GEMM layer shape: ``(rows x inner) @ (inner x cols)``.
+
+    ``rows`` maps to M (weights' output dim), ``inner`` to C (reduction),
+    ``cols`` to OX (independent output columns).
+    """
+    return LayerShape(
+        name=name,
+        operator=OperatorType.GEMM,
+        dims=(batch, rows, inner, 1, cols, 1, 1),
+        repeats=repeats,
+    )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A DNN model as an ordered list of execution-critical layer shapes.
+
+    Attributes:
+        name: Model name (e.g. ``"resnet18"``).
+        layers: Unique layer shapes; each carries a ``repeats`` multiplicity.
+        total_layers: Total layer count of the model as reported by the
+            paper (including the repeated shapes).
+        task: Short label for the task ("cv-light", "cv-large", "nlp", ...).
+    """
+
+    name: str
+    layers: Tuple[LayerShape, ...]
+    total_layers: int
+    task: str = "cv"
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("workload needs at least one layer")
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate layer names in {self.name}")
+
+    @property
+    def unique_layer_count(self) -> int:
+        return len(self.layers)
+
+    @property
+    def repeated_layer_count(self) -> int:
+        """Sum of multiplicities (the model's execution-critical layers)."""
+        return sum(layer.repeats for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """MACs for one inference, accounting for repeated shapes."""
+        return sum(layer.macs * layer.repeats for layer in self.layers)
+
+    def layer(self, name: str) -> LayerShape:
+        """Look a layer up by name."""
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no layer named {name!r} in {self.name}")
+
+    def scaled_latency(self, per_layer_latency: Dict[str, float]) -> float:
+        """Combine per-unique-layer latencies into a model latency.
+
+        Args:
+            per_layer_latency: Latency (any unit) per unique layer name.
+
+        Returns:
+            Sum over layers of ``latency * repeats``.
+        """
+        missing = [l.name for l in self.layers if l.name not in per_layer_latency]
+        if missing:
+            raise KeyError(f"missing latencies for layers: {missing}")
+        return sum(
+            per_layer_latency[layer.name] * layer.repeats for layer in self.layers
+        )
+
+
+def validate_workload(workload: Workload) -> List[str]:
+    """Return a list of consistency warnings for a workload (empty if clean)."""
+    warnings: List[str] = []
+    if workload.repeated_layer_count > workload.total_layers:
+        warnings.append(
+            f"{workload.name}: repeated execution-critical layers "
+            f"({workload.repeated_layer_count}) exceed declared total layers "
+            f"({workload.total_layers})"
+        )
+    for layer in workload.layers:
+        if layer.operator is OperatorType.DWCONV and layer.dim(Dim.C) != 1:
+            warnings.append(f"{layer.name}: DWCONV must have C == 1")
+        if layer.operator is OperatorType.GEMM and (
+            layer.dim(Dim.OY) != 1 or layer.dim(Dim.FY) != 1 or layer.dim(Dim.FX) != 1
+        ):
+            warnings.append(f"{layer.name}: GEMM must have OY=FY=FX=1")
+    return warnings

@@ -1,0 +1,36 @@
+"""Per-model layer-shape definitions for the paper's 11 benchmark DNNs.
+
+Each module exposes a ``build()`` function returning a
+:class:`repro.workloads.layers.Workload` whose unique layer shapes carry
+multiplicities (``repeats``) summing to the model's execution-critical layer
+count.  Total layer counts match Section 5 of the paper:
+18, 53, 82, 16, 54, 86, 79, 60, 163, 85, and 109 layers respectively.
+"""
+
+from repro.workloads.models import (  # noqa: F401
+    bert,
+    efficientnet_b0,
+    fasterrcnn_mobilenetv3,
+    mobilenet_v2,
+    resnet18,
+    resnet50,
+    transformer,
+    vgg16,
+    vision_transformer,
+    wav2vec2,
+    yolov5,
+)
+
+__all__ = [
+    "bert",
+    "efficientnet_b0",
+    "fasterrcnn_mobilenetv3",
+    "mobilenet_v2",
+    "resnet18",
+    "resnet50",
+    "transformer",
+    "vgg16",
+    "vision_transformer",
+    "wav2vec2",
+    "yolov5",
+]

@@ -1,0 +1,32 @@
+"""BERT-base-uncased for SQuAD question answering (Devlin et al., 2019).
+
+85 execution-critical layers: twelve encoder layers with seven GEMM-shaped
+operators each (Q, K, V, attention output projection, intermediate and
+output FFN layers, and the batched attention matmuls folded into one shape
+of equal MAC count), plus the span-prediction head.  Table 7 of the paper
+singles out ``encoder.layer.0.output.dense`` for its mapping-space size.
+
+Model dimensions: hidden 768, FFN 3072, 12 heads, sequence length 384.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Workload, gemm
+
+HIDDEN = 768
+FFN = 3072
+SEQ = 384
+
+
+def build() -> Workload:
+    """Build the BERT-base workload (85 execution-critical layers)."""
+    layers = (
+        gemm("attention.self.qkv", HIDDEN, HIDDEN, SEQ, repeats=36),
+        # QK^T and AV folded into one operator of doubled column count.
+        gemm("attention.matmul", SEQ, HIDDEN, 2 * SEQ, repeats=12),
+        gemm("attention.output.dense", HIDDEN, HIDDEN, SEQ, repeats=12),
+        gemm("intermediate.dense", FFN, HIDDEN, SEQ, repeats=12),
+        gemm("encoder.layer.0.output.dense", HIDDEN, FFN, SEQ, repeats=12),
+        gemm("qa_outputs", 2, HIDDEN, SEQ),
+    )
+    return Workload(name="bert", layers=layers, total_layers=85, task="nlp")

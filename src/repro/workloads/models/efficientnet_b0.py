@@ -1,0 +1,85 @@
+"""EfficientNet-B0 for 224x224 ImageNet classification (Tan & Le, 2019).
+
+82 execution-critical layers: the 3x3 stem, sixteen MBConv blocks (expand
+1x1 where t=6, depthwise kxk, squeeze-excite reduce/expand, project 1x1),
+the 1x1 head convolution, and the classifier.  The mixture of tiny SE GEMMs,
+low-intensity depthwise convolutions, and wide pointwise convolutions makes
+EfficientNet the paper's running example for multi-bottleneck aggregation
+(Fig. 3, Fig. 11a).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Workload, conv2d, depthwise_conv2d, gemm
+
+
+def build() -> Workload:
+    """Build the EfficientNet-B0 workload (82 execution-critical layers)."""
+    layers = (
+        conv2d("stem", 3, 32, (112, 112), stride=2),
+        # Stage 1: MBConv1 k3, 32 -> 16 @112, one block (no expansion).
+        depthwise_conv2d("s1_dw", 32, (112, 112)),
+        gemm("s1_se_reduce", 8, 32, 1),
+        gemm("s1_se_expand", 32, 8, 1),
+        conv2d("s1_project", 32, 16, (112, 112), kernel=(1, 1)),
+        # Stage 2: MBConv6 k3, 16 -> 24 @56, two blocks.
+        conv2d("s2_expand_first", 16, 96, (112, 112), kernel=(1, 1)),
+        depthwise_conv2d("s2_dw_down", 96, (56, 56), stride=2),
+        gemm("s2_se_reduce", 4, 96, 1, repeats=2),
+        gemm("s2_se_expand", 96, 4, 1, repeats=2),
+        conv2d("s2_project", 96, 24, (56, 56), kernel=(1, 1)),
+        conv2d("s2_expand", 24, 144, (56, 56), kernel=(1, 1)),
+        depthwise_conv2d("s2_dw", 144, (56, 56)),
+        conv2d("s2_project_rest", 144, 24, (56, 56), kernel=(1, 1)),
+        # Stage 3: MBConv6 k5, 24 -> 40 @28, two blocks.
+        conv2d("s3_expand_first", 24, 144, (56, 56), kernel=(1, 1)),
+        depthwise_conv2d("s3_dw_down", 144, (28, 28), kernel=(5, 5), stride=2),
+        gemm("s3_se_reduce", 6, 144, 1),
+        gemm("s3_se_expand", 144, 6, 1),
+        conv2d("s3_project", 144, 40, (28, 28), kernel=(1, 1)),
+        conv2d("s3_expand", 40, 240, (28, 28), kernel=(1, 1)),
+        depthwise_conv2d("s3_dw", 240, (28, 28), kernel=(5, 5)),
+        gemm("s3_se_reduce_rest", 10, 240, 1),
+        gemm("s3_se_expand_rest", 240, 10, 1),
+        conv2d("s3_project_rest", 240, 40, (28, 28), kernel=(1, 1)),
+        # Stage 4: MBConv6 k3, 40 -> 80 @14, three blocks.
+        conv2d("s4_expand_first", 40, 240, (28, 28), kernel=(1, 1)),
+        depthwise_conv2d("s4_dw_down", 240, (14, 14), stride=2),
+        gemm("s4_se_reduce_first", 10, 240, 1),
+        gemm("s4_se_expand_first", 240, 10, 1),
+        conv2d("s4_project_first", 240, 80, (14, 14), kernel=(1, 1)),
+        conv2d("s4_expand", 80, 480, (14, 14), kernel=(1, 1), repeats=2),
+        depthwise_conv2d("s4_dw", 480, (14, 14), repeats=2),
+        gemm("s4_se_reduce", 20, 480, 1, repeats=2),
+        gemm("s4_se_expand", 480, 20, 1, repeats=2),
+        conv2d("s4_project", 480, 80, (14, 14), kernel=(1, 1), repeats=2),
+        # Stage 5: MBConv6 k5, 80 -> 112 @14, three blocks.
+        conv2d("s5_expand_first", 80, 480, (14, 14), kernel=(1, 1)),
+        depthwise_conv2d("s5_dw_first", 480, (14, 14), kernel=(5, 5)),
+        conv2d("s5_project_first", 480, 112, (14, 14), kernel=(1, 1)),
+        conv2d("s5_expand", 112, 672, (14, 14), kernel=(1, 1), repeats=2),
+        depthwise_conv2d("s5_dw", 672, (14, 14), kernel=(5, 5), repeats=2),
+        gemm("s5_se_reduce", 28, 672, 1, repeats=3),
+        gemm("s5_se_expand", 672, 28, 1, repeats=3),
+        conv2d("s5_project", 672, 112, (14, 14), kernel=(1, 1), repeats=2),
+        # Stage 6: MBConv6 k5, 112 -> 192 @7, four blocks.
+        conv2d("s6_expand_first", 112, 672, (14, 14), kernel=(1, 1)),
+        depthwise_conv2d("s6_dw_down", 672, (7, 7), kernel=(5, 5), stride=2),
+        conv2d("s6_project_first", 672, 192, (7, 7), kernel=(1, 1)),
+        conv2d("s6_expand", 192, 1152, (7, 7), kernel=(1, 1), repeats=4),
+        depthwise_conv2d("s6_dw", 1152, (7, 7), kernel=(5, 5), repeats=3),
+        gemm("s6_se_reduce", 48, 1152, 1, repeats=4),
+        gemm("s6_se_expand", 1152, 48, 1, repeats=4),
+        conv2d("s6_project", 1152, 192, (7, 7), kernel=(1, 1), repeats=3),
+        # Stage 7: MBConv6 k3, 192 -> 320 @7, one block
+        # (expand 192->1152 shares the s6_expand shape).
+        depthwise_conv2d("s7_dw", 1152, (7, 7)),
+        gemm("s7_se_reduce", 80, 1152, 1),
+        gemm("s7_se_expand", 1152, 80, 1),
+        conv2d("s7_project", 1152, 320, (7, 7), kernel=(1, 1)),
+        conv2d("head", 320, 1280, (7, 7), kernel=(1, 1)),
+        gemm("fc", 1000, 1280, 1),
+    )
+    return Workload(
+        name="efficientnetb0", layers=layers, total_layers=82, task="cv-light"
+    )

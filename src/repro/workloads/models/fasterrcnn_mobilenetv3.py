@@ -1,0 +1,80 @@
+"""Faster R-CNN with a MobileNetV3-Large FPN backbone (320x320 input).
+
+79 execution-critical layers: the MobileNetV3-Large backbone (stem, fifteen
+inverted-residual blocks with hard-swish/squeeze-excite where the original
+network has them, and the 960-wide last conv), the FPN lateral/output
+convolutions, the RPN head, and the detection box head.  Shapes follow the
+torchvision ``fasterrcnn_mobilenet_v3_large_320_fpn`` low-resolution variant.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Workload, conv2d, depthwise_conv2d, gemm
+
+
+def build() -> Workload:
+    """Build the FasterRCNN-MobileNetV3 workload (79 layers)."""
+    layers = (
+        # --- MobileNetV3-Large backbone (320x320 input) -------------------
+        conv2d("stem", 3, 16, (160, 160), stride=2),
+        depthwise_conv2d("b1_dw", 16, (160, 160)),
+        conv2d("b1_project", 16, 16, (160, 160), kernel=(1, 1)),
+        conv2d("b2_expand", 16, 64, (160, 160), kernel=(1, 1)),
+        depthwise_conv2d("b2_dw_down", 64, (80, 80), stride=2),
+        conv2d("b2_project", 64, 24, (80, 80), kernel=(1, 1)),
+        conv2d("b3_expand", 24, 72, (80, 80), kernel=(1, 1), repeats=2),
+        depthwise_conv2d("b3_dw", 72, (80, 80)),
+        conv2d("b3_project", 72, 24, (80, 80), kernel=(1, 1)),
+        depthwise_conv2d("b4_dw_down", 72, (40, 40), kernel=(5, 5), stride=2),
+        gemm("b4_se_reduce", 18, 72, 1),
+        gemm("b4_se_expand", 72, 18, 1),
+        conv2d("b4_project", 72, 40, (40, 40), kernel=(1, 1)),
+        conv2d("b5_expand", 40, 120, (40, 40), kernel=(1, 1), repeats=2),
+        depthwise_conv2d("b5_dw", 120, (40, 40), kernel=(5, 5), repeats=2),
+        gemm("b5_se_reduce", 30, 120, 1, repeats=2),
+        gemm("b5_se_expand", 120, 30, 1, repeats=2),
+        conv2d("b5_project", 120, 40, (40, 40), kernel=(1, 1), repeats=2),
+        conv2d("b6_expand", 40, 240, (40, 40), kernel=(1, 1)),
+        depthwise_conv2d("b6_dw_down", 240, (20, 20), stride=2),
+        conv2d("b6_project", 240, 80, (20, 20), kernel=(1, 1)),
+        conv2d("b7_expand", 80, 200, (20, 20), kernel=(1, 1)),
+        depthwise_conv2d("b7_dw", 200, (20, 20)),
+        conv2d("b7_project", 200, 80, (20, 20), kernel=(1, 1)),
+        conv2d("b8_expand", 80, 184, (20, 20), kernel=(1, 1), repeats=2),
+        depthwise_conv2d("b8_dw", 184, (20, 20), repeats=2),
+        conv2d("b8_project", 184, 80, (20, 20), kernel=(1, 1), repeats=2),
+        conv2d("b9_expand", 80, 480, (20, 20), kernel=(1, 1)),
+        depthwise_conv2d("b9_dw", 480, (20, 20)),
+        gemm("b9_se_reduce", 120, 480, 1),
+        gemm("b9_se_expand", 480, 120, 1),
+        conv2d("b9_project", 480, 112, (20, 20), kernel=(1, 1)),
+        conv2d("b10_expand", 112, 672, (20, 20), kernel=(1, 1), repeats=2),
+        depthwise_conv2d("b10_dw", 672, (20, 20)),
+        gemm("b10_se_reduce", 168, 672, 1, repeats=3),
+        gemm("b10_se_expand", 672, 168, 1, repeats=3),
+        conv2d("b10_project", 672, 112, (20, 20), kernel=(1, 1)),
+        depthwise_conv2d("b11_dw_down", 672, (10, 10), kernel=(5, 5), stride=2),
+        conv2d("b11_project", 672, 160, (10, 10), kernel=(1, 1)),
+        conv2d("b12_expand", 160, 960, (10, 10), kernel=(1, 1), repeats=2),
+        depthwise_conv2d("b12_dw", 960, (10, 10), kernel=(5, 5), repeats=2),
+        gemm("b12_se_reduce", 240, 960, 1, repeats=2),
+        gemm("b12_se_expand", 960, 240, 1, repeats=2),
+        conv2d("b12_project", 960, 160, (10, 10), kernel=(1, 1), repeats=2),
+        conv2d("last_conv", 160, 960, (10, 10), kernel=(1, 1)),
+        # --- FPN (256-wide) ------------------------------------------------
+        conv2d("fpn_lateral_c4", 672, 256, (20, 20), kernel=(1, 1)),
+        conv2d("fpn_lateral_c5", 960, 256, (10, 10), kernel=(1, 1)),
+        conv2d("fpn_output", 256, 256, (20, 20), repeats=4),
+        # --- RPN head --------------------------------------------------------
+        conv2d("rpn_conv", 256, 256, (20, 20), repeats=3),
+        conv2d("rpn_cls", 256, 15, (20, 20), kernel=(1, 1)),
+        conv2d("rpn_reg", 256, 60, (20, 20), kernel=(1, 1)),
+        # --- Box head (per 1000 proposals, 7x7 RoIAlign features) -----------
+        gemm("box_fc1", 1024, 256 * 7 * 7, 1000),
+        gemm("box_fc2", 1024, 1024, 1000),
+        gemm("box_cls", 91, 1024, 1000),
+        gemm("box_reg", 364, 1024, 1000),
+    )
+    return Workload(
+        name="fasterrcnn_mobilenetv3", layers=layers, total_layers=79, task="cv-large"
+    )

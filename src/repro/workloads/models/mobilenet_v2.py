@@ -1,0 +1,59 @@
+"""MobileNetV2 for 224x224 ImageNet classification (Sandler et al., 2018).
+
+53 execution-critical layers: the 3x3 stem, one expansion-free inverted
+residual (depthwise + pointwise), sixteen t=6 inverted residual blocks
+(expand 1x1, depthwise 3x3, project 1x1), the 1x1 head convolution, and the
+classifier.  Depthwise convolutions have very low arithmetic intensity and
+exercise the NoC/bandwidth bottleneck paths of the cost model.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Workload, conv2d, depthwise_conv2d, gemm
+
+
+def build() -> Workload:
+    """Build the MobileNetV2 workload (53 execution-critical layers)."""
+    layers = (
+        conv2d("stem", 3, 32, (112, 112), stride=2),
+        # Block 0 (t=1): depthwise + project, 32 -> 16 @112.
+        depthwise_conv2d("b0_dw", 32, (112, 112)),
+        conv2d("b0_project", 32, 16, (112, 112), kernel=(1, 1)),
+        # Stage 1: 16 -> 24, two blocks, output 56x56.
+        conv2d("s1_expand_first", 16, 96, (112, 112), kernel=(1, 1)),
+        depthwise_conv2d("s1_dw_down", 96, (56, 56), stride=2),
+        conv2d("s1_project", 96, 24, (56, 56), kernel=(1, 1), repeats=2),
+        conv2d("s1_expand", 24, 144, (56, 56), kernel=(1, 1), repeats=2),
+        depthwise_conv2d("s1_dw", 144, (56, 56)),
+        # Stage 2: 24 -> 32, three blocks, output 28x28.
+        depthwise_conv2d("s2_dw_down", 144, (28, 28), stride=2),
+        conv2d("s2_project", 144, 32, (28, 28), kernel=(1, 1)),
+        conv2d("s2_expand", 32, 192, (28, 28), kernel=(1, 1), repeats=3),
+        depthwise_conv2d("s2_dw", 192, (28, 28), repeats=2),
+        conv2d("s2_project_rest", 192, 32, (28, 28), kernel=(1, 1), repeats=2),
+        # Stage 3: 32 -> 64, four blocks, output 14x14.
+        depthwise_conv2d("s3_dw_down", 192, (14, 14), stride=2),
+        conv2d("s3_project_first", 192, 64, (14, 14), kernel=(1, 1)),
+        conv2d("s3_expand", 64, 384, (14, 14), kernel=(1, 1), repeats=4),
+        depthwise_conv2d("s3_dw", 384, (14, 14), repeats=3),
+        conv2d("s3_project", 384, 64, (14, 14), kernel=(1, 1), repeats=3),
+        # Stage 4: 64 -> 96, three blocks, 14x14.
+        depthwise_conv2d("s4_dw", 384, (14, 14)),
+        conv2d("s4_project_first", 384, 96, (14, 14), kernel=(1, 1)),
+        conv2d("s4_expand", 96, 576, (14, 14), kernel=(1, 1), repeats=3),
+        depthwise_conv2d("s4_dw_rest", 576, (14, 14), repeats=2),
+        conv2d("s4_project", 576, 96, (14, 14), kernel=(1, 1), repeats=2),
+        # Stage 5: 96 -> 160, three blocks, output 7x7.
+        depthwise_conv2d("s5_dw_down", 576, (7, 7), stride=2),
+        conv2d("s5_project_first", 576, 160, (7, 7), kernel=(1, 1)),
+        conv2d("s5_expand", 160, 960, (7, 7), kernel=(1, 1), repeats=3),
+        depthwise_conv2d("s5_dw", 960, (7, 7), repeats=3),
+        conv2d("s5_project", 960, 160, (7, 7), kernel=(1, 1), repeats=2),
+        # Stage 6: 160 -> 320, one block, 7x7 (expand shared with s5_expand).
+        conv2d("s6_project", 960, 320, (7, 7), kernel=(1, 1)),
+        conv2d("head", 320, 1280, (7, 7), kernel=(1, 1)),
+        gemm("fc", 1000, 1280, 1),
+    )
+    return Workload(
+        name="mobilenetv2", layers=layers, total_layers=53, task="cv-light"
+    )

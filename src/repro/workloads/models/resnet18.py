@@ -1,0 +1,27 @@
+"""ResNet-18 for 224x224 ImageNet classification (He et al., CVPR 2016).
+
+18 weighted layers: the 7x7 stem, sixteen 3x3 convolutions in eight basic
+blocks, and the final fully-connected classifier.  Downsampling 1x1
+projections are folded into the strided 3x3 shapes they parallel (they are
+never the execution bottleneck).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Workload, conv2d, gemm
+
+
+def build() -> Workload:
+    """Build the ResNet-18 workload (18 execution-critical layers)."""
+    layers = (
+        conv2d("conv1", 3, 64, (112, 112), kernel=(7, 7), stride=2),
+        conv2d("conv2_x", 64, 64, (56, 56), repeats=4),
+        conv2d("conv3_down", 64, 128, (28, 28), stride=2),
+        conv2d("conv3_x", 128, 128, (28, 28), repeats=3),
+        conv2d("conv4_down", 128, 256, (14, 14), stride=2),
+        conv2d("conv4_x", 256, 256, (14, 14), repeats=3),
+        conv2d("conv5_down", 256, 512, (7, 7), stride=2),
+        conv2d("conv5_x", 512, 512, (7, 7), repeats=3),
+        gemm("fc", 1000, 512, 1),
+    )
+    return Workload(name="resnet18", layers=layers, total_layers=18, task="cv-light")

@@ -1,0 +1,46 @@
+"""ResNet-50 for 224x224 ImageNet classification (He et al., CVPR 2016).
+
+54 execution-critical layers: the 7x7 stem, 48 convolutions in sixteen
+bottleneck blocks (1x1 reduce, 3x3, 1x1 expand), four 1x1 downsampling
+projections, and the fully-connected classifier.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Workload, conv2d, gemm
+
+
+def build() -> Workload:
+    """Build the ResNet-50 workload (54 execution-critical layers)."""
+    layers = (
+        conv2d("conv1", 3, 64, (112, 112), kernel=(7, 7), stride=2),
+        # Stage 2 (56x56): 3 bottleneck blocks 64-64-256.
+        conv2d("conv2_reduce_first", 64, 64, (56, 56), kernel=(1, 1)),
+        conv2d("conv2_reduce", 256, 64, (56, 56), kernel=(1, 1), repeats=2),
+        conv2d("conv2_3x3", 64, 64, (56, 56), repeats=3),
+        conv2d("conv2_expand", 64, 256, (56, 56), kernel=(1, 1), repeats=3),
+        conv2d("conv2_proj", 64, 256, (56, 56), kernel=(1, 1)),
+        # Stage 3 (28x28): 4 bottleneck blocks 128-128-512.
+        conv2d("conv3_reduce_first", 256, 128, (56, 56), kernel=(1, 1)),
+        conv2d("conv3_reduce", 512, 128, (28, 28), kernel=(1, 1), repeats=3),
+        conv2d("conv3_3x3_down", 128, 128, (28, 28), stride=2),
+        conv2d("conv3_3x3", 128, 128, (28, 28), repeats=3),
+        conv2d("conv3_expand", 128, 512, (28, 28), kernel=(1, 1), repeats=4),
+        conv2d("conv3_proj", 256, 512, (28, 28), kernel=(1, 1), stride=2),
+        # Stage 4 (14x14): 6 bottleneck blocks 256-256-1024.
+        conv2d("conv4_reduce_first", 512, 256, (28, 28), kernel=(1, 1)),
+        conv2d("conv4_reduce", 1024, 256, (14, 14), kernel=(1, 1), repeats=5),
+        conv2d("conv4_3x3_down", 256, 256, (14, 14), stride=2),
+        conv2d("conv4_3x3", 256, 256, (14, 14), repeats=5),
+        conv2d("conv4_expand", 256, 1024, (14, 14), kernel=(1, 1), repeats=6),
+        conv2d("conv4_proj", 512, 1024, (14, 14), kernel=(1, 1), stride=2),
+        # Stage 5 (7x7): 3 bottleneck blocks 512-512-2048.
+        conv2d("conv5_reduce_first", 1024, 512, (14, 14), kernel=(1, 1)),
+        conv2d("conv5_reduce", 2048, 512, (7, 7), kernel=(1, 1), repeats=2),
+        conv2d("conv5_3x3_down", 512, 512, (7, 7), stride=2),
+        conv2d("conv5_3x3", 512, 512, (7, 7), repeats=2),
+        conv2d("conv5_expand", 512, 2048, (7, 7), kernel=(1, 1), repeats=3),
+        conv2d("conv5_proj", 1024, 2048, (7, 7), kernel=(1, 1), stride=2),
+        gemm("fc", 1000, 2048, 1),
+    )
+    return Workload(name="resnet50", layers=layers, total_layers=54, task="cv-large")

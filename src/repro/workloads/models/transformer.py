@@ -1,0 +1,56 @@
+"""Transformer-base for English-German translation (Vaswani et al., 2017).
+
+163 execution-critical layers: six encoder layers (Q/K/V/output projections,
+two attention matmuls, two FFN layers), six decoder layers (the same for
+self-attention plus a cross-attention sub-block), the source/target
+embedding projections, and the large vocabulary output projection
+(``decoder.output_projection``, the layer Table 7 of the paper singles out
+for its huge mapping space).
+
+Model dimensions: d_model=512, d_ff=2048, 8 heads, source/target sequence
+length 64, padded vocabulary 43008.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Workload, gemm
+
+D_MODEL = 512
+D_FF = 2048
+SEQ = 64
+VOCAB = 43008
+
+
+def build() -> Workload:
+    """Build the Transformer-base workload (163 execution-critical layers)."""
+    layers = (
+        # Encoder: 6 layers x (QKV x3 + out-proj + QK^T + AV + FFN x2).
+        gemm("enc_qkv", D_MODEL, D_MODEL, SEQ, repeats=18),
+        gemm("enc_attn_qk", SEQ, D_MODEL, SEQ, repeats=6),
+        gemm("enc_attn_av", SEQ, D_MODEL, SEQ, repeats=6),
+        gemm("enc_out_proj", D_MODEL, D_MODEL, SEQ, repeats=6),
+        gemm("enc_ffn1", D_FF, D_MODEL, SEQ, repeats=6),
+        gemm("enc_ffn2", D_MODEL, D_FF, SEQ, repeats=6),
+        # Decoder self-attention: 6 layers x (QKV x3 + out-proj + 2 matmuls).
+        gemm("dec_self_qkv", D_MODEL, D_MODEL, SEQ, repeats=18),
+        gemm("dec_self_attn_qk", SEQ, D_MODEL, SEQ, repeats=6),
+        gemm("dec_self_attn_av", SEQ, D_MODEL, SEQ, repeats=6),
+        gemm("dec_self_out_proj", D_MODEL, D_MODEL, SEQ, repeats=6),
+        # Decoder cross-attention: Q from target, K/V from encoder memory.
+        gemm("dec_cross_q", D_MODEL, D_MODEL, SEQ, repeats=6),
+        gemm("dec_cross_kv", D_MODEL, D_MODEL, SEQ, repeats=12),
+        gemm("dec_cross_attn_qk", SEQ, D_MODEL, SEQ, repeats=6),
+        gemm("dec_cross_attn_av", SEQ, D_MODEL, SEQ, repeats=6),
+        gemm("dec_cross_out_proj", D_MODEL, D_MODEL, SEQ, repeats=6),
+        # Decoder FFNs.
+        gemm("dec_ffn1", D_FF, D_MODEL, SEQ, repeats=6),
+        gemm("dec_ffn2", D_MODEL, D_FF, SEQ, repeats=6),
+        # Embedding projections and per-step head reprojections accumulated
+        # over the autoregressive decode (counted as in the HuggingFace
+        # traced graph).
+        gemm("embed_src", D_MODEL, D_MODEL, SEQ, repeats=15),
+        gemm("embed_tgt", D_MODEL, D_MODEL, SEQ, repeats=15),
+        # Vocabulary output projection -- the dominant GEMM.
+        gemm("decoder.output_projection", VOCAB, D_MODEL, SEQ),
+    )
+    return Workload(name="transformer", layers=layers, total_layers=163, task="nlp")

@@ -1,0 +1,31 @@
+"""VGG-16 for 224x224 ImageNet classification (Simonyan & Zisserman, 2015).
+
+16 weighted layers: thirteen 3x3 convolutions and three fully-connected
+layers.  The largest model in the CV suite by MACs and weight footprint; its
+FC layers (especially fc6 with a 25088-wide reduction) stress off-chip
+bandwidth, making it a useful memory-bound counterpoint to the conv-heavy
+early layers.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Workload, conv2d, gemm
+
+
+def build() -> Workload:
+    """Build the VGG-16 workload (16 execution-critical layers)."""
+    layers = (
+        conv2d("conv1_1", 3, 64, (224, 224)),
+        conv2d("conv1_2", 64, 64, (224, 224)),
+        conv2d("conv2_1", 64, 128, (112, 112)),
+        conv2d("conv2_2", 128, 128, (112, 112)),
+        conv2d("conv3_1", 128, 256, (56, 56)),
+        conv2d("conv3_x", 256, 256, (56, 56), repeats=2),
+        conv2d("conv4_1", 256, 512, (28, 28)),
+        conv2d("conv4_x", 512, 512, (28, 28), repeats=2),
+        conv2d("conv5_x", 512, 512, (14, 14), repeats=3),
+        gemm("fc6", 4096, 25088, 1),
+        gemm("fc7", 4096, 4096, 1),
+        gemm("fc8", 1000, 4096, 1),
+    )
+    return Workload(name="vgg16", layers=layers, total_layers=16, task="cv-large")

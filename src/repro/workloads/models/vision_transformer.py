@@ -1,0 +1,40 @@
+"""Vision Transformer (ViT-Base/16) for 224x224 ImageNet classification.
+
+86 execution-critical layers: the 16x16 patch-embedding convolution, twelve
+encoder layers with seven GEMM-shaped operators each (Q/K/V projections,
+attention output projection, the two MLP layers, and the batched attention
+matmuls folded into one shape of equal MAC count), plus the classifier head.
+
+Sequence length is 197 (14x14 patches + CLS token); hidden width 768,
+MLP width 3072, 12 heads.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Workload, conv2d, gemm
+
+SEQ = 197
+HIDDEN = 768
+MLP = 3072
+
+
+def build() -> Workload:
+    """Build the ViT-Base/16 workload (86 execution-critical layers)."""
+    layers = (
+        conv2d(
+            "patch_embed", 3, HIDDEN, (14, 14), kernel=(16, 16), stride=16
+        ),
+        # Q, K, V projections: 36 GEMMs of identical shape across 12 layers.
+        gemm("qkv_proj", HIDDEN, HIDDEN, SEQ, repeats=36),
+        # Batched QK^T and AV matmuls: per layer they each cost
+        # heads * SEQ * 64 * SEQ = SEQ * HIDDEN * SEQ MACs; we fold the pair
+        # into one operator of doubled column count.
+        gemm("attn_matmul", SEQ, HIDDEN, 2 * SEQ, repeats=12),
+        gemm("attn_out_proj", HIDDEN, HIDDEN, SEQ, repeats=12),
+        gemm("mlp_fc1", MLP, HIDDEN, SEQ, repeats=12),
+        gemm("mlp_fc2", HIDDEN, MLP, SEQ, repeats=12),
+        gemm("classifier", 1000, HIDDEN, 1),
+    )
+    return Workload(
+        name="vision_transformer", layers=layers, total_layers=86, task="cv-large"
+    )

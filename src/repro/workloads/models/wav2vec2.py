@@ -1,0 +1,61 @@
+"""wav2vec 2.0 base for automatic speech recognition (Baevski et al., 2020).
+
+109 execution-critical layers: the seven-layer 1-D convolutional feature
+extractor, the feature projection, the grouped positional convolution,
+twelve transformer encoder layers with eight GEMM-shaped operators each
+(Q/K/V, output projection, two attention matmuls, two FFN layers), the
+quantizer/context projections, and the CTC head.
+
+Audio length is a four-second 16 kHz clip (64000 samples), giving 200
+frames after the 320x-downsampling feature extractor; hidden 768, FFN 3072.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Workload, conv2d, gemm
+
+HIDDEN = 768
+FFN = 3072
+FRAMES = 200
+
+
+def _conv1d(name, in_ch, out_ch, out_len, kernel, stride, repeats=1):
+    """1-D temporal convolution expressed as a (1 x T) 2-D convolution."""
+    return conv2d(
+        name,
+        in_ch,
+        out_ch,
+        (1, out_len),
+        kernel=(1, kernel),
+        stride=stride,
+        repeats=repeats,
+    )
+
+
+def build() -> Workload:
+    """Build the wav2vec2-base workload (109 execution-critical layers)."""
+    layers = (
+        # Feature extractor: 7 conv1d layers, 512 channels.
+        _conv1d("feat_conv0", 1, 512, 12800, kernel=10, stride=5),
+        _conv1d("feat_conv_k3", 512, 512, 6400, kernel=3, stride=2),
+        _conv1d("feat_conv_k3b", 512, 512, 3200, kernel=3, stride=2),
+        _conv1d("feat_conv_k3c", 512, 512, 1600, kernel=3, stride=2),
+        _conv1d("feat_conv_k3d", 512, 512, 800, kernel=3, stride=2),
+        _conv1d("feat_conv_k2a", 512, 512, 400, kernel=2, stride=2),
+        _conv1d("feat_conv_k2b", 512, 512, FRAMES, kernel=2, stride=2),
+        # Feature projection 512 -> 768 and positional convolution.
+        gemm("feature_projection", HIDDEN, 512, FRAMES),
+        _conv1d("pos_conv", HIDDEN, HIDDEN // 16, FRAMES, kernel=128, stride=1),
+        # Transformer encoder: 12 layers x 8 operators.
+        gemm("encoder.qkv", HIDDEN, HIDDEN, FRAMES, repeats=36),
+        gemm("encoder.attn_qk", FRAMES, HIDDEN, FRAMES, repeats=12),
+        gemm("encoder.attn_av", FRAMES, HIDDEN, FRAMES, repeats=12),
+        gemm("encoder.out_proj", HIDDEN, HIDDEN, FRAMES, repeats=12),
+        gemm("encoder.layers.0.feed_forward", FFN, HIDDEN, FRAMES, repeats=12),
+        gemm("encoder.ffn_out", HIDDEN, FFN, FRAMES, repeats=12),
+        # Quantizer / context projections and CTC vocabulary head.
+        gemm("quantizer_proj", 256, 512, FRAMES, repeats=2),
+        gemm("context_proj", 256, HIDDEN, FRAMES),
+        gemm("lm_head", 32, HIDDEN, FRAMES),
+    )
+    return Workload(name="wav2vec2", layers=layers, total_layers=109, task="nlp")

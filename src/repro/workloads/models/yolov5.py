@@ -1,0 +1,55 @@
+"""YOLOv5-large object detector (640x640 input, Ultralytics).
+
+60 execution-critical layers: the CSP-Darknet backbone (stem, strided
+downsampling convolutions, C3 cross-stage-partial blocks), the SPPF module,
+the PANet neck, and the three detection heads.  C3 blocks contribute three
+1x1 convolutions plus two convolutions per internal bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Workload, conv2d
+
+
+def build() -> Workload:
+    """Build the YOLOv5-large workload (60 execution-critical layers)."""
+    layers = (
+        # --- Backbone -------------------------------------------------------
+        conv2d("stem", 3, 64, (320, 320), kernel=(6, 6), stride=2),
+        conv2d("down1", 64, 128, (160, 160), stride=2),
+        # C3 block @160, width 128, n=3 bottlenecks.
+        conv2d("c3_1_cv", 128, 64, (160, 160), kernel=(1, 1), repeats=3),
+        conv2d("c3_1_b1x1", 64, 64, (160, 160), kernel=(1, 1), repeats=3),
+        conv2d("c3_1_b3x3", 64, 64, (160, 160), repeats=3),
+        conv2d("down2", 128, 256, (80, 80), stride=2),
+        # C3 block @80, width 256, n=6 bottlenecks (folded to 3 uniques).
+        conv2d("c3_2_cv", 256, 128, (80, 80), kernel=(1, 1), repeats=3),
+        conv2d("c3_2_b1x1", 128, 128, (80, 80), kernel=(1, 1), repeats=4),
+        conv2d("c3_2_b3x3", 128, 128, (80, 80), repeats=4),
+        conv2d("down3", 256, 512, (40, 40), stride=2),
+        # C3 block @40, width 512, n=9 bottlenecks (folded).
+        conv2d("c3_3_cv", 512, 256, (40, 40), kernel=(1, 1), repeats=3),
+        conv2d("c3_3_b1x1", 256, 256, (40, 40), kernel=(1, 1), repeats=4),
+        conv2d("c3_3_b3x3", 256, 256, (40, 40), repeats=5),
+        conv2d("down4", 512, 1024, (20, 20), stride=2),
+        # C3 block @20, width 1024, n=3.
+        conv2d("c3_4_cv", 1024, 512, (20, 20), kernel=(1, 1), repeats=3),
+        conv2d("c3_4_b3x3", 512, 512, (20, 20), repeats=3),
+        # SPPF.
+        conv2d("sppf_cv1", 1024, 512, (20, 20), kernel=(1, 1)),
+        conv2d("sppf_cv2", 2048, 1024, (20, 20), kernel=(1, 1)),
+        # --- PANet neck -------------------------------------------------------
+        conv2d("neck_reduce1", 1024, 512, (20, 20), kernel=(1, 1)),
+        conv2d("neck_c3_up1", 1024, 512, (40, 40), kernel=(1, 1), repeats=2),
+        conv2d("neck_reduce2", 512, 256, (40, 40), kernel=(1, 1)),
+        conv2d("neck_c3_up2", 512, 256, (80, 80), kernel=(1, 1), repeats=2),
+        conv2d("neck_down1", 256, 256, (40, 40), stride=2),
+        conv2d("neck_c3_down1", 512, 512, (40, 40), kernel=(1, 1), repeats=2),
+        conv2d("neck_down2", 512, 512, (20, 20), stride=2),
+        conv2d("neck_c3_down2", 1024, 1024, (20, 20), kernel=(1, 1), repeats=2),
+        # --- Detection heads (255 = 3 anchors * 85 outputs) -----------------
+        conv2d("detect_p3", 256, 255, (80, 80), kernel=(1, 1)),
+        conv2d("detect_p4", 512, 255, (40, 40), kernel=(1, 1)),
+        conv2d("detect_p5", 1024, 255, (20, 20), kernel=(1, 1)),
+    )
+    return Workload(name="yolov5", layers=layers, total_layers=60, task="cv-large")

@@ -1,0 +1,78 @@
+"""Multi-workload composition: one accelerator for several DNNs.
+
+§4.4 of the paper generalizes bottleneck-driven DSE to "multi-functional
+*or multiple-workload* executions": the aggregation machinery treats every
+sub-function uniformly, so exploring one design for several DNNs only
+requires presenting their layers as a single workload.  This module builds
+that combined workload, weighting each model's layers so that every model
+contributes its own inference latency to the combined objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.workloads.layers import LayerShape, Workload
+from repro.workloads.registry import load_workload
+
+__all__ = ["combine_workloads", "load_combined_workload"]
+
+
+def combine_workloads(
+    workloads: Sequence[Workload], name: Optional[str] = None
+) -> Workload:
+    """Concatenate several workloads into one multi-DNN workload.
+
+    Layer names are prefixed with their model name so bottleneck analysis
+    can attribute factors to the originating DNN; repeats are preserved so
+    the combined latency is the sum of the models' inference latencies
+    (the single-stream multi-model objective).
+    """
+    if not workloads:
+        raise ValueError("need at least one workload to combine")
+    if len({w.name for w in workloads}) != len(workloads):
+        raise ValueError("duplicate workload names in combination")
+    layers: List[LayerShape] = []
+    for workload in workloads:
+        for layer in workload.layers:
+            layers.append(
+                replace(layer, name=f"{workload.name}/{layer.name}")
+            )
+    return Workload(
+        name=name or "+".join(w.name for w in workloads),
+        layers=tuple(layers),
+        total_layers=sum(w.total_layers for w in workloads),
+        task="multi",
+    )
+
+
+def load_combined_workload(
+    model_names: Sequence[str], name: Optional[str] = None
+) -> Workload:
+    """Combine registered benchmark models by name."""
+    return combine_workloads(
+        [load_workload(m) for m in model_names], name=name
+    )
+
+
+def per_model_latency(
+    combined: Workload, per_layer_latency_cycles: Dict[str, float]
+) -> Dict[str, float]:
+    """Split a combined run's per-layer latencies back per model.
+
+    Args:
+        combined: A workload produced by :func:`combine_workloads`.
+        per_layer_latency_cycles: Latency per (prefixed) unique layer.
+
+    Returns:
+        Summed (repeat-weighted) latency cycles per model prefix.
+    """
+    totals: Dict[str, float] = {}
+    for layer in combined.layers:
+        prefix, _, _ = layer.name.partition("/")
+        totals[prefix] = (
+            totals.get(prefix, 0.0)
+            + per_layer_latency_cycles[layer.name] * layer.repeats
+        )
+    return totals

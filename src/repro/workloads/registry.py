@@ -1,0 +1,104 @@
+"""Registry of benchmark workloads.
+
+The paper evaluates 11 DNNs (Section 5).  This module provides name-based
+lookup, the canonical evaluation order, and the light/large/NLP grouping
+used for constraint selection (Table 1's throughput requirements differ per
+group).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.workloads.layers import Workload, validate_workload
+from repro.workloads.models import (
+    bert,
+    efficientnet_b0,
+    fasterrcnn_mobilenetv3,
+    mobilenet_v2,
+    resnet18,
+    resnet50,
+    transformer,
+    vgg16,
+    vision_transformer,
+    wav2vec2,
+    yolov5,
+)
+
+__all__ = [
+    "MODEL_NAMES",
+    "available_models",
+    "load_workload",
+    "load_all_workloads",
+    "paper_layer_counts",
+]
+
+_BUILDERS: Dict[str, Callable[[], Workload]] = {
+    "resnet18": resnet18.build,
+    "mobilenetv2": mobilenet_v2.build,
+    "efficientnetb0": efficientnet_b0.build,
+    "vgg16": vgg16.build,
+    "resnet50": resnet50.build,
+    "vision_transformer": vision_transformer.build,
+    "fasterrcnn_mobilenetv3": fasterrcnn_mobilenetv3.build,
+    "yolov5": yolov5.build,
+    "transformer": transformer.build,
+    "bert": bert.build,
+    "wav2vec2": wav2vec2.build,
+}
+
+#: Canonical evaluation order (paper's Fig. 9 / Table 2 column order).
+MODEL_NAMES: Tuple[str, ...] = tuple(_BUILDERS)
+
+#: Layer counts reported in Section 5 of the paper.
+PAPER_LAYER_COUNTS: Dict[str, int] = {
+    "resnet18": 18,
+    "mobilenetv2": 53,
+    "efficientnetb0": 82,
+    "vgg16": 16,
+    "resnet50": 54,
+    "vision_transformer": 86,
+    "fasterrcnn_mobilenetv3": 79,
+    "yolov5": 60,
+    "transformer": 163,
+    "bert": 85,
+    "wav2vec2": 109,
+}
+
+_CACHE: Dict[str, Workload] = {}
+
+
+def available_models() -> List[str]:
+    """Names of all registered benchmark models."""
+    return list(MODEL_NAMES)
+
+
+def load_workload(name: str) -> Workload:
+    """Load (and cache) a benchmark workload by name.
+
+    Raises:
+        KeyError: if ``name`` is not a registered model.
+        ValueError: if the built workload fails consistency validation.
+    """
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(MODEL_NAMES)}"
+        )
+    if key not in _CACHE:
+        workload = _BUILDERS[key]()
+        problems = validate_workload(workload)
+        if problems:
+            raise ValueError(f"invalid workload {key}: {problems}")
+        _CACHE[key] = workload
+    return _CACHE[key]
+
+
+def load_all_workloads() -> Dict[str, Workload]:
+    """Load every benchmark workload, keyed by name."""
+    return {name: load_workload(name) for name in MODEL_NAMES}
+
+
+def paper_layer_counts() -> Dict[str, int]:
+    """Layer counts as reported in the paper (for fidelity checks)."""
+    return dict(PAPER_LAYER_COUNTS)

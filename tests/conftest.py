@@ -1,0 +1,75 @@
+"""Shared fixtures: design space, mid-range configs, small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import build_edge_design_space, config_from_point
+from repro.core.dse import Constraint, Sense
+from repro.workloads import Workload, conv2d, gemm, load_workload
+
+
+@pytest.fixture(scope="session")
+def edge_space():
+    return build_edge_design_space()
+
+
+@pytest.fixture(scope="session")
+def mid_point(edge_space):
+    """A mid-range Table 1 design point used across tests."""
+    point = edge_space.minimum_point()
+    point.update(
+        pes=1024,
+        l1_bytes=256,
+        l2_kb=512,
+        offchip_bw_mbps=8192,
+        noc_datawidth=128,
+    )
+    for op in ("I", "W", "O", "PSUM"):
+        point[f"phys_unicast_{op}"] = 16
+        point[f"virt_unicast_{op}"] = 64
+    return point
+
+
+@pytest.fixture(scope="session")
+def mid_config(mid_point):
+    return config_from_point(mid_point)
+
+
+@pytest.fixture(scope="session")
+def resnet18():
+    return load_workload("resnet18")
+
+
+@pytest.fixture(scope="session")
+def conv_layer(resnet18):
+    """A mid-size 3x3 convolution (ResNet18 conv3_x: 128x128 @28x28)."""
+    return resnet18.layer("conv3_x")
+
+
+@pytest.fixture(scope="session")
+def gemm_layer(resnet18):
+    return resnet18.layer("fc")
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """A two-layer workload small enough for end-to-end DSE tests."""
+    return Workload(
+        name="tiny",
+        layers=(
+            conv2d("conv", 16, 32, (14, 14)),
+            gemm("fc", 64, 32 * 14 * 14, 1),
+        ),
+        total_layers=2,
+        task="test",
+    )
+
+
+@pytest.fixture(scope="session")
+def edge_constraints_resnet():
+    return [
+        Constraint("area", "area_mm2", 75.0),
+        Constraint("power", "power_w", 4.0),
+        Constraint("throughput", "throughput", 40.0, Sense.GEQ),
+    ]

@@ -1,0 +1,139 @@
+"""Unit tests for the accelerator configuration template."""
+
+import pytest
+
+from repro.arch.accelerator import (
+    AcceleratorConfig,
+    config_from_point,
+    point_from_config,
+)
+from repro.workloads.layers import OPERANDS, Operand
+
+
+def _uniform_noc(value_phys=16, value_virt=8):
+    return (
+        {op: value_phys for op in OPERANDS},
+        {op: value_virt for op in OPERANDS},
+    )
+
+
+class TestAcceleratorConfig:
+    def test_physical_links_formula(self):
+        phys, virt = _uniform_noc(value_phys=4)
+        config = AcceleratorConfig(
+            pes=1024,
+            l1_bytes=256,
+            l2_kb=512,
+            offchip_bw_mbps=8192,
+            noc_datawidth_bits=128,
+            phys_unicast_factor=phys,
+            virt_unicast=virt,
+        )
+        # links = pes * i / 64 = 1024 * 4 / 64
+        assert config.physical_links(Operand.I) == 64
+
+    def test_physical_links_floor_is_one(self):
+        phys, virt = _uniform_noc(value_phys=1)
+        config = AcceleratorConfig(
+            pes=64,
+            l1_bytes=8,
+            l2_kb=64,
+            offchip_bw_mbps=1024,
+            noc_datawidth_bits=16,
+            phys_unicast_factor=phys,
+            virt_unicast=virt,
+        )
+        assert config.physical_links(Operand.W) == 1
+
+    def test_effective_links_include_time_sharing(self):
+        phys, virt = _uniform_noc(value_phys=2, value_virt=8)
+        config = AcceleratorConfig(
+            pes=256,
+            l1_bytes=64,
+            l2_kb=128,
+            offchip_bw_mbps=2048,
+            noc_datawidth_bits=64,
+            phys_unicast_factor=phys,
+            virt_unicast=virt,
+        )
+        assert config.effective_links(Operand.O) == config.physical_links(
+            Operand.O
+        ) * 8
+
+    def test_bandwidth_conversions(self):
+        phys, virt = _uniform_noc()
+        config = AcceleratorConfig(
+            pes=256,
+            l1_bytes=64,
+            l2_kb=128,
+            offchip_bw_mbps=8192,
+            noc_datawidth_bits=128,
+            phys_unicast_factor=phys,
+            virt_unicast=virt,
+            freq_mhz=500,
+        )
+        # 8192 MB/s at 500 MHz = 16.384 bytes per cycle.
+        assert config.dram_bytes_per_cycle == pytest.approx(16.384)
+        assert config.noc_bytes_per_cycle == 16.0
+
+    def test_capacity_properties(self):
+        phys, virt = _uniform_noc()
+        config = AcceleratorConfig(
+            pes=128,
+            l1_bytes=512,
+            l2_kb=256,
+            offchip_bw_mbps=1024,
+            noc_datawidth_bits=32,
+            phys_unicast_factor=phys,
+            virt_unicast=virt,
+        )
+        assert config.l2_bytes == 256 * 1024
+        assert config.total_l1_bytes == 128 * 512
+
+    def test_rejects_bad_values(self):
+        phys, virt = _uniform_noc()
+        with pytest.raises(ValueError):
+            AcceleratorConfig(
+                pes=0,
+                l1_bytes=8,
+                l2_kb=64,
+                offchip_bw_mbps=1024,
+                noc_datawidth_bits=16,
+                phys_unicast_factor=phys,
+                virt_unicast=virt,
+            )
+
+    def test_rejects_missing_operand_noc(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(
+                pes=64,
+                l1_bytes=8,
+                l2_kb=64,
+                offchip_bw_mbps=1024,
+                noc_datawidth_bits=16,
+                phys_unicast_factor={Operand.I: 1},
+                virt_unicast={Operand.I: 1},
+            )
+
+    def test_describe_mentions_key_resources(self, mid_config):
+        text = mid_config.describe()
+        assert "PEs=1024" in text
+        assert "L2=512kB" in text
+
+
+class TestPointConversion:
+    def test_roundtrip(self, edge_space, mid_point):
+        config = config_from_point(mid_point)
+        assert point_from_config(config) == mid_point
+
+    def test_config_from_point_reads_all_nocs(self, mid_point):
+        point = dict(mid_point)
+        point["phys_unicast_W"] = 32
+        config = config_from_point(point)
+        assert config.phys_unicast_factor[Operand.W] == 32
+        assert config.phys_unicast_factor[Operand.I] == 16
+
+    def test_frequency_and_precision_defaults(self, mid_point):
+        config = config_from_point(mid_point)
+        assert config.freq_mhz == 500
+        assert config.bytes_per_element == 2

@@ -1,0 +1,117 @@
+"""Tests for multi-sub-function prediction aggregation (§4.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bottleneck.analyzer import BottleneckFinding
+from repro.core.bottleneck.api import ParameterPrediction
+from repro.core.bottleneck.tree import leaf
+from repro.core.dse.aggregation import (
+    SubFunctionPredictions,
+    aggregate_parameter_values,
+    default_threshold,
+    select_bottleneck_subfunctions,
+)
+
+
+def _prediction(parameter, value):
+    finding = BottleneckFinding(
+        node=leaf("factor", 1.0),
+        path=("cost", "factor"),
+        contribution=1.0,
+        scaling=2.0,
+    )
+    return ParameterPrediction(
+        parameter=parameter, value=value, finding=finding, source="mitigation"
+    )
+
+
+def _subfunction(name, weight, predictions):
+    return SubFunctionPredictions(
+        name=name, weight=weight, predictions=tuple(predictions)
+    )
+
+
+class TestThreshold:
+    def test_paper_formula(self):
+        """threshold = 0.5 * (1 / l): with 18 layers -> ~2.8%."""
+        assert default_threshold(18) == pytest.approx(0.5 / 18)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            default_threshold(0)
+
+
+class TestSelection:
+    def test_filters_below_threshold(self):
+        subs = [
+            _subfunction("heavy", 0.5, []),
+            _subfunction("light", 0.01, []),
+        ]
+        selected = select_bottleneck_subfunctions(subs, threshold=0.1)
+        assert [s.name for s in selected] == ["heavy"]
+
+    def test_top_k_limits(self):
+        subs = [_subfunction(f"l{i}", 0.2, []) for i in range(10)]
+        assert len(select_bottleneck_subfunctions(subs, top_k=5)) == 5
+
+    def test_sorted_by_weight(self):
+        subs = [
+            _subfunction("a", 0.2, []),
+            _subfunction("b", 0.6, []),
+            _subfunction("c", 0.4, []),
+        ]
+        selected = select_bottleneck_subfunctions(subs, threshold=0.0)
+        assert [s.name for s in selected] == ["b", "c", "a"]
+
+
+class TestAggregation:
+    def test_minimum_rule(self):
+        """§4.4(i): the minimum predicted value wins."""
+        subs = [
+            _subfunction("a", 0.5, [_prediction("pes", 1024)]),
+            _subfunction("b", 0.4, [_prediction("pes", 256)]),
+        ]
+        aggregated = aggregate_parameter_values(subs, threshold=0.0)
+        assert len(aggregated) == 1
+        assert aggregated[0].value == 256
+        assert set(aggregated[0].candidate_values) == {1024, 256}
+
+    def test_provenance_tracked(self):
+        subs = [
+            _subfunction("a", 0.5, [_prediction("pes", 1024)]),
+            _subfunction("b", 0.4, [_prediction("pes", 256)]),
+        ]
+        aggregated = aggregate_parameter_values(subs, threshold=0.0)[0]
+        assert set(aggregated.contributing_subfunctions) == {"a", "b"}
+
+    def test_excluded_subfunctions_do_not_vote(self):
+        subs = [
+            _subfunction("heavy", 0.9, [_prediction("pes", 1024)]),
+            _subfunction("tiny", 0.001, [_prediction("pes", 128)]),
+        ]
+        aggregated = aggregate_parameter_values(subs, threshold=0.1)
+        assert aggregated[0].value == 1024
+
+    def test_ordered_by_heaviest_proposer(self):
+        subs = [
+            _subfunction("heavy", 0.8, [_prediction("bw", 2048)]),
+            _subfunction("light", 0.2, [_prediction("pes", 512)]),
+        ]
+        aggregated = aggregate_parameter_values(subs, threshold=0.0)
+        assert [a.parameter for a in aggregated] == ["bw", "pes"]
+
+    def test_empty_input(self):
+        assert aggregate_parameter_values([], threshold=0.0) == []
+
+
+@given(
+    values=st.lists(st.floats(1, 1e6), min_size=1, max_size=10),
+)
+def test_minimum_rule_property(values):
+    subs = [
+        _subfunction(f"l{i}", 1.0, [_prediction("p", v)])
+        for i, v in enumerate(values)
+    ]
+    aggregated = aggregate_parameter_values(subs, top_k=len(values), threshold=0.0)
+    assert aggregated[0].value == min(values)

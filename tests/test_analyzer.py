@@ -1,0 +1,125 @@
+"""Tests for the bottleneck analyzer (contributions, scalings)."""
+
+import math
+
+import pytest
+
+from repro.core.bottleneck.analyzer import (
+    DEFAULT_SCALING,
+    MAX_SCALING,
+    analyze_tree,
+)
+from repro.core.bottleneck.tree import add, div, leaf, maximum, mul
+
+
+def _by_name(findings):
+    return {f.name: f for f in findings}
+
+
+class TestMaxNodes:
+    def test_argmax_child_dominates(self):
+        tree = maximum("root", [leaf("comp", 100), leaf("dma", 400)])
+        findings = _by_name(analyze_tree(tree))
+        assert findings["dma"].contribution == pytest.approx(1.0)
+        assert "comp" not in findings
+
+    def test_fig8_scaling_example(self):
+        """Fig. 8: DMA dominates; comm at 25.9% -> s = 1/0.259 = 3.85x."""
+        tree = maximum(
+            "latency",
+            [leaf("comp", 24.4), leaf("comm", 25.9), leaf("dma", 100.0)],
+        )
+        findings = _by_name(analyze_tree(tree))
+        assert findings["dma"].scaling == pytest.approx(100.0 / 25.9, rel=1e-6)
+
+    def test_single_child_gets_default_scaling(self):
+        tree = maximum("root", [leaf("only", 10)])
+        findings = _by_name(analyze_tree(tree))
+        assert findings["only"].scaling == DEFAULT_SCALING
+
+
+class TestAddNodes:
+    def test_contributions_proportional(self):
+        tree = add("root", [leaf("a", 30), leaf("b", 70)])
+        findings = _by_name(analyze_tree(tree, target_value=50))
+        assert findings["a"].contribution == pytest.approx(0.3)
+        assert findings["b"].contribution == pytest.approx(0.7)
+
+    def test_scaling_absorbs_excess(self):
+        # Total 100 with target 50: excess 50; child b (70) must shrink to
+        # 20 -> scaling 3.5; child a (30) cannot absorb it -> max scaling.
+        tree = add("root", [leaf("a", 30), leaf("b", 70)])
+        findings = _by_name(analyze_tree(tree, target_value=50))
+        assert findings["b"].scaling == pytest.approx(70 / 20)
+        assert findings["a"].scaling == MAX_SCALING
+
+    def test_contributions_sum_to_one(self):
+        tree = add("root", [leaf(f"x{i}", i + 1.0) for i in range(5)])
+        findings = analyze_tree(tree, min_contribution=0.0)
+        total = sum(f.contribution for f in findings if f.name.startswith("x"))
+        assert total == pytest.approx(1.0)
+
+
+class TestMulDivNodes:
+    def test_mul_children_inherit(self):
+        tree = maximum(
+            "root",
+            [mul("work", [leaf("a", 5), leaf("b", 4)]), leaf("other", 10)],
+        )
+        findings = _by_name(analyze_tree(tree))
+        assert findings["a"].contribution == pytest.approx(1.0)
+        assert findings["a"].scaling == findings["work"].scaling
+
+    def test_div_denominator_is_inverse(self):
+        tree = maximum(
+            "root",
+            [div("dma", leaf("bytes", 100), leaf("bw", 2)), leaf("x", 10)],
+        )
+        findings = _by_name(analyze_tree(tree))
+        assert not findings["bytes"].inverse
+        assert findings["bw"].inverse
+
+
+class TestRankingAndFiltering:
+    def test_ranked_by_contribution(self):
+        tree = add("root", [leaf("small", 10), leaf("big", 90)])
+        findings = analyze_tree(tree, target_value=50)
+        assert findings[0].name == "big"
+
+    def test_min_contribution_filters(self):
+        tree = add("root", [leaf("tiny", 0.1), leaf("big", 99.9)])
+        names = {f.name for f in analyze_tree(tree, min_contribution=0.05)}
+        assert "tiny" not in names
+        assert "big" in names
+
+    def test_root_excluded(self):
+        tree = maximum("root", [leaf("a", 5)])
+        assert all(f.name != "root" for f in analyze_tree(tree))
+
+    def test_empty_for_zero_total(self):
+        tree = add("root", [leaf("a", 0.0)])
+        assert analyze_tree(tree) == []
+
+    def test_empty_for_infinite_total(self):
+        tree = add("root", [leaf("a", math.inf)])
+        assert analyze_tree(tree) == []
+
+
+class TestScalingClamps:
+    def test_scaling_capped(self):
+        tree = maximum("root", [leaf("huge", 1e12), leaf("tiny", 1e-9)])
+        findings = _by_name(analyze_tree(tree))
+        assert findings["huge"].scaling == MAX_SCALING
+
+    def test_target_value_drives_root_scaling(self):
+        tree = maximum("root", [leaf("a", 80), leaf("b", 60)])
+        findings = _by_name(analyze_tree(tree, target_value=20))
+        # Root scaling 80/20 = 4 exceeds sibling balance 80/60.
+        assert findings["a"].scaling == pytest.approx(4.0)
+
+    def test_describe_is_informative(self):
+        tree = maximum("root", [leaf("a", 80), leaf("b", 60)])
+        finding = analyze_tree(tree)[0]
+        text = finding.describe()
+        assert "a" in text
+        assert "%" in text

@@ -1,0 +1,107 @@
+"""Property-based tests for the bottleneck analyzer on random trees."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bottleneck.analyzer import (
+    DEFAULT_SCALING,
+    MAX_SCALING,
+    analyze_tree,
+)
+from repro.core.bottleneck.tree import Node, NodeOp, add, leaf, maximum, mul
+
+
+@st.composite
+def random_trees(draw, depth=3, _counter=None):
+    """Random bottleneck trees with positive finite leaves and names that
+    are unique within the tree (so name-based path walking is exact)."""
+    if _counter is None:
+        _counter = [0]
+    _counter[0] += 1
+    uid = _counter[0]
+    if depth == 0 or draw(st.booleans()):
+        value = draw(
+            st.floats(0.01, 1e6, allow_nan=False, allow_infinity=False)
+        )
+        return leaf(f"leaf{uid}", value)
+    op = draw(st.sampled_from(["add", "max", "mul"]))
+    n_children = draw(st.integers(2, 4))
+    children = [
+        draw(random_trees(depth=depth - 1, _counter=_counter))
+        for _ in range(n_children)
+    ]
+    name = f"{op}{uid}"
+    if op == "add":
+        return add(name, children)
+    if op == "max":
+        return maximum(name, children)
+    return mul(name, children)
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree=random_trees())
+def test_contributions_bounded(tree):
+    for finding in analyze_tree(tree, min_contribution=0.0):
+        assert 0.0 <= finding.contribution <= 1.0 + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree=random_trees())
+def test_scalings_bounded(tree):
+    for finding in analyze_tree(tree):
+        assert 1.0 < finding.scaling <= MAX_SCALING + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree=random_trees())
+def test_ranked_descending(tree):
+    findings = analyze_tree(tree)
+    contributions = [f.contribution for f in findings]
+    assert contributions == sorted(contributions, reverse=True)
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree=random_trees())
+def test_paths_start_at_root(tree):
+    for finding in analyze_tree(tree):
+        assert finding.path[0] == tree.name
+        assert finding.path[-1] == finding.name
+        # Path is realizable: walking the names reaches the node.
+        node = tree
+        for name in finding.path[1:]:
+            node = next(c for c in node.children if c.name == name)
+        assert node is finding.node
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree=random_trees(), target_ratio=st.floats(0.05, 0.45))
+def test_demanding_target_only_tightens(tree, target_ratio):
+    """A constraint target demanding more than the default scaling
+    (value/target > DEFAULT_SCALING) can only increase the per-factor
+    scalings relative to the unconstrained analysis."""
+    assert 1.0 / target_ratio > DEFAULT_SCALING
+    free = {f.name: f.scaling for f in analyze_tree(tree)}
+    target = tree.value * target_ratio
+    constrained = {
+        f.name: f.scaling for f in analyze_tree(tree, target_value=target)
+    }
+    for name in set(free) & set(constrained):
+        assert constrained[name] >= free[name] - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=random_trees())
+def test_top_finding_traces_dominant_child(tree):
+    """The top-ranked finding's first step is a maximal-contribution child
+    of the root."""
+    findings = analyze_tree(tree, min_contribution=0.0)
+    if not findings or tree.op is NodeOp.LEAF:
+        return
+    first_step = findings[0].path[1]
+    child_values = {c.name: c.value for c in tree.children}
+    if tree.op is NodeOp.MAX:
+        assert child_values[first_step] == pytest.approx(
+            max(child_values.values())
+        )

@@ -1,0 +1,100 @@
+"""Tests for the Fig. 15 black-box mapping-space optimizers."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.blackbox_mappers import (
+    AnnealingMapper,
+    BayesianMapper,
+    GeneticMapper,
+    MappingGenome,
+    _mutate,
+    _repair,
+    random_genome,
+)
+from repro.mapping.mapping import padded_bounds
+from repro.workloads.layers import LOOP_DIMS
+
+
+class TestGenome:
+    def test_random_genome_valid(self, conv_layer, mid_config):
+        rng = random.Random(0)
+        genome = random_genome(conv_layer, mid_config, rng)
+        genome.to_mapping().validate_for(conv_layer)
+
+    def test_random_genome_respects_pe_budget(self, conv_layer, mid_config):
+        rng = random.Random(1)
+        for _ in range(20):
+            genome = random_genome(conv_layer, mid_config, rng)
+            assert genome.to_mapping().pes_used <= mid_config.pes
+
+    def test_features_length(self, conv_layer, mid_config):
+        genome = random_genome(conv_layer, mid_config, random.Random(0))
+        assert len(genome.features()) == len(LOOP_DIMS) * 4 + 2
+
+    def test_repair_fixes_overflow(self, conv_layer, mid_config):
+        rng = random.Random(2)
+        genome = random_genome(conv_layer, mid_config, rng)
+        # Force an overflowing spatial unrolling.
+        splits = [list(s) for s in genome.splits]
+        for s in splits:
+            s[3] *= s[1]
+            s[1] = 1
+        bounds = padded_bounds(conv_layer)
+        from repro.workloads.layers import Dim
+
+        idx = LOOP_DIMS.index(Dim.M)
+        rf, spatial, spm, dram = splits[idx]
+        total = rf * spatial * spm * dram
+        splits[idx] = [1, total, 1, 1]
+        bad = MappingGenome(
+            splits=tuple(tuple(s) for s in splits),
+            dram_stationary=genome.dram_stationary,
+            spm_stationary=genome.spm_stationary,
+        )
+        if bad.to_mapping().pes_used > mid_config.pes:
+            repaired = _repair(bad, mid_config)
+            assert repaired.to_mapping().pes_used <= mid_config.pes
+            repaired.to_mapping().validate_for(conv_layer)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_mutation_preserves_validity(seed, conv_layer, mid_config):
+    rng = random.Random(seed)
+    genome = random_genome(conv_layer, mid_config, rng)
+    mutated = _repair(_mutate(genome, conv_layer, mid_config, rng), mid_config)
+    mutated.to_mapping().validate_for(conv_layer)
+    assert mutated.to_mapping().pes_used <= mid_config.pes
+
+
+@pytest.mark.parametrize(
+    "mapper_cls,kwargs",
+    [
+        (AnnealingMapper, {"trials": 40}),
+        (GeneticMapper, {"trials": 40, "population_size": 8}),
+        (BayesianMapper, {"trials": 15, "initial_samples": 6}),
+    ],
+)
+def test_mappers_return_results(mapper_cls, kwargs, conv_layer, mid_config):
+    result = mapper_cls(seed=0, **kwargs)(conv_layer, mid_config)
+    assert result.candidates_evaluated >= 1
+    if result.feasible:
+        assert math.isfinite(result.latency)
+        result.mapping.validate_for(conv_layer)
+    else:
+        assert result.latency == math.inf
+
+
+def test_mappers_reject_bad_trials():
+    with pytest.raises(ValueError):
+        AnnealingMapper(trials=0)
+
+
+def test_annealing_deterministic(conv_layer, mid_config):
+    a = AnnealingMapper(trials=30, seed=5)(conv_layer, mid_config)
+    b = AnnealingMapper(trials=30, seed=5)(conv_layer, mid_config)
+    assert a.latency == b.latency

@@ -1,0 +1,129 @@
+"""Tests for the bottleneck-model specification API."""
+
+import pytest
+
+from repro.core.bottleneck.api import BottleneckModel, MitigationContext
+from repro.core.bottleneck.tree import add, leaf, maximum
+
+
+def _toy_model(mitigations=None):
+    """Latency = max(comp, mem); comp -> units, mem -> bandwidth."""
+
+    def build(values):
+        return maximum(
+            "latency", [leaf("comp", values["comp"]), leaf("mem", values["mem"])]
+        )
+
+    return BottleneckModel(
+        name="toy",
+        build_tree=build,
+        affected_parameters={"comp": ("units",), "mem": ("bandwidth",)},
+        mitigations=mitigations or {},
+    )
+
+
+class TestPredict:
+    def test_uses_mitigation_handle(self):
+        model = _toy_model(
+            {"units": lambda current, ctx: current * ctx.scaling}
+        )
+        predictions = model.predict(
+            {"comp": 100, "mem": 25}, current_values={"units": 8}
+        )
+        assert len(predictions) == 1
+        assert predictions[0].parameter == "units"
+        assert predictions[0].value == pytest.approx(8 * 4.0)
+        assert predictions[0].source == "mitigation"
+
+    def test_skips_params_without_handles(self):
+        model = _toy_model({})  # no handles at all
+        predictions = model.predict(
+            {"comp": 100, "mem": 25}, current_values={"units": 8}
+        )
+        assert predictions == []
+
+    def test_skips_unknown_current_values(self):
+        model = _toy_model(
+            {"units": lambda current, ctx: current * ctx.scaling}
+        )
+        predictions = model.predict(
+            {"comp": 100, "mem": 25}, current_values={"bandwidth": 1}
+        )
+        assert predictions == []
+
+    def test_none_prediction_dropped(self):
+        model = _toy_model({"units": lambda current, ctx: None})
+        predictions = model.predict(
+            {"comp": 100, "mem": 25}, current_values={"units": 8}
+        )
+        assert predictions == []
+
+    def test_parameter_appears_once(self):
+        def build(values):
+            return add(
+                "cost",
+                [
+                    leaf("a", values["a"], tag=1),
+                    leaf("b", values["b"], tag=2),
+                ],
+            )
+
+        model = BottleneckModel(
+            name="toy2",
+            build_tree=build,
+            affected_parameters={"a": ("p",), "b": ("p",)},
+            mitigations={"p": lambda current, ctx: current + 1},
+        )
+        predictions = model.predict(
+            {"a": 60, "b": 40}, current_values={"p": 1}, target_value=50
+        )
+        assert [p.parameter for p in predictions] == ["p"]
+
+    def test_max_findings_limits_factors(self):
+        def build(values):
+            return add(
+                "cost",
+                [leaf(f"f{i}", values[f"f{i}"]) for i in range(4)],
+            )
+
+        model = BottleneckModel(
+            name="toy3",
+            build_tree=build,
+            affected_parameters={f"f{i}": (f"p{i}",) for i in range(4)},
+            mitigations={
+                f"p{i}": (lambda current, ctx: current * 2) for i in range(4)
+            },
+        )
+        values = {f"f{i}": 10.0 * (i + 1) for i in range(4)}
+        current = {f"p{i}": 1 for i in range(4)}
+        predictions = model.predict(
+            values, current_values=current, target_value=50, max_findings=2
+        )
+        assert len(predictions) == 2
+
+    def test_context_carries_execution_and_extra(self):
+        captured = {}
+
+        def handle(current, ctx: MitigationContext):
+            captured["execution"] = ctx.execution
+            captured["extra"] = dict(ctx.extra)
+            return current
+
+        model = _toy_model({"units": handle})
+        model.predict(
+            {"comp": 100, "mem": 25},
+            current_values={"units": 8},
+            execution="exec-info",
+            extra={"config": "cfg"},
+        )
+        assert captured["execution"] == "exec-info"
+        assert captured["extra"] == {"config": "cfg"}
+
+    def test_prediction_describe(self):
+        model = _toy_model(
+            {"units": lambda current, ctx: current * ctx.scaling}
+        )
+        prediction = model.predict(
+            {"comp": 100, "mem": 25}, current_values={"units": 8}
+        )[0]
+        assert "units" in prediction.describe()

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_explore_args(self):
+        args = build_parser().parse_args(
+            ["explore", "resnet18", "--iterations", "9", "--mapping", "fixed"]
+        )
+        assert args.model == "resnet18"
+        assert args.iterations == 9
+        assert args.mapping == "fixed"
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "alexnet"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table7"])
+        assert args.name == "table7"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list_models(self, capsys):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet18" in out
+        assert "wav2vec2" in out
+
+    def test_explore_small(self, capsys):
+        code = main(["explore", "resnet18", "--iterations", "12"])
+        out = capsys.readouterr().out
+        assert "evaluations" in out
+        assert code in (0, 1)
+
+    def test_experiment_table7(self, capsys):
+        assert main(["experiment", "table7"]) == 0
+        assert "Table 7" in capsys.readouterr().out
+
+    def test_experiment_matrix_with_model_subset(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "fig9",
+                "--iterations",
+                "5",
+                "--models",
+                "resnet18",
+            ]
+        )
+        assert code == 0
+        assert "Fig. 9" in capsys.readouterr().out

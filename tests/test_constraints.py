@@ -1,0 +1,90 @@
+"""Tests for constraints and budget accounting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.dse.constraints import (
+    Constraint,
+    Sense,
+    all_satisfied,
+    constraints_budget,
+    violated_constraints,
+)
+
+
+@pytest.fixture
+def constraints():
+    return [
+        Constraint("area", "area_mm2", 75.0),
+        Constraint("power", "power_w", 4.0),
+        Constraint("throughput", "throughput", 40.0, Sense.GEQ),
+    ]
+
+
+class TestConstraint:
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            Constraint("bad", "x", 0.0)
+
+    def test_leq_utilization(self):
+        c = Constraint("area", "area_mm2", 75.0)
+        assert c.utilization({"area_mm2": 37.5}) == pytest.approx(0.5)
+        assert c.satisfied({"area_mm2": 75.0})
+        assert not c.satisfied({"area_mm2": 76.0})
+
+    def test_geq_utilization(self):
+        c = Constraint("throughput", "throughput", 40.0, Sense.GEQ)
+        assert c.utilization({"throughput": 80.0}) == pytest.approx(0.5)
+        assert c.satisfied({"throughput": 40.0})
+        assert not c.satisfied({"throughput": 20.0})
+
+    def test_geq_zero_cost_is_infinite_utilization(self):
+        c = Constraint("throughput", "throughput", 40.0, Sense.GEQ)
+        assert c.utilization({"throughput": 0.0}) == math.inf
+        assert c.utilization({"throughput": math.inf}) == math.inf
+
+    def test_describe(self):
+        c = Constraint("area", "area_mm2", 75.0)
+        assert "area_mm2 <= 75" in c.describe()
+
+
+class TestHelpers:
+    def test_all_satisfied(self, constraints):
+        good = {"area_mm2": 50, "power_w": 3, "throughput": 60}
+        bad = {"area_mm2": 50, "power_w": 5, "throughput": 60}
+        assert all_satisfied(good, constraints)
+        assert not all_satisfied(bad, constraints)
+
+    def test_violated_sorted_by_severity(self, constraints):
+        costs = {"area_mm2": 150, "power_w": 40, "throughput": 60}
+        violated = violated_constraints(costs, constraints)
+        assert [c.name for c in violated] == ["power", "area"]
+
+    def test_budget_is_mean_utilization(self, constraints):
+        costs = {"area_mm2": 37.5, "power_w": 2.0, "throughput": 80.0}
+        assert constraints_budget(costs, constraints) == pytest.approx(0.5)
+
+    def test_budget_empty_constraints(self):
+        assert constraints_budget({"x": 1}, []) == 0.0
+
+
+@given(
+    area=st.floats(0.1, 1000),
+    power=st.floats(0.1, 100),
+    throughput=st.floats(0.1, 10_000),
+)
+def test_budget_feasibility_relation(area, power, throughput):
+    constraints = [
+        Constraint("area", "area_mm2", 75.0),
+        Constraint("power", "power_w", 4.0),
+        Constraint("throughput", "throughput", 40.0, Sense.GEQ),
+    ]
+    costs = {"area_mm2": area, "power_w": power, "throughput": throughput}
+    budget = constraints_budget(costs, constraints)
+    if all_satisfied(costs, constraints):
+        assert budget <= 1.0
+    if budget < 1.0 / len(constraints):
+        # A budget below 1/n means every utilization is under 1.
+        assert all_satisfied(costs, constraints)

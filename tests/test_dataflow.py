@@ -1,0 +1,112 @@
+"""Tests for the fixed output-stationary dataflow builder."""
+
+import pytest
+
+from repro.arch.accelerator import config_from_point
+from repro.cost.execution_info import ExecutionInfo
+from repro.cost.latency import evaluate_layer_mapping
+from repro.mapping.dataflow import (
+    SPATIAL_DIMS,
+    build_output_stationary_mapping,
+    greedy_tile,
+)
+from repro.mapping.mapping import Level, padded_bounds
+from repro.workloads.layers import LOOP_DIMS, Dim, Operand, conv2d, gemm
+
+
+class TestGreedyTile:
+    def test_respects_budget(self, conv_layer):
+        bounds = padded_bounds(conv_layer)
+        tile = greedy_tile(
+            conv_layer,
+            bounds,
+            order=(Dim.C, Dim.OX),
+            byte_budget=256,
+            base_tile={d: 1 for d in LOOP_DIMS},
+            bytes_per_element=2,
+        )
+        from repro.mapping.mapping import operand_tile_elements
+
+        footprint = sum(
+            operand_tile_elements(conv_layer, tile, op) * 2
+            for op in (Operand.I, Operand.W, Operand.O)
+        )
+        assert footprint <= 256
+
+    def test_factors_divide_bounds(self, conv_layer):
+        bounds = padded_bounds(conv_layer)
+        tile = greedy_tile(
+            conv_layer,
+            bounds,
+            order=(Dim.FY, Dim.FX, Dim.C),
+            byte_budget=1024,
+            base_tile={d: 1 for d in LOOP_DIMS},
+            bytes_per_element=2,
+        )
+        for d in LOOP_DIMS:
+            assert bounds[d] % tile[d] == 0
+
+    def test_zero_budget_returns_unit_tile(self, conv_layer):
+        bounds = padded_bounds(conv_layer)
+        tile = greedy_tile(
+            conv_layer,
+            bounds,
+            order=(Dim.C,),
+            byte_budget=0,
+            base_tile={d: 1 for d in LOOP_DIMS},
+            bytes_per_element=2,
+        )
+        assert all(f == 1 for f in tile.values())
+
+
+class TestOutputStationaryMapping:
+    def test_valid_for_conv(self, conv_layer, mid_config):
+        mapping = build_output_stationary_mapping(conv_layer, mid_config)
+        assert mapping is not None
+        mapping.validate_for(conv_layer)
+
+    def test_valid_for_gemm(self, gemm_layer, mid_config):
+        mapping = build_output_stationary_mapping(gemm_layer, mid_config)
+        assert mapping is not None
+        mapping.validate_for(gemm_layer)
+
+    def test_no_reduction_dims_unrolled(self, conv_layer, mid_config):
+        """The template distributes data but cannot reduce across PEs."""
+        mapping = build_output_stationary_mapping(conv_layer, mid_config)
+        for d in (Dim.C, Dim.FY, Dim.FX):
+            assert mapping.level_factor(Level.SPATIAL, d) == 1
+        assert set(SPATIAL_DIMS) == {Dim.M, Dim.OY, Dim.OX, Dim.N}
+
+    def test_spatial_fits_pes(self, conv_layer, mid_config):
+        mapping = build_output_stationary_mapping(conv_layer, mid_config)
+        assert mapping.pes_used <= mid_config.pes
+
+    def test_output_stationary_ordering(self, conv_layer, mid_config):
+        mapping = build_output_stationary_mapping(conv_layer, mid_config)
+        assert mapping.dram_stationary is Operand.O
+        assert mapping.spm_stationary is Operand.O
+
+    def test_capacities_respected(self, conv_layer, mid_config):
+        mapping = build_output_stationary_mapping(conv_layer, mid_config)
+        outcome = evaluate_layer_mapping(conv_layer, mapping, mid_config)
+        assert isinstance(outcome, ExecutionInfo)
+
+    def test_adapts_to_small_buffers(self, conv_layer, mid_point):
+        point = dict(mid_point)
+        point["l1_bytes"] = 16
+        point["l2_kb"] = 64
+        config = config_from_point(point)
+        mapping = build_output_stationary_mapping(conv_layer, config)
+        assert mapping is not None
+        outcome = evaluate_layer_mapping(conv_layer, mapping, config)
+        assert isinstance(outcome, ExecutionInfo)
+
+    def test_none_when_unit_tile_overflows(self, mid_point):
+        """A huge GEMM row tile cannot fit a tiny RF even at unit factors
+        -- only when the input halo itself exceeds the register file."""
+        point = dict(mid_point)
+        point["l1_bytes"] = 8
+        config = config_from_point(point)
+        # Unit tile needs I+W+O = 3 elements x 2 B = 6 <= 8: still mappable.
+        layer = conv2d("c", 4, 4, (4, 4))
+        assert build_output_stationary_mapping(layer, config) is not None

@@ -1,0 +1,157 @@
+"""Tests for the energy / area / max-power models."""
+
+import math
+
+import pytest
+
+from repro.arch.accelerator import config_from_point
+from repro.cost.area import accelerator_area
+from repro.cost.energy import EnergyBreakdown, layer_energy
+from repro.cost.latency import evaluate_layer_mapping
+from repro.cost.power import max_power
+from repro.cost.technology import TECH_45NM, TechnologyModel
+from repro.mapping.dataflow import build_output_stationary_mapping
+
+
+@pytest.fixture
+def execution(conv_layer, mid_config):
+    mapping = build_output_stationary_mapping(conv_layer, mid_config)
+    return evaluate_layer_mapping(conv_layer, mapping, mid_config)
+
+
+class TestTechnologyModel:
+    def test_rf_energy_scales_with_size(self):
+        tech = TECH_45NM
+        assert tech.rf_energy_per_byte(1024) > tech.rf_energy_per_byte(64)
+
+    def test_rf_energy_floor(self):
+        assert TECH_45NM.rf_energy_per_byte(1) >= 0.03
+
+    def test_spm_energy_scales_with_size(self):
+        tech = TECH_45NM
+        assert tech.spm_energy_per_byte(4 << 20) > tech.spm_energy_per_byte(
+            64 << 10
+        )
+
+    def test_pe_area_includes_rf(self):
+        tech = TECH_45NM
+        assert tech.pe_area(1024) > tech.pe_area(8)
+
+    def test_spm_area_banking(self):
+        tech = TECH_45NM
+        one_bank = tech.spm_area(64 * 1024)
+        two_banks = tech.spm_area(128 * 1024)
+        assert two_banks > one_bank
+
+    def test_noc_area_proportional(self):
+        tech = TECH_45NM
+        assert tech.noc_area(100, 64) == pytest.approx(
+            2 * tech.noc_area(100, 32)
+        )
+
+
+class TestEnergy:
+    def test_breakdown_sums(self, execution, mid_config):
+        energy = layer_energy(execution, mid_config)
+        assert energy.total_pj == pytest.approx(
+            energy.mac_pj
+            + energy.rf_pj
+            + energy.noc_pj
+            + energy.spm_pj
+            + energy.dram_pj
+        )
+
+    def test_all_components_positive(self, execution, mid_config):
+        energy = layer_energy(execution, mid_config)
+        assert energy.mac_pj > 0
+        assert energy.rf_pj > 0
+        assert energy.noc_pj > 0
+        assert energy.spm_pj > 0
+        assert energy.dram_pj > 0
+
+    def test_mac_energy_counts_true_macs(self, execution, mid_config, conv_layer):
+        energy = layer_energy(execution, mid_config)
+        assert energy.mac_pj == conv_layer.macs * TECH_45NM.mac_energy_pj
+
+    def test_scaled(self, execution, mid_config):
+        energy = layer_energy(execution, mid_config)
+        assert energy.scaled(3).total_pj == pytest.approx(3 * energy.total_pj)
+
+    def test_addition_and_zero(self, execution, mid_config):
+        energy = layer_energy(execution, mid_config)
+        assert (EnergyBreakdown.zero() + energy).total_pj == pytest.approx(
+            energy.total_pj
+        )
+
+    def test_total_mj_conversion(self, execution, mid_config):
+        energy = layer_energy(execution, mid_config)
+        assert energy.total_mj == pytest.approx(energy.total_pj * 1e-9)
+
+
+class TestArea:
+    def test_total_sums_components(self, mid_config):
+        area = accelerator_area(mid_config)
+        assert area.total_mm2 == pytest.approx(
+            area.pe_array_mm2
+            + area.spm_mm2
+            + area.noc_mm2
+            + area.controller_mm2
+        )
+
+    def test_contributions_sum_to_one(self, mid_config):
+        assert sum(accelerator_area(mid_config).contributions().values()) == (
+            pytest.approx(1.0)
+        )
+
+    def test_monotone_in_pes(self, mid_point):
+        small = accelerator_area(config_from_point({**mid_point, "pes": 64}))
+        large = accelerator_area(config_from_point({**mid_point, "pes": 4096}))
+        assert large.total_mm2 > small.total_mm2
+
+    def test_monotone_in_l2(self, mid_point):
+        small = accelerator_area(config_from_point({**mid_point, "l2_kb": 64}))
+        large = accelerator_area(
+            config_from_point({**mid_point, "l2_kb": 4096})
+        )
+        assert large.spm_mm2 > small.spm_mm2
+
+    def test_max_config_exceeds_edge_budget(self, edge_space):
+        """The constraint must bind: the biggest configuration overflows
+        the 75 mm^2 edge budget."""
+        area = accelerator_area(config_from_point(edge_space.maximum_point()))
+        assert area.total_mm2 > 75.0
+
+
+class TestPower:
+    def test_total_sums_components(self, mid_config):
+        power = max_power(mid_config)
+        assert power.total_w == pytest.approx(
+            power.pe_w + power.noc_w + power.spm_w + power.offchip_w
+        )
+
+    def test_contributions_sum_to_one(self, mid_config):
+        assert sum(max_power(mid_config).contributions().values()) == (
+            pytest.approx(1.0)
+        )
+
+    def test_monotone_in_pes(self, mid_point):
+        small = max_power(config_from_point({**mid_point, "pes": 64}))
+        large = max_power(config_from_point({**mid_point, "pes": 4096}))
+        assert large.pe_w > small.pe_w
+
+    def test_monotone_in_bandwidth(self, mid_point):
+        slow = max_power(
+            config_from_point({**mid_point, "offchip_bw_mbps": 1024})
+        )
+        fast = max_power(
+            config_from_point({**mid_point, "offchip_bw_mbps": 51200})
+        )
+        assert fast.offchip_w > slow.offchip_w
+
+    def test_max_config_exceeds_edge_budget(self, edge_space):
+        power = max_power(config_from_point(edge_space.maximum_point()))
+        assert power.total_w > 4.0
+
+    def test_min_config_within_budget(self, edge_space):
+        power = max_power(config_from_point(edge_space.minimum_point()))
+        assert power.total_w < 4.0

@@ -1,0 +1,94 @@
+"""Tests for the top-level cost evaluator."""
+
+import math
+
+import pytest
+
+from repro.cost.evaluator import CostEvaluator
+from repro.mapping.mapper import FixedDataflowMapper, TopNMapper
+
+
+@pytest.fixture
+def evaluator(tiny_workload):
+    return CostEvaluator(tiny_workload, TopNMapper(top_n=60))
+
+
+class TestEvaluation:
+    def test_cost_keys(self, evaluator, mid_point):
+        costs = evaluator.evaluate(mid_point).costs
+        assert set(costs) == {
+            "latency_ms",
+            "area_mm2",
+            "power_w",
+            "energy_mj",
+            "throughput",
+        }
+
+    def test_latency_positive_and_finite(self, evaluator, mid_point):
+        evaluation = evaluator.evaluate(mid_point)
+        assert evaluation.mappable
+        assert 0 < evaluation.latency_ms < math.inf
+
+    def test_throughput_is_inverse_latency(self, evaluator, mid_point):
+        costs = evaluator.evaluate(mid_point).costs
+        assert costs["throughput"] == pytest.approx(
+            1000.0 / costs["latency_ms"]
+        )
+
+    def test_latency_weighs_repeats(self, tiny_workload, mid_point):
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=60))
+        evaluation = evaluator.evaluate(mid_point)
+        expected_cycles = sum(
+            evaluation.layer_results[layer.name].latency * layer.repeats
+            for layer in tiny_workload.layers
+        )
+        assert evaluation.costs["latency_ms"] == pytest.approx(
+            expected_cycles / (500 * 1e3)
+        )
+
+    def test_per_layer_results_exposed(self, evaluator, mid_point, tiny_workload):
+        evaluation = evaluator.evaluate(mid_point)
+        assert set(evaluation.layer_results) == {
+            layer.name for layer in tiny_workload.layers
+        }
+
+    def test_unmappable_yields_inf(self, tiny_workload, edge_space):
+        evaluator = CostEvaluator(tiny_workload, FixedDataflowMapper())
+        point = edge_space.minimum_point()
+        evaluation = evaluator.evaluate(point)
+        if not evaluation.mappable:
+            assert evaluation.costs["latency_ms"] == math.inf
+            assert evaluation.costs["throughput"] == 0.0
+        # Area/power stay finite regardless of mappability.
+        assert math.isfinite(evaluation.costs["area_mm2"])
+        assert math.isfinite(evaluation.costs["power_w"])
+
+
+class TestCachingAndCounters:
+    def test_cache_hit_does_not_reevaluate(self, evaluator, mid_point):
+        first = evaluator.evaluate(mid_point)
+        count = evaluator.evaluations
+        second = evaluator.evaluate(dict(mid_point))
+        assert second is first
+        assert evaluator.evaluations == count
+        assert evaluator.calls == 2
+
+    def test_distinct_points_counted(self, evaluator, mid_point):
+        evaluator.evaluate(mid_point)
+        other = dict(mid_point)
+        other["pes"] = 2048
+        evaluator.evaluate(other)
+        assert evaluator.evaluations == 2
+        assert evaluator.cache_size() == 2
+
+    def test_reset_counters_keeps_cache(self, evaluator, mid_point):
+        evaluator.evaluate(mid_point)
+        evaluator.reset_counters()
+        assert evaluator.evaluations == 0
+        assert evaluator.cache_size() == 1
+        evaluator.evaluate(mid_point)
+        assert evaluator.evaluations == 0  # served from cache
+
+    def test_wall_time_recorded(self, evaluator, mid_point):
+        evaluator.evaluate(mid_point)
+        assert evaluator.total_seconds > 0

@@ -1,0 +1,119 @@
+"""Tests for the per-figure experiment modules and reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments import fig4, fig9, fig14, table2, table7
+from repro.experiments.harness import ComparisonRunner, TechniqueSpec
+from repro.experiments.reporting import format_cell, format_series, format_table
+
+
+class TestReporting:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(math.inf) == "-*"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1234.5) == "1234"
+        assert format_cell("text") == "text"
+
+    def test_format_table_alignment(self):
+        rows = {"a": {"x": 1.0, "y": None}, "bb": {"x": 2.0, "y": 3.0}}
+        text = format_table(rows, columns=["x", "y"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "technique" in lines[0]
+        assert "-" in lines[2]  # the None cell
+
+    def test_format_series_subsamples(self):
+        series = {"curve": list(range(100))}
+        text = format_series(series, max_points=5)
+        assert "curve" in text
+        assert "99" in text  # last point always shown
+
+
+@pytest.fixture(scope="module")
+def small_runner():
+    return ComparisonRunner(iterations=6, top_n=40, random_mapping_trials=20)
+
+
+SMALL_TECHNIQUES = (
+    TechniqueSpec("Random Search-FixDF", "random", "fixed"),
+    TechniqueSpec("ExplainableDSE-Codesign", "explainable", "codesign"),
+)
+
+
+class TestFig9:
+    def test_structure_and_format(self, small_runner):
+        result = fig9.run(
+            small_runner, models=["resnet18"], techniques=SMALL_TECHNIQUES
+        )
+        assert set(result.latency_ms) == {s.label for s in SMALL_TECHNIQUES}
+        text = result.format()
+        assert "Fig. 9" in text
+        assert "resnet18" in text
+
+    def test_geomean_vs_reference(self, small_runner):
+        result = fig9.run(
+            small_runner, models=["resnet18"], techniques=SMALL_TECHNIQUES
+        )
+        ratio = result.geomean_speedup_over("Random Search-FixDF")
+        assert ratio > 0 or math.isinf(ratio)
+
+
+class TestTable2:
+    def test_cells_render_paper_markers(self, small_runner):
+        result = table2.run(
+            small_runner, models=["resnet18"], techniques=SMALL_TECHNIQUES
+        )
+        cell = result.cell("Random Search-FixDF", "resnet18")
+        assert cell in ("-", "-*") or float(cell) > 0
+        assert "Table 2" in result.format()
+
+
+class TestTable7:
+    def test_runs_for_all_models(self):
+        result = table7.run(samples=10)
+        assert len(result.rows) == 11
+        assert "Table 7" in result.format()
+
+    def test_layers_exist(self):
+        from repro.workloads.registry import load_workload
+
+        for model, layer_name in table7.TABLE7_LAYERS.items():
+            load_workload(model).layer(layer_name)
+
+
+class TestFig4:
+    def test_toy_space_has_two_free_parameters(self):
+        space, pinned = fig4.build_toy_space()
+        assert space.parameter("pes").cardinality == 7
+        assert space.parameter("l2_kb").cardinality == 7
+        for name in pinned:
+            assert space.parameter(name).cardinality == 1
+
+    def test_trajectories_recorded(self):
+        result = fig4.run(iterations=8, top_n=40)
+        assert result.explainable_path
+        assert result.hypermapper_path
+        assert result.explanations
+        assert "Fig. 4" in result.format()
+
+    def test_explainable_improves_latency(self):
+        result = fig4.run(iterations=10, top_n=60)
+        start = result.explainable_path[0][2]
+        best = min(step[2] for step in result.explainable_path)
+        assert best < start
+
+
+class TestFig14:
+    def test_reference_constants_sane(self):
+        assert fig14.EDGE_TPU.area_mm2 > 0
+        assert fig14.EYERISS.power_w < 1.0
+        assert fig14.EDGE_TPU.energy_efficiency("mobilenetv2") > 0
+        assert fig14.EYERISS.area_efficiency("nonexistent") is None
+
+    def test_run_single_model(self):
+        result = fig14.run(models=("resnet18",), iterations=10, top_n=40)
+        assert "resnet18" in result.rows
+        assert "Fig. 14" in result.format()

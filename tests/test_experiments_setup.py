@@ -1,0 +1,131 @@
+"""Tests for the experiment setup and harness plumbing."""
+
+import pytest
+
+from repro.core.dse.constraints import Sense
+from repro.experiments.harness import (
+    DYNAMIC_TECHNIQUES,
+    PAPER_TECHNIQUES,
+    ComparisonRunner,
+    TechniqueSpec,
+)
+from repro.experiments.setup import (
+    BASELINE_TECHNIQUES,
+    THROUGHPUT_REQUIREMENTS,
+    edge_constraints,
+    make_evaluator,
+    run_baseline,
+    run_explainable_dse,
+)
+from repro.mapping.mapper import (
+    FixedDataflowMapper,
+    RandomSearchMapper,
+    TopNMapper,
+)
+from repro.workloads.registry import MODEL_NAMES
+
+
+class TestConstraints:
+    def test_every_model_has_requirements(self):
+        assert set(THROUGHPUT_REQUIREMENTS) == set(MODEL_NAMES)
+
+    def test_constraint_structure(self):
+        constraints = edge_constraints("resnet18")
+        by_name = {c.name: c for c in constraints}
+        assert by_name["area"].bound == 75.0
+        assert by_name["power"].bound == 4.0
+        assert by_name["throughput"].sense is Sense.GEQ
+        assert by_name["throughput"].bound == 40.0
+
+    def test_large_vision_threshold(self):
+        by_name = {c.name: c for c in edge_constraints("vgg16")}
+        assert by_name["throughput"].bound == 10.0
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            edge_constraints("alexnet")
+
+
+class TestEvaluatorFactory:
+    def test_fixed_mode(self):
+        evaluator = make_evaluator("resnet18", mapping_mode="fixed")
+        assert isinstance(evaluator.mapper, FixedDataflowMapper)
+
+    def test_codesign_mode(self):
+        evaluator = make_evaluator("resnet18", mapping_mode="codesign", top_n=42)
+        assert isinstance(evaluator.mapper, TopNMapper)
+        assert evaluator.mapper.top_n == 42
+
+    def test_random_mapper_mode(self):
+        evaluator = make_evaluator(
+            "resnet18", mapping_mode="random-mapper", random_mapping_trials=17
+        )
+        assert isinstance(evaluator.mapper, RandomSearchMapper)
+        assert evaluator.mapper.trials == 17
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            make_evaluator("resnet18", mapping_mode="magic")
+
+
+class TestRunners:
+    def test_run_explainable_small(self):
+        result = run_explainable_dse(
+            "resnet18", iterations=8, mapping_mode="codesign", top_n=40
+        )
+        assert result.technique == "explainable-codesign"
+        assert 1 <= result.evaluations <= 8
+
+    def test_run_baseline_small(self):
+        result = run_baseline(
+            "random", "resnet18", iterations=6, mapping_mode="fixed", seed=1
+        )
+        assert result.technique == "random-fixdf"
+        assert result.evaluations <= 6
+
+    def test_unknown_baseline_raises(self):
+        with pytest.raises(KeyError):
+            run_baseline("gradient-descent", "resnet18")
+
+    def test_all_registered_techniques_exist(self):
+        assert set(BASELINE_TECHNIQUES) == {
+            "grid",
+            "random",
+            "annealing",
+            "genetic",
+            "bayesian",
+            "hypermapper",
+            "reinforcement",
+            "local-search",
+        }
+
+
+class TestHarness:
+    def test_technique_specs_cover_paper_rows(self):
+        labels = {spec.label for spec in PAPER_TECHNIQUES}
+        assert "ExplainableDSE-Codesign" in labels
+        assert "HyperMapper 2.0-FixDF" in labels
+        assert len(PAPER_TECHNIQUES) == 11
+        assert len(DYNAMIC_TECHNIQUES) == 10
+
+    def test_spec_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TechniqueSpec("x", "newton", "fixed")
+
+    def test_runner_memoizes(self):
+        runner = ComparisonRunner(
+            iterations=5, top_n=40, random_mapping_trials=20
+        )
+        spec = TechniqueSpec("Random Search-FixDF", "random", "fixed")
+        a = runner.run(spec, "resnet18")
+        b = runner.run(spec, "resnet18")
+        assert a is b
+
+    def test_run_matrix_shape(self):
+        runner = ComparisonRunner(
+            iterations=4, top_n=40, random_mapping_trials=20
+        )
+        specs = [TechniqueSpec("Random Search-FixDF", "random", "fixed")]
+        matrix = runner.run_matrix(specs, models=["resnet18", "bert"])
+        assert set(matrix) == {"Random Search-FixDF"}
+        assert set(matrix["Random Search-FixDF"]) == {"resnet18", "bert"}

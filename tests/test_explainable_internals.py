@@ -1,0 +1,216 @@
+"""Unit tests for Explainable-DSE's internal steps (acquire / update /
+analyze) using a stub cost model, isolating the framework logic from the
+accelerator substrate."""
+
+import math
+
+import pytest
+
+from repro.arch.design_space import DesignSpace
+from repro.arch.parameters import Parameter
+from repro.core.dse.aggregation import AggregatedPrediction
+from repro.core.dse.constraints import Constraint, Sense
+from repro.core.dse.explainable import ExplainableDSE, _Candidate
+
+
+class _StubEvaluation:
+    """Minimal stand-in for repro.cost.Evaluation."""
+
+    def __init__(self, point, costs, mappable=True):
+        self.point = dict(point)
+        self.costs = dict(costs)
+        self.mappable = mappable
+        self.config = None
+        self.layer_results = {}
+        self.area = None
+        self.power = None
+
+
+class _StubEvaluator:
+    """Cost model: latency = 1000/(a*b); 'area' = a + b."""
+
+    class _Workload:
+        name = "stub"
+        layers = ()
+
+    workload = _Workload()
+
+    def __init__(self):
+        self.evaluations = 0
+        self.calls = 0
+
+    def evaluate(self, point):
+        self.calls += 1
+        self.evaluations += 1
+        a, b = point["a"], point["b"]
+        latency = 1000.0 / (a * b)
+        return _StubEvaluation(
+            point, {"latency_ms": latency, "area_mm2": float(a + b)}
+        )
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(
+        [
+            Parameter("a", (1, 2, 4, 8, 16)),
+            Parameter("b", (1, 2, 4, 8, 16)),
+        ]
+    )
+
+
+@pytest.fixture
+def dse(space):
+    return ExplainableDSE(
+        space,
+        _StubEvaluator(),
+        [Constraint("area", "area_mm2", 20.0)],
+        max_evaluations=20,
+    )
+
+
+def _agg(parameter, value):
+    return AggregatedPrediction(
+        parameter=parameter,
+        value=value,
+        contributing_subfunctions=("stub",),
+        candidate_values=(value,),
+    )
+
+
+class TestAcquire:
+    def test_rounds_up_between_values(self, dse, space):
+        current = {"a": 2, "b": 2}
+        candidates = dse._acquire(current, [_agg("a", 5.0)], set(), set())
+        assert candidates[0].value == 8
+
+    def test_rounds_down_for_decreases(self, dse):
+        current = {"a": 8, "b": 2}
+        candidates = dse._acquire(current, [_agg("a", 3.0)], set(), set())
+        assert candidates[0].value == 2
+
+    def test_noop_prediction_falls_back_to_neighbor(self, dse):
+        current = {"a": 2, "b": 2}
+        # Prediction rounds to the current value -> one-step neighbour up.
+        candidates = dse._acquire(current, [_agg("a", 2.0)], set(), set())
+        assert candidates == [] or candidates[0].value == 4
+
+    def test_exhausted_parameters_skipped(self, dse):
+        current = {"a": 2, "b": 2}
+        candidates = dse._acquire(
+            current, [_agg("a", 16.0)], {"a"}, set()
+        )
+        assert candidates == []
+
+    def test_tried_points_skipped(self, dse, space):
+        current = {"a": 2, "b": 2}
+        tried = {space.point_key({"a": 16, "b": 2})}
+        candidates = dse._acquire(current, [_agg("a", 16.0)], set(), tried)
+        assert all(c.point != {"a": 16, "b": 2} for c in candidates)
+
+    def test_candidate_cap(self, space):
+        dse = ExplainableDSE(
+            space,
+            _StubEvaluator(),
+            [],
+            max_candidates=1,
+        )
+        current = {"a": 2, "b": 2}
+        predictions = [_agg("a", 16.0), _agg("b", 16.0)]
+        assert len(dse._acquire(current, predictions, set(), set())) == 1
+
+
+class TestUpdate:
+    def _cand(self, dse, current, param, value):
+        point = dse.space.with_value(current, param, value)
+        return _Candidate(parameter=param, value=value, point=point, reason="")
+
+    def test_feasible_improvement_wins(self, dse):
+        current = {"a": 2, "b": 2}
+        current_eval = dse.evaluator.evaluate(current)
+        cand = self._cand(dse, current, "a", 8)
+        cand_eval = dse.evaluator.evaluate(cand.point)
+        point, _, note = dse._update(
+            current, current_eval, [(cand, cand_eval)], set()
+        )
+        assert point == cand.point
+        assert "updated" in note
+
+    def test_feasible_regression_keeps_incumbent(self, dse):
+        current = {"a": 8, "b": 2}
+        current_eval = dse.evaluator.evaluate(current)
+        worse = self._cand(dse, current, "a", 4)
+        worse_eval = dse.evaluator.evaluate(worse.point)
+        point, _, note = dse._update(
+            current, current_eval, [(worse, worse_eval)], set()
+        )
+        assert point == current
+        assert "kept incumbent" in note
+
+    def test_infeasible_phase_moves_to_least_budget(self, space):
+        dse = ExplainableDSE(
+            space,
+            _StubEvaluator(),
+            [Constraint("area", "area_mm2", 3.0)],  # only (1,1)/(1,2) feasible
+        )
+        current = {"a": 16, "b": 16}
+        current_eval = dse.evaluator.evaluate(current)
+        closer = self._cand(dse, current, "a", 4)
+        closer_eval = dse.evaluator.evaluate(closer.point)
+        point, _, note = dse._update(
+            current, current_eval, [(closer, closer_eval)], set()
+        )
+        assert point == closer.point
+        assert "feasibility" in note
+
+    def test_monomodal_exhaustion_marks_parameter(self, space):
+        dse = ExplainableDSE(
+            space,
+            _StubEvaluator(),
+            [Constraint("area", "area_mm2", 10.0)],
+        )
+        current = {"a": 4, "b": 4}  # area 8, feasible
+        current_eval = dse.evaluator.evaluate(current)
+        violator = self._cand(dse, current, "a", 16)  # area 20, violates
+        violator_eval = dse.evaluator.evaluate(violator.point)
+        exhausted = set()
+        dse._update(current, current_eval, [(violator, violator_eval)], exhausted)
+        assert "a" in exhausted
+
+
+class TestNeighborFallback:
+    def test_generates_neighbor_moves(self, dse, space):
+        current = {"a": 4, "b": 4}
+        candidates = dse._neighbor_fallback(current, set())
+        assert candidates
+        for candidate in candidates:
+            diffs = [
+                k for k in current if candidate.point[k] != current[k]
+            ]
+            assert len(diffs) == 1
+
+    def test_skips_tried(self, dse, space):
+        current = {"a": 4, "b": 4}
+        all_neighbors = {
+            space.point_key(p) for p in space.neighbors(current)
+        }
+        candidates = dse._neighbor_fallback(current, all_neighbors)
+        assert candidates == []
+
+
+class TestEndToEndStub:
+    def test_converges_to_constrained_optimum(self, space):
+        """With latency = 1000/(a*b) and a+b <= 20, the optimum is
+        a = b = 8 (product 64 within the area budget... among powers of 2,
+        (16, 4) ties (4, 16) and (8, 8) at product 64)."""
+        dse = ExplainableDSE(
+            space,
+            _StubEvaluator(),
+            [Constraint("area", "area_mm2", 20.0)],
+            max_evaluations=30,
+        )
+        result = dse.run()
+        assert result.found_feasible
+        best = result.best.point
+        assert best["a"] * best["b"] >= 32
+        assert best["a"] + best["b"] <= 20

@@ -1,0 +1,106 @@
+"""Unit and property tests for factorization utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mapping.factorization import (
+    count_ordered_factorizations,
+    divisors,
+    ordered_factorizations,
+    prime_factorization,
+    smooth_pad,
+)
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
+        assert divisors(1) == (1,)
+        assert divisors(13) == (1, 13)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+
+class TestPrimeFactorization:
+    def test_basic(self):
+        assert prime_factorization(360) == ((2, 3), (3, 2), (5, 1))
+        assert prime_factorization(1) == ()
+        assert prime_factorization(97) == ((97, 1),)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            prime_factorization(-1)
+
+
+class TestOrderedFactorizations:
+    def test_single_part(self):
+        assert list(ordered_factorizations(12, 1)) == [(12,)]
+
+    def test_two_parts_of_prime(self):
+        assert sorted(ordered_factorizations(5, 2)) == [(1, 5), (5, 1)]
+
+    def test_products_are_exact(self):
+        for split in ordered_factorizations(24, 3):
+            assert math.prod(split) == 24
+
+    def test_count_matches_enumeration(self):
+        for n in (1, 2, 12, 36, 97, 224):
+            for parts in (1, 2, 3, 4):
+                assert count_ordered_factorizations(n, parts) == sum(
+                    1 for _ in ordered_factorizations(n, parts)
+                )
+
+    def test_rejects_bad_parts(self):
+        with pytest.raises(ValueError):
+            list(ordered_factorizations(4, 0))
+        with pytest.raises(ValueError):
+            count_ordered_factorizations(4, 0)
+
+
+@given(st.integers(1, 2000), st.integers(1, 5))
+def test_count_is_multiplicative(n, parts):
+    """The closed-form count equals the composition-product formula."""
+    expected = 1
+    for _, exp in prime_factorization(n):
+        expected *= math.comb(exp + parts - 1, parts - 1)
+    assert count_ordered_factorizations(n, parts) == expected
+
+
+@given(st.integers(1, 300))
+def test_divisors_divide(n):
+    for d in divisors(n):
+        assert n % d == 0
+    assert divisors(n)[0] == 1
+    assert divisors(n)[-1] == n
+
+
+class TestSmoothPad:
+    def test_smooth_numbers_unchanged(self):
+        for n in (1, 2, 8, 21, 224, 1024):
+            assert smooth_pad(n) == n
+
+    def test_primes_are_padded_up(self):
+        assert smooth_pad(197) == 200  # 2^3 * 5^2
+        assert smooth_pad(11) == 12
+
+    def test_custom_max_prime(self):
+        assert smooth_pad(11, max_prime=11) == 11
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            smooth_pad(0)
+
+
+@given(st.integers(1, 5000))
+def test_smooth_pad_properties(n):
+    padded = smooth_pad(n)
+    assert padded >= n
+    remaining = padded
+    for p in (2, 3, 5, 7):
+        while remaining % p == 0:
+            remaining //= p
+    assert remaining == 1

@@ -1,0 +1,114 @@
+"""Synthetic-data tests for figure-module helper math (no DSE runs)."""
+
+import math
+
+import pytest
+
+from repro.experiments.fig9 import Fig9Result, REFERENCE_TECHNIQUE
+from repro.experiments.fig10 import Fig10Result
+from repro.experiments.fig12 import Fig12Result
+from repro.experiments.fig14 import EDGE_TPU, EYERISS, Fig14Result
+from repro.experiments.table2 import Table2Result
+from repro.experiments.table3 import Table3Result
+
+
+class TestFig9Math:
+    def _result(self, reference, other):
+        return Fig9Result(
+            latency_ms={
+                REFERENCE_TECHNIQUE: reference,
+                "Baseline": other,
+            },
+            iterations=100,
+        )
+
+    def test_geomean_ratio(self):
+        result = self._result(
+            {"m1": 1.0, "m2": 2.0}, {"m1": 4.0, "m2": 2.0}
+        )
+        # ratios 4 and 1 -> geomean 2.
+        assert result.geomean_speedup_over("Baseline") == pytest.approx(2.0)
+
+    def test_infeasible_models_excluded(self):
+        result = self._result(
+            {"m1": 1.0, "m2": 2.0}, {"m1": 3.0, "m2": math.inf}
+        )
+        assert result.geomean_speedup_over("Baseline") == pytest.approx(3.0)
+
+    def test_no_overlap_is_inf(self):
+        result = self._result({"m1": math.inf}, {"m1": math.inf})
+        assert math.isinf(result.geomean_speedup_over("Baseline"))
+
+
+class TestFig10Math:
+    def test_time_ratio_and_mean_evals(self):
+        result = Fig10Result(
+            seconds={"A": {"m": 10.0}, "B": {"m": 2.0}},
+            evaluations={"A": {"m": 100}, "B": {"m": 50}},
+            iterations=100,
+        )
+        ratios = result.mean_time_ratio_vs("B")
+        assert ratios["A"] == pytest.approx(5.0)
+        assert result.mean_evaluations() == {"A": 100.0, "B": 50.0}
+
+
+class TestFig12Math:
+    def test_mean_fractions(self):
+        result = Fig12Result(
+            area_power_fraction={"A": {"m1": 0.8, "m2": 0.4}},
+            all_constraints_fraction={"A": {"m1": 0.2, "m2": 0.0}},
+        )
+        means = result.mean_fractions()
+        assert means["A"]["area+power"] == pytest.approx(0.6)
+        assert means["A"]["all constraints"] == pytest.approx(0.1)
+
+
+class TestTable2Cells:
+    def test_cell_markers(self):
+        result = Table2Result(
+            latency_ms={"A": {"m": 5.0, "n": math.inf, "o": math.inf}},
+            met_all={"A": {"m": True, "n": False, "o": False}},
+            found_area_power={"A": {"m": True, "n": True, "o": False}},
+            iterations=100,
+        )
+        assert result.cell("A", "m") == "5"
+        assert result.cell("A", "n") == "-"
+        assert result.cell("A", "o") == "-*"
+
+
+class TestTable3Average:
+    def test_average_skips_na(self):
+        result = Table3Result(
+            reduction={"A": {"m": 0.2, "n": None, "o": 0.4}}
+        )
+        assert result.average("A") == pytest.approx(0.3)
+
+    def test_all_na_is_none(self):
+        result = Table3Result(reduction={"A": {"m": None}})
+        assert result.average("A") is None
+
+
+class TestFig14Math:
+    def test_reference_efficiencies(self):
+        assert EDGE_TPU.area_efficiency("mobilenetv2") == pytest.approx(
+            EDGE_TPU.fps["mobilenetv2"] / EDGE_TPU.area_mm2
+        )
+        assert EYERISS.energy_efficiency("vgg16") == pytest.approx(
+            0.7 / 0.278
+        )
+
+    def test_geomean_skips_missing(self):
+        result = Fig14Result(
+            rows={
+                "m1": {"dse fps": 100.0, "edge-tpu fps": 50.0},
+                "m2": {"dse fps": math.nan, "edge-tpu fps": 10.0},
+                "m3": {"dse fps": 10.0, "edge-tpu fps": None},
+            }
+        )
+        assert result.geomean_throughput_ratio("edge-tpu") == pytest.approx(
+            2.0
+        )
+
+    def test_geomean_empty_is_nan(self):
+        result = Fig14Result(rows={"m": {"dse fps": None}})
+        assert math.isnan(result.geomean_throughput_ratio("edge-tpu"))

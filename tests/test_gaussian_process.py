@@ -1,0 +1,90 @@
+"""Tests for the minimal Gaussian-process implementation."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.optim.gaussian_process import (
+    GaussianProcess,
+    expected_improvement,
+    normal_cdf,
+)
+
+
+class TestNormalCdf:
+    def test_matches_scipy(self):
+        xs = np.linspace(-4, 4, 41)
+        assert np.allclose(normal_cdf(xs), norm.cdf(xs), atol=1e-6)
+
+    def test_symmetry(self):
+        assert normal_cdf(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        x = np.array([[0.0], [0.5], [1.0]])
+        y = np.array([1.0, 0.0, 1.0])
+        gp = GaussianProcess(noise=1e-8).fit(x, y)
+        mean, _ = gp.predict(x)
+        assert np.allclose(mean, y, atol=1e-2)
+
+    def test_variance_low_at_train_high_far(self):
+        x = np.array([[0.0], [1.0]])
+        gp = GaussianProcess(noise=1e-8, lengthscale=0.3).fit(
+            x, np.array([0.0, 1.0])
+        )
+        _, var_train = gp.predict(x)
+        _, var_far = gp.predict(np.array([[5.0]]))
+        assert var_far[0] > var_train.max()
+
+    def test_prediction_reverts_to_mean_far_away(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([2.0, 4.0])
+        gp = GaussianProcess(lengthscale=0.2).fit(x, y)
+        mean, _ = gp.predict(np.array([[100.0]]))
+        assert mean[0] == pytest.approx(3.0, abs=0.1)
+
+    def test_single_point_fit(self):
+        gp = GaussianProcess().fit(np.array([[0.5]]), np.array([2.0]))
+        mean, var = gp.predict(np.array([[0.5]]))
+        assert math.isfinite(mean[0])
+        assert var[0] >= 0
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_median_lengthscale_heuristic(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        gp = GaussianProcess().fit(x, np.array([0.0, 1.0, 2.0]))
+        assert gp._ls == pytest.approx(1.0)
+
+    def test_fits_smooth_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(40, 2))
+        y = np.sin(3 * x[:, 0]) + x[:, 1] ** 2
+        gp = GaussianProcess().fit(x, y)
+        xq = rng.uniform(0.1, 0.9, size=(10, 2))
+        mean, _ = gp.predict(xq)
+        truth = np.sin(3 * xq[:, 0]) + xq[:, 1] ** 2
+        assert np.mean(np.abs(mean - truth)) < 0.2
+
+
+class TestExpectedImprovement:
+    def test_zero_mean_improvement_positive(self):
+        ei = expected_improvement(
+            np.array([0.0]), np.array([1.0]), best=0.0
+        )
+        assert ei[0] > 0
+
+    def test_prefers_lower_mean(self):
+        var = np.array([0.5, 0.5])
+        ei = expected_improvement(np.array([0.0, 2.0]), var, best=1.0)
+        assert ei[0] > ei[1]
+
+    def test_prefers_higher_variance_when_means_equal(self):
+        mean = np.array([1.0, 1.0])
+        ei = expected_improvement(mean, np.array([0.01, 1.0]), best=1.0)
+        assert ei[1] > ei[0]

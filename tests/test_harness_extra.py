@@ -1,0 +1,81 @@
+"""Additional harness / experiment-module coverage."""
+
+import math
+
+import pytest
+
+from repro.experiments import fig10, fig11, fig12
+from repro.experiments.harness import ComparisonRunner, TechniqueSpec
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ComparisonRunner(iterations=5, top_n=40, random_mapping_trials=15)
+
+
+SPECS = (
+    TechniqueSpec("Random Search-FixDF", "random", "fixed"),
+    TechniqueSpec("ExplainableDSE-Codesign", "explainable", "codesign"),
+)
+
+
+class TestFig10Extras:
+    def test_mean_time_ratio(self, runner):
+        result = fig10.run(runner, models=["resnet18"], techniques=SPECS)
+        ratios = result.mean_time_ratio_vs("ExplainableDSE-Codesign")
+        assert ratios["ExplainableDSE-Codesign"] == pytest.approx(1.0)
+        assert all(r > 0 for r in ratios.values() if not math.isnan(r))
+
+    def test_format_contains_models(self, runner):
+        result = fig10.run(runner, models=["resnet18"], techniques=SPECS)
+        assert "resnet18" in result.format()
+
+
+class TestFig11Extras:
+    def test_custom_model_and_technique_subset(self, runner):
+        result = fig11.run(
+            runner,
+            models=("resnet18",),
+            technique_labels=("Random Search-FixDF",),
+        )
+        assert set(result.trajectories) == {"resnet18"}
+        assert set(result.trajectories["resnet18"]) == {
+            "Random Search-FixDF"
+        }
+
+    def test_final_latency_matches_trajectory(self, runner):
+        result = fig11.run(
+            runner,
+            models=("resnet18",),
+            technique_labels=("Random Search-FixDF",),
+        )
+        series = result.trajectories["resnet18"]["Random Search-FixDF"]
+        assert result.final_latency(
+            "resnet18", "Random Search-FixDF"
+        ) == series[-1]
+
+
+class TestFig12Extras:
+    def test_all_leq_area_power(self, runner):
+        result = fig12.run(runner, models=["resnet18"], techniques=SPECS)
+        for technique in result.area_power_fraction:
+            for model in result.area_power_fraction[technique]:
+                assert (
+                    result.all_constraints_fraction[technique][model]
+                    <= result.area_power_fraction[technique][model] + 1e-9
+                )
+
+
+class TestRunnerIsolation:
+    def test_distinct_models_distinct_results(self, runner):
+        spec = SPECS[0]
+        a = runner.run(spec, "resnet18")
+        b = runner.run(spec, "bert")
+        assert a is not b
+        assert a.model == "resnet18"
+        assert b.model == "bert"
+
+    def test_run_matrix_reuses_cache(self, runner):
+        first = runner.run(SPECS[0], "resnet18")
+        matrix = runner.run_matrix([SPECS[0]], models=["resnet18"])
+        assert matrix["Random Search-FixDF"]["resnet18"] is first

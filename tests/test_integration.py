@@ -1,0 +1,139 @@
+"""Cross-module integration tests: the paper's claims in miniature."""
+
+import math
+
+import pytest
+
+from repro.core.dse.constraints import Constraint, Sense
+from repro.core.dse.explainable import ExplainableDSE
+from repro.cost.evaluator import CostEvaluator
+from repro.experiments.setup import (
+    edge_constraints,
+    make_evaluator,
+    run_baseline,
+    run_explainable_dse,
+)
+from repro.mapping.mapper import TopNMapper
+from repro.workloads.registry import load_workload
+
+
+@pytest.fixture(scope="module")
+def resnet_runs():
+    """One explainable and two baseline runs on ResNet18 (shared)."""
+    budget = 40
+    explainable = run_explainable_dse(
+        "resnet18", iterations=budget, mapping_mode="codesign", top_n=60
+    )
+    random_fix = run_baseline(
+        "random", "resnet18", iterations=budget, mapping_mode="fixed", seed=0
+    )
+    hyper_fix = run_baseline(
+        "hypermapper",
+        "resnet18",
+        iterations=budget,
+        mapping_mode="fixed",
+        seed=0,
+    )
+    return explainable, random_fix, hyper_fix
+
+
+class TestHeadlineClaims:
+    def test_explainable_finds_feasible_quickly(self, resnet_runs):
+        explainable, _, _ = resnet_runs
+        assert explainable.found_feasible
+        first = next(t.index for t in explainable.trials if t.feasible)
+        assert first <= 20  # "tens of iterations"
+
+    def test_explainable_beats_blackbox_latency(self, resnet_runs):
+        explainable, random_fix, hyper_fix = resnet_runs
+        for baseline in (random_fix, hyper_fix):
+            assert explainable.best_objective <= baseline.best_objective * 1.2
+
+    def test_explainable_feasibility_fraction_higher(self, resnet_runs):
+        explainable, random_fix, _ = resnet_runs
+        assert explainable.feasibility_fraction() >= (
+            random_fix.feasibility_fraction()
+        )
+
+    def test_per_attempt_reduction_dominates(self, resnet_runs):
+        explainable, random_fix, hyper_fix = resnet_runs
+        assert explainable.per_attempt_reduction() >= max(
+            random_fix.per_attempt_reduction(),
+            hyper_fix.per_attempt_reduction(),
+        ) - 0.02
+
+    def test_explanations_name_bottleneck_layers(self, resnet_runs):
+        explainable, _, _ = resnet_runs
+        text = "\n".join(explainable.explanations)
+        assert "conv" in text  # layer names surfaced
+        assert "critical cost" in text
+
+
+class TestCodesignVsFixedDataflow:
+    def test_codesign_at_least_as_good(self):
+        """§6.2: including the software space enables better solutions."""
+        budget = 40
+        codesign = run_explainable_dse(
+            "resnet18", iterations=budget, mapping_mode="codesign", top_n=60
+        )
+        fixed = run_explainable_dse(
+            "resnet18", iterations=budget, mapping_mode="fixed"
+        )
+        if fixed.found_feasible and codesign.found_feasible:
+            assert codesign.best_objective <= fixed.best_objective * 1.1
+
+
+class TestAblation:
+    def _run(self, **kwargs):
+        evaluator = make_evaluator("resnet18", "codesign", top_n=60)
+        from repro.arch import build_edge_design_space
+
+        dse = ExplainableDSE(
+            build_edge_design_space(),
+            evaluator,
+            edge_constraints("resnet18"),
+            max_evaluations=30,
+            **kwargs,
+        )
+        return dse.run()
+
+    def test_max_aggregation_runs(self):
+        result = self._run(aggregation_rule="max")
+        assert result.trials
+
+    def test_mean_aggregation_runs(self):
+        result = self._run(aggregation_rule="mean")
+        assert result.trials
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            self._run(aggregation_rule="median")
+
+    def test_budget_unaware_variant_runs(self):
+        result = self._run(budget_aware=False)
+        assert result.trials
+
+
+class TestObjectiveGenerality:
+    def test_energy_objective_end_to_end(self):
+        from repro.core.bottleneck.energy_model import (
+            build_energy_bottleneck_model,
+        )
+        from repro.arch import build_edge_design_space
+
+        evaluator = make_evaluator("resnet18", "codesign", top_n=50)
+        dse = ExplainableDSE(
+            build_edge_design_space(),
+            evaluator,
+            [Constraint("area", "area_mm2", 75.0)],
+            objective="energy_mj",
+            latency_model=build_energy_bottleneck_model(),
+            max_evaluations=20,
+        )
+        result = dse.run()
+        assert result.found_feasible
+        # best selection honours the energy objective
+        energies = [
+            t.costs["energy_mj"] for t in result.trials if t.feasible
+        ]
+        assert result.best.costs["energy_mj"] == min(energies)

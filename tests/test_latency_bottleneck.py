@@ -1,0 +1,148 @@
+"""Tests for the DNN-accelerator latency bottleneck model (§4.7)."""
+
+import math
+
+import pytest
+
+from repro.core.bottleneck.analyzer import analyze_tree
+from repro.core.bottleneck.api import MitigationContext
+from repro.core.bottleneck.latency_model import (
+    LayerExecutionContext,
+    build_latency_bottleneck_model,
+    build_latency_tree,
+    mitigate_noc_width,
+    mitigate_offchip_bw,
+    mitigate_pes,
+    mitigate_rf_size,
+    mitigate_spm_size,
+)
+from repro.cost.latency import evaluate_layer_mapping
+from repro.mapping.dataflow import build_output_stationary_mapping
+from repro.workloads.layers import Operand
+
+
+@pytest.fixture
+def context(conv_layer, mid_config):
+    mapping = build_output_stationary_mapping(conv_layer, mid_config)
+    execution = evaluate_layer_mapping(conv_layer, mapping, mid_config)
+    return LayerExecutionContext(
+        layer=conv_layer, execution=execution, config=mid_config
+    )
+
+
+class TestTree:
+    def test_root_value_is_layer_latency(self, context):
+        tree = build_latency_tree(context)
+        assert tree.value == pytest.approx(context.execution.latency)
+
+    def test_structure_matches_fig8(self, context):
+        tree = build_latency_tree(context)
+        assert tree.find("t_comp") is not None
+        assert tree.find("t_noc") is not None
+        assert tree.find("t_dma") is not None
+        for op in ("I", "W", "O", "PSUM"):
+            assert tree.find(f"t_noc_{op}") is not None
+            assert tree.find(f"dma_{op}") is not None
+
+    def test_dma_children_sum(self, context):
+        tree = build_latency_tree(context)
+        assert tree.find("t_dma").value == pytest.approx(
+            context.execution.t_dma
+        )
+
+    def test_operand_metadata(self, context):
+        tree = build_latency_tree(context)
+        node = tree.find("dma_W")
+        assert node.metadata["operand"] is Operand.W
+        assert 0 <= node.metadata["footprint_fraction"] <= 1
+
+    def test_analyzer_finds_dominant_factor(self, context):
+        tree = build_latency_tree(context)
+        findings = analyze_tree(tree)
+        expected = {
+            "comp": "t_comp",
+            "noc": "t_noc",
+            "dma": "t_dma",
+        }[context.execution.bottleneck_factor]
+        assert findings[0].path[1] == expected
+
+
+def _mitigation_context(context, scaling=4.0, operand=Operand.W):
+    from repro.core.bottleneck.analyzer import BottleneckFinding
+    from repro.core.bottleneck.tree import leaf
+
+    finding = BottleneckFinding(
+        node=leaf("dma_W", 1.0, operand=operand),
+        path=("latency", "t_dma", "dma_W"),
+        contribution=1.0,
+        scaling=scaling,
+    )
+    return MitigationContext(
+        scaling=scaling,
+        finding=finding,
+        execution=context.execution,
+        extra={"config": context.config},
+    )
+
+
+class TestMitigations:
+    def test_pes_scales_linearly(self, context):
+        ctx = _mitigation_context(context, scaling=4.0)
+        assert mitigate_pes(256, ctx) == pytest.approx(1024)
+
+    def test_offchip_bw_formula(self, context):
+        """offchip_BW_new = footprint / (t_dma / s) * freq (paper §4.7)."""
+        ctx = _mitigation_context(context, scaling=2.0)
+        execution = context.execution
+        expected = (
+            execution.total_offchip_bytes
+            / (execution.t_dma / 2.0)
+            * context.config.freq_mhz
+        )
+        assert mitigate_offchip_bw(1024, ctx) == pytest.approx(expected)
+
+    def test_noc_width_clamped_to_one_shot_broadcast(self, context):
+        ctx = _mitigation_context(context, scaling=64.0)
+        max_width = context.execution.noc_bytes_per_group[Operand.W] * 8
+        assert mitigate_noc_width(64, ctx) <= max_width
+
+    def test_rf_size_not_below_current_when_no_reuse(self, context):
+        ctx = _mitigation_context(context, scaling=4.0)
+        value = mitigate_rf_size(context.config.l1_bytes, ctx)
+        assert value > 0
+
+    def test_spm_size_uses_amdahl(self, context):
+        """The SPM target scaling is bounded by the Amdahl speedup of the
+        bottleneck operand's footprint share."""
+        ctx = _mitigation_context(context, scaling=8.0)
+        value = mitigate_spm_size(context.config.l2_kb, ctx)
+        assert value > 0
+        assert math.isfinite(value)
+
+
+class TestModelAssembly:
+    def test_model_covers_all_parameters(self):
+        model = build_latency_bottleneck_model()
+        mitigated = set(model.mitigations)
+        for params in model.affected_parameters.values():
+            for param in params:
+                assert param in mitigated
+
+    def test_predicts_for_real_execution(self, context, mid_point):
+        model = build_latency_bottleneck_model()
+        predictions = model.predict(
+            context,
+            current_values=mid_point,
+            execution=context.execution,
+            extra={"config": context.config},
+        )
+        assert predictions
+        for prediction in predictions:
+            assert prediction.parameter in mid_point
+            assert prediction.value > 0
+
+    def test_t_comp_associates_link_parameters(self):
+        model = build_latency_bottleneck_model()
+        params = model.affected_parameters["t_comp"]
+        assert "pes" in params
+        assert "virt_unicast_I" in params

@@ -1,0 +1,126 @@
+"""Additional coverage for the §4.7 mitigation subroutines."""
+
+import math
+
+import pytest
+
+from repro.core.bottleneck.analyzer import BottleneckFinding
+from repro.core.bottleneck.api import MitigationContext
+from repro.core.bottleneck.latency_model import (
+    LayerExecutionContext,
+    mitigate_phys_unicast,
+    mitigate_pes,
+    mitigate_rf_size,
+    mitigate_spm_size,
+    mitigate_virt_unicast,
+)
+from repro.core.bottleneck.tree import leaf
+from repro.cost.latency import evaluate_layer_mapping
+from repro.mapping.dataflow import build_output_stationary_mapping
+from repro.workloads.layers import Operand
+
+
+@pytest.fixture
+def context(conv_layer, mid_config):
+    mapping = build_output_stationary_mapping(conv_layer, mid_config)
+    execution = evaluate_layer_mapping(conv_layer, mapping, mid_config)
+    return LayerExecutionContext(
+        layer=conv_layer, execution=execution, config=mid_config
+    )
+
+
+def _ctx(context, node_name, scaling=4.0, operand=None):
+    metadata = {"operand": operand} if operand else {}
+    finding = BottleneckFinding(
+        node=leaf(node_name, 1.0, **metadata),
+        path=("latency", node_name),
+        contribution=1.0,
+        scaling=scaling,
+    )
+    return MitigationContext(
+        scaling=scaling,
+        finding=finding,
+        execution=context.execution,
+        extra={"config": context.config},
+    )
+
+
+class TestComputeBoundLinkMitigations:
+    def test_underutilized_array_scales_virt(self, context):
+        ctx = _ctx(context, "t_comp", scaling=8.0)
+        if context.execution.pes_used < 0.9 * context.config.pes:
+            assert mitigate_virt_unicast(8, ctx) == pytest.approx(64.0)
+            assert mitigate_phys_unicast(4, ctx) == pytest.approx(32.0)
+        else:
+            assert mitigate_virt_unicast(8, ctx) is None
+
+    def test_phys_multiplier_clamped_at_64(self, context):
+        ctx = _ctx(context, "t_comp", scaling=64.0)
+        if context.execution.pes_used < 0.9 * context.config.pes:
+            assert mitigate_phys_unicast(32, ctx) == 64.0
+
+    def test_fully_utilized_array_skips_links(
+        self, conv_layer, mid_point
+    ):
+        """When pes_used ~ pes, links are not the limiter -> None."""
+        from repro.arch.accelerator import config_from_point
+
+        point = dict(mid_point)
+        point["pes"] = 64  # tiny array: the dataflow fills it
+        config = config_from_point(point)
+        mapping = build_output_stationary_mapping(conv_layer, config)
+        execution = evaluate_layer_mapping(conv_layer, mapping, config)
+        if execution.pes_used >= 0.9 * config.pes:
+            context = LayerExecutionContext(
+                layer=conv_layer, execution=execution, config=config
+            )
+            ctx = _ctx(context, "t_comp", scaling=4.0)
+            assert mitigate_virt_unicast(8, ctx) is None
+
+
+class TestNocBoundLinkMitigations:
+    def test_virt_covers_demanded_rounds(self, context):
+        ctx = _ctx(context, "t_noc_W", operand=Operand.W)
+        groups = context.execution.noc_groups_needed[Operand.W]
+        links = context.config.physical_links(Operand.W)
+        assert mitigate_virt_unicast(8, ctx) == math.ceil(groups / links)
+
+    def test_phys_links_clamped_to_groups(self, context):
+        ctx = _ctx(context, "t_noc_W", scaling=64.0, operand=Operand.W)
+        value = mitigate_phys_unicast(16, ctx)
+        groups = context.execution.noc_groups_needed[Operand.W]
+        implied_links = value * context.config.pes / 64.0
+        assert implied_links <= max(groups, 1) + 1e-9
+
+    def test_operand_fallback_uses_worst_noc(self, context):
+        """A finding without operand metadata resolves to the slowest NoC."""
+        ctx = _ctx(context, "t_noc")  # no operand metadata
+        value = mitigate_virt_unicast(8, ctx)
+        worst = max(
+            context.execution.t_noc, key=context.execution.t_noc.get
+        )
+        groups = context.execution.noc_groups_needed[worst]
+        links = context.config.physical_links(worst)
+        assert value == math.ceil(groups / links)
+
+
+class TestBufferSizing:
+    def test_rf_no_growth_without_remaining_reuse(self, context):
+        """target_scaling clamps at the remaining reuse: if none, keep."""
+        execution = context.execution
+        op = Operand.W
+        if execution.reuse_available_rf[op] <= 1.0:
+            ctx = _ctx(context, "t_noc_W", operand=op)
+            assert mitigate_rf_size(256, ctx) == 256
+
+    def test_spm_scaling_monotone_in_s(self, context):
+        small = mitigate_spm_size(
+            512, _ctx(context, "dma_W", scaling=2.0, operand=Operand.W)
+        )
+        large = mitigate_spm_size(
+            512, _ctx(context, "dma_W", scaling=16.0, operand=Operand.W)
+        )
+        assert large >= small - 1e-9
+
+    def test_pes_mitigation_is_pure_scaling(self, context):
+        assert mitigate_pes(7, _ctx(context, "t_comp", scaling=3.0)) == 21.0

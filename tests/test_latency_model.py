@@ -1,0 +1,178 @@
+"""Unit and property tests for the analytical latency model."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.accelerator import config_from_point
+from repro.cost.execution_info import ExecutionInfo, InfeasibleMapping
+from repro.cost.latency import evaluate_layer_mapping
+from repro.mapping.blackbox_mappers import random_genome
+from repro.mapping.dataflow import build_output_stationary_mapping
+from repro.mapping.mapping import padded_bounds
+from repro.workloads.layers import LOOP_DIMS, Operand, conv2d
+
+
+@pytest.fixture
+def layer():
+    return conv2d("c", 16, 32, (14, 14), kernel=(3, 3))
+
+
+@pytest.fixture
+def mapping(layer, mid_config):
+    mapping = build_output_stationary_mapping(layer, mid_config)
+    assert mapping is not None
+    return mapping
+
+
+def _execution(layer, mapping, config) -> ExecutionInfo:
+    outcome = evaluate_layer_mapping(layer, mapping, config)
+    assert isinstance(outcome, ExecutionInfo), outcome
+    return outcome
+
+
+class TestFeasibilityChecks:
+    def test_valid_mapping_executes(self, layer, mapping, mid_config):
+        execution = _execution(layer, mapping, mid_config)
+        assert execution.latency > 0
+
+    def test_pe_overflow_rejected(self, layer, mapping, mid_point):
+        point = dict(mid_point)
+        point["pes"] = 64
+        config = config_from_point(point)
+        outcome = evaluate_layer_mapping(layer, mapping, config)
+        if mapping.pes_used > 64:
+            assert isinstance(outcome, InfeasibleMapping)
+            assert "PEs" in outcome.reason
+
+    def test_rf_overflow_rejected(self, layer, mapping, mid_point):
+        point = dict(mid_point)
+        point["l1_bytes"] = 8
+        config = config_from_point(point)
+        outcome = evaluate_layer_mapping(layer, mapping, config)
+        # The mid-config mapping grew its RF tile beyond 8 bytes.
+        assert isinstance(outcome, InfeasibleMapping)
+
+    def test_noc_incompatibility_names_operand(self, layer, mid_point):
+        point = dict(mid_point)
+        for op in ("I", "W", "O", "PSUM"):
+            point[f"phys_unicast_{op}"] = 1
+            point[f"virt_unicast_{op}"] = 1
+        tight = config_from_point(point)
+        from repro.mapping.mapping import Mapping
+        from repro.workloads.layers import Dim
+
+        bounds = padded_bounds(layer)
+        dram = dict(bounds)
+        dram[Dim.M] //= 32
+        unrolled = Mapping.from_level_maps(
+            dram=dram,
+            spm={},
+            spatial={Dim.M: 32},
+            rf={},
+        )
+        outcome = evaluate_layer_mapping(layer, unrolled, tight)
+        assert isinstance(outcome, InfeasibleMapping)
+        assert outcome.operand is not None
+
+
+class TestLatencySemantics:
+    def test_latency_is_max_of_factors(self, layer, mapping, mid_config):
+        execution = _execution(layer, mapping, mid_config)
+        assert execution.latency == max(
+            execution.t_comp, execution.t_noc_max, execution.t_dma
+        )
+
+    def test_t_comp_counts_padded_iterations(self, layer, mapping, mid_config):
+        execution = _execution(layer, mapping, mid_config)
+        from repro.mapping.mapping import Level
+
+        expected = (
+            mapping.temporal_iterations(Level.DRAM)
+            * mapping.temporal_iterations(Level.SPM)
+            * mapping.temporal_iterations(Level.RF)
+        )
+        assert execution.t_comp == expected
+
+    def test_dma_monotone_in_bandwidth(self, layer, mapping, mid_point):
+        low = config_from_point({**mid_point, "offchip_bw_mbps": 1024})
+        high = config_from_point({**mid_point, "offchip_bw_mbps": 51200})
+        t_low = _execution(layer, mapping, low).t_dma
+        t_high = _execution(layer, mapping, high).t_dma
+        assert t_high < t_low
+        assert math.isclose(t_low / t_high, 50.0, rel_tol=1e-9)
+
+    def test_noc_monotone_in_datawidth(self, layer, mapping, mid_point):
+        narrow = config_from_point({**mid_point, "noc_datawidth": 16})
+        wide = config_from_point({**mid_point, "noc_datawidth": 256})
+        assert (
+            _execution(layer, mapping, wide).t_noc_max
+            < _execution(layer, mapping, narrow).t_noc_max
+        )
+
+    def test_offchip_traffic_at_least_tensor_once(
+        self, layer, mapping, mid_config
+    ):
+        """Each operand must cross the off-chip boundary at least once."""
+        execution = _execution(layer, mapping, mid_config)
+        for op in (Operand.I, Operand.W, Operand.O):
+            tensor_bytes = layer.tensor_bytes(op)
+            # Padding can only increase the traffic.
+            assert execution.data_offchip[op] >= tensor_bytes * 0.5
+
+    def test_psum_traffic_nonnegative(self, layer, mapping, mid_config):
+        execution = _execution(layer, mapping, mid_config)
+        assert execution.data_offchip[Operand.PSUM] >= 0
+        assert execution.data_noc[Operand.PSUM] >= 0
+
+    def test_utilization_in_unit_range(self, layer, mapping, mid_config):
+        execution = _execution(layer, mapping, mid_config)
+        assert 0 < execution.utilized_macs_fraction <= 1.0
+
+    def test_bottleneck_factor_names_dominator(self, layer, mapping, mid_point):
+        starved = config_from_point({**mid_point, "offchip_bw_mbps": 1024})
+        execution = _execution(layer, mapping, starved)
+        if execution.t_dma == execution.latency:
+            assert execution.bottleneck_factor == "dma"
+
+
+class TestExecutionInfoContract:
+    def test_reuse_available_at_least_one(self, layer, mapping, mid_config):
+        execution = _execution(layer, mapping, mid_config)
+        for op in Operand:
+            assert execution.reuse_available_rf[op] >= 1.0
+            assert execution.reuse_available_spm[op] >= 1.0
+
+    def test_groups_within_effective_links(self, layer, mapping, mid_config):
+        execution = _execution(layer, mapping, mid_config)
+        for op in Operand:
+            assert execution.noc_groups_needed[
+                op
+            ] <= mid_config.effective_links(op)
+
+    def test_psum_aliases_output_buffers(self, layer, mapping, mid_config):
+        execution = _execution(layer, mapping, mid_config)
+        assert execution.data_rf[Operand.PSUM] == execution.data_rf[Operand.O]
+        assert (
+            execution.data_spm[Operand.PSUM] == execution.data_spm[Operand.O]
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_random_mappings_invariants(seed, mid_config):
+    """Feasible random mappings satisfy the core latency invariants."""
+    layer = conv2d("h", 12, 24, (10, 10), kernel=(3, 3))
+    rng = random.Random(seed)
+    genome = random_genome(layer, mid_config, rng)
+    outcome = evaluate_layer_mapping(layer, genome.to_mapping(), mid_config)
+    if isinstance(outcome, InfeasibleMapping):
+        return
+    assert outcome.latency == max(
+        outcome.t_comp, outcome.t_noc_max, outcome.t_dma
+    )
+    assert outcome.t_comp * outcome.pes_used >= layer.macs
+    assert all(v >= 0 for v in outcome.data_offchip.values())
+    assert all(v >= 0 for v in outcome.data_noc.values())

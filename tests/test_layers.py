@@ -1,0 +1,205 @@
+"""Unit tests for the layer/workload representation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.layers import (
+    LOOP_DIMS,
+    Dim,
+    LayerShape,
+    Operand,
+    OperatorType,
+    Workload,
+    conv2d,
+    depthwise_conv2d,
+    gemm,
+    operand_dims,
+    validate_workload,
+)
+
+
+class TestLayerShape:
+    def test_conv_builder_dims(self):
+        layer = conv2d("c", 64, 128, (28, 28), kernel=(3, 3), stride=2)
+        assert layer.dim(Dim.M) == 128
+        assert layer.dim(Dim.C) == 64
+        assert layer.dim(Dim.OY) == 28
+        assert layer.dim(Dim.FX) == 3
+        assert layer.stride == 2
+        assert layer.operator is OperatorType.CONV
+
+    def test_gemm_builder_maps_to_loop_dims(self):
+        layer = gemm("g", 512, 256, 64)
+        assert layer.dim(Dim.M) == 512
+        assert layer.dim(Dim.C) == 256
+        assert layer.dim(Dim.OX) == 64
+        assert layer.dim(Dim.OY) == 1
+        assert layer.dim(Dim.FY) == 1
+
+    def test_depthwise_collapses_c(self):
+        layer = depthwise_conv2d("d", 96, (56, 56))
+        assert layer.dim(Dim.C) == 1
+        assert layer.dim(Dim.M) == 96
+        assert layer.operator is OperatorType.DWCONV
+
+    def test_macs_is_product_of_dims(self):
+        layer = conv2d("c", 4, 8, (5, 5), kernel=(3, 3))
+        assert layer.macs == 1 * 8 * 4 * 5 * 5 * 3 * 3
+
+    def test_input_halo(self):
+        layer = conv2d("c", 3, 8, (10, 10), kernel=(3, 3), stride=2)
+        assert layer.input_rows == (10 - 1) * 2 + 3
+        assert layer.input_cols == (10 - 1) * 2 + 3
+
+    def test_tensor_elements_weight(self):
+        layer = conv2d("c", 16, 32, (8, 8), kernel=(3, 3))
+        assert layer.tensor_elements(Operand.W) == 32 * 16 * 3 * 3
+
+    def test_tensor_elements_output(self):
+        layer = conv2d("c", 16, 32, (8, 8))
+        assert layer.tensor_elements(Operand.O) == 32 * 8 * 8
+        assert layer.tensor_elements(Operand.PSUM) == 32 * 8 * 8
+
+    def test_tensor_elements_input_uses_halo(self):
+        layer = conv2d("c", 16, 32, (8, 8), kernel=(3, 3))
+        assert layer.tensor_elements(Operand.I) == 16 * 10 * 10
+
+    def test_depthwise_input_channels_follow_m(self):
+        layer = depthwise_conv2d("d", 48, (8, 8))
+        assert layer.tensor_elements(Operand.I) == 48 * 10 * 10
+        assert layer.tensor_elements(Operand.W) == 48 * 3 * 3
+
+    def test_tensor_bytes_scales_with_precision(self):
+        layer = conv2d("c", 4, 4, (4, 4), kernel=(1, 1))
+        assert layer.tensor_bytes(Operand.O) == layer.tensor_elements(Operand.O) * 2
+
+    def test_with_batch(self):
+        layer = conv2d("c", 4, 4, (4, 4))
+        assert layer.with_batch(8).dim(Dim.N) == 8
+        assert layer.dim(Dim.N) == 1  # original untouched
+
+    def test_describe_mentions_name_and_operator(self):
+        layer = conv2d("my_conv", 4, 4, (4, 4))
+        text = layer.describe()
+        assert "my_conv" in text
+        assert "CONV" in text
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            LayerShape("bad", OperatorType.CONV, (1, 0, 1, 1, 1, 1, 1))
+
+    def test_rejects_wrong_dim_count(self):
+        with pytest.raises(ValueError):
+            LayerShape("bad", OperatorType.CONV, (1, 1, 1))
+
+    def test_rejects_bad_stride_and_repeats(self):
+        with pytest.raises(ValueError):
+            conv2d("bad", 4, 4, (4, 4), stride=0)
+        with pytest.raises(ValueError):
+            conv2d("bad", 4, 4, (4, 4), repeats=0)
+
+
+class TestOperandDims:
+    def test_weight_dims_conv(self):
+        assert operand_dims(OperatorType.CONV, Operand.W) == frozenset(
+            {Dim.M, Dim.C, Dim.FY, Dim.FX}
+        )
+
+    def test_output_dims(self):
+        expected = frozenset({Dim.N, Dim.M, Dim.OY, Dim.OX})
+        assert operand_dims(OperatorType.CONV, Operand.O) == expected
+        assert operand_dims(OperatorType.CONV, Operand.PSUM) == expected
+
+    def test_input_dims_conv_exclude_m(self):
+        dims = operand_dims(OperatorType.CONV, Operand.I)
+        assert Dim.M not in dims
+        assert Dim.C in dims
+
+    def test_depthwise_weight_excludes_c(self):
+        dims = operand_dims(OperatorType.DWCONV, Operand.W)
+        assert Dim.C not in dims
+        assert Dim.M in dims
+
+    def test_depthwise_input_includes_m(self):
+        dims = operand_dims(OperatorType.DWCONV, Operand.I)
+        assert Dim.M in dims
+        assert Dim.C not in dims
+
+
+@given(
+    m=st.integers(1, 512),
+    c=st.integers(1, 512),
+    o=st.integers(1, 64),
+    k=st.integers(1, 7),
+)
+def test_macs_positive_and_consistent(m, c, o, k):
+    layer = conv2d("h", c, m, (o, o), kernel=(k, k))
+    assert layer.macs == m * c * o * o * k * k
+    assert layer.tensor_elements(Operand.W) == m * c * k * k
+
+
+@given(st.integers(1, 64), st.integers(1, 64), st.integers(1, 256))
+def test_gemm_footprint_identities(rows, inner, cols):
+    layer = gemm("h", rows, inner, cols)
+    assert layer.tensor_elements(Operand.W) == rows * inner
+    assert layer.tensor_elements(Operand.O) == rows * cols
+    assert layer.tensor_elements(Operand.I) == inner * cols
+    assert layer.macs == rows * inner * cols
+
+
+class TestWorkload:
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            Workload(name="empty", layers=(), total_layers=0)
+
+    def test_rejects_duplicate_names(self):
+        layer = conv2d("dup", 4, 4, (4, 4))
+        with pytest.raises(ValueError):
+            Workload(name="w", layers=(layer, layer), total_layers=2)
+
+    def test_counts(self):
+        layers = (
+            conv2d("a", 4, 4, (4, 4), repeats=3),
+            conv2d("b", 4, 4, (4, 4)),
+        )
+        w = Workload(name="w", layers=layers, total_layers=4)
+        assert w.unique_layer_count == 2
+        assert w.repeated_layer_count == 4
+
+    def test_total_macs_weighs_repeats(self):
+        layer = conv2d("a", 4, 4, (4, 4), repeats=3)
+        w = Workload(name="w", layers=(layer,), total_layers=3)
+        assert w.total_macs == 3 * layer.macs
+
+    def test_layer_lookup(self):
+        layer = conv2d("a", 4, 4, (4, 4))
+        w = Workload(name="w", layers=(layer,), total_layers=1)
+        assert w.layer("a") is layer
+        with pytest.raises(KeyError):
+            w.layer("nope")
+
+    def test_scaled_latency(self):
+        layers = (
+            conv2d("a", 4, 4, (4, 4), repeats=2),
+            conv2d("b", 4, 4, (4, 4)),
+        )
+        w = Workload(name="w", layers=layers, total_layers=3)
+        assert w.scaled_latency({"a": 10.0, "b": 5.0}) == 25.0
+
+    def test_scaled_latency_missing_layer(self):
+        layer = conv2d("a", 4, 4, (4, 4))
+        w = Workload(name="w", layers=(layer,), total_layers=1)
+        with pytest.raises(KeyError):
+            w.scaled_latency({})
+
+    def test_validate_flags_overcount(self):
+        layer = conv2d("a", 4, 4, (4, 4), repeats=5)
+        w = Workload(name="w", layers=(layer,), total_layers=3)
+        assert validate_workload(w)
+
+    def test_validate_clean(self):
+        layer = conv2d("a", 4, 4, (4, 4))
+        w = Workload(name="w", layers=(layer,), total_layers=1)
+        assert validate_workload(w) == []

@@ -1,0 +1,90 @@
+"""Tests for the greedy local-search baseline (§4.5's foil)."""
+
+import pytest
+
+from repro.core.dse.constraints import Constraint
+from repro.cost.evaluator import CostEvaluator
+from repro.mapping.mapper import TopNMapper
+from repro.optim.local_search import LocalSearch
+
+
+@pytest.fixture
+def make_local_search(edge_space, tiny_workload):
+    def factory(budget=20, **kwargs):
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=50))
+        return LocalSearch(
+            edge_space,
+            evaluator,
+            [Constraint("area", "area_mm2", 75.0)],
+            max_evaluations=budget,
+            seed=2,
+            **kwargs,
+        )
+
+    return factory
+
+
+def test_respects_budget(make_local_search):
+    result = make_local_search(budget=15).run()
+    assert result.evaluations <= 15
+    assert result.technique == "local-search"
+
+
+def test_rejects_negative_restarts(make_local_search):
+    with pytest.raises(ValueError):
+        make_local_search(restarts=-1)
+
+
+def test_moves_are_neighbors(make_local_search, edge_space):
+    """Every accepted move is one index step in one parameter — the
+    limitation §4.5 contrasts with bottleneck-predicted large steps."""
+    result = make_local_search(budget=25, restarts=0).run()
+    starts = [t for t in result.trials if t.note == "ls-start"]
+    assert starts
+    for trial in result.trials:
+        if trial.note != "ls-neighbor":
+            continue
+        # Each neighbour differs from some other trial by one index step.
+        diffs = []
+        for other in result.trials:
+            if other is trial:
+                continue
+            changed = [
+                k for k in trial.point if trial.point[k] != other.point[k]
+            ]
+            if len(changed) == 1:
+                p = edge_space.parameter(changed[0])
+                step = abs(
+                    p.index_of(trial.point[changed[0]])
+                    - p.index_of(other.point[changed[0]])
+                )
+                diffs.append(step)
+        assert 1 in diffs
+
+
+def test_restarts_consume_remaining_budget(make_local_search):
+    # Each greedy step costs ~2p neighbour evaluations for p parameters,
+    # so the budget must cover at least one full climb plus a restart.
+    result = make_local_search(budget=300, restarts=5).run()
+    start_count = sum(1 for t in result.trials if t.note == "ls-start")
+    assert start_count >= 2  # the initial climb plus at least one restart
+
+
+def test_descends_from_start(make_local_search):
+    from repro.optim.base import penalized_objective
+
+    result = make_local_search(budget=40, restarts=0).run()
+    scores = [
+        penalized_objective(
+            t.costs,
+            [Constraint("area", "area_mm2", 75.0)],
+        )
+        for t in result.trials
+        if t.note == "ls-start"
+    ]
+    # Greedy descent should find something no worse than the start.
+    best = min(
+        penalized_objective(t.costs, [Constraint("area", "area_mm2", 75.0)])
+        for t in result.trials
+    )
+    assert best <= scores[0]

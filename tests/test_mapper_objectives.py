@@ -1,0 +1,68 @@
+"""Tests for mapper objectives (latency / energy / EDP)."""
+
+import math
+
+import pytest
+
+from repro.cost.energy import layer_energy
+from repro.mapping.mapper import (
+    MAPPING_OBJECTIVES,
+    RandomSearchMapper,
+    TopNMapper,
+)
+
+
+class TestObjectiveRegistry:
+    def test_three_objectives(self):
+        assert set(MAPPING_OBJECTIVES) == {"latency", "energy", "edp"}
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            TopNMapper(objective="throughput")
+        with pytest.raises(ValueError):
+            RandomSearchMapper(objective="throughput")
+
+
+class TestObjectiveBehaviour:
+    def test_latency_mapper_minimizes_latency(self, conv_layer, mid_config):
+        latency_best = TopNMapper(top_n=150, objective="latency")(
+            conv_layer, mid_config
+        )
+        energy_best = TopNMapper(top_n=150, objective="energy")(
+            conv_layer, mid_config
+        )
+        assert latency_best.latency <= energy_best.latency + 1e-9
+
+    def test_energy_mapper_minimizes_energy(self, conv_layer, mid_config):
+        latency_best = TopNMapper(top_n=150, objective="latency")(
+            conv_layer, mid_config
+        )
+        energy_best = TopNMapper(top_n=150, objective="energy")(
+            conv_layer, mid_config
+        )
+        e_latency = layer_energy(latency_best.execution, mid_config).total_pj
+        e_energy = layer_energy(energy_best.execution, mid_config).total_pj
+        assert e_energy <= e_latency + 1e-6
+
+    def test_edp_between_extremes(self, conv_layer, mid_config):
+        results = {
+            objective: TopNMapper(top_n=150, objective=objective)(
+                conv_layer, mid_config
+            )
+            for objective in ("latency", "energy", "edp")
+        }
+
+        def edp(result):
+            return result.latency * layer_energy(
+                result.execution, mid_config
+            ).total_pj
+
+        assert edp(results["edp"]) <= edp(results["latency"]) + 1e-6
+        assert edp(results["edp"]) <= edp(results["energy"]) + 1e-6
+
+    def test_random_mapper_objective(self, conv_layer, mid_config):
+        result = RandomSearchMapper(trials=60, seed=0, objective="energy")(
+            conv_layer, mid_config
+        )
+        assert result.feasible
+        assert math.isfinite(result.latency)

@@ -1,0 +1,213 @@
+"""Unit and property tests for the mapping representation."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.mapping import (
+    Level,
+    Mapping,
+    MappingError,
+    operand_tile_elements,
+    padded_bounds,
+)
+from repro.workloads.layers import (
+    LOOP_DIMS,
+    Dim,
+    Operand,
+    conv2d,
+    gemm,
+)
+
+
+@pytest.fixture
+def small_layer():
+    return conv2d("c", 8, 16, (8, 8), kernel=(3, 3))
+
+
+def _mapping_for(layer, overrides=None):
+    """A simple valid mapping: everything at DRAM except overrides."""
+    bounds = padded_bounds(layer)
+    dram = dict(bounds)
+    spm = {d: 1 for d in LOOP_DIMS}
+    spatial = {d: 1 for d in LOOP_DIMS}
+    rf = {d: 1 for d in LOOP_DIMS}
+    for (level, dim), factor in (overrides or {}).items():
+        target = {"spm": spm, "spatial": spatial, "rf": rf}[level]
+        target[dim] = factor
+        dram[dim] //= factor
+    return Mapping.from_level_maps(dram=dram, spm=spm, spatial=spatial, rf=rf)
+
+
+class TestConstruction:
+    def test_from_level_maps_defaults_missing_dims(self, small_layer):
+        mapping = _mapping_for(small_layer)
+        for d in LOOP_DIMS:
+            assert mapping.level_factor(Level.RF, d) == 1
+
+    def test_validate_for_accepts_exact_cover(self, small_layer):
+        _mapping_for(small_layer).validate_for(small_layer)
+
+    def test_validate_for_rejects_bad_product(self, small_layer):
+        mapping = _mapping_for(small_layer)
+        broken = Mapping.from_level_maps(
+            dram={Dim.M: 3},
+            spm={},
+            spatial={},
+            rf={},
+        )
+        with pytest.raises(MappingError):
+            broken.validate_for(small_layer)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(MappingError):
+            Mapping.from_level_maps(
+                dram={Dim.M: 0}, spm={}, spatial={}, rf={}
+            )
+
+    def test_rejects_bad_stationary(self, small_layer):
+        with pytest.raises(MappingError):
+            Mapping.from_level_maps(
+                dram={},
+                spm={},
+                spatial={},
+                rf={},
+                dram_stationary="weights",
+            )
+
+
+class TestGeometry:
+    def test_pes_used(self, small_layer):
+        mapping = _mapping_for(
+            small_layer, {("spatial", Dim.M): 4, ("spatial", Dim.OX): 2}
+        )
+        assert mapping.pes_used == 8
+
+    def test_tile_dims_combine_levels(self, small_layer):
+        mapping = _mapping_for(
+            small_layer, {("rf", Dim.FX): 3, ("spatial", Dim.M): 4}
+        )
+        assert mapping.rf_tile[Dim.FX] == 3
+        assert mapping.spatial_tile[Dim.M] == 4
+        assert mapping.spatial_tile[Dim.FX] == 3
+
+    def test_temporal_iterations(self, small_layer):
+        mapping = _mapping_for(small_layer, {("spm", Dim.C): 2})
+        bounds = padded_bounds(small_layer)
+        assert mapping.temporal_iterations(Level.SPM) == 2
+        expected_dram = math.prod(bounds.values()) // 2
+        assert mapping.temporal_iterations(Level.DRAM) == expected_dram
+
+    def test_temporal_iterations_rejects_spatial(self, small_layer):
+        with pytest.raises(MappingError):
+            _mapping_for(small_layer).temporal_iterations(Level.SPATIAL)
+
+    def test_describe_lists_stationaries(self, small_layer):
+        text = _mapping_for(small_layer).describe()
+        assert "DRAM=O" in text
+
+
+class TestReuse:
+    def test_stationary_operand_gets_full_irrelevant_reuse(self, small_layer):
+        # All loops at DRAM, output stationary: the output tile is reused
+        # across every reduction (C, FY, FX) iteration.
+        mapping = _mapping_for(small_layer)
+        bounds = padded_bounds(small_layer)
+        expected = bounds[Dim.C] * bounds[Dim.FY] * bounds[Dim.FX]
+        assert mapping.reuse_at(Level.DRAM, small_layer, Operand.O) == expected
+
+    def test_nonstationary_reuse_excludes_stationary_dims(self, small_layer):
+        # Output stationary: weights can only be reused across dims that
+        # are irrelevant to both W and O -- there are none (N is 1).
+        mapping = _mapping_for(small_layer)
+        assert mapping.reuse_at(Level.DRAM, small_layer, Operand.W) == 1
+
+    def test_fetches_times_reuse_equals_iterations(self, small_layer):
+        mapping = _mapping_for(small_layer, {("spm", Dim.C): 2})
+        for level in (Level.DRAM, Level.SPM):
+            total = mapping.temporal_iterations(level)
+            for op in (Operand.I, Operand.W, Operand.O):
+                fetches = mapping.fetches_at(level, small_layer, op)
+                reuse = mapping.reuse_at(level, small_layer, op)
+                assert fetches * reuse == total
+
+    def test_reuse_rejects_nontemporal_level(self, small_layer):
+        with pytest.raises(MappingError):
+            _mapping_for(small_layer).reuse_at(
+                Level.SPATIAL, small_layer, Operand.I
+            )
+
+    def test_spatial_groups(self, small_layer):
+        mapping = _mapping_for(
+            small_layer, {("spatial", Dim.M): 4, ("spatial", Dim.OX): 2}
+        )
+        # W indexed by M only (of the unrolled dims): 4 groups.
+        assert mapping.spatial_groups(small_layer, Operand.W) == 4
+        # I indexed by OX but not M: 2 groups (M broadcast).
+        assert mapping.spatial_groups(small_layer, Operand.I) == 2
+        # O indexed by both: 8 groups.
+        assert mapping.spatial_groups(small_layer, Operand.O) == 8
+
+
+class TestOperandTiles:
+    def test_input_halo_in_tiles(self, small_layer):
+        tile = {d: 1 for d in LOOP_DIMS}
+        tile[Dim.OY] = 4
+        tile[Dim.FY] = 3
+        elements = operand_tile_elements(small_layer, tile, Operand.I)
+        assert elements == 1 * 1 * ((4 - 1) * 1 + 3) * 1
+
+    def test_gemm_tiles(self):
+        layer = gemm("g", 16, 32, 8)
+        tile = {d: 1 for d in LOOP_DIMS}
+        tile[Dim.M] = 4
+        tile[Dim.C] = 8
+        tile[Dim.OX] = 2
+        assert operand_tile_elements(layer, tile, Operand.W) == 32
+        assert operand_tile_elements(layer, tile, Operand.I) == 16
+        assert operand_tile_elements(layer, tile, Operand.O) == 8
+
+
+class TestPaddedBounds:
+    def test_smooth_bounds_unchanged(self):
+        layer = conv2d("c", 8, 16, (8, 8))
+        bounds = padded_bounds(layer)
+        assert bounds[Dim.M] == 16
+        assert bounds[Dim.C] == 8
+
+    def test_prime_bounds_padded(self):
+        layer = gemm("g", 197, 13, 1)
+        bounds = padded_bounds(layer)
+        assert bounds[Dim.M] == 200
+        assert bounds[Dim.C] == 14
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_random_splits_cover_padded_bounds(seed):
+    """Any per-dim divisor split of the padded bound validates."""
+    from repro.mapping.factorization import divisors
+
+    layer = conv2d("c", 24, 36, (12, 12), kernel=(3, 3))
+    rng = random.Random(seed)
+    bounds = padded_bounds(layer)
+    rf, spatial, spm, dram = {}, {}, {}, {}
+    for d in LOOP_DIMS:
+        rest = bounds[d]
+        rf[d] = rng.choice(divisors(rest))
+        rest //= rf[d]
+        spatial[d] = rng.choice(divisors(rest))
+        rest //= spatial[d]
+        spm[d] = rng.choice(divisors(rest))
+        dram[d] = rest // spm[d]
+    mapping = Mapping.from_level_maps(
+        dram=dram, spm=spm, spatial=spatial, rf=rf
+    )
+    mapping.validate_for(layer)
+    for level in (Level.DRAM, Level.SPM):
+        for op in (Operand.I, Operand.W, Operand.O):
+            reuse = mapping.reuse_at(level, layer, op)
+            assert reuse >= 1
+            assert mapping.temporal_iterations(level) % reuse == 0

@@ -1,0 +1,115 @@
+"""Consistency tests for the 11-model benchmark zoo."""
+
+import pytest
+
+from repro.workloads.layers import OperatorType, validate_workload
+from repro.workloads.registry import (
+    MODEL_NAMES,
+    PAPER_LAYER_COUNTS,
+    available_models,
+    load_all_workloads,
+    load_workload,
+    paper_layer_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def all_workloads():
+    return load_all_workloads()
+
+
+def test_registry_has_eleven_models():
+    assert len(MODEL_NAMES) == 11
+    assert set(available_models()) == set(MODEL_NAMES)
+
+
+def test_unknown_model_raises():
+    with pytest.raises(KeyError):
+        load_workload("alexnet")
+
+
+def test_lookup_is_case_insensitive():
+    assert load_workload("ResNet18").name == "resnet18"
+
+
+def test_loading_is_cached():
+    assert load_workload("resnet18") is load_workload("resnet18")
+
+
+@pytest.mark.parametrize("model", MODEL_NAMES)
+def test_layer_counts_match_paper(all_workloads, model):
+    """Section 5: DNN layers are 18, 53, 82, 16, 54, 86, 79, 60, 163,
+    85, and 109 respectively."""
+    workload = all_workloads[model]
+    assert workload.repeated_layer_count == PAPER_LAYER_COUNTS[model]
+    assert workload.total_layers == PAPER_LAYER_COUNTS[model]
+
+
+@pytest.mark.parametrize("model", MODEL_NAMES)
+def test_workloads_validate_clean(all_workloads, model):
+    assert validate_workload(all_workloads[model]) == []
+
+
+@pytest.mark.parametrize("model", MODEL_NAMES)
+def test_single_stream_batch(all_workloads, model):
+    """Edge inference is single-stream (batch 1) throughout."""
+    for layer in all_workloads[model].layers:
+        assert layer.dims[0] == 1
+
+
+def test_paper_layer_counts_copy():
+    counts = paper_layer_counts()
+    counts["resnet18"] = 0
+    assert PAPER_LAYER_COUNTS["resnet18"] == 18
+
+
+def test_mac_count_sanity():
+    """Published MAC counts (within a factor ~1.4 for shape folding)."""
+    approx = {
+        "resnet18": 1.8e9,
+        "vgg16": 15.5e9,
+        "mobilenetv2": 0.3e9,
+        "resnet50": 4.1e9,
+    }
+    for model, expected in approx.items():
+        actual = load_workload(model).total_macs
+        assert expected / 1.4 <= actual <= expected * 1.4, model
+
+
+def test_nlp_models_are_gemm_dominated():
+    for model in ("transformer", "bert"):
+        workload = load_workload(model)
+        assert all(
+            layer.operator is OperatorType.GEMM for layer in workload.layers
+        )
+
+
+def test_mobilenet_contains_depthwise():
+    workload = load_workload("mobilenetv2")
+    assert any(
+        layer.operator is OperatorType.DWCONV for layer in workload.layers
+    )
+
+
+def test_transformer_has_output_projection():
+    """Table 7 singles out decoder.output_projection."""
+    layer = load_workload("transformer").layer("decoder.output_projection")
+    assert layer.macs > 1e8  # the dominant GEMM
+
+
+def test_bert_has_table7_layer():
+    load_workload("bert").layer("encoder.layer.0.output.dense")
+
+
+def test_unique_layers_are_deduplicated(all_workloads):
+    for workload in all_workloads.values():
+        shapes = [
+            (layer.operator, layer.dims, layer.stride)
+            for layer in workload.layers
+        ]
+        # Shape duplicates should have been folded into repeats; models
+        # keep some same-shape operators separate on purpose (encoder vs
+        # decoder positions, per-stage block names), so allow a bounded
+        # number of intentional duplicates.
+        duplicates = len(shapes) - len(set(shapes))
+        assert duplicates <= 15, workload.name

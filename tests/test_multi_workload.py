@@ -1,0 +1,94 @@
+"""Tests for multi-workload composition (§4.4's multiple-workload case)."""
+
+import pytest
+
+from repro.core.dse.constraints import Constraint
+from repro.core.dse.explainable import ExplainableDSE
+from repro.cost.evaluator import CostEvaluator
+from repro.mapping.mapper import TopNMapper
+from repro.workloads.layers import Workload, conv2d
+from repro.workloads.multi import (
+    combine_workloads,
+    load_combined_workload,
+    per_model_latency,
+)
+from repro.workloads.registry import load_workload
+
+
+class TestCombination:
+    def test_layer_names_prefixed(self):
+        combined = load_combined_workload(["resnet18", "bert"])
+        names = [layer.name for layer in combined.layers]
+        assert "resnet18/conv1" in names
+        assert any(name.startswith("bert/") for name in names)
+
+    def test_counts_sum(self):
+        a = load_workload("resnet18")
+        b = load_workload("bert")
+        combined = combine_workloads([a, b])
+        assert combined.total_layers == a.total_layers + b.total_layers
+        assert (
+            combined.repeated_layer_count
+            == a.repeated_layer_count + b.repeated_layer_count
+        )
+        assert combined.total_macs == a.total_macs + b.total_macs
+
+    def test_custom_name(self):
+        combined = load_combined_workload(["resnet18", "bert"], name="pair")
+        assert combined.name == "pair"
+
+    def test_default_name(self):
+        combined = load_combined_workload(["resnet18", "bert"])
+        assert combined.name == "resnet18+bert"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            combine_workloads([])
+
+    def test_rejects_duplicates(self):
+        w = load_workload("resnet18")
+        with pytest.raises(ValueError):
+            combine_workloads([w, w])
+
+
+class TestPerModelSplit:
+    def test_split_sums_back(self):
+        a = Workload(
+            "a", (conv2d("x", 4, 4, (4, 4), repeats=2),), total_layers=2
+        )
+        b = Workload("b", (conv2d("y", 4, 4, (4, 4)),), total_layers=1)
+        combined = combine_workloads([a, b])
+        latencies = {"a/x": 10.0, "b/y": 5.0}
+        split = per_model_latency(combined, latencies)
+        assert split == {"a": 20.0, "b": 5.0}
+
+
+class TestMultiWorkloadDSE:
+    def test_explainable_dse_on_combined(self, edge_space):
+        """One hardware point optimized for two DNNs at once."""
+        combined = combine_workloads(
+            [
+                Workload(
+                    "small_conv",
+                    (conv2d("c", 16, 32, (14, 14)),),
+                    total_layers=1,
+                ),
+                Workload(
+                    "small_gemm",
+                    (conv2d("g", 32, 64, (7, 7), kernel=(1, 1)),),
+                    total_layers=1,
+                ),
+            ]
+        )
+        evaluator = CostEvaluator(combined, TopNMapper(top_n=50))
+        dse = ExplainableDSE(
+            edge_space,
+            evaluator,
+            [Constraint("area", "area_mm2", 75.0)],
+            max_evaluations=20,
+        )
+        result = dse.run()
+        assert result.found_feasible
+        # Bottleneck layers from both models appear in the explanations.
+        text = "\n".join(result.explanations)
+        assert "small_conv/c" in text or "small_gemm/g" in text

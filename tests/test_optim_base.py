@@ -1,0 +1,88 @@
+"""Tests for the baseline optimizer base class and penalized objective."""
+
+import math
+
+import pytest
+
+from repro.core.dse.constraints import Constraint, Sense
+from repro.cost.evaluator import CostEvaluator
+from repro.mapping.mapper import TopNMapper
+from repro.optim.base import BaselineOptimizer, penalized_objective
+from repro.optim.random_search import RandomSearch
+
+
+class TestPenalizedObjective:
+    CONSTRAINTS = [
+        Constraint("area", "area_mm2", 75.0),
+        Constraint("throughput", "throughput", 40.0, Sense.GEQ),
+    ]
+
+    def test_feasible_is_log_latency(self):
+        costs = {"latency_ms": 10.0, "area_mm2": 50, "throughput": 100}
+        assert penalized_objective(costs, self.CONSTRAINTS) == pytest.approx(
+            math.log(10.0)
+        )
+
+    def test_violation_adds_penalty(self):
+        feasible = {"latency_ms": 10.0, "area_mm2": 50, "throughput": 100}
+        violated = {"latency_ms": 10.0, "area_mm2": 150, "throughput": 100}
+        assert penalized_objective(
+            violated, self.CONSTRAINTS
+        ) > penalized_objective(feasible, self.CONSTRAINTS)
+
+    def test_worse_violation_scores_worse(self):
+        a = {"latency_ms": 10.0, "area_mm2": 100, "throughput": 100}
+        b = {"latency_ms": 10.0, "area_mm2": 200, "throughput": 100}
+        assert penalized_objective(b, self.CONSTRAINTS) > penalized_objective(
+            a, self.CONSTRAINTS
+        )
+
+    def test_unmappable_is_finite(self):
+        costs = {"latency_ms": math.inf, "area_mm2": 50, "throughput": 0.0}
+        score = penalized_objective(costs, self.CONSTRAINTS)
+        assert math.isfinite(score)
+        assert score > penalized_objective(
+            {"latency_ms": 10.0, "area_mm2": 50, "throughput": 100},
+            self.CONSTRAINTS,
+        )
+
+
+class TestBudgetEnforcement:
+    def test_rejects_bad_budget(self, edge_space, tiny_workload):
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=40))
+        with pytest.raises(ValueError):
+            RandomSearch(edge_space, evaluator, [], max_evaluations=0)
+
+    def test_budget_is_hard_cap(self, edge_space, tiny_workload):
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=40))
+        optimizer = RandomSearch(
+            edge_space, evaluator, [], max_evaluations=7, seed=1
+        )
+        result = optimizer.run()
+        assert result.evaluations == 7
+        assert len(result.trials) == 7
+
+    def test_cached_reevaluations_free(self, edge_space, tiny_workload):
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=40))
+        optimizer = RandomSearch(
+            edge_space, evaluator, [], max_evaluations=5, seed=1
+        )
+        optimizer.run()
+        # A second run with the same seed replays the same points; the
+        # cached ones are free, so the budget buys strictly more trials.
+        second = RandomSearch(
+            edge_space, evaluator, [], max_evaluations=5, seed=1
+        ).run()
+        assert second.evaluations <= 5
+        assert len(second.trials) >= 5 + second.evaluations
+
+    def test_result_records_constraint_utilizations(
+        self, edge_space, tiny_workload
+    ):
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=40))
+        constraints = [Constraint("area", "area_mm2", 75.0)]
+        result = RandomSearch(
+            edge_space, evaluator, constraints, max_evaluations=3, seed=1
+        ).run()
+        for trial in result.trials:
+            assert "area" in trial.utilizations

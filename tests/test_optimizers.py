@@ -1,0 +1,134 @@
+"""Behavioural tests for every baseline optimizer."""
+
+import pytest
+
+from repro.core.dse.constraints import Constraint
+from repro.cost.evaluator import CostEvaluator
+from repro.mapping.mapper import TopNMapper
+from repro.optim import (
+    BayesianOptimization,
+    GeneticAlgorithm,
+    GridSearch,
+    HyperMapperDSE,
+    RandomSearch,
+    ReinforcementLearningDSE,
+    SimulatedAnnealing,
+)
+
+ALL_OPTIMIZERS = [
+    GridSearch,
+    RandomSearch,
+    SimulatedAnnealing,
+    GeneticAlgorithm,
+    BayesianOptimization,
+    HyperMapperDSE,
+    ReinforcementLearningDSE,
+]
+
+
+@pytest.fixture
+def make_optimizer(edge_space, tiny_workload):
+    def factory(cls, budget=15, seed=3, **kwargs):
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=50))
+        constraints = [
+            Constraint("area", "area_mm2", 75.0),
+            Constraint("power", "power_w", 4.0),
+        ]
+        return cls(
+            edge_space,
+            evaluator,
+            constraints,
+            max_evaluations=budget,
+            seed=seed,
+            **kwargs,
+        )
+
+    return factory
+
+
+@pytest.mark.parametrize("cls", ALL_OPTIMIZERS)
+def test_runs_within_budget(make_optimizer, cls):
+    result = make_optimizer(cls).run()
+    assert 1 <= result.evaluations <= 15
+    assert result.technique == cls.name
+
+
+@pytest.mark.parametrize("cls", ALL_OPTIMIZERS)
+def test_points_are_valid(make_optimizer, cls, edge_space):
+    result = make_optimizer(cls).run()
+    for trial in result.trials:
+        edge_space.validate(trial.point)
+
+
+@pytest.mark.parametrize(
+    "cls", [RandomSearch, SimulatedAnnealing, GeneticAlgorithm]
+)
+def test_deterministic_per_seed(make_optimizer, cls):
+    a = make_optimizer(cls, seed=11).run()
+    b = make_optimizer(cls, seed=11).run()
+    assert [t.point for t in a.trials] == [t.point for t in b.trials]
+
+
+class TestGridSearch:
+    def test_strided_coverage_varies_leading_params(self, make_optimizer):
+        result = make_optimizer(GridSearch, budget=12).run()
+        pes_values = {t.point["pes"] for t in result.trials}
+        assert len(pes_values) > 1
+
+    def test_rejects_bad_points_per_axis(self, edge_space, tiny_workload):
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=40))
+        with pytest.raises(ValueError):
+            GridSearch(edge_space, evaluator, [], points_per_axis=0)
+
+
+class TestSimulatedAnnealing:
+    def test_rejects_bad_cooling(self, edge_space, tiny_workload):
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=40))
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(edge_space, evaluator, [], cooling=1.5)
+
+    def test_neighbor_moves_stay_in_space(self, make_optimizer, edge_space):
+        result = make_optimizer(SimulatedAnnealing, budget=10).run()
+        for trial in result.trials:
+            edge_space.validate(trial.point)
+
+
+class TestGeneticAlgorithm:
+    def test_rejects_bad_population(self, edge_space, tiny_workload):
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=40))
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(edge_space, evaluator, [], population_size=1)
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(
+                edge_space, evaluator, [], population_size=4, elites=4
+            )
+
+    def test_initial_point_seeded(self, make_optimizer, mid_point):
+        optimizer = make_optimizer(GeneticAlgorithm, budget=8)
+        result = optimizer.run()  # run() signature: no initial for GA path
+        assert result.trials
+
+
+class TestBayesianFamilies:
+    def test_bo_switches_to_surrogate(self, make_optimizer):
+        result = make_optimizer(
+            BayesianOptimization, budget=14, initial_samples=5
+        ).run()
+        notes = [t.note for t in result.trials]
+        assert "bo-init" in notes
+        assert "bo-ei" in notes
+
+    def test_hypermapper_acquires_after_init(self, make_optimizer):
+        result = make_optimizer(
+            HyperMapperDSE, budget=14, initial_samples=5
+        ).run()
+        notes = [t.note for t in result.trials]
+        assert "hm-init" in notes
+        assert "hm-ei" in notes
+
+
+class TestReinforcementLearning:
+    def test_policy_improves_reward_signal(self, make_optimizer):
+        result = make_optimizer(ReinforcementLearningDSE, budget=20).run()
+        assert result.trials
+        assert all(t.note == "rl-episode" for t in result.trials)

@@ -1,0 +1,87 @@
+"""Tests for the loop-ordering / unique-reuse analysis."""
+
+import itertools
+
+import pytest
+
+from repro.mapping.ordering import (
+    count_unique_reuse_orderings,
+    maximal_reuse_orderings,
+    reuse_signature,
+    unique_reuse_signatures,
+)
+from repro.mapping.space_size import UNIQUE_REUSE_ORDERINGS
+from repro.workloads.layers import (
+    LOOP_DIMS,
+    Dim,
+    Operand,
+    OperatorType,
+    operand_dims,
+)
+
+
+class TestSignature:
+    def test_output_stationary_ordering(self):
+        """Reduction loops innermost: output reused across all of them."""
+        ordering = (Dim.N, Dim.M, Dim.OY, Dim.OX, Dim.C, Dim.FY, Dim.FX)
+        sig = reuse_signature(ordering, OperatorType.CONV)
+        # Signature order: (I, W, O).
+        assert sig[2] == frozenset({Dim.C, Dim.FY, Dim.FX})
+
+    def test_weight_stationary_ordering(self):
+        ordering = (Dim.M, Dim.C, Dim.FY, Dim.FX, Dim.N, Dim.OY, Dim.OX)
+        sig = reuse_signature(ordering, OperatorType.CONV)
+        assert sig[1] == frozenset({Dim.N, Dim.OY, Dim.OX})
+
+    def test_innermost_relevant_loop_blocks_reuse(self):
+        ordering = (Dim.N, Dim.C, Dim.FY, Dim.FX, Dim.OY, Dim.OX, Dim.M)
+        sig = reuse_signature(ordering, OperatorType.CONV)
+        # Innermost loop M is relevant to W: no weight reuse at all.
+        assert sig[1] == frozenset()
+
+
+class TestCounts:
+    def test_paper_counts_derived(self):
+        """Table 7 column E falls out of the signature analysis."""
+        assert count_unique_reuse_orderings(OperatorType.CONV) == 15
+        assert count_unique_reuse_orderings(OperatorType.DWCONV) == 15
+        assert count_unique_reuse_orderings(OperatorType.GEMM) == 3
+
+    def test_constants_match_derivation(self):
+        for operator, expected in UNIQUE_REUSE_ORDERINGS.items():
+            assert count_unique_reuse_orderings(operator) == expected
+
+    def test_signatures_are_distinct(self):
+        signatures = unique_reuse_signatures(OperatorType.CONV)
+        assert len(signatures) == len(set(signatures))
+
+    def test_far_fewer_than_permutations(self):
+        """The pruning claim: 15 classes vs 7! = 5040 orderings."""
+        import math
+
+        assert count_unique_reuse_orderings(OperatorType.CONV) < math.factorial(
+            len(LOOP_DIMS)
+        ) / 100
+
+
+class TestMaximalReuse:
+    def test_three_per_operator(self):
+        for operator in OperatorType:
+            assert len(maximal_reuse_orderings(operator)) == 3
+
+    def test_stationary_operand_gets_all_irrelevant_dims(self):
+        for ordering in maximal_reuse_orderings(OperatorType.CONV):
+            relevant = operand_dims(OperatorType.CONV, ordering.stationary)
+            expected = frozenset(d for d in LOOP_DIMS if d not in relevant)
+            assert ordering.reuse_dims == expected
+
+    def test_representative_ordering_realizes_signature(self):
+        for mro in maximal_reuse_orderings(OperatorType.CONV):
+            sig = reuse_signature(mro.ordering, OperatorType.CONV)
+            index = [Operand.I, Operand.W, Operand.O].index(mro.stationary)
+            assert sig[index] == mro.reuse_dims
+
+    def test_maximal_signatures_among_unique_set(self):
+        signatures = set(unique_reuse_signatures(OperatorType.CONV))
+        for mro in maximal_reuse_orderings(OperatorType.CONV):
+            assert reuse_signature(mro.ordering, OperatorType.CONV) in signatures

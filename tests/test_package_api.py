@@ -1,0 +1,65 @@
+"""Tests for the top-level package surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPackage:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_explore_wrapper(self):
+        result = repro.explore("resnet18", iterations=6)
+        assert result.model == "resnet18"
+        assert result.evaluations <= 6
+
+    def test_all_subpackages_import(self):
+        for module in (
+            "repro.arch",
+            "repro.workloads",
+            "repro.mapping",
+            "repro.cost",
+            "repro.core",
+            "repro.core.bottleneck",
+            "repro.core.dse",
+            "repro.optim",
+            "repro.experiments",
+        ):
+            importlib.import_module(module)
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.arch",
+            "repro.workloads",
+            "repro.mapping",
+            "repro.cost",
+            "repro.core.bottleneck",
+            "repro.core.dse",
+            "repro.optim",
+            "repro.experiments",
+        ],
+    )
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_import_order_independence(self):
+        """Entering through any subpackage must not trip import cycles."""
+        import subprocess
+        import sys
+
+        for entry in ("repro.mapping", "repro.cost", "repro.core"):
+            proc = subprocess.run(
+                [sys.executable, "-c", f"import {entry}"],
+                capture_output=True,
+                text=True,
+            )
+            assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,119 @@
+"""Unit and property tests for design-space parameters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.parameters import Parameter, geometric_values, linear_values
+
+
+class TestValueGenerators:
+    def test_geometric(self):
+        assert geometric_values(64, 4096) == (64, 128, 256, 512, 1024, 2048, 4096)
+
+    def test_geometric_custom_ratio(self):
+        assert geometric_values(1, 27, ratio=3) == (1, 3, 9, 27)
+
+    def test_geometric_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            geometric_values(0, 8)
+        with pytest.raises(ValueError):
+            geometric_values(1, 8, ratio=1)
+
+    def test_linear(self):
+        assert linear_values(16, 4) == (16, 32, 48, 64)
+
+    def test_linear_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            linear_values(0, 4)
+
+
+class TestParameter:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Parameter("p", ())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Parameter("p", (1, 1, 2))
+
+    def test_rejects_unsorted_numeric(self):
+        with pytest.raises(ValueError):
+            Parameter("p", (2, 1, 3))
+
+    def test_categorical_keeps_order(self):
+        p = Parameter("p", ("ws", "os", "is"), categorical=True)
+        assert p.values == ("ws", "os", "is")
+
+    def test_cardinality_min_max(self):
+        p = Parameter("p", (1, 2, 4, 8))
+        assert p.cardinality == 4
+        assert p.minimum == 1
+        assert p.maximum == 8
+
+    def test_index_of(self):
+        p = Parameter("p", (1, 2, 4))
+        assert p.index_of(4) == 2
+        with pytest.raises(ValueError):
+            p.index_of(3)
+
+    def test_contains(self):
+        p = Parameter("p", (1, 2, 4))
+        assert p.contains(2)
+        assert not p.contains(3)
+
+    def test_round_up_picks_smallest_geq(self):
+        p = Parameter("p", (1, 2, 4, 8))
+        assert p.round_up(3) == 4
+        assert p.round_up(4) == 4
+        assert p.round_up(100) == 8
+        assert p.round_up(0.5) == 1
+
+    def test_round_down_picks_largest_leq(self):
+        p = Parameter("p", (1, 2, 4, 8))
+        assert p.round_down(3) == 2
+        assert p.round_down(4) == 4
+        assert p.round_down(0.5) == 1
+        assert p.round_down(100) == 8
+
+    def test_rounding_categorical_raises(self):
+        p = Parameter("p", ("a", "b"), categorical=True)
+        with pytest.raises(TypeError):
+            p.round_up(1)
+        with pytest.raises(TypeError):
+            p.round_down(1)
+
+    def test_neighbors(self):
+        p = Parameter("p", (1, 2, 4))
+        assert p.neighbors(2) == (1, 4)
+        assert p.neighbors(1) == (2,)
+        assert p.neighbors(4) == (2,)
+
+
+@given(
+    values=st.lists(
+        st.integers(1, 10_000), min_size=1, max_size=30, unique=True
+    ).map(sorted),
+    target=st.floats(0.1, 20_000),
+)
+def test_rounding_properties(values, target):
+    p = Parameter("p", tuple(values))
+    up = p.round_up(target)
+    down = p.round_down(target)
+    assert up in values and down in values
+    if target <= values[-1]:
+        assert up >= target
+    if target >= values[0]:
+        assert down <= target
+    assert down <= up or target < values[0] or target > values[-1]
+
+
+@given(
+    values=st.lists(
+        st.integers(0, 1000), min_size=2, max_size=20, unique=True
+    ).map(sorted)
+)
+def test_neighbors_are_adjacent(values):
+    p = Parameter("p", tuple(values))
+    for v in values:
+        for n in p.neighbors(v):
+            assert abs(p.index_of(n) - p.index_of(v)) == 1

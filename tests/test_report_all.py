@@ -1,0 +1,56 @@
+"""Tests for the consolidated report generator."""
+
+import pytest
+
+from repro.experiments.harness import ComparisonRunner
+from repro.experiments.report_all import generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    runner = ComparisonRunner(
+        iterations=5, top_n=40, random_mapping_trials=15
+    )
+    return generate_report(
+        runner, models=["resnet18"], include_case_studies=False
+    )
+
+
+class TestReport:
+    def test_core_sections_present(self, report):
+        titles = list(report.sections)
+        for fragment in ("Fig. 3", "Fig. 9", "Table 2", "Table 7"):
+            assert any(fragment in t for t in titles), fragment
+
+    def test_case_studies_skippable(self, report):
+        assert not any("Edge TPU" in t for t in report.sections)
+
+    def test_format_is_markdown(self, report):
+        text = report.format()
+        assert text.startswith("# Explainable-DSE reproduction report")
+        assert "## Fig. 9" in text
+        assert "```" in text
+
+    def test_metadata(self, report):
+        assert report.iterations == 5
+        assert report.total_seconds > 0
+
+    def test_cli_experiment_all(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(
+            [
+                "experiment",
+                "all",
+                "--iterations",
+                "4",
+                "--models",
+                "resnet18",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "reproduction report" in out.read_text()

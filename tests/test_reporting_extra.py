@@ -1,0 +1,68 @@
+"""Additional edge-case tests for the reporting helpers."""
+
+import math
+
+from repro.experiments.reporting import format_cell, format_series, format_table
+
+
+class TestFormatCell:
+    def test_negative_infinity(self):
+        assert format_cell(-math.inf) == "-*"
+
+    def test_nan(self):
+        assert format_cell(math.nan) == "-*"
+
+    def test_precision(self):
+        assert format_cell(3.14159, precision=2) == "3.1"
+
+    def test_large_values_rounded(self):
+        assert format_cell(123456.789) == "123457"
+
+    def test_integers_pass_through(self):
+        assert format_cell(42) == "42"
+
+    def test_negative_float(self):
+        assert format_cell(-2.5) == "-2.5"
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table({}, columns=["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + rule only
+        assert "a" in lines[0]
+
+    def test_missing_columns_dash(self):
+        text = format_table({"r": {}}, columns=["a"])
+        assert "-" in text.splitlines()[-1]
+
+    def test_custom_row_header(self):
+        text = format_table({"r": {"a": 1}}, columns=["a"], row_header="model")
+        assert text.splitlines()[0].startswith("model")
+
+    def test_alignment_consistent(self):
+        rows = {"long-technique-name": {"x": 1.0}, "s": {"x": 22.0}}
+        lines = format_table(rows, columns=["x"]).splitlines()
+        assert len({len(line.rstrip()) for line in lines[2:]}) <= 2
+
+
+class TestFormatSeries:
+    def test_empty_series(self):
+        assert "(empty)" in format_series({"c": []})
+
+    def test_single_point(self):
+        text = format_series({"c": [5.0]})
+        assert "0:5" in text
+
+    def test_includes_first_and_last(self):
+        text = format_series({"c": list(range(1000))}, max_points=4)
+        assert "0:0" in text
+        assert "999:999" in text
+
+    def test_custom_label(self):
+        text = format_series({"c": [1.0]}, label="attempt")
+        assert "attempt" in text
+
+    def test_infinite_values_marked(self):
+        text = format_series({"c": [math.inf, 2.0]})
+        assert "-*" in text

@@ -1,0 +1,75 @@
+"""Tests for the area / power resource bottleneck models."""
+
+import pytest
+
+from repro.core.bottleneck.analyzer import analyze_tree
+from repro.core.bottleneck.resource_models import (
+    ResourceContext,
+    build_area_bottleneck_model,
+    build_area_tree,
+    build_power_bottleneck_model,
+    build_power_tree,
+)
+from repro.cost.area import accelerator_area
+from repro.cost.power import max_power
+
+
+@pytest.fixture
+def resource_context(mid_config):
+    return ResourceContext(
+        config=mid_config,
+        area=accelerator_area(mid_config),
+        power=max_power(mid_config),
+    )
+
+
+class TestTrees:
+    def test_area_tree_matches_breakdown(self, resource_context):
+        tree = build_area_tree(resource_context)
+        assert tree.value == pytest.approx(resource_context.area.total_mm2)
+
+    def test_power_tree_matches_breakdown(self, resource_context):
+        tree = build_power_tree(resource_context)
+        assert tree.value == pytest.approx(resource_context.power.total_w)
+
+    def test_area_components_present(self, resource_context):
+        tree = build_area_tree(resource_context)
+        for name in ("area_pe_array", "area_spm", "area_noc", "area_controller"):
+            assert tree.find(name) is not None
+
+
+class TestMitigation:
+    def test_area_model_downscales(self, resource_context, mid_point):
+        model = build_area_bottleneck_model()
+        predictions = model.predict(
+            resource_context,
+            current_values=mid_point,
+            target_value=resource_context.area.total_mm2 / 2,
+        )
+        assert predictions
+        for prediction in predictions:
+            assert prediction.value < mid_point[prediction.parameter]
+
+    def test_power_model_downscales(self, resource_context, mid_point):
+        model = build_power_bottleneck_model()
+        predictions = model.predict(
+            resource_context,
+            current_values=mid_point,
+            target_value=resource_context.power.total_w / 2,
+        )
+        assert predictions
+        for prediction in predictions:
+            assert prediction.value < mid_point[prediction.parameter]
+
+    def test_dominant_component_ranked_first(self, resource_context):
+        tree = build_area_tree(resource_context)
+        findings = analyze_tree(
+            tree, target_value=resource_context.area.total_mm2 / 2
+        )
+        contributions = resource_context.area.contributions()
+        dominant = max(contributions, key=contributions.get)
+        assert findings[0].name == f"area_{dominant}"
+
+    def test_controller_has_no_mitigation(self):
+        model = build_area_bottleneck_model()
+        assert "area_controller" not in model.affected_parameters

@@ -1,0 +1,116 @@
+"""Tests for DSE result records."""
+
+import math
+
+import pytest
+
+from repro.core.dse.constraints import Constraint, Sense
+from repro.core.dse.result import DSEResult, TrialRecord, select_best
+
+
+def _trial(index, latency, area=50.0, feasible=None, utilizations=None):
+    costs = {"latency_ms": latency, "area_mm2": area}
+    if feasible is None:
+        feasible = area <= 75.0 and math.isfinite(latency)
+    return TrialRecord(
+        index=index,
+        point={"pes": 64},
+        costs=costs,
+        feasible=feasible,
+        mappable=math.isfinite(latency),
+        utilizations=utilizations or {"area": area / 75.0},
+    )
+
+
+def _result(trials, best=None):
+    return DSEResult(
+        technique="test",
+        model="m",
+        trials=trials,
+        best=best,
+        evaluations=len(trials),
+        wall_seconds=1.0,
+    )
+
+
+class TestTrialRecord:
+    def test_objective(self):
+        assert _trial(0, 5.0).objective == 5.0
+
+    def test_meets_subset(self):
+        t = _trial(0, 5.0, utilizations={"area": 0.5, "power": 2.0})
+        assert t.meets(["area"])
+        assert not t.meets(["area", "power"])
+        assert not t.meets(["missing"])
+
+
+class TestDSEResult:
+    def test_best_objective_inf_when_none(self):
+        result = _result([_trial(0, math.inf, feasible=False)])
+        assert result.best_objective == math.inf
+        assert not result.found_feasible
+
+    def test_feasibility_fraction(self):
+        trials = [
+            _trial(0, 5.0, feasible=True),
+            _trial(1, 5.0, feasible=False),
+            _trial(2, 5.0, feasible=True),
+            _trial(3, 5.0, feasible=False),
+        ]
+        assert _result(trials).feasibility_fraction() == 0.5
+
+    def test_feasibility_fraction_subset(self):
+        trials = [
+            _trial(0, 5.0, utilizations={"area": 0.5, "power": 2.0}),
+            _trial(1, 5.0, utilizations={"area": 1.5, "power": 0.5}),
+        ]
+        assert _result(trials).feasibility_fraction(["area"]) == 0.5
+        assert _result(trials).feasibility_fraction(["power"]) == 0.5
+        assert _result(trials).feasibility_fraction(["area", "power"]) == 0.0
+
+    def test_empty_trials(self):
+        assert _result([]).feasibility_fraction() == 0.0
+        assert _result([]).best_so_far_trajectory() == []
+        assert _result([]).per_attempt_reduction() == 0.0
+
+    def test_trajectory_monotone_nonincreasing(self):
+        trials = [
+            _trial(0, 10.0),
+            _trial(1, 12.0),
+            _trial(2, 6.0),
+            _trial(3, 8.0),
+        ]
+        trajectory = _result(trials).best_so_far_trajectory()
+        assert trajectory == [10.0, 10.0, 6.0, 6.0]
+
+    def test_trajectory_inf_until_first_feasible(self):
+        trials = [_trial(0, 10.0, feasible=False), _trial(1, 8.0)]
+        trajectory = _result(trials).best_so_far_trajectory()
+        assert trajectory[0] == math.inf
+        assert trajectory[1] == 8.0
+
+    def test_per_attempt_reduction(self):
+        # 100 -> 50 -> 25: 50% reduction per attempt.
+        trials = [_trial(0, 100.0), _trial(1, 50.0), _trial(2, 25.0)]
+        assert _result(trials).per_attempt_reduction() == pytest.approx(0.5)
+
+    def test_per_attempt_reduction_no_progress(self):
+        trials = [_trial(0, 100.0), _trial(1, 100.0)]
+        assert _result(trials).per_attempt_reduction() == pytest.approx(0.0)
+
+
+class TestSelectBest:
+    def test_picks_lowest_feasible(self):
+        constraints = [Constraint("area", "area_mm2", 75.0)]
+        trials = [
+            _trial(0, 10.0, area=50),
+            _trial(1, 5.0, area=80),  # infeasible
+            _trial(2, 7.0, area=60),
+        ]
+        best = select_best(trials, constraints)
+        assert best.index == 2
+
+    def test_none_when_all_infeasible(self):
+        constraints = [Constraint("area", "area_mm2", 75.0)]
+        trials = [_trial(0, 1.0, area=100)]
+        assert select_best(trials, constraints) is None

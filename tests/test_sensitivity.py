@@ -1,0 +1,103 @@
+"""Tests for one-at-a-time sensitivity analysis (§C characterization)."""
+
+import math
+
+import pytest
+
+from repro.cost.evaluator import CostEvaluator
+from repro.experiments.sensitivity import analyze_sensitivity
+from repro.mapping.mapper import TopNMapper
+
+
+@pytest.fixture(scope="module")
+def report(edge_space, tiny_workload_module, mid_point_module):
+    evaluator = CostEvaluator(tiny_workload_module, TopNMapper(top_n=50))
+    return analyze_sensitivity(
+        edge_space,
+        evaluator,
+        base_point=mid_point_module,
+        parameters=["pes", "l2_kb", "offchip_bw_mbps", "noc_datawidth"],
+        max_values_per_parameter=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_workload_module():
+    from repro.workloads.layers import Workload, conv2d, gemm
+
+    return Workload(
+        name="tiny",
+        layers=(
+            conv2d("conv", 16, 32, (14, 14)),
+            gemm("fc", 64, 32 * 14 * 14, 1),
+        ),
+        total_layers=2,
+        task="test",
+    )
+
+
+@pytest.fixture(scope="module")
+def mid_point_module(edge_space):
+    point = edge_space.minimum_point()
+    point.update(
+        pes=1024,
+        l1_bytes=256,
+        l2_kb=512,
+        offchip_bw_mbps=8192,
+        noc_datawidth=128,
+    )
+    for op in ("I", "W", "O", "PSUM"):
+        point[f"phys_unicast_{op}"] = 16
+        point[f"virt_unicast_{op}"] = 64
+    return point
+
+
+class TestSweeps:
+    def test_only_requested_parameters(self, report):
+        assert set(report.sweeps) == {
+            "pes",
+            "l2_kb",
+            "offchip_bw_mbps",
+            "noc_datawidth",
+        }
+
+    def test_value_cap(self, report):
+        for sweep in report.sweeps.values():
+            assert len(sweep.values) <= 4
+
+    def test_area_monotone_in_pes(self, report):
+        assert report.sweeps["pes"].monotone_direction("area_mm2") == (
+            "increasing"
+        )
+
+    def test_latency_sensitive_to_bandwidth_direction(self, report):
+        direction = report.sweeps["offchip_bw_mbps"].monotone_direction(
+            "latency_ms"
+        )
+        assert direction in ("decreasing", "flat", "mixed")
+
+    def test_swing_at_least_one(self, report):
+        for sweep in report.sweeps.values():
+            for key in report.cost_keys:
+                swing = sweep.swing(key)
+                if not math.isnan(swing):
+                    assert swing >= 1.0
+
+    def test_ranking_sorted(self, report):
+        ranked = report.ranked_parameters("area_mm2")
+        values = [s for _, s in ranked if math.isfinite(s)]
+        assert values == sorted(values, reverse=True)
+
+    def test_format_mentions_parameters(self, report):
+        text = report.format("latency_ms")
+        assert "pes" in text
+        assert "swing" in text
+
+
+class TestValidation:
+    def test_rejects_bad_base_point(self, edge_space, tiny_workload_module):
+        evaluator = CostEvaluator(tiny_workload_module, TopNMapper(top_n=40))
+        with pytest.raises(ValueError):
+            analyze_sensitivity(
+                edge_space, evaluator, base_point={"pes": 64}
+            )

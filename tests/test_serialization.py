@@ -1,0 +1,95 @@
+"""Tests for DSE result serialization."""
+
+import math
+
+import pytest
+
+from repro.core.dse.constraints import Constraint
+from repro.core.dse.result import DSEResult, TrialRecord
+from repro.core.dse.serialization import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture
+def result():
+    trials = [
+        TrialRecord(
+            index=0,
+            point={"pes": 64, "l2_kb": 64},
+            costs={"latency_ms": math.inf, "area_mm2": 2.0},
+            feasible=False,
+            mappable=False,
+            utilizations={"area": 0.03},
+            note="initial",
+        ),
+        TrialRecord(
+            index=1,
+            point={"pes": 512, "l2_kb": 128},
+            costs={"latency_ms": 4.5, "area_mm2": 6.0},
+            feasible=True,
+            mappable=True,
+            utilizations={"area": 0.08},
+            note="mitigation: pes",
+        ),
+    ]
+    return DSEResult(
+        technique="explainable",
+        model="resnet18",
+        trials=trials,
+        best=trials[1],
+        evaluations=2,
+        wall_seconds=1.25,
+        explanations=["[attempt 1] scaled pes"],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, result):
+        again = result_from_dict(result_to_dict(result))
+        assert again.technique == result.technique
+        assert again.model == result.model
+        assert again.evaluations == result.evaluations
+        assert again.best.index == 1
+        assert again.explanations == result.explanations
+        assert len(again.trials) == 2
+
+    def test_infinities_survive(self, result):
+        again = result_from_dict(result_to_dict(result))
+        assert again.trials[0].costs["latency_ms"] == math.inf
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        again = load_result(path)
+        assert again.best_objective == result.best_objective
+        assert again.trials[1].point == result.trials[1].point
+
+    def test_metrics_recomputable(self, result):
+        again = result_from_dict(result_to_dict(result))
+        assert again.feasibility_fraction() == result.feasibility_fraction()
+        assert (
+            again.best_so_far_trajectory()
+            == result.best_so_far_trajectory()
+        )
+
+    def test_no_best(self, result):
+        data = result_to_dict(result)
+        data["best_index"] = None
+        again = result_from_dict(data)
+        assert again.best is None
+
+    def test_rejects_bad_schema(self, result):
+        data = result_to_dict(result)
+        data["schema"] = 99
+        with pytest.raises(ValueError):
+            result_from_dict(data)
+
+    def test_rejects_dangling_best(self, result):
+        data = result_to_dict(result)
+        data["best_index"] = 42
+        with pytest.raises(ValueError):
+            result_from_dict(data)

@@ -1,0 +1,76 @@
+"""Tests for the mapping-space size analysis (Table 7)."""
+
+import math
+
+import pytest
+
+from repro.mapping.factorization import count_ordered_factorizations
+from repro.mapping.space_size import analyze_mapping_space
+from repro.workloads.layers import conv2d, gemm
+
+
+@pytest.fixture
+def small_conv():
+    return conv2d("c", 8, 16, (8, 8), kernel=(3, 3))
+
+
+class TestColumns:
+    def test_pruning_cascade(self, small_conv, mid_config):
+        size = analyze_mapping_space(small_conv, config=mid_config, samples=50)
+        # A >= B >= C and F >= G >= H (each pruning shrinks the space).
+        assert size.tile_sizings_log10 >= size.valid_factor_tilings_log10
+        assert (
+            size.valid_factor_tilings_log10 >= size.hw_valid_tilings_log10
+        )
+        assert size.full_space_log10 >= size.factor_space_log10
+        assert size.factor_space_log10 >= size.reuse_aware_space_log10
+
+    def test_factor_count_exact(self, small_conv):
+        size = analyze_mapping_space(small_conv, config=None, samples=0)
+        expected = 0.0
+        from repro.mapping.mapping import padded_bounds
+
+        for bound in padded_bounds(small_conv).values():
+            expected += math.log10(count_ordered_factorizations(bound, 4))
+        assert size.valid_factor_tilings_log10 == pytest.approx(expected)
+
+    def test_gemm_gets_three_orderings(self):
+        layer = gemm("g", 64, 128, 32)
+        size = analyze_mapping_space(layer, config=None, samples=0)
+        assert size.unique_reuse_orderings == 3
+
+    def test_conv_gets_fifteen_orderings(self, small_conv):
+        size = analyze_mapping_space(small_conv, config=None, samples=0)
+        assert size.unique_reuse_orderings == 15
+
+    def test_hw_column_absent_without_config(self, small_conv):
+        size = analyze_mapping_space(small_conv, config=None, samples=0)
+        assert size.hw_valid_tilings_log10 is None
+
+    def test_space_formulas(self, small_conv):
+        size = analyze_mapping_space(small_conv, config=None, samples=0)
+        assert size.full_space_log10 == pytest.approx(
+            size.tile_sizings_log10 + 2 * size.orderings_per_level_log10
+        )
+        assert size.reuse_aware_space_log10 == pytest.approx(
+            size.valid_factor_tilings_log10 + 2 * math.log10(15)
+        )
+
+
+class TestScaleSanity:
+    def test_large_layer_reaches_paper_magnitudes(self, mid_config):
+        """VGG conv1_2-like layers have O(10^28) tile sizings and
+        O(10^34+) full mapping spaces (Table 7)."""
+        layer = conv2d("vgg_conv1_2", 64, 64, (224, 224))
+        size = analyze_mapping_space(layer, config=None, samples=0)
+        assert size.tile_sizings_log10 >= 25
+        assert size.full_space_log10 >= 30
+
+    def test_sampling_estimate_stable_sign(self, small_conv, mid_config):
+        a = analyze_mapping_space(
+            small_conv, config=mid_config, samples=100, seed=0
+        )
+        b = analyze_mapping_space(
+            small_conv, config=mid_config, samples=100, seed=1
+        )
+        assert abs(a.hw_valid_tilings_log10 - b.hw_valid_tilings_log10) < 1.0

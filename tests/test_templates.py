@@ -1,0 +1,80 @@
+"""Tests for reference configurations and the cloud design space."""
+
+import pytest
+
+from repro.arch.accelerator import config_from_point
+from repro.arch.templates import (
+    build_cloud_design_space,
+    edge_tpu_like_point,
+    eyeriss_like_point,
+)
+from repro.cost.area import accelerator_area
+from repro.cost.evaluator import CostEvaluator
+from repro.cost.power import max_power
+from repro.mapping.mapper import TopNMapper
+
+
+class TestReferencePoints:
+    def test_points_valid_in_edge_space(self, edge_space):
+        edge_space.validate(eyeriss_like_point())
+        edge_space.validate(edge_tpu_like_point())
+
+    def test_eyeriss_like_is_small(self):
+        config = config_from_point(eyeriss_like_point())
+        assert accelerator_area(config).total_mm2 < 15.0
+        assert max_power(config).total_w < 1.5
+
+    def test_edge_tpu_like_is_larger(self):
+        small = config_from_point(eyeriss_like_point())
+        large = config_from_point(edge_tpu_like_point())
+        assert (
+            accelerator_area(large).total_mm2
+            > accelerator_area(small).total_mm2
+        )
+
+    def test_reference_points_executable(self, tiny_workload):
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=60))
+        for point in (eyeriss_like_point(), edge_tpu_like_point()):
+            evaluation = evaluator.evaluate(point)
+            assert evaluation.mappable
+
+    def test_usable_as_dse_initial_point(self, edge_space, tiny_workload):
+        from repro.core.dse import Constraint, ExplainableDSE
+
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=50))
+        dse = ExplainableDSE(
+            edge_space,
+            evaluator,
+            [Constraint("area", "area_mm2", 75.0)],
+            max_evaluations=10,
+        )
+        result = dse.run(initial_point=eyeriss_like_point())
+        assert result.trials[0].point == eyeriss_like_point()
+
+
+class TestCloudSpace:
+    def test_strictly_larger_than_edge(self, edge_space):
+        cloud = build_cloud_design_space()
+        assert cloud.parameter("pes").maximum > edge_space.parameter(
+            "pes"
+        ).maximum
+        assert cloud.parameter("l2_kb").maximum > edge_space.parameter(
+            "l2_kb"
+        ).maximum
+        assert cloud.size > edge_space.size
+
+    def test_same_axes(self, edge_space):
+        cloud = build_cloud_design_space()
+        assert set(cloud.names) == set(edge_space.names)
+
+    def test_cloud_point_exceeds_edge_budgets(self):
+        cloud = build_cloud_design_space()
+        config = config_from_point(cloud.maximum_point())
+        assert accelerator_area(config).total_mm2 > 75.0
+        assert max_power(config).total_w > 4.0
+
+    def test_cloud_minimum_evaluable(self, tiny_workload):
+        cloud = build_cloud_design_space()
+        evaluator = CostEvaluator(tiny_workload, TopNMapper(top_n=40))
+        evaluation = evaluator.evaluate(cloud.minimum_point())
+        assert evaluation.mappable

@@ -1,0 +1,107 @@
+"""Tests for bottleneck-model trees."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bottleneck.tree import (
+    Node,
+    NodeOp,
+    add,
+    div,
+    leaf,
+    maximum,
+    mul,
+)
+
+
+class TestConstruction:
+    def test_leaf_requires_value(self):
+        with pytest.raises(ValueError):
+            Node(name="x", op=NodeOp.LEAF)
+
+    def test_leaf_rejects_children(self):
+        with pytest.raises(ValueError):
+            Node(
+                name="x",
+                op=NodeOp.LEAF,
+                raw_value=1.0,
+                children=(leaf("y", 1),),
+            )
+
+    def test_internal_requires_children(self):
+        with pytest.raises(ValueError):
+            Node(name="x", op=NodeOp.ADD)
+
+    def test_div_requires_two_children(self):
+        with pytest.raises(ValueError):
+            Node(name="x", op=NodeOp.DIV, children=(leaf("a", 1),))
+
+    def test_metadata_carried(self):
+        node = leaf("x", 1.0, operand="W")
+        assert node.metadata["operand"] == "W"
+
+
+class TestEvaluation:
+    def test_leaf(self):
+        assert leaf("x", 4.5).value == 4.5
+
+    def test_add(self):
+        assert add("s", [leaf("a", 1), leaf("b", 2), leaf("c", 3)]).value == 6
+
+    def test_mul(self):
+        assert mul("p", [leaf("a", 2), leaf("b", 3)]).value == 6
+
+    def test_max(self):
+        assert maximum("m", [leaf("a", 2), leaf("b", 7)]).value == 7
+
+    def test_div(self):
+        assert div("d", leaf("a", 10), leaf("b", 4)).value == 2.5
+
+    def test_div_by_zero_is_inf(self):
+        assert div("d", leaf("a", 10), leaf("b", 0)).value == math.inf
+
+    def test_nested(self):
+        tree = maximum(
+            "latency",
+            [
+                leaf("comp", 100),
+                add("dma", [leaf("i", 40), leaf("w", 80)]),
+            ],
+        )
+        assert tree.value == 120
+
+
+class TestTraversal:
+    @pytest.fixture
+    def tree(self):
+        return maximum(
+            "root",
+            [leaf("a", 1), add("sum", [leaf("b", 2), leaf("c", 3)])],
+        )
+
+    def test_walk_preorder(self, tree):
+        names = [n.name for n in tree.walk()]
+        assert names == ["root", "a", "sum", "b", "c"]
+
+    def test_find(self, tree):
+        assert tree.find("c").value == 3
+        assert tree.find("zzz") is None
+
+    def test_render_contains_shares(self, tree):
+        text = tree.render()
+        assert "root" in text
+        assert "%" in text
+
+
+@given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=8))
+def test_add_equals_sum(values):
+    node = add("s", [leaf(f"v{i}", v) for i, v in enumerate(values)])
+    assert node.value == pytest.approx(sum(values))
+
+
+@given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=8))
+def test_max_equals_max(values):
+    node = maximum("m", [leaf(f"v{i}", v) for i, v in enumerate(values)])
+    assert node.value == max(values)

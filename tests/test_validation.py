@@ -1,0 +1,81 @@
+"""Roofline validation of the latency model (property-based)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cost.execution_info import InfeasibleMapping
+from repro.cost.latency import evaluate_layer_mapping
+from repro.cost.validation import (
+    roofline_bounds,
+    validate_execution,
+)
+from repro.mapping.blackbox_mappers import random_genome
+from repro.mapping.dataflow import build_output_stationary_mapping
+from repro.mapping.mapper import TopNMapper
+from repro.workloads.layers import conv2d, gemm
+from repro.workloads.registry import load_workload
+
+
+class TestRooflineBounds:
+    def test_compute_bound(self, conv_layer, mid_config):
+        bounds = roofline_bounds(conv_layer, mid_config)
+        assert bounds.compute_cycles == conv_layer.macs / mid_config.pes
+
+    def test_bandwidth_bound(self, conv_layer, mid_config):
+        bounds = roofline_bounds(conv_layer, mid_config)
+        expected = (
+            conv_layer.total_footprint_bytes / mid_config.dram_bytes_per_cycle
+        )
+        assert bounds.bandwidth_cycles == pytest.approx(expected)
+
+    def test_latency_bound_is_max(self, conv_layer, mid_config):
+        bounds = roofline_bounds(conv_layer, mid_config)
+        assert bounds.latency_cycles == max(
+            bounds.compute_cycles, bounds.bandwidth_cycles
+        )
+
+
+class TestModelAgainstRoofline:
+    def test_fixed_dataflow_respects_rooflines(self, mid_config):
+        for model in ("resnet18", "bert"):
+            for layer in load_workload(model).layers:
+                mapping = build_output_stationary_mapping(layer, mid_config)
+                if mapping is None:
+                    continue
+                outcome = evaluate_layer_mapping(layer, mapping, mid_config)
+                if isinstance(outcome, InfeasibleMapping):
+                    continue
+                assert validate_execution(layer, outcome, mid_config) == []
+
+    def test_optimized_mappings_respect_rooflines(self, mid_config):
+        mapper = TopNMapper(top_n=120)
+        for layer in load_workload("resnet18").layers:
+            result = mapper(layer, mid_config)
+            assert result.feasible
+            assert (
+                validate_execution(layer, result.execution, mid_config) == []
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_random_mappings_respect_rooflines(seed, mid_config):
+    layer = conv2d("h", 12, 24, (10, 10), kernel=(3, 3))
+    genome = random_genome(layer, mid_config, random.Random(seed))
+    outcome = evaluate_layer_mapping(layer, genome.to_mapping(), mid_config)
+    if isinstance(outcome, InfeasibleMapping):
+        return
+    assert validate_execution(layer, outcome, mid_config) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_gemm_mappings_respect_rooflines(seed, mid_config):
+    layer = gemm("g", 96, 64, 48)
+    genome = random_genome(layer, mid_config, random.Random(seed))
+    outcome = evaluate_layer_mapping(layer, genome.to_mapping(), mid_config)
+    if isinstance(outcome, InfeasibleMapping):
+        return
+    assert validate_execution(layer, outcome, mid_config) == []

@@ -1,0 +1,113 @@
+"""Tests for JSON workload import/export."""
+
+import json
+
+import pytest
+
+from repro.workloads.io import (
+    WorkloadSpecError,
+    load_workload_json,
+    save_workload_json,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workloads.layers import Dim, OperatorType
+from repro.workloads.registry import load_workload
+
+SPEC = {
+    "name": "toy",
+    "task": "cv",
+    "layers": [
+        {
+            "name": "conv1",
+            "op": "conv",
+            "in": 3,
+            "out": 64,
+            "output": [112, 112],
+            "kernel": [7, 7],
+            "stride": 2,
+        },
+        {"name": "dw", "op": "dwconv", "channels": 64, "output": [56, 56]},
+        {
+            "name": "fc",
+            "op": "gemm",
+            "rows": 1000,
+            "inner": 64,
+            "cols": 1,
+            "repeats": 2,
+        },
+    ],
+}
+
+
+class TestFromDict:
+    def test_builds_layers(self):
+        workload = workload_from_dict(SPEC)
+        assert workload.name == "toy"
+        assert workload.unique_layer_count == 3
+        conv = workload.layer("conv1")
+        assert conv.operator is OperatorType.CONV
+        assert conv.dim(Dim.M) == 64
+        assert conv.stride == 2
+
+    def test_total_layers_defaults_to_repeat_sum(self):
+        workload = workload_from_dict(SPEC)
+        assert workload.total_layers == 4  # 1 + 1 + 2
+
+    def test_depthwise(self):
+        workload = workload_from_dict(SPEC)
+        dw = workload.layer("dw")
+        assert dw.operator is OperatorType.DWCONV
+        assert dw.dim(Dim.C) == 1
+
+    def test_gemm_repeats(self):
+        assert workload_from_dict(SPEC).layer("fc").repeats == 2
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(WorkloadSpecError):
+            workload_from_dict({"name": "x"})
+        with pytest.raises(WorkloadSpecError):
+            workload_from_dict({"name": "x", "layers": []})
+        with pytest.raises(WorkloadSpecError):
+            workload_from_dict(
+                {"name": "x", "layers": [{"name": "a", "op": "conv"}]}
+            )
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(WorkloadSpecError):
+            workload_from_dict(
+                {
+                    "name": "x",
+                    "layers": [{"name": "a", "op": "attention"}],
+                }
+            )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        workload = workload_from_dict(SPEC)
+        again = workload_from_dict(workload_to_dict(workload))
+        assert again.name == workload.name
+        for a, b in zip(again.layers, workload.layers):
+            assert a == b
+
+    def test_file_roundtrip(self, tmp_path):
+        workload = workload_from_dict(SPEC)
+        path = tmp_path / "toy.json"
+        save_workload_json(workload, path)
+        again = load_workload_json(path)
+        assert again.layers == workload.layers
+
+    def test_registry_models_roundtrip(self):
+        """Every benchmark model survives an export/import cycle."""
+        for model in ("resnet18", "mobilenetv2", "bert"):
+            workload = load_workload(model)
+            again = workload_from_dict(workload_to_dict(workload))
+            assert again.layers == workload.layers
+            assert again.total_layers == workload.total_layers
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "w.json"
+        save_workload_json(workload_from_dict(SPEC), path)
+        with open(path) as handle:
+            json.load(handle)
