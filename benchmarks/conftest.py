@@ -33,6 +33,32 @@ def comparison_runner() -> ComparisonRunner:
 
 
 @pytest.fixture(scope="session")
+def resnet18_workload():
+    from repro.workloads import load_workload
+
+    return load_workload("resnet18")
+
+
+@pytest.fixture(scope="session")
+def mid_point():
+    """The mid-range Table 1 design point (same as the unit-test fixture)."""
+    from repro.arch import build_edge_design_space
+
+    point = build_edge_design_space().minimum_point()
+    point.update(
+        pes=1024,
+        l1_bytes=256,
+        l2_kb=512,
+        offchip_bw_mbps=8192,
+        noc_datawidth=128,
+    )
+    for op in ("I", "W", "O", "PSUM"):
+        point[f"phys_unicast_{op}"] = 16
+        point[f"virt_unicast_{op}"] = 64
+    return point
+
+
+@pytest.fixture(scope="session")
 def bench_models() -> list:
     """Models covered by the comparison benchmarks.
 

@@ -1,0 +1,82 @@
+"""Acceptance micro-benchmark for the layer-level mapping cache.
+
+The workload the cache was built for: a DSE sweep over one
+mapping-irrelevant parameter (off-chip bandwidth: 10 Table 1 values) and
+one mapping-relevant parameter (PE count: 2 values) on ResNet18 — 20
+design points whose per-layer searches overlap heavily.  The cached
+evaluator must (a) produce bit-identical ``Evaluation.costs`` to the
+cold evaluator on every point and (b) finish the sweep at least 2x
+faster (measured ~9x: the bandwidth sweep re-scores recorded traces
+instead of re-running the top-N search per layer).
+
+``REPRO_JOBS=1`` (the default) keeps both runs serial, so the numbers
+are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.arch.accelerator import OFFCHIP_BW_VALUES_MBPS
+from repro.cost.evaluator import CostEvaluator
+from repro.mapping.mapper import TopNMapper
+from repro.perf import MappingCache
+
+#: 2 mapping-relevant x 10 mapping-irrelevant values = 20 design points.
+PES_VALUES = (512, 1024)
+BW_VALUES = OFFCHIP_BW_VALUES_MBPS[:10]
+TOP_N = 60
+MIN_SPEEDUP = 2.0
+
+
+def _sweep_points(base_point):
+    points = []
+    for pes in PES_VALUES:
+        for bw in BW_VALUES:
+            point = dict(base_point)
+            point["pes"] = pes
+            point["offchip_bw_mbps"] = bw
+            points.append(point)
+    return points
+
+
+def _timed_sweep(evaluator, points):
+    start = time.perf_counter()
+    evaluations = [evaluator.evaluate(point) for point in points]
+    return time.perf_counter() - start, evaluations
+
+
+def test_mapping_cache_speedup_resnet18(resnet18_workload, mid_point):
+    points = _sweep_points(mid_point)
+    assert len(points) == 20
+
+    cold = CostEvaluator(
+        resnet18_workload, TopNMapper(top_n=TOP_N), use_mapping_cache=False
+    )
+    warm = CostEvaluator(
+        resnet18_workload,
+        TopNMapper(top_n=TOP_N),
+        mapping_cache=MappingCache(),
+    )
+
+    cold_seconds, cold_evals = _timed_sweep(cold, points)
+    warm_seconds, warm_evals = _timed_sweep(warm, points)
+
+    # Correctness first: the cache must be invisible in the results.
+    for a, b in zip(cold_evals, warm_evals):
+        assert a.costs == b.costs
+        assert a.mappable == b.mappable
+
+    speedup = cold_seconds / warm_seconds
+    summary = warm.perf_summary()["mapping_cache"]
+    print(
+        f"\ncold {cold_seconds:.2f}s, warm {warm_seconds:.2f}s "
+        f"-> {speedup:.1f}x speedup "
+        f"(hit rate {summary['hit_rate']:.0%}, "
+        f"{summary['entries']} entries)"
+    )
+    assert warm.mapping_cache_hit_rate > 0.5
+    assert speedup >= MIN_SPEEDUP, (
+        f"mapping cache speedup {speedup:.2f}x below the {MIN_SPEEDUP}x "
+        f"acceptance floor (cold {cold_seconds:.2f}s, warm {warm_seconds:.2f}s)"
+    )

@@ -10,14 +10,24 @@ about the software-optimized execution.
 Evaluations are cached by design point; the cache also serves as the DSE
 iteration ledger (``evaluations`` counts unique cost-model invocations,
 matching how the paper counts "iterations").
+
+Below the design-point cache sits the performance layer
+(:mod:`repro.perf`): per-layer mapping searches are memoized in a shared
+:class:`~repro.perf.mapping_cache.MappingCache` keyed by what the mapper
+actually reads (so sweeps over mapping-irrelevant parameters re-score
+cached candidates instead of re-searching), and independent layer
+searches can run on a ``REPRO_JOBS``-controlled worker pool.  Both
+accelerations are bit-identical to the serial/cold path.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Mapping, Tuple
+from functools import partial
+from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.arch.accelerator import AcceleratorConfig, config_from_point
 from repro.arch.design_space import DesignPoint
@@ -25,6 +35,10 @@ from repro.cost.area import AreaBreakdown, accelerator_area
 from repro.cost.energy import EnergyBreakdown, layer_energy
 from repro.cost.power import PowerBreakdown, max_power
 from repro.cost.technology import TECH_45NM, TechnologyModel
+from repro.perf.instrumentation import StageTimers
+from repro.perf.mapping_cache import CachingMapper, MappingCache, shared_cache
+from repro.perf.parallel import WorkerPool
+from repro.perf.signature import supports_tracing
 from repro.workloads.layers import LayerShape, Workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
@@ -34,6 +48,15 @@ __all__ = ["Evaluation", "CostEvaluator"]
 
 #: Mapper protocol: (layer, config) -> MappingResult.
 Mapper = Callable[[LayerShape, AcceleratorConfig], "MappingResult"]
+
+
+def _search_layer_job(mapper, config: AcceleratorConfig, layer: LayerShape):
+    """Worker-side layer search; module-level so process pools can pickle
+    it.  Returns ``(result, trace_or_None)`` so the parent can seed its
+    mapping cache with outcomes computed in workers."""
+    if supports_tracing(mapper):
+        return mapper.search_with_trace(layer, config)
+    return mapper(layer, config), None
 
 
 @dataclass(frozen=True)
@@ -79,6 +102,15 @@ class CostEvaluator:
         tech: Technology model for energy/area/power.
         freq_mhz: Accelerator clock; Table 1 fixes 500 MHz.
         bytes_per_element: Data precision (int16 -> 2).
+        jobs: Worker count for per-layer mapping searches; None reads
+            ``REPRO_JOBS`` (default 1 = serial, bit-identical legacy path).
+        executor_mode: ``"process"`` / ``"thread"``; None reads
+            ``REPRO_EXECUTOR``.
+        mapping_cache: Layer-level mapping cache to use; None selects the
+            process-wide shared cache.
+        use_mapping_cache: Force the layer cache on/off; None enables it
+            whenever the mapper supports the traced-search protocol and
+            ``REPRO_MAPPING_CACHE`` is not ``"0"``.
     """
 
     def __init__(
@@ -88,6 +120,10 @@ class CostEvaluator:
         tech: TechnologyModel = TECH_45NM,
         freq_mhz: int = 500,
         bytes_per_element: int = 2,
+        jobs: Optional[object] = None,
+        executor_mode: Optional[str] = None,
+        mapping_cache: Optional[MappingCache] = None,
+        use_mapping_cache: Optional[bool] = None,
     ):
         self.workload = workload
         self.mapper = mapper
@@ -98,6 +134,32 @@ class CostEvaluator:
         self.evaluations = 0  # unique cost-model invocations
         self.calls = 0  # total evaluate() calls (cache hits included)
         self.total_seconds = 0.0
+        self.timers = StageTimers()
+        self._pool = WorkerPool(jobs=jobs, mode=executor_mode)
+
+        if use_mapping_cache is None:
+            use_mapping_cache = (
+                os.environ.get("REPRO_MAPPING_CACHE", "1") != "0"
+            ) and supports_tracing(mapper)
+        self._caching_mapper: Optional[CachingMapper] = None
+        if use_mapping_cache:
+            if not supports_tracing(mapper):
+                raise TypeError(
+                    "use_mapping_cache=True requires a mapper implementing "
+                    "signature() + search_with_trace()"
+                )
+            self._caching_mapper = CachingMapper(
+                mapper, mapping_cache if mapping_cache is not None else shared_cache()
+            )
+
+    @property
+    def jobs(self) -> int:
+        return self._pool.jobs
+
+    @property
+    def mapping_cache(self) -> Optional[MappingCache]:
+        """The layer-level mapping cache (None when disabled)."""
+        return self._caching_mapper.cache if self._caching_mapper else None
 
     def _key(self, point: Mapping) -> Tuple:
         return tuple(sorted(point.items()))
@@ -116,38 +178,77 @@ class CostEvaluator:
         self._cache[key] = evaluation
         return evaluation
 
+    def _optimize_layers(
+        self, config: AcceleratorConfig
+    ) -> Dict[str, "MappingResult"]:
+        """Optimize every unique layer's mapping on ``config``.
+
+        Cache hits (exact or re-scored) are resolved in-process; the
+        remaining searches run serially or on the worker pool.  Results
+        are keyed by layer name in workload order either way.
+        """
+        cm = self._caching_mapper
+        results: Dict[str, "MappingResult"] = {}
+        pending = []
+        for layer in self.workload.layers:
+            hit = cm.lookup(layer, config) if cm else None
+            if hit is not None:
+                results[layer.name] = hit
+            else:
+                pending.append(layer)
+
+        if self._pool.parallel and len(pending) > 1:
+            job = partial(_search_layer_job, cm.mapper if cm else self.mapper, config)
+            outcomes = self._pool.map(job, pending)
+            for layer, (result, trace) in zip(pending, outcomes):
+                if cm is not None:
+                    cm.misses += 1
+                    cm.cache.stats.misses += 1
+                    cm.store(layer, config, result, trace)
+                results[layer.name] = result
+        else:
+            mapper = cm if cm is not None else self.mapper
+            for layer in pending:
+                results[layer.name] = mapper(layer, config)
+        return {
+            layer.name: results[layer.name] for layer in self.workload.layers
+        }
+
     def _evaluate_uncached(self, point: DesignPoint) -> Evaluation:
         config = config_from_point(
             point,
             freq_mhz=self.freq_mhz,
             bytes_per_element=self.bytes_per_element,
         )
-        area = accelerator_area(config, self.tech)
-        power = max_power(config, self.tech)
+        with self.timers.stage("area_power"):
+            area = accelerator_area(config, self.tech)
+            power = max_power(config, self.tech)
 
-        layer_results: Dict[str, MappingResult] = {}
-        total_cycles = 0.0
-        energy = EnergyBreakdown.zero()
-        mappable = True
-        for layer in self.workload.layers:
-            result = self.mapper(layer, config)
-            layer_results[layer.name] = result
-            if not result.feasible:
-                mappable = False
-                continue
-            total_cycles += result.latency * layer.repeats
-            energy = energy + layer_energy(
-                result.execution, config, self.tech
-            ).scaled(layer.repeats)
+        with self.timers.stage("mapping"):
+            layer_results = self._optimize_layers(config)
 
-        if mappable:
-            latency_ms = total_cycles / (self.freq_mhz * 1e3)
-            energy_mj = energy.total_mj
-            throughput = 1000.0 / latency_ms if latency_ms > 0 else math.inf
-        else:
-            latency_ms = math.inf
-            energy_mj = math.inf
-            throughput = 0.0
+        with self.timers.stage("aggregate"):
+            total_cycles = 0.0
+            energy = EnergyBreakdown.zero()
+            mappable = True
+            for layer in self.workload.layers:
+                result = layer_results[layer.name]
+                if not result.feasible:
+                    mappable = False
+                    continue
+                total_cycles += result.latency * layer.repeats
+                energy = energy + layer_energy(
+                    result.execution, config, self.tech
+                ).scaled(layer.repeats)
+
+            if mappable:
+                latency_ms = total_cycles / (self.freq_mhz * 1e3)
+                energy_mj = energy.total_mj
+                throughput = 1000.0 / latency_ms if latency_ms > 0 else math.inf
+            else:
+                latency_ms = math.inf
+                energy_mj = math.inf
+                throughput = 0.0
 
         costs = {
             "latency_ms": latency_ms,
@@ -166,11 +267,77 @@ class CostEvaluator:
             mappable=mappable,
         )
 
+    # -- counters and instrumentation ----------------------------------------
+
     def cache_size(self) -> int:
+        """Design-point cache entry count."""
         return len(self._cache)
 
+    def mapping_cache_size(self) -> int:
+        """Layer-level mapping cache entry count (0 when disabled)."""
+        cache = self.mapping_cache
+        return cache.size() if cache else 0
+
+    @property
+    def mapping_cache_hits(self) -> int:
+        """Layer searches this evaluator served from the mapping cache
+        (exact hits + bandwidth re-scores)."""
+        cm = self._caching_mapper
+        return (cm.exact_hits + cm.rescore_hits) if cm else 0
+
+    @property
+    def mapping_cache_misses(self) -> int:
+        cm = self._caching_mapper
+        return cm.misses if cm else 0
+
+    @property
+    def mapping_cache_hit_rate(self) -> float:
+        """Fraction of this evaluator's layer searches served by the
+        mapping cache (0.0 when disabled or before any search)."""
+        total = self.mapping_cache_hits + self.mapping_cache_misses
+        return self.mapping_cache_hits / total if total else 0.0
+
+    @property
+    def evaluations_per_second(self) -> float:
+        """Unique design-point evaluations per second of cost-model time."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.evaluations / self.total_seconds
+
+    def perf_summary(self) -> Dict[str, object]:
+        """Instrumentation snapshot: timers, throughput, cache counters."""
+        cm = self._caching_mapper
+        return {
+            "evaluations": self.evaluations,
+            "calls": self.calls,
+            "total_seconds": self.total_seconds,
+            "evaluations_per_second": self.evaluations_per_second,
+            "jobs": self.jobs,
+            "executor": self._pool.mode,
+            "point_cache_entries": self.cache_size(),
+            "stages": self.timers.as_dict(),
+            "mapping_cache": {
+                "enabled": cm is not None,
+                "exact_hits": cm.exact_hits if cm else 0,
+                "rescore_hits": cm.rescore_hits if cm else 0,
+                "misses": cm.misses if cm else 0,
+                "hit_rate": self.mapping_cache_hit_rate,
+                "entries": self.mapping_cache_size(),
+                "traces": self.mapping_cache.trace_count()
+                if self.mapping_cache
+                else 0,
+            },
+        }
+
     def reset_counters(self) -> None:
-        """Zero the iteration/time counters (cache is retained)."""
+        """Zero the iteration/time/cache counters (caches are retained)."""
         self.evaluations = 0
         self.calls = 0
         self.total_seconds = 0.0
+        self.timers.reset()
+        if self._caching_mapper is not None:
+            self._caching_mapper.reset_counters()
+
+    def close(self) -> None:
+        """Release the worker pool (no-op on the serial path)."""
+        self._pool.close()

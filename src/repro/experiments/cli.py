@@ -15,6 +15,7 @@ share one comparison run per invocation.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -32,7 +33,7 @@ from repro.experiments import (
     table7,
 )
 from repro.experiments.harness import ComparisonRunner
-from repro.experiments.setup import run_explainable_dse
+from repro.experiments.setup import make_evaluator, run_explainable_dse
 from repro.workloads.registry import MODEL_NAMES
 
 __all__ = ["main", "build_parser"]
@@ -74,12 +75,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the full explanation log")
     explore.add_argument("--save", metavar="PATH", default=None,
                          help="persist the run to a JSON file")
+    explore.add_argument("--perf", action="store_true",
+                         help="print evaluation-pipeline performance "
+                              "counters (cache hit-rate, eval/s)")
+    _add_jobs_argument(explore)
 
     compare = sub.add_parser(
         "compare", help="compare all techniques on one model (Fig. 3 slice)"
     )
     compare.add_argument("model", choices=MODEL_NAMES)
     compare.add_argument("--iterations", type=int, default=40)
+    _add_jobs_argument(compare)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate paper tables/figures ('all' for a report)"
@@ -96,17 +102,45 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--out", default=None, help="write the 'all' report to this file"
     )
+    _add_jobs_argument(experiment)
 
     sub.add_parser("list-models", help="list the benchmark models")
     return parser
 
 
-def _cmd_explore(args) -> int:
-    result = run_explainable_dse(
-        args.model, iterations=args.iterations, mapping_mode=args.mapping
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N",
+        help="worker count for the parallel evaluation pipeline "
+             "('auto' = all cores; default: $REPRO_JOBS or 1 = serial)",
     )
-    print(f"{result.technique} on {args.model}: "
-          f"{result.evaluations} evaluations, {result.wall_seconds:.1f}s")
+
+
+def _apply_jobs(args) -> None:
+    """Propagate ``--jobs`` to the pipeline via ``REPRO_JOBS`` so every
+    evaluator and harness constructed downstream picks it up."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        os.environ["REPRO_JOBS"] = str(jobs)
+
+
+def _cmd_explore(args) -> int:
+    evaluator = make_evaluator(args.model, mapping_mode=args.mapping)
+    result = run_explainable_dse(
+        args.model,
+        iterations=args.iterations,
+        mapping_mode=args.mapping,
+        evaluator=evaluator,
+    )
+    if args.perf:
+        from repro.experiments.reporting import format_run_summary
+
+        print(format_run_summary(result, evaluator))
+    else:
+        print(f"{result.technique} on {args.model}: "
+              f"{result.evaluations} evaluations, {result.wall_seconds:.1f}s")
     if result.best is None:
         print("no all-constraints-feasible design found")
     else:
@@ -162,6 +196,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for model in MODEL_NAMES:
             print(model)
         return 0
+    _apply_jobs(args)
     if args.command == "explore":
         return _cmd_explore(args)
     if args.command == "compare":

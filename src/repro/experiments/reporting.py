@@ -10,7 +10,12 @@ from __future__ import annotations
 import math
 from typing import List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_cell", "format_series"]
+__all__ = [
+    "format_table",
+    "format_cell",
+    "format_series",
+    "format_run_summary",
+]
 
 
 def format_cell(value, precision: int = 3) -> str:
@@ -52,6 +57,45 @@ def format_table(
     ]
     for r in body:
         lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_run_summary(result, evaluator=None) -> str:
+    """Render one DSE run's summary, including evaluation-pipeline
+    performance counters when the run's evaluator is provided.
+
+    Args:
+        result: A :class:`repro.core.dse.result.DSEResult`.
+        evaluator: The :class:`repro.cost.evaluator.CostEvaluator` the
+            run used; adds evaluations/sec, worker count, and the
+            layer-level mapping-cache hit-rate to the summary.
+    """
+    lines = [
+        f"{result.technique} on {result.model}: "
+        f"{result.evaluations} evaluations, {result.wall_seconds:.1f}s",
+        f"best objective (latency_ms): {format_cell(result.best_objective)}",
+        f"feasible fraction: {result.feasibility_fraction():.2f}",
+    ]
+    if evaluator is not None:
+        perf = evaluator.perf_summary()
+        cache = perf["mapping_cache"]
+        lines.append(
+            f"cost model: {perf['evaluations']} unique evaluations in "
+            f"{perf['total_seconds']:.2f}s "
+            f"({perf['evaluations_per_second']:.1f} eval/s, "
+            f"jobs={perf['jobs']})"
+        )
+        if cache["enabled"]:
+            lines.append(
+                "mapping cache: "
+                f"{cache['exact_hits']} exact + "
+                f"{cache['rescore_hits']} re-scored hits, "
+                f"{cache['misses']} misses "
+                f"(hit rate {cache['hit_rate']:.0%}, "
+                f"{cache['entries']} entries)"
+            )
+        else:
+            lines.append("mapping cache: disabled")
     return "\n".join(lines)
 
 

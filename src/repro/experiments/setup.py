@@ -104,6 +104,8 @@ def make_evaluator(
     top_n: int = 150,
     random_mapping_trials: int = 100,
     seed: int = 0,
+    jobs: Optional[object] = None,
+    **evaluator_kwargs,
 ) -> CostEvaluator:
     """Build a cost evaluator for a model with the chosen mapper.
 
@@ -116,6 +118,10 @@ def make_evaluator(
         top_n: Mapping budget of the top-N mapper.
         random_mapping_trials: Trials of the random mapper.
         seed: Seed for the random mapper.
+        jobs: Per-layer mapping-search worker count (None reads
+            ``REPRO_JOBS``; 1 = serial).
+        evaluator_kwargs: Forwarded to :class:`CostEvaluator` (e.g.
+            ``mapping_cache``, ``use_mapping_cache``, ``executor_mode``).
     """
     workload = load_workload(model)
     if mapping_mode == "fixed":
@@ -126,7 +132,7 @@ def make_evaluator(
         mapper = RandomSearchMapper(trials=random_mapping_trials, seed=seed)
     else:
         raise ValueError(f"unknown mapping mode {mapping_mode!r}")
-    return CostEvaluator(workload, mapper)
+    return CostEvaluator(workload, mapper, jobs=jobs, **evaluator_kwargs)
 
 
 #: Baseline technique registry: label -> optimizer class.

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.accelerator import AcceleratorConfig
@@ -36,6 +37,8 @@ from repro.workloads.layers import LOOP_DIMS, Dim, LayerShape
 
 __all__ = [
     "MappingResult",
+    "SearchTrace",
+    "rescore_trace",
     "FixedDataflowMapper",
     "TopNMapper",
     "RandomSearchMapper",
@@ -82,11 +85,83 @@ class MappingResult:
         return self.execution.latency if self.execution else float("inf")
 
 
+@dataclass(frozen=True)
+class SearchTrace:
+    """Re-scorable record of one mapping search.
+
+    Holds every *feasible* ``(mapping, execution)`` pair in evaluation
+    order plus the total number of candidates the search consumed.  A
+    candidate's feasibility and every :class:`ExecutionInfo` field except
+    ``t_dma`` are independent of the off-chip bandwidth and clock, so a
+    trace recorded on one hardware configuration can be exactly re-scored
+    (:func:`rescore_trace`) on any configuration that differs only in
+    ``offchip_bw_mbps`` / ``freq_mhz`` — the layer-level mapping cache
+    relies on this to turn bandwidth sweeps into re-scores instead of
+    re-searches.
+    """
+
+    feasible: Tuple[Tuple[Mapping, ExecutionInfo], ...]
+    candidates_evaluated: int
+
+
+def rescore_trace(
+    layer: LayerShape,
+    config: AcceleratorConfig,
+    trace: SearchTrace,
+    objective: str = "latency",
+) -> MappingResult:
+    """Re-pick the best candidate of a recorded search on new hardware.
+
+    Only ``t_dma`` (and therefore latency/EDP) depends on the off-chip
+    bandwidth and clock; it is re-derived from the recorded off-chip
+    traffic with the same expression the latency model uses, so the
+    returned result is bit-identical to a cold search on ``config``
+    (provided ``config`` matches the traced one on every other field).
+    """
+    scorer = MAPPING_OBJECTIVES[objective]
+    dram_bpc = config.dram_bytes_per_cycle
+    best_exec: Optional[ExecutionInfo] = None
+    best_mapping: Optional[Mapping] = None
+    best_score = float("inf")
+    for mapping, execution in trace.feasible:
+        rescored = replace(
+            execution, t_dma=sum(execution.data_offchip.values()) / dram_bpc
+        )
+        score = scorer(layer, rescored, config)
+        if score < best_score:
+            best_exec = rescored
+            best_mapping = mapping
+            best_score = score
+    return MappingResult(
+        mapping=best_mapping,
+        execution=best_exec,
+        candidates_evaluated=trace.candidates_evaluated,
+        feasible_candidates=len(trace.feasible),
+    )
+
+
+def _stable_seed(*parts: object) -> int:
+    """Order-sensitive integer digest of ``parts``, stable across
+    processes and ``PYTHONHASHSEED`` values (unlike ``tuple.__hash__``,
+    which randomizes any ``str`` member)."""
+    canonical = "|".join(repr(p) for p in parts)
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
 def _log_spaced(values: Sequence[int], keep: int) -> Tuple[int, ...]:
     """Thin an ascending sequence to ~``keep`` log-spaced entries,
-    always keeping the first and last."""
+    always keeping the first and last.
+
+    Degenerate budgets are clamped rather than rejected: an empty
+    ``values`` yields ``()`` and ``keep <= 1`` keeps only the last
+    (largest) entry.
+    """
+    if not values:
+        return ()
     if len(values) <= keep:
         return tuple(values)
+    if keep <= 1:
+        return (values[-1],)
     picks = {0, len(values) - 1}
     step = (len(values) - 1) / (keep - 1)
     for i in range(1, keep - 1):
@@ -259,6 +334,43 @@ MAPPING_OBJECTIVES = {
 }
 
 
+def _best_of_traced(
+    layer: LayerShape,
+    config: AcceleratorConfig,
+    mappings: Iterable[Mapping],
+    budget: int,
+    objective: str = "latency",
+) -> Tuple[MappingResult, SearchTrace]:
+    """Evaluate up to ``budget`` mappings; return the objective-optimal
+    result together with the re-scorable :class:`SearchTrace`."""
+    scorer = MAPPING_OBJECTIVES[objective]
+    best_exec: Optional[ExecutionInfo] = None
+    best_mapping: Optional[Mapping] = None
+    best_score = float("inf")
+    evaluated = 0
+    outcomes: List[Tuple[Mapping, ExecutionInfo]] = []
+    for mapping in mappings:
+        if evaluated >= budget:
+            break
+        evaluated += 1
+        outcome = _cost_latency.evaluate_layer_mapping(layer, mapping, config)
+        if isinstance(outcome, InfeasibleMapping):
+            continue
+        outcomes.append((mapping, outcome))
+        score = scorer(layer, outcome, config)
+        if score < best_score:
+            best_exec = outcome
+            best_mapping = mapping
+            best_score = score
+    result = MappingResult(
+        mapping=best_mapping,
+        execution=best_exec,
+        candidates_evaluated=evaluated,
+        feasible_candidates=len(outcomes),
+    )
+    return result, SearchTrace(tuple(outcomes), evaluated)
+
+
 def _best_of(
     layer: LayerShape,
     config: AcceleratorConfig,
@@ -267,48 +379,41 @@ def _best_of(
     objective: str = "latency",
 ) -> MappingResult:
     """Evaluate up to ``budget`` mappings, returning the objective-optimal."""
-    scorer = MAPPING_OBJECTIVES[objective]
-    best_exec: Optional[ExecutionInfo] = None
-    best_mapping: Optional[Mapping] = None
-    best_score = float("inf")
-    evaluated = 0
-    feasible = 0
-    for mapping in mappings:
-        if evaluated >= budget:
-            break
-        evaluated += 1
-        outcome = _cost_latency.evaluate_layer_mapping(layer, mapping, config)
-        if isinstance(outcome, InfeasibleMapping):
-            continue
-        feasible += 1
-        score = scorer(layer, outcome, config)
-        if score < best_score:
-            best_exec = outcome
-            best_mapping = mapping
-            best_score = score
-    return MappingResult(
-        mapping=best_mapping,
-        execution=best_exec,
-        candidates_evaluated=evaluated,
-        feasible_candidates=feasible,
-    )
+    result, _ = _best_of_traced(layer, config, mappings, budget, objective)
+    return result
 
 
 class FixedDataflowMapper:
     """One deterministic output-stationary mapping per (layer, hardware)."""
 
     name = "fixed-dataflow"
+    #: The search stream never reads ``layer.name`` (see ``signature``).
+    cache_layer_name_relevant = False
+    objective = "latency"
+
+    def signature(self) -> Tuple:
+        """Cache identity of this mapper (see ``repro.perf.signature``)."""
+        return (self.name,)
+
+    def search_with_trace(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> Tuple[MappingResult, SearchTrace]:
+        mapping = build_output_stationary_mapping(layer, config)
+        if mapping is None:
+            return MappingResult(None, None, 0, 0), SearchTrace((), 0)
+        outcome = _cost_latency.evaluate_layer_mapping(layer, mapping, config)
+        if isinstance(outcome, InfeasibleMapping):
+            return MappingResult(None, None, 1, 0), SearchTrace((), 1)
+        return (
+            MappingResult(mapping, outcome, 1, 1),
+            SearchTrace(((mapping, outcome),), 1),
+        )
 
     def __call__(
         self, layer: LayerShape, config: AcceleratorConfig
     ) -> MappingResult:
-        mapping = build_output_stationary_mapping(layer, config)
-        if mapping is None:
-            return MappingResult(None, None, 0, 0)
-        outcome = _cost_latency.evaluate_layer_mapping(layer, mapping, config)
-        if isinstance(outcome, InfeasibleMapping):
-            return MappingResult(None, None, 1, 0)
-        return MappingResult(mapping, outcome, 1, 1)
+        result, _ = self.search_with_trace(layer, config)
+        return result
 
 
 class TopNMapper:
@@ -341,20 +446,32 @@ class TopNMapper:
         self.max_spatial = max_spatial
         self.objective = objective
 
-    def __call__(
+    cache_layer_name_relevant = False
+
+    def signature(self) -> Tuple:
+        """Cache identity of this mapper (see ``repro.perf.signature``)."""
+        return (self.name, self.top_n, self.max_spatial, self.objective)
+
+    def search_with_trace(
         self, layer: LayerShape, config: AcceleratorConfig
-    ) -> MappingResult:
+    ) -> Tuple[MappingResult, SearchTrace]:
         spatial_choices = enumerate_spatial_unrollings(
             layer, config, max_combos=self.max_spatial
         )
         candidates = _tiling_candidates(layer, config, spatial_choices)
-        return _best_of(
+        return _best_of_traced(
             layer,
             config,
             candidates,
             budget=self.top_n,
             objective=self.objective,
         )
+
+    def __call__(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> MappingResult:
+        result, _ = self.search_with_trace(layer, config)
+        return result
 
 
 class RandomSearchMapper:
@@ -412,20 +529,38 @@ class RandomSearchMapper:
             spm_stationary=rng.choice(STATIONARY_CHOICES),
         )
 
-    def __call__(
+    #: The candidate stream is seeded by ``layer.name``, so the mapping
+    #: cache must key on it (unlike the shape-only deterministic mappers).
+    cache_layer_name_relevant = True
+
+    def signature(self) -> Tuple:
+        """Cache identity of this mapper (see ``repro.perf.signature``)."""
+        return (self.name, self.trials, self.seed, self.objective)
+
+    def search_with_trace(
         self, layer: LayerShape, config: AcceleratorConfig
-    ) -> MappingResult:
+    ) -> Tuple[MappingResult, SearchTrace]:
         # Deterministic per (layer, config) stream so evaluations cache.
+        # The seed is a stable digest, not tuple.__hash__: hashes of str
+        # members vary per process under PYTHONHASHSEED randomization,
+        # which would make the "deterministic" stream differ across
+        # worker processes and runs.
         rng = random.Random(
-            (self.seed, layer.name, config.pes, config.l1_bytes).__hash__()
+            _stable_seed(self.seed, layer.name, config.pes, config.l1_bytes)
         )
         candidates = (
             self._random_mapping(layer, config, rng) for _ in range(self.trials)
         )
-        return _best_of(
+        return _best_of_traced(
             layer,
             config,
             candidates,
             budget=self.trials,
             objective=self.objective,
         )
+
+    def __call__(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> MappingResult:
+        result, _ = self.search_with_trace(layer, config)
+        return result

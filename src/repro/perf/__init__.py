@@ -1,0 +1,56 @@
+"""Performance layer: layer-level mapping cache + parallel evaluation.
+
+Three independent accelerations of the codesign hot path, all preserving
+bit-identical results versus the serial/cold path:
+
+* :mod:`repro.perf.mapping_cache` — a shared (layer, config-signature,
+  mapper-signature) cache with an exact tier and a re-scorable trace
+  tier, so sweeps over mapping-irrelevant parameters (off-chip
+  bandwidth, clock) re-score instead of re-search;
+* :mod:`repro.perf.parallel` — a ``REPRO_JOBS``-controlled
+  process/thread pool abstraction with a serial fallback used for
+  per-layer mapping optimization and (technique x model) harness runs;
+* :mod:`repro.perf.instrumentation` — per-stage timers and counters so
+  speedups are measured, not asserted.
+
+See ``docs/performance.md`` for the environment knobs and measured
+numbers.
+"""
+
+from repro.perf.instrumentation import StageTimers
+from repro.perf.mapping_cache import (
+    CacheStats,
+    CachingMapper,
+    MappingCache,
+    shared_cache,
+)
+from repro.perf.parallel import (
+    WorkerPool,
+    parallel_map,
+    resolve_executor_mode,
+    resolve_jobs,
+)
+from repro.perf.signature import (
+    config_signature,
+    layer_signature,
+    mapper_signature,
+    search_invariant_signature,
+    supports_tracing,
+)
+
+__all__ = [
+    "StageTimers",
+    "CacheStats",
+    "CachingMapper",
+    "MappingCache",
+    "shared_cache",
+    "WorkerPool",
+    "parallel_map",
+    "resolve_executor_mode",
+    "resolve_jobs",
+    "config_signature",
+    "layer_signature",
+    "mapper_signature",
+    "search_invariant_signature",
+    "supports_tracing",
+]

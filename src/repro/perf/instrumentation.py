@@ -1,0 +1,49 @@
+"""Per-stage timers and throughput counters for the evaluation pipeline.
+
+Speedups are measured, not asserted: every :class:`CostEvaluator` owns a
+:class:`StageTimers` that attributes wall-clock to pipeline stages
+(mapping search, cost aggregation, area/power) so cache and parallelism
+wins show up as numbers in ``perf_summary()`` / the CLI rather than
+claims in a docstring.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["StageTimers"]
+
+
+class StageTimers:
+    """Accumulate (seconds, calls) per named pipeline stage."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - started)
+
+    def record(self, name: str, seconds: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def reset(self) -> None:
+        self.seconds.clear()
+        self.calls.clear()
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"seconds": self.seconds[name], "calls": self.calls[name]}
+            for name in self.seconds
+        }

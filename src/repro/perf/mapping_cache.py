@@ -1,0 +1,341 @@
+"""Shared layer-level mapping cache with an exact and a re-score tier.
+
+The hot path of every figure and table is the per-layer mapping search:
+each design-point evaluation runs one search per unique layer, and
+neighbouring candidates in a DSE walk share most of their
+mapping-relevant configuration.  This module memoizes those searches at
+layer granularity, below the :class:`repro.cost.evaluator.CostEvaluator`
+design-point cache:
+
+* **Exact tier** — keyed by ``(mapper signature, layer signature, full
+  config signature)``; a hit returns the stored
+  :class:`~repro.mapping.mapper.MappingResult` unchanged.
+* **Re-score tier** — keyed with the bandwidth/clock fields removed
+  (:func:`repro.perf.signature.search_invariant_signature`); a hit
+  re-scores the recorded :class:`~repro.mapping.mapper.SearchTrace` via
+  :func:`repro.mapping.mapper.rescore_trace`, which is bit-identical to
+  a cold search.  Sweeps over off-chip bandwidth therefore never repeat
+  the candidate enumeration or the per-candidate latency model.
+
+Both tiers are LRU-bounded and thread-safe; an optional pickle backend
+(:meth:`MappingCache.save` / ``persist_path``) lets repeated experiment
+runs warm-start (``REPRO_MAPPING_CACHE_DIR``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.perf.signature import (
+    config_signature,
+    layer_signature,
+    mapper_signature,
+    search_invariant_signature,
+    supports_tracing,
+)
+from repro.workloads.layers import LayerShape
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle:
+    # repro.mapping.mapper -> repro.cost -> repro.perf -> this module)
+    from repro.mapping.mapper import MappingResult, SearchTrace
+
+__all__ = ["CacheStats", "MappingCache", "CachingMapper", "shared_cache"]
+
+#: Persistence file name inside ``REPRO_MAPPING_CACHE_DIR``.
+PERSIST_FILENAME = "mapping_cache.pkl"
+#: On-disk format version; bump when signatures or traces change shape.
+PERSIST_VERSION = 1
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`MappingCache`."""
+
+    exact_hits: int = 0
+    rescore_hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.exact_hits + self.rescore_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without a full search."""
+        total = self.lookups
+        return (self.exact_hits + self.rescore_hits) / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "exact_hits": self.exact_hits,
+            "rescore_hits": self.rescore_hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+    def reset(self) -> None:
+        self.exact_hits = self.rescore_hits = self.misses = 0
+
+
+class MappingCache:
+    """LRU-bounded two-tier store of mapping-search outcomes.
+
+    Args:
+        max_results: Exact-tier capacity (one ``MappingResult`` each).
+        max_traces: Re-score-tier capacity; traces hold up to ``top_n``
+            ``(mapping, execution)`` pairs, so this tier is kept small.
+        persist_path: Pickle file to warm-start from (loaded when it
+            exists) and to :meth:`save` to.
+    """
+
+    def __init__(
+        self,
+        max_results: Optional[int] = None,
+        max_traces: Optional[int] = None,
+        persist_path: Optional[str] = None,
+    ):
+        self.max_results = (
+            _env_int("REPRO_MAPPING_CACHE_RESULTS", 32768)
+            if max_results is None
+            else max_results
+        )
+        self.max_traces = (
+            _env_int("REPRO_MAPPING_CACHE_TRACES", 1024)
+            if max_traces is None
+            else max_traces
+        )
+        self.persist_path = persist_path
+        self._results: "OrderedDict[Tuple, MappingResult]" = OrderedDict()
+        self._traces: "OrderedDict[Tuple, SearchTrace]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+        if persist_path and os.path.exists(persist_path):
+            self.load(persist_path)
+
+    # -- tier access ----------------------------------------------------------
+
+    def get_result(self, key: Tuple) -> Optional[MappingResult]:
+        with self._lock:
+            result = self._results.get(key)
+            if result is not None:
+                self._results.move_to_end(key)
+            return result
+
+    def put_result(self, key: Tuple, result: MappingResult) -> None:
+        with self._lock:
+            self._results[key] = result
+            self._results.move_to_end(key)
+            while len(self._results) > self.max_results:
+                self._results.popitem(last=False)
+
+    def get_trace(self, key: Tuple) -> Optional[SearchTrace]:
+        with self._lock:
+            trace = self._traces.get(key)
+            if trace is not None:
+                self._traces.move_to_end(key)
+            return trace
+
+    def put_trace(self, key: Tuple, trace: SearchTrace) -> None:
+        with self._lock:
+            self._traces[key] = trace
+            self._traces.move_to_end(key)
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+
+    # -- introspection --------------------------------------------------------
+
+    def size(self) -> int:
+        """Exact-tier entry count."""
+        return len(self._results)
+
+    def trace_count(self) -> int:
+        """Re-score-tier entry count."""
+        return len(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._results.clear()
+            self._traces.clear()
+            self.stats.reset()
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Pickle both tiers atomically; returns the written path."""
+        path = path or self.persist_path
+        if not path:
+            raise ValueError("no persistence path configured")
+        payload = {
+            "version": PERSIST_VERSION,
+            "results": dict(self._results),
+            "traces": dict(self._traces),
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load(self, path: Optional[str] = None) -> bool:
+        """Merge a pickled cache in; returns False on any load problem
+        (a stale or corrupt warm-start file is ignored, not fatal)."""
+        path = path or self.persist_path
+        if not path or not os.path.exists(path):
+            return False
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("version") != PERSIST_VERSION:
+                return False
+            for key, result in payload.get("results", {}).items():
+                self.put_result(key, result)
+            for key, trace in payload.get("traces", {}).items():
+                self.put_trace(key, trace)
+            return True
+        except Exception:
+            return False
+
+
+class CachingMapper:
+    """Drop-in mapper wrapper backed by a :class:`MappingCache`.
+
+    Satisfies the ``Mapper`` protocol of ``CostEvaluator`` while serving
+    repeated (layer, config) searches from the cache.  Keeps local
+    counters (independent of the possibly shared cache's global stats)
+    so each evaluator can report its own hit-rate.
+    """
+
+    def __init__(self, mapper, cache: Optional[MappingCache] = None):
+        if not supports_tracing(mapper):
+            raise TypeError(
+                f"{mapper!r} does not implement the traced-search protocol "
+                "(signature() + search_with_trace())"
+            )
+        self.mapper = mapper
+        self.cache = cache if cache is not None else shared_cache()
+        self._mapper_sig = mapper_signature(mapper)
+        self._include_name = bool(
+            getattr(mapper, "cache_layer_name_relevant", True)
+        )
+        self.objective = getattr(mapper, "objective", "latency")
+        self.exact_hits = 0
+        self.rescore_hits = 0
+        self.misses = 0
+
+    @property
+    def name(self) -> str:
+        return getattr(self.mapper, "name", type(self.mapper).__name__)
+
+    def reset_counters(self) -> None:
+        self.exact_hits = self.rescore_hits = self.misses = 0
+
+    def _keys(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> Tuple[Tuple, Tuple]:
+        lsig = layer_signature(layer, include_name=self._include_name)
+        return (
+            (self._mapper_sig, lsig, config_signature(config)),
+            (self._mapper_sig, lsig, search_invariant_signature(config)),
+        )
+
+    def lookup(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> Optional[MappingResult]:
+        """Serve from the cache, or return None (counting nothing)."""
+        exact_key, trace_key = self._keys(layer, config)
+        result = self.cache.get_result(exact_key)
+        if result is not None:
+            self.exact_hits += 1
+            self.cache.stats.exact_hits += 1
+            return result
+        trace = self.cache.get_trace(trace_key)
+        if trace is not None:
+            from repro.mapping.mapper import rescore_trace
+
+            result = rescore_trace(layer, config, trace, self.objective)
+            self.cache.put_result(exact_key, result)
+            self.rescore_hits += 1
+            self.cache.stats.rescore_hits += 1
+            return result
+        return None
+
+    def store(
+        self,
+        layer: LayerShape,
+        config: AcceleratorConfig,
+        result: MappingResult,
+        trace: Optional[SearchTrace] = None,
+    ) -> None:
+        """Insert an externally computed search outcome (e.g. one a
+        worker process returned)."""
+        exact_key, trace_key = self._keys(layer, config)
+        self.cache.put_result(exact_key, result)
+        if trace is not None:
+            self.cache.put_trace(trace_key, trace)
+
+    def __call__(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> MappingResult:
+        result = self.lookup(layer, config)
+        if result is not None:
+            return result
+        self.misses += 1
+        self.cache.stats.misses += 1
+        result, trace = self.mapper.search_with_trace(layer, config)
+        self.store(layer, config, result, trace)
+        return result
+
+
+_SHARED: Optional[MappingCache] = None
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_cache() -> MappingCache:
+    """The process-wide mapping cache shared by all evaluators.
+
+    Created lazily; when ``REPRO_MAPPING_CACHE_DIR`` is set the cache
+    warm-starts from (and registers an atexit save to)
+    ``$REPRO_MAPPING_CACHE_DIR/mapping_cache.pkl``.
+    """
+    global _SHARED
+    with _SHARED_LOCK:
+        if _SHARED is None:
+            persist_dir = os.environ.get("REPRO_MAPPING_CACHE_DIR")
+            persist_path = (
+                os.path.join(persist_dir, PERSIST_FILENAME)
+                if persist_dir
+                else None
+            )
+            _SHARED = MappingCache(persist_path=persist_path)
+            if persist_path:
+                import atexit
+
+                def _save_on_exit(cache: MappingCache = _SHARED) -> None:
+                    try:
+                        cache.save()
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+
+                atexit.register(_save_on_exit)
+        return _SHARED

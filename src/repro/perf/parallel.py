@@ -1,0 +1,115 @@
+"""Executor abstraction: opt-in parallelism with a bit-identical serial path.
+
+The mapping-space walk is embarrassingly parallel across layers,
+candidates, and (technique x model) harness runs.  This module provides
+the one knob that controls all of them:
+
+* ``REPRO_JOBS`` — worker count.  Unset or ``1`` selects the serial
+  path, which executes exactly the same code as before this layer
+  existed (bit-identical results, no pools, no pickling).  ``0`` or
+  ``auto`` selects ``os.cpu_count()``.
+* ``REPRO_EXECUTOR`` — ``process`` (default; real speedup for the
+  pure-Python cost model) or ``thread`` (cheaper startup, useful when
+  the work releases the GIL or for testing).
+
+Work is always dispatched and collected in input order, so parallel
+results are deterministic regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = ["resolve_jobs", "resolve_executor_mode", "parallel_map", "WorkerPool"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[object] = None) -> int:
+    """Resolve a worker count from an explicit value or ``REPRO_JOBS``."""
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS", "1")
+    if isinstance(jobs, str):
+        if jobs.strip().lower() in ("auto", "0"):
+            return os.cpu_count() or 1
+        try:
+            jobs = int(jobs)
+        except ValueError:
+            return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def resolve_executor_mode(mode: Optional[str] = None) -> str:
+    """Resolve the executor kind (``process`` / ``thread``)."""
+    mode = mode or os.environ.get("REPRO_EXECUTOR", "process")
+    mode = mode.strip().lower()
+    if mode not in ("process", "thread"):
+        raise ValueError(f"unknown executor mode {mode!r}")
+    return mode
+
+
+class WorkerPool:
+    """Lazily created, reusable executor with a serial fallback.
+
+    With ``jobs <= 1`` no executor is ever created and :meth:`map` is a
+    plain list comprehension — the exact pre-existing serial semantics.
+    """
+
+    def __init__(
+        self, jobs: Optional[object] = None, mode: Optional[str] = None
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.mode = resolve_executor_mode(mode)
+        self._executor: Optional[Executor] = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.mode == "process":
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            else:
+                self._executor = ThreadPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Order-preserving map (serial when ``jobs <= 1``)."""
+        items = list(items)
+        if not self.parallel or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_executor().map(fn, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: Optional[object] = None,
+    mode: Optional[str] = None,
+) -> List[R]:
+    """One-shot order-preserving map over a temporary :class:`WorkerPool`."""
+    with WorkerPool(jobs=jobs, mode=mode) as pool:
+        return pool.map(fn, items)

@@ -1,0 +1,90 @@
+"""Cache signatures: exactly what the mapping search reads.
+
+The layer-level mapping cache (``repro.perf.mapping_cache``) is only
+correct if its keys capture *every* input the mapper consumes — and only
+those, so that sweeps over search-irrelevant parameters hit the cache.
+This module centralizes that contract:
+
+* the candidate generators (``enumerate_spatial_unrollings``,
+  ``greedy_tile``, ``build_output_stationary_mapping``, the random
+  tiling sampler) read ``pes``, ``l1_bytes``, ``l2_bytes`` and
+  ``bytes_per_element``;
+* feasibility checks additionally read the NoC configuration
+  (``noc_datawidth_bits``, physical/virtual unicast links);
+* only candidate *scoring* reads ``offchip_bw_mbps`` / ``freq_mhz``
+  (through ``dram_bytes_per_cycle`` -> ``t_dma``), and a recorded
+  :class:`repro.mapping.mapper.SearchTrace` can be exactly re-scored for
+  those.
+
+Hence :func:`config_signature` keys the exact-result cache tier and
+:func:`search_invariant_signature` (the same minus bandwidth and clock)
+keys the re-scorable trace tier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.workloads.layers import OPERANDS, LayerShape
+
+__all__ = [
+    "layer_signature",
+    "config_signature",
+    "search_invariant_signature",
+    "mapper_signature",
+    "supports_tracing",
+]
+
+
+def layer_signature(layer: LayerShape, include_name: bool = False) -> Tuple:
+    """Shape identity of a layer as seen by the mapping search.
+
+    The search reads the operator type, the (padded) loop bounds, and the
+    stride (through the input-halo tile extents) — never ``repeats`` or
+    the layer's own ``bytes_per_element`` (precision comes from the
+    hardware config).  ``name`` is excluded by default so identical
+    shapes share cache entries across models; mappers whose candidate
+    stream is seeded by the name (``RandomSearchMapper``) set
+    ``include_name``.
+    """
+    base: Tuple = (layer.operator.value, layer.dims, layer.stride)
+    return base + (layer.name,) if include_name else base
+
+
+def config_signature(config: AcceleratorConfig) -> Tuple:
+    """Full mapping-relevant identity of a hardware configuration."""
+    return search_invariant_signature(config) + (
+        config.offchip_bw_mbps,
+        config.freq_mhz,
+    )
+
+
+def search_invariant_signature(config: AcceleratorConfig) -> Tuple:
+    """Config fields that determine the candidate set, feasibility, and
+    every score component except ``t_dma`` (see module docstring)."""
+    return (
+        config.pes,
+        config.l1_bytes,
+        config.l2_kb,
+        config.noc_datawidth_bits,
+        tuple(config.phys_unicast_factor[op] for op in OPERANDS),
+        tuple(config.virt_unicast[op] for op in OPERANDS),
+        config.bytes_per_element,
+    )
+
+
+def mapper_signature(mapper) -> Optional[Tuple]:
+    """Cache identity of a mapper, or None when it cannot be cached."""
+    sig = getattr(mapper, "signature", None)
+    if sig is None:
+        return None
+    return tuple(sig())
+
+
+def supports_tracing(mapper) -> bool:
+    """True when ``mapper`` implements the traced-search cache protocol
+    (``signature()`` + ``search_with_trace()``)."""
+    return callable(getattr(mapper, "signature", None)) and callable(
+        getattr(mapper, "search_with_trace", None)
+    )

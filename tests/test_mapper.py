@@ -7,9 +7,32 @@ from repro.mapping.mapper import (
     FixedDataflowMapper,
     RandomSearchMapper,
     TopNMapper,
+    _log_spaced,
     enumerate_spatial_unrollings,
 )
 from repro.workloads.layers import LOOP_DIMS, Dim
+
+
+class TestLogSpaced:
+    def test_empty_values(self):
+        assert _log_spaced([], keep=4) == ()
+        assert _log_spaced([], keep=0) == ()
+
+    def test_keep_at_most_one_keeps_largest(self):
+        assert _log_spaced([2, 4, 8, 16], keep=1) == (16,)
+        assert _log_spaced([2, 4, 8, 16], keep=0) == (16,)
+        assert _log_spaced([2, 4, 8, 16], keep=-3) == (16,)
+
+    def test_small_input_passes_through(self):
+        assert _log_spaced([3, 5], keep=4) == (3, 5)
+
+    def test_thins_to_budget_keeping_endpoints(self):
+        values = list(range(1, 101))
+        picked = _log_spaced(values, keep=5)
+        assert len(picked) == 5
+        assert picked[0] == values[0]
+        assert picked[-1] == values[-1]
+        assert list(picked) == sorted(picked)
 
 
 class TestSpatialEnumeration:

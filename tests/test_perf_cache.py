@@ -1,0 +1,287 @@
+"""Tests for the layer-level mapping cache (repro.perf).
+
+The load-bearing property: the cache must be invisible in the results —
+every tier (exact hit, bandwidth re-score, disk warm-start) returns
+bit-identical costs versus a cold search.
+"""
+
+import pytest
+
+from repro.arch.accelerator import config_from_point
+from repro.cost.evaluator import CostEvaluator
+from repro.mapping.mapper import (
+    FixedDataflowMapper,
+    RandomSearchMapper,
+    TopNMapper,
+    rescore_trace,
+)
+from repro.perf import (
+    CachingMapper,
+    MappingCache,
+    config_signature,
+    layer_signature,
+    mapper_signature,
+    search_invariant_signature,
+    supports_tracing,
+)
+
+ALL_MAPPERS = [
+    lambda: FixedDataflowMapper(),
+    lambda: TopNMapper(top_n=40),
+    lambda: RandomSearchMapper(trials=30, seed=3),
+    lambda: TopNMapper(top_n=40, objective="edp"),
+]
+
+
+def _bw_variant(point, bw):
+    p = dict(point)
+    p["offchip_bw_mbps"] = bw
+    return p
+
+
+class TestSignatures:
+    def test_full_signature_includes_bandwidth(self, mid_config):
+        assert mid_config.offchip_bw_mbps in config_signature(mid_config)
+
+    def test_invariant_signature_excludes_bandwidth_and_clock(
+        self, mid_point
+    ):
+        a = config_from_point(mid_point)
+        b = config_from_point(_bw_variant(mid_point, 1024))
+        assert a.offchip_bw_mbps != b.offchip_bw_mbps
+        assert search_invariant_signature(a) == search_invariant_signature(b)
+        assert config_signature(a) != config_signature(b)
+
+    def test_invariant_signature_tracks_search_fields(self, mid_point):
+        a = config_from_point(mid_point)
+        changed = dict(mid_point)
+        changed["pes"] = 2048
+        b = config_from_point(changed)
+        assert search_invariant_signature(a) != search_invariant_signature(b)
+
+    def test_layer_signature_excludes_name_by_default(self, conv_layer):
+        renamed = layer_signature(conv_layer)
+        assert conv_layer.name not in renamed
+        assert conv_layer.name in layer_signature(
+            conv_layer, include_name=True
+        )
+
+    def test_mapper_signatures_distinguish_settings(self):
+        assert mapper_signature(TopNMapper(top_n=10)) != mapper_signature(
+            TopNMapper(top_n=20)
+        )
+        assert mapper_signature(RandomSearchMapper(seed=0)) != mapper_signature(
+            RandomSearchMapper(seed=1)
+        )
+        assert mapper_signature(lambda layer, config: None) is None
+
+    def test_builtin_mappers_support_tracing(self):
+        for factory in ALL_MAPPERS:
+            assert supports_tracing(factory())
+        assert not supports_tracing(lambda layer, config: None)
+
+
+class TestMappingCacheStore:
+    def test_lru_bounds_results(self):
+        cache = MappingCache(max_results=2, max_traces=2)
+        for i in range(4):
+            cache.put_result(("k", i), f"r{i}")
+        assert cache.size() == 2
+        assert cache.get_result(("k", 0)) is None
+        assert cache.get_result(("k", 3)) == "r3"
+
+    def test_lru_recency_on_get(self):
+        cache = MappingCache(max_results=2, max_traces=2)
+        cache.put_result(("a",), 1)
+        cache.put_result(("b",), 2)
+        cache.get_result(("a",))  # refresh 'a'
+        cache.put_result(("c",), 3)
+        assert cache.get_result(("a",)) == 1
+        assert cache.get_result(("b",)) is None
+
+    def test_persistence_roundtrip(self, tmp_path, conv_layer, mid_config):
+        path = str(tmp_path / "cache.pkl")
+        cache = MappingCache(persist_path=path)
+        mapper = CachingMapper(TopNMapper(top_n=25), cache)
+        cold = mapper(conv_layer, mid_config)
+        cache.save()
+
+        warm_cache = MappingCache(persist_path=path)
+        assert warm_cache.size() >= 1
+        warm_mapper = CachingMapper(TopNMapper(top_n=25), warm_cache)
+        warm = warm_mapper(conv_layer, mid_config)
+        assert warm_mapper.exact_hits == 1
+        assert warm_mapper.misses == 0
+        assert warm.latency == cold.latency
+        assert warm.mapping == cold.mapping
+
+    def test_corrupt_persistence_ignored(self, tmp_path):
+        path = tmp_path / "cache.pkl"
+        path.write_bytes(b"not a pickle")
+        cache = MappingCache(persist_path=str(path))
+        assert cache.size() == 0
+
+
+class TestCachingMapperIdentity:
+    @pytest.mark.parametrize("factory", ALL_MAPPERS)
+    def test_exact_hit_matches_cold(self, factory, conv_layer, mid_config):
+        cold = factory()(conv_layer, mid_config)
+        cached = CachingMapper(factory(), MappingCache())
+        first = cached(conv_layer, mid_config)
+        second = cached(conv_layer, mid_config)
+        assert cached.misses == 1 and cached.exact_hits == 1
+        for result in (first, second):
+            assert result.latency == cold.latency
+            assert result.mapping == cold.mapping
+            assert result.candidates_evaluated == cold.candidates_evaluated
+            assert result.feasible_candidates == cold.feasible_candidates
+
+    @pytest.mark.parametrize("factory", ALL_MAPPERS)
+    def test_bandwidth_rescore_matches_cold(
+        self, factory, conv_layer, mid_point
+    ):
+        """A config differing only in off-chip bandwidth must re-score the
+        recorded trace to exactly the cold-search result."""
+        cached = CachingMapper(factory(), MappingCache())
+        cached(conv_layer, config_from_point(mid_point))
+        for bw in (1024, 6400, 51200):
+            variant = config_from_point(_bw_variant(mid_point, bw))
+            cold = factory()(conv_layer, variant)
+            warm = cached(conv_layer, variant)
+            assert warm.latency == cold.latency
+            assert warm.mapping == cold.mapping
+            assert warm.candidates_evaluated == cold.candidates_evaluated
+            assert warm.feasible_candidates == cold.feasible_candidates
+        assert cached.rescore_hits == 3
+
+    def test_rescore_trace_function_identity(self, conv_layer, mid_point):
+        mapper = TopNMapper(top_n=30)
+        _, trace = mapper.search_with_trace(
+            conv_layer, config_from_point(mid_point)
+        )
+        variant = config_from_point(_bw_variant(mid_point, 2048))
+        rescored = rescore_trace(conv_layer, variant, trace, "latency")
+        cold = mapper(conv_layer, variant)
+        assert rescored.latency == cold.latency
+        assert rescored.execution == cold.execution
+
+    def test_rejects_untraceable_mapper(self):
+        with pytest.raises(TypeError):
+            CachingMapper(lambda layer, config: None, MappingCache())
+
+
+class TestEvaluatorCacheCorrectness:
+    def _points(self, mid_point):
+        points = []
+        for pes in (512, 1024):
+            for bw in (1024, 8192, 51200):
+                p = dict(mid_point)
+                p["pes"] = pes
+                p["offchip_bw_mbps"] = bw
+                points.append(p)
+        return points
+
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: TopNMapper(top_n=30), lambda: RandomSearchMapper(trials=20)],
+    )
+    def test_cached_costs_identical_to_cold(
+        self, factory, tiny_workload, mid_point
+    ):
+        """Property: the layer cache never changes Evaluation.costs."""
+        cold = CostEvaluator(
+            tiny_workload, factory(), use_mapping_cache=False
+        )
+        warm = CostEvaluator(
+            tiny_workload, factory(), mapping_cache=MappingCache()
+        )
+        for point in self._points(mid_point):
+            a = cold.evaluate(point)
+            b = warm.evaluate(point)
+            assert a.costs == b.costs
+            assert a.mappable == b.mappable
+        assert warm.mapping_cache_hits > 0
+
+    def test_cross_evaluator_sharing(self, tiny_workload, mid_point):
+        cache = MappingCache()
+        first = CostEvaluator(
+            tiny_workload, TopNMapper(top_n=30), mapping_cache=cache
+        )
+        first.evaluate(mid_point)
+        second = CostEvaluator(
+            tiny_workload, TopNMapper(top_n=30), mapping_cache=cache
+        )
+        evaluation = second.evaluate(dict(mid_point))
+        assert second.mapping_cache_hits == len(tiny_workload.layers)
+        assert second.mapping_cache_misses == 0
+        assert evaluation.costs == first.evaluate(mid_point).costs
+
+
+class TestCountersAndReporting:
+    def test_counters_and_reset(self, tiny_workload, mid_point):
+        evaluator = CostEvaluator(
+            tiny_workload, TopNMapper(top_n=30), mapping_cache=MappingCache()
+        )
+        evaluator.evaluate(mid_point)
+        variant = _bw_variant(mid_point, 1024)
+        evaluator.evaluate(variant)
+        assert evaluator.mapping_cache_misses == len(tiny_workload.layers)
+        assert evaluator.mapping_cache_hits == len(tiny_workload.layers)
+        assert 0.0 < evaluator.mapping_cache_hit_rate < 1.0
+        assert evaluator.mapping_cache_size() > 0
+        assert evaluator.evaluations_per_second > 0
+
+        summary = evaluator.perf_summary()
+        assert summary["mapping_cache"]["enabled"]
+        assert summary["mapping_cache"]["hit_rate"] == pytest.approx(0.5)
+        assert "mapping" in summary["stages"]
+
+        evaluator.reset_counters()
+        assert evaluator.mapping_cache_hits == 0
+        assert evaluator.mapping_cache_misses == 0
+        assert evaluator.evaluations == 0
+        # Caches survive the counter reset.
+        assert evaluator.cache_size() == 2
+        assert evaluator.mapping_cache_size() > 0
+
+    def test_disabled_cache_counters_are_zero(self, tiny_workload, mid_point):
+        evaluator = CostEvaluator(
+            tiny_workload, TopNMapper(top_n=30), use_mapping_cache=False
+        )
+        evaluator.evaluate(mid_point)
+        assert evaluator.mapping_cache is None
+        assert evaluator.mapping_cache_hit_rate == 0.0
+        assert evaluator.mapping_cache_size() == 0
+        assert not evaluator.perf_summary()["mapping_cache"]["enabled"]
+
+    def test_run_summary_reports_hit_rate(self, tiny_workload, mid_point):
+        from repro.core.dse.result import DSEResult
+        from repro.experiments.reporting import format_run_summary
+
+        evaluator = CostEvaluator(
+            tiny_workload, TopNMapper(top_n=30), mapping_cache=MappingCache()
+        )
+        evaluator.evaluate(mid_point)
+        evaluator.evaluate(_bw_variant(mid_point, 1024))
+        result = DSEResult(
+            technique="test",
+            model="tiny",
+            trials=[],
+            best=None,
+            evaluations=2,
+            wall_seconds=0.1,
+        )
+        text = format_run_summary(result, evaluator)
+        assert "mapping cache" in text
+        assert "hit rate 50%" in text
+
+    def test_legacy_callable_mapper_still_works(
+        self, tiny_workload, mid_point
+    ):
+        """Plain-callable mappers bypass the cache but keep working."""
+        base = TopNMapper(top_n=30)
+        evaluator = CostEvaluator(
+            tiny_workload, lambda layer, config: base(layer, config)
+        )
+        assert evaluator.mapping_cache is None
+        assert evaluator.evaluate(mid_point).mappable
