@@ -22,6 +22,7 @@ accelerations are bit-identical to the serial/cold path.
 
 from __future__ import annotations
 
+import copy
 import math
 import os
 import time
@@ -52,11 +53,18 @@ Mapper = Callable[[LayerShape, AcceleratorConfig], "MappingResult"]
 
 def _search_layer_job(mapper, config: AcceleratorConfig, layer: LayerShape):
     """Worker-side layer search; module-level so process pools can pickle
-    it.  Returns ``(result, trace_or_None)`` so the parent can seed its
-    mapping cache with outcomes computed in workers."""
+    it.  Returns ``(result, trace_or_None, batch_stats_delta_or_None)`` so
+    the parent can seed its mapping cache — and merge the batch-eval
+    counters, which otherwise stay on the worker's pickled mapper copy —
+    with outcomes computed in workers."""
+    stats = getattr(mapper, "batch_stats", None)
+    before = copy.copy(stats) if stats is not None else None
     if supports_tracing(mapper):
-        return mapper.search_with_trace(layer, config)
-    return mapper(layer, config), None
+        result, trace = mapper.search_with_trace(layer, config)
+    else:
+        result, trace = mapper(layer, config), None
+    delta = stats.delta_since(before) if stats is not None else None
+    return result, trace, delta
 
 
 @dataclass(frozen=True)
@@ -200,7 +208,14 @@ class CostEvaluator:
         if self._pool.parallel and len(pending) > 1:
             job = partial(_search_layer_job, cm.mapper if cm else self.mapper, config)
             outcomes = self._pool.map(job, pending)
-            for layer, (result, trace) in zip(pending, outcomes):
+            # Thread workers record batch-eval counters into the shared
+            # mapper directly; only process workers need the delta merged.
+            merge_stats = (
+                self.batch_eval_stats if self._pool.mode == "process" else None
+            )
+            for layer, (result, trace, stats_delta) in zip(pending, outcomes):
+                if merge_stats is not None and stats_delta is not None:
+                    merge_stats.merge(stats_delta)
                 if cm is not None:
                     cm.misses += 1
                     cm.cache.stats.misses += 1
@@ -304,9 +319,25 @@ class CostEvaluator:
             return 0.0
         return self.evaluations / self.total_seconds
 
+    @property
+    def batch_eval_stats(self):
+        """The mapper's :class:`BatchEvalStats` (None when the mapper has
+        no batched candidate-scoring path, e.g. the fixed dataflow)."""
+        return getattr(self.mapper, "batch_stats", None)
+
     def perf_summary(self) -> Dict[str, object]:
         """Instrumentation snapshot: timers, throughput, cache counters."""
+        from repro.cost.batch import batch_eval_enabled
+
         cm = self._caching_mapper
+        stats = self.batch_eval_stats
+        batch_section: Dict[str, object] = {
+            "supported": stats is not None,
+            "enabled": stats is not None
+            and batch_eval_enabled(getattr(self.mapper, "batch_eval", None)),
+        }
+        if stats is not None:
+            batch_section.update(stats.as_dict())
         return {
             "evaluations": self.evaluations,
             "calls": self.calls,
@@ -327,6 +358,7 @@ class CostEvaluator:
                 if self.mapping_cache
                 else 0,
             },
+            "batch_eval": batch_section,
         }
 
     def reset_counters(self) -> None:
@@ -337,6 +369,9 @@ class CostEvaluator:
         self.timers.reset()
         if self._caching_mapper is not None:
             self._caching_mapper.reset_counters()
+        stats = self.batch_eval_stats
+        if stats is not None:
+            stats.reset()
 
     def close(self) -> None:
         """Release the worker pool (no-op on the serial path)."""

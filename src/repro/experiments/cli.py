@@ -34,6 +34,7 @@ from repro.experiments import (
 )
 from repro.experiments.harness import ComparisonRunner
 from repro.experiments.setup import make_evaluator, run_explainable_dse
+from repro.mapping.mapper import MAPPING_OBJECTIVES
 from repro.workloads.registry import MODEL_NAMES
 
 __all__ = ["main", "build_parser"]
@@ -78,7 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--perf", action="store_true",
                          help="print evaluation-pipeline performance "
                               "counters (cache hit-rate, eval/s)")
+    explore.add_argument(
+        "--objective",
+        choices=sorted(MAPPING_OBJECTIVES),
+        default="latency",
+        help="mapping metric minimized by the searching mappers",
+    )
     _add_jobs_argument(explore)
+    _add_batch_eval_argument(explore)
 
     compare = sub.add_parser(
         "compare", help="compare all techniques on one model (Fig. 3 slice)"
@@ -86,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("model", choices=MODEL_NAMES)
     compare.add_argument("--iterations", type=int, default=40)
     _add_jobs_argument(compare)
+    _add_batch_eval_argument(compare)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate paper tables/figures ('all' for a report)"
@@ -103,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the 'all' report to this file"
     )
     _add_jobs_argument(experiment)
+    _add_batch_eval_argument(experiment)
 
     sub.add_parser("list-models", help="list the benchmark models")
     return parser
@@ -118,6 +128,17 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batch_eval_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-eval",
+        choices=("on", "off"),
+        default=None,
+        help="vectorized batch candidate scoring in the mapping search "
+             "(bit-identical to the scalar path; default: "
+             "$REPRO_BATCH_EVAL or on)",
+    )
+
+
 def _apply_jobs(args) -> None:
     """Propagate ``--jobs`` to the pipeline via ``REPRO_JOBS`` so every
     evaluator and harness constructed downstream picks it up."""
@@ -126,8 +147,18 @@ def _apply_jobs(args) -> None:
         os.environ["REPRO_JOBS"] = str(jobs)
 
 
+def _apply_batch_eval(args) -> None:
+    """Propagate ``--batch-eval`` via ``REPRO_BATCH_EVAL`` so every mapper
+    constructed downstream picks it up."""
+    batch_eval = getattr(args, "batch_eval", None)
+    if batch_eval is not None:
+        os.environ["REPRO_BATCH_EVAL"] = "1" if batch_eval == "on" else "0"
+
+
 def _cmd_explore(args) -> int:
-    evaluator = make_evaluator(args.model, mapping_mode=args.mapping)
+    evaluator = make_evaluator(
+        args.model, mapping_mode=args.mapping, objective=args.objective
+    )
     result = run_explainable_dse(
         args.model,
         iterations=args.iterations,
@@ -197,6 +228,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(model)
         return 0
     _apply_jobs(args)
+    _apply_batch_eval(args)
     if args.command == "explore":
         return _cmd_explore(args)
     if args.command == "compare":

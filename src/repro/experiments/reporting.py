@@ -96,6 +96,22 @@ def format_run_summary(result, evaluator=None) -> str:
             )
         else:
             lines.append("mapping cache: disabled")
+        batch = perf["batch_eval"]
+        if batch["supported"]:
+            if batch["enabled"]:
+                parts = [
+                    f"{batch['batch_candidates']} candidates in "
+                    f"{batch['batches']} batches "
+                    f"({batch['batch_candidates_per_second']:.0f} cand/s)"
+                ]
+                if batch["scalar_searches"]:
+                    parts.append(
+                        f"{batch['scalar_candidates']} scalar-scored "
+                        f"({batch['int64_fallbacks']} int64 fallbacks)"
+                    )
+                lines.append("batch eval: " + ", ".join(parts))
+            else:
+                lines.append("batch eval: disabled (scalar reference path)")
     return "\n".join(lines)
 
 

@@ -104,6 +104,8 @@ def make_evaluator(
     top_n: int = 150,
     random_mapping_trials: int = 100,
     seed: int = 0,
+    objective: str = "latency",
+    batch_eval: Optional[bool] = None,
     jobs: Optional[object] = None,
     **evaluator_kwargs,
 ) -> CostEvaluator:
@@ -118,6 +120,13 @@ def make_evaluator(
         top_n: Mapping budget of the top-N mapper.
         random_mapping_trials: Trials of the random mapper.
         seed: Seed for the random mapper.
+        objective: Mapping metric the searching mappers minimize
+            (``"latency"``, ``"energy"``, or ``"edp"``; validated with a
+            helpful error).  The fixed dataflow is not searched, so the
+            objective does not apply to it.
+        batch_eval: Vectorized candidate scoring for the searching
+            mappers (None defers to ``REPRO_BATCH_EVAL``, default on;
+            bit-identical either way).
         jobs: Per-layer mapping-search worker count (None reads
             ``REPRO_JOBS``; 1 = serial).
         evaluator_kwargs: Forwarded to :class:`CostEvaluator` (e.g.
@@ -127,9 +136,16 @@ def make_evaluator(
     if mapping_mode == "fixed":
         mapper = FixedDataflowMapper()
     elif mapping_mode == "codesign":
-        mapper = TopNMapper(top_n=top_n)
+        mapper = TopNMapper(
+            top_n=top_n, objective=objective, batch_eval=batch_eval
+        )
     elif mapping_mode == "random-mapper":
-        mapper = RandomSearchMapper(trials=random_mapping_trials, seed=seed)
+        mapper = RandomSearchMapper(
+            trials=random_mapping_trials,
+            seed=seed,
+            objective=objective,
+            batch_eval=batch_eval,
+        )
     else:
         raise ValueError(f"unknown mapping mode {mapping_mode!r}")
     return CostEvaluator(workload, mapper, jobs=jobs, **evaluator_kwargs)

@@ -1,5 +1,6 @@
 """Mapping substrate: tilings, orderings, dataflows, and mappers."""
 
+from repro.mapping.batch_candidates import CandidateBatch, CandidateSpec
 from repro.mapping.dataflow import build_output_stationary_mapping
 from repro.mapping.factorization import (
     count_ordered_factorizations,
@@ -20,6 +21,7 @@ from repro.mapping.mapping import (
     MappingError,
     operand_tile_elements,
     padded_bounds,
+    padded_bounds_tuple,
 )
 from repro.mapping.ordering import (
     count_unique_reuse_orderings,
@@ -30,6 +32,8 @@ from repro.mapping.ordering import (
 from repro.mapping.space_size import MappingSpaceSize, analyze_mapping_space
 
 __all__ = [
+    "CandidateBatch",
+    "CandidateSpec",
     "FixedDataflowMapper",
     "Level",
     "Mapping",
@@ -49,6 +53,7 @@ __all__ = [
     "operand_tile_elements",
     "ordered_factorizations",
     "padded_bounds",
+    "padded_bounds_tuple",
     "prime_factorization",
     "smooth_pad",
 ]

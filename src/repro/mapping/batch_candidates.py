@@ -1,0 +1,162 @@
+"""Structure-of-arrays materialization of mapping candidate sets.
+
+The scalar mapping search scores candidates one at a time: each one is a
+:class:`~repro.mapping.mapping.Mapping` holding four dict-of-dims factor
+maps, and :func:`~repro.cost.latency.evaluate_layer_mapping` walks those
+dicts per candidate.  For a top-N search that is O(N) Python interpreter
+round-trips through the cost model.
+
+This module provides the batched alternative:
+
+* :class:`CandidateSpec` — a lightweight tuple-of-tuples candidate
+  representation the generators can emit *without* constructing (and
+  validating) a ``Mapping`` object per candidate; and
+* :class:`CandidateBatch` — a whole candidate set as integer NumPy
+  arrays (one ``(n, 7)`` array of per-dimension tiling factors per
+  hierarchy level plus per-candidate stationarity codes), the layout the
+  vectorized kernels in :mod:`repro.cost.batch` consume.
+
+``Mapping`` objects are still materialized — lazily, per feasible
+candidate — because search traces and mapping results carry them, but
+the per-candidate dict bookkeeping disappears from the scoring loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping as MappingT, NamedTuple, Sequence, Tuple
+
+import numpy as np
+
+from repro.mapping.mapping import (
+    STATIONARY_CHOICES,
+    Level,
+    Mapping,
+)
+from repro.workloads.layers import LOOP_DIMS, Dim, Operand
+
+__all__ = ["CandidateSpec", "CandidateBatch"]
+
+#: Stationary-operand code of each :data:`STATIONARY_CHOICES` member.
+STATIONARY_CODES = {op: i for i, op in enumerate(STATIONARY_CHOICES)}
+
+
+class CandidateSpec(NamedTuple):
+    """One tiling candidate as raw factor tuples (``LOOP_DIMS`` order).
+
+    ``dram``/``spm``/``spatial``/``rf`` are the per-level tile counts and
+    ``dram_code``/``spm_code`` index :data:`STATIONARY_CHOICES`.  Specs
+    are produced by generators that guarantee validity (factors >= 1,
+    complete dims), so :meth:`to_mapping` can use the trusted ``Mapping``
+    constructor.
+    """
+
+    dram: Tuple[int, ...]
+    spm: Tuple[int, ...]
+    spatial: Tuple[int, ...]
+    rf: Tuple[int, ...]
+    dram_code: int
+    spm_code: int
+
+    @classmethod
+    def from_level_maps(
+        cls,
+        dram: MappingT[Dim, int],
+        spm: MappingT[Dim, int],
+        spatial: MappingT[Dim, int],
+        rf: MappingT[Dim, int],
+        dram_stationary: Operand = Operand.O,
+        spm_stationary: Operand = Operand.O,
+    ) -> "CandidateSpec":
+        """Build a spec from per-level factor dicts (missing dims -> 1)."""
+        return cls(
+            dram=tuple(int(dram.get(d, 1)) for d in LOOP_DIMS),
+            spm=tuple(int(spm.get(d, 1)) for d in LOOP_DIMS),
+            spatial=tuple(int(spatial.get(d, 1)) for d in LOOP_DIMS),
+            rf=tuple(int(rf.get(d, 1)) for d in LOOP_DIMS),
+            dram_code=STATIONARY_CODES[dram_stationary],
+            spm_code=STATIONARY_CODES[spm_stationary],
+        )
+
+    def to_mapping(self) -> Mapping:
+        """Materialize the equivalent :class:`Mapping` object."""
+        return Mapping._trusted(
+            factors={
+                Level.DRAM: dict(zip(LOOP_DIMS, self.dram)),
+                Level.SPM: dict(zip(LOOP_DIMS, self.spm)),
+                Level.SPATIAL: dict(zip(LOOP_DIMS, self.spatial)),
+                Level.RF: dict(zip(LOOP_DIMS, self.rf)),
+            },
+            dram_stationary=STATIONARY_CHOICES[self.dram_code],
+            spm_stationary=STATIONARY_CHOICES[self.spm_code],
+        )
+
+
+@dataclass(frozen=True)
+class CandidateBatch:
+    """A candidate set as structure-of-arrays.
+
+    Attributes:
+        dram/spm/spatial/rf: ``(n, 7)`` int64 factor arrays, columns in
+            ``LOOP_DIMS`` order.
+        dram_code/spm_code: ``(n,)`` stationary-operand codes indexing
+            :data:`STATIONARY_CHOICES`.
+        specs: The originating specs, kept so feasible candidates can be
+            materialized back into ``Mapping`` objects without a copy of
+            the factor data per candidate.
+    """
+
+    dram: np.ndarray
+    spm: np.ndarray
+    spatial: np.ndarray
+    rf: np.ndarray
+    dram_code: np.ndarray
+    spm_code: np.ndarray
+    specs: Tuple[CandidateSpec, ...]
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[CandidateSpec]) -> "CandidateBatch":
+        """Materialize a spec stream as SoA arrays (consumes the stream)."""
+        specs = tuple(specs)
+        n = len(specs)
+        if n:
+            dram = np.array([s.dram for s in specs], dtype=np.int64)
+            spm = np.array([s.spm for s in specs], dtype=np.int64)
+            spatial = np.array([s.spatial for s in specs], dtype=np.int64)
+            rf = np.array([s.rf for s in specs], dtype=np.int64)
+            dram_code = np.array([s.dram_code for s in specs], dtype=np.int64)
+            spm_code = np.array([s.spm_code for s in specs], dtype=np.int64)
+        else:
+            dram = spm = spatial = rf = np.empty((0, len(LOOP_DIMS)), np.int64)
+            dram_code = spm_code = np.empty(0, np.int64)
+        return cls(
+            dram=dram,
+            spm=spm,
+            spatial=spatial,
+            rf=rf,
+            dram_code=dram_code,
+            spm_code=spm_code,
+            specs=specs,
+        )
+
+    @classmethod
+    def from_mappings(cls, mappings: Sequence[Mapping]) -> "CandidateBatch":
+        """Materialize existing ``Mapping`` objects (convenience path)."""
+        return cls.from_specs(
+            CandidateSpec.from_level_maps(
+                dram=m.factors[Level.DRAM],
+                spm=m.factors[Level.SPM],
+                spatial=m.factors[Level.SPATIAL],
+                rf=m.factors[Level.RF],
+                dram_stationary=m.dram_stationary,
+                spm_stationary=m.spm_stationary,
+            )
+            for m in mappings
+        )
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def mapping(self, i: int) -> Mapping:
+        """The :class:`Mapping` object of candidate ``i``."""
+        return self.specs[i].to_mapping()

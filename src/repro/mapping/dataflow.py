@@ -11,14 +11,24 @@ searched.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.arch.accelerator import AcceleratorConfig
 from repro.mapping.factorization import divisors
 from repro.mapping.mapping import Mapping, operand_tile_elements, padded_bounds
-from repro.workloads.layers import LOOP_DIMS, Dim, LayerShape, Operand
+from repro.workloads.layers import (
+    LOOP_DIMS,
+    Dim,
+    LayerShape,
+    Operand,
+    OperatorType,
+)
 
-__all__ = ["build_output_stationary_mapping", "greedy_tile"]
+__all__ = [
+    "build_output_stationary_mapping",
+    "greedy_tile",
+    "greedy_tile_counts",
+]
 
 #: Dimensions eligible for spatial unrolling.  The architecture template
 #: supports spatial *data distribution* only (no cross-PE reduction), so
@@ -34,6 +44,60 @@ def _largest_divisor_leq(n: int, cap: int) -> int:
             break
         best = d
     return best
+
+
+#: ``LOOP_DIMS`` position of each dimension (tuple-domain fast paths).
+_DIM_INDEX = {d: i for i, d in enumerate(LOOP_DIMS)}
+
+
+def greedy_tile_counts(
+    layer: LayerShape,
+    remaining: Sequence[int],
+    order: Sequence[int],
+    byte_budget: int,
+    base_tile: Sequence[int],
+    bytes_per_element: int,
+) -> Tuple[int, ...]:
+    """Tuple-domain core of :func:`greedy_tile`.
+
+    ``remaining``/``base_tile`` are extents in ``LOOP_DIMS`` order and
+    ``order`` holds ``LOOP_DIMS`` *indices*.  Same greedy algorithm and
+    bit-identical factor choices as the dict API, with the I+W+O
+    footprint inlined on local ints so the candidate generators (which
+    call this hundreds of times per layer search) stay off the
+    dict-of-enums hot path.
+    """
+    stride = layer.stride
+    dwise = layer.operator is OperatorType.DWCONV
+    chosen = [1] * len(LOOP_DIMS)
+    ext = list(base_tile)
+
+    def _footprint() -> int:
+        n, m, c, oy, ox, fy, fx = ext
+        w = m * (1 if dwise else c) * fy * fx
+        o = n * m * oy * ox
+        i = (
+            n
+            * (m if dwise else c)
+            * ((oy - 1) * stride + fy)
+            * ((ox - 1) * stride + fx)
+        )
+        return (i + w + o) * bytes_per_element
+
+    if _footprint() > byte_budget:
+        return tuple(chosen)  # even the unit tile overflows; caller rejects.
+    for col in order:
+        base = base_tile[col]
+        best = 1
+        for f in divisors(remaining[col]):
+            ext[col] = base * f
+            if _footprint() <= byte_budget:
+                best = f
+            else:
+                break
+        chosen[col] = best
+        ext[col] = base * best
+    return tuple(chosen)
 
 
 def greedy_tile(
@@ -54,29 +118,15 @@ def greedy_tile(
     Returns:
         The chosen per-dimension factors (1 for dims not in ``order``).
     """
-    chosen: Dict[Dim, int] = {d: 1 for d in LOOP_DIMS}
-
-    def _footprint(candidate: Dict[Dim, int]) -> int:
-        tile = {d: base_tile[d] * candidate[d] for d in LOOP_DIMS}
-        return sum(
-            operand_tile_elements(layer, tile, op) * bytes_per_element
-            for op in (Operand.I, Operand.W, Operand.O)
-        )
-
-    if _footprint(chosen) > byte_budget:
-        return chosen  # even the unit tile overflows; caller will reject.
-    for d in order:
-        options = [f for f in divisors(remaining[d])]
-        best = 1
-        for f in options:
-            trial = dict(chosen)
-            trial[d] = f
-            if _footprint(trial) <= byte_budget:
-                best = f
-            else:
-                break
-        chosen[d] = best
-    return chosen
+    counts = greedy_tile_counts(
+        layer,
+        tuple(remaining[d] for d in LOOP_DIMS),
+        tuple(_DIM_INDEX[d] for d in order),
+        byte_budget,
+        tuple(base_tile[d] for d in LOOP_DIMS),
+        bytes_per_element,
+    )
+    return dict(zip(LOOP_DIMS, counts))
 
 
 def build_output_stationary_mapping(

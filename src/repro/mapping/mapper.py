@@ -14,25 +14,30 @@ from __future__ import annotations
 
 import itertools
 import random
+import time
 import zlib
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.accelerator import AcceleratorConfig
 from repro.cost.execution_info import ExecutionInfo, InfeasibleMapping
+import repro.cost.batch as _cost_batch
 import repro.cost.energy as _cost_energy
 import repro.cost.latency as _cost_latency
+from repro.mapping.batch_candidates import CandidateBatch, CandidateSpec
 from repro.mapping.dataflow import (
     SPATIAL_DIMS,
     build_output_stationary_mapping,
-    greedy_tile,
+    greedy_tile_counts,
 )
 from repro.mapping.factorization import divisors
 from repro.mapping.mapping import (
     STATIONARY_CHOICES,
     Mapping,
     padded_bounds,
+    padded_bounds_tuple,
 )
+from repro.perf.instrumentation import BatchEvalStats
 from repro.workloads.layers import LOOP_DIMS, Dim, LayerShape
 
 __all__ = [
@@ -118,7 +123,7 @@ def rescore_trace(
     returned result is bit-identical to a cold search on ``config``
     (provided ``config`` matches the traced one on every other field).
     """
-    scorer = MAPPING_OBJECTIVES[objective]
+    scorer = _resolve_objective(objective)
     dram_bpc = config.dram_bytes_per_cycle
     best_exec: Optional[ExecutionInfo] = None
     best_mapping: Optional[Mapping] = None
@@ -232,11 +237,12 @@ def _tiling_candidates(
     layer: LayerShape,
     config: AcceleratorConfig,
     spatial_choices: Iterable[Dict[Dim, int]],
-) -> Iterable[Mapping]:
-    """Yield mappings from the pruned (spatial x RF x SPM x ordering) space,
-    round-robining across spatial unrollings so a bounded evaluation budget
-    still touches every spatial option (including the compatibility
-    fallback) before exhausting one unrolling's tiling variants."""
+) -> Iterable[CandidateSpec]:
+    """Yield candidate specs from the pruned (spatial x RF x SPM x
+    ordering) space, round-robining across spatial unrollings so a bounded
+    evaluation budget still touches every spatial option (including the
+    compatibility fallback) before exhausting one unrolling's tiling
+    variants."""
     generators = [
         _candidates_for_spatial(layer, config, spatial)
         for spatial in spatial_choices
@@ -245,39 +251,55 @@ def _tiling_candidates(
     while generators:
         for generator in list(generators):
             emitted = False
-            for structure_key, mapping in generator:
+            for structure_key, spec in generator:
                 if structure_key in seen:
                     continue
                 seen.add(structure_key)
-                yield mapping
+                yield spec
                 emitted = True
                 break
             if not emitted:
                 generators.remove(generator)
 
 
+#: ``LOOP_DIMS`` indices of the greedy growth orders (tuple-domain loop).
+_RF_ORDER_COLS = tuple(
+    tuple(LOOP_DIMS.index(d) for d in order) for order in RF_GROWTH_ORDERS
+)
+_SPM_ORDER_COLS = tuple(
+    tuple(LOOP_DIMS.index(d) for d in order) for order in SPM_GROWTH_ORDERS
+)
+_UNIT_TILE = (1,) * len(LOOP_DIMS)
+
+
 def _candidates_for_spatial(
     layer: LayerShape,
     config: AcceleratorConfig,
     spatial: Dict[Dim, int],
-) -> Iterable[Tuple[tuple, Mapping]]:
-    """All (structure-key, mapping) pairs for one spatial unrolling."""
-    bounds = padded_bounds(layer)
+) -> Iterable[Tuple[tuple, CandidateSpec]]:
+    """All (structure-key, candidate-spec) pairs for one spatial unrolling.
+
+    Runs entirely in the tuple domain (factors in ``LOOP_DIMS`` order):
+    candidate generation sits on the cold-search critical path alongside
+    the scoring kernels, and dict-of-enum bookkeeping used to dominate it.
+    """
+    bounds = padded_bounds_tuple(layer)
     bpe = config.bytes_per_element
-    remaining0 = {d: bounds[d] // spatial[d] for d in LOOP_DIMS}
-    for rf_order in RF_GROWTH_ORDERS:
-        rf = greedy_tile(
+    spatial_t = tuple(spatial[d] for d in LOOP_DIMS)
+    remaining0 = tuple(b // s for b, s in zip(bounds, spatial_t))
+    for rf_order in _RF_ORDER_COLS:
+        rf = greedy_tile_counts(
             layer,
             remaining0,
             order=rf_order,
             byte_budget=config.l1_bytes,
-            base_tile={d: 1 for d in LOOP_DIMS},
+            base_tile=_UNIT_TILE,
             bytes_per_element=bpe,
         )
-        remaining1 = {d: remaining0[d] // rf[d] for d in LOOP_DIMS}
-        base = {d: rf[d] * spatial[d] for d in LOOP_DIMS}
-        for spm_order in SPM_GROWTH_ORDERS:
-            spm = greedy_tile(
+        remaining1 = tuple(r // f for r, f in zip(remaining0, rf))
+        base = tuple(f * s for f, s in zip(rf, spatial_t))
+        for spm_order in _SPM_ORDER_COLS:
+            spm = greedy_tile_counts(
                 layer,
                 remaining1,
                 order=spm_order,
@@ -285,22 +307,18 @@ def _candidates_for_spatial(
                 base_tile=base,
                 bytes_per_element=bpe,
             )
-            dram = {d: remaining1[d] // spm[d] for d in LOOP_DIMS}
-            structure = (
-                tuple(spatial[d] for d in LOOP_DIMS),
-                tuple(rf[d] for d in LOOP_DIMS),
-                tuple(spm[d] for d in LOOP_DIMS),
-            )
-            for dram_st in STATIONARY_CHOICES:
-                for spm_st in STATIONARY_CHOICES:
+            dram = tuple(r // f for r, f in zip(remaining1, spm))
+            structure = (spatial_t, rf, spm)
+            for dram_code, dram_st in enumerate(STATIONARY_CHOICES):
+                for spm_code, spm_st in enumerate(STATIONARY_CHOICES):
                     key = structure + (dram_st, spm_st)
-                    yield key, Mapping.from_level_maps(
+                    yield key, CandidateSpec(
                         dram=dram,
                         spm=spm,
-                        spatial=spatial,
+                        spatial=spatial_t,
                         rf=rf,
-                        dram_stationary=dram_st,
-                        spm_stationary=spm_st,
+                        dram_code=dram_code,
+                        spm_code=spm_code,
                     )
 
 
@@ -334,25 +352,115 @@ MAPPING_OBJECTIVES = {
 }
 
 
+def _resolve_objective(objective: str):
+    """The scorer of ``objective``, or a helpful error for unknown names."""
+    try:
+        return MAPPING_OBJECTIVES[objective]
+    except KeyError:
+        raise ValueError(
+            f"unknown mapping objective {objective!r}; "
+            f"available: {sorted(MAPPING_OBJECTIVES)}"
+        ) from None
+
+
+def _select_best(
+    layer: LayerShape,
+    config: AcceleratorConfig,
+    outcomes: Sequence[Tuple[Mapping, ExecutionInfo]],
+    scorer,
+) -> Tuple[Optional[Mapping], Optional[ExecutionInfo]]:
+    """First strictly-best feasible candidate (the scalar tie-breaking)."""
+    best_exec: Optional[ExecutionInfo] = None
+    best_mapping: Optional[Mapping] = None
+    best_score = float("inf")
+    for mapping, execution in outcomes:
+        score = scorer(layer, execution, config)
+        if score < best_score:
+            best_exec = execution
+            best_mapping = mapping
+            best_score = score
+    return best_mapping, best_exec
+
+
+def _best_of_traced_batch(
+    layer: LayerShape,
+    config: AcceleratorConfig,
+    batch: CandidateBatch,
+    scorer,
+    stats: Optional[BatchEvalStats],
+) -> Tuple[MappingResult, SearchTrace]:
+    """Batched twin of the scalar loop in :func:`_best_of_traced`.
+
+    Scores the whole materialized candidate set through the vectorized
+    kernels, then reconstructs ``Mapping``/``ExecutionInfo`` objects for
+    the feasible candidates only (in candidate order, so the trace and
+    the first-strictly-best selection are bit-identical to the scalar
+    reference).
+    """
+    started = time.perf_counter()
+    evaluation = _cost_batch.evaluate_layer_batch(layer, batch, config)
+    feasible = evaluation.feasible_indices.tolist()
+    outcomes: List[Tuple[Mapping, ExecutionInfo]] = list(
+        zip(
+            (batch.mapping(i) for i in feasible),
+            evaluation.execution_infos(feasible),
+        )
+    )
+    best_mapping, best_exec = _select_best(layer, config, outcomes, scorer)
+    if stats is not None:
+        stats.record_batch(
+            len(batch), len(outcomes), time.perf_counter() - started
+        )
+    result = MappingResult(
+        mapping=best_mapping,
+        execution=best_exec,
+        candidates_evaluated=len(batch),
+        feasible_candidates=len(outcomes),
+    )
+    return result, SearchTrace(tuple(outcomes), len(batch))
+
+
 def _best_of_traced(
     layer: LayerShape,
     config: AcceleratorConfig,
-    mappings: Iterable[Mapping],
+    candidates: Iterable[CandidateSpec],
     budget: int,
     objective: str = "latency",
+    batch_eval: Optional[bool] = None,
+    stats: Optional[BatchEvalStats] = None,
 ) -> Tuple[MappingResult, SearchTrace]:
-    """Evaluate up to ``budget`` mappings; return the objective-optimal
-    result together with the re-scorable :class:`SearchTrace`."""
-    scorer = MAPPING_OBJECTIVES[objective]
+    """Evaluate up to ``budget`` candidate specs; return the
+    objective-optimal result together with the re-scorable
+    :class:`SearchTrace`.
+
+    ``batch_eval`` selects the vectorized kernels explicitly; ``None``
+    defers to ``REPRO_BATCH_EVAL`` (default on).  Both paths produce
+    bit-identical results; the batch path additionally requires the
+    candidate set to be int64-safe and falls back to the scalar
+    reference otherwise.
+    """
+    scorer = _resolve_objective(objective)
+    if _cost_batch.batch_eval_enabled(batch_eval):
+        batch = CandidateBatch.from_specs(
+            itertools.islice(candidates, budget)
+        )
+        if _cost_batch.int64_safe(batch, config):
+            return _best_of_traced_batch(layer, config, batch, scorer, stats)
+        if stats is not None:
+            stats.record_fallback()
+        candidates = iter(batch.specs)
+
+    started = time.perf_counter()
     best_exec: Optional[ExecutionInfo] = None
     best_mapping: Optional[Mapping] = None
     best_score = float("inf")
     evaluated = 0
     outcomes: List[Tuple[Mapping, ExecutionInfo]] = []
-    for mapping in mappings:
+    for spec in candidates:
         if evaluated >= budget:
             break
         evaluated += 1
+        mapping = spec.to_mapping()
         outcome = _cost_latency.evaluate_layer_mapping(layer, mapping, config)
         if isinstance(outcome, InfeasibleMapping):
             continue
@@ -362,6 +470,8 @@ def _best_of_traced(
             best_exec = outcome
             best_mapping = mapping
             best_score = score
+    if stats is not None:
+        stats.record_scalar(evaluated, time.perf_counter() - started)
     result = MappingResult(
         mapping=best_mapping,
         execution=best_exec,
@@ -374,12 +484,12 @@ def _best_of_traced(
 def _best_of(
     layer: LayerShape,
     config: AcceleratorConfig,
-    mappings: Iterable[Mapping],
+    candidates: Iterable[CandidateSpec],
     budget: int,
     objective: str = "latency",
 ) -> MappingResult:
-    """Evaluate up to ``budget`` mappings, returning the objective-optimal."""
-    result, _ = _best_of_traced(layer, config, mappings, budget, objective)
+    """Evaluate up to ``budget`` candidates, returning the objective-optimal."""
+    result, _ = _best_of_traced(layer, config, candidates, budget, objective)
     return result
 
 
@@ -425,6 +535,11 @@ class TopNMapper:
             utilization pruning.
         objective: Mapping metric minimized: ``"latency"`` (default),
             ``"energy"``, or ``"edp"``.
+        batch_eval: Score candidates through the vectorized batch kernels
+            (``repro.cost.batch``).  ``None`` (default) defers to the
+            ``REPRO_BATCH_EVAL`` environment variable at search time;
+            results are bit-identical either way, so the choice is not
+            part of the cache :meth:`signature`.
     """
 
     name = "top-n"
@@ -434,17 +549,16 @@ class TopNMapper:
         top_n: int = 200,
         max_spatial: int = 16,
         objective: str = "latency",
+        batch_eval: Optional[bool] = None,
     ):
         if top_n < 1:
             raise ValueError("top_n must be >= 1")
-        if objective not in MAPPING_OBJECTIVES:
-            raise ValueError(
-                f"unknown mapping objective {objective!r}; "
-                f"available: {sorted(MAPPING_OBJECTIVES)}"
-            )
+        _resolve_objective(objective)
         self.top_n = top_n
         self.max_spatial = max_spatial
         self.objective = objective
+        self.batch_eval = batch_eval
+        self.batch_stats = BatchEvalStats()
 
     cache_layer_name_relevant = False
 
@@ -465,6 +579,8 @@ class TopNMapper:
             candidates,
             budget=self.top_n,
             objective=self.objective,
+            batch_eval=self.batch_eval,
+            stats=self.batch_stats,
         )
 
     def __call__(
@@ -485,25 +601,27 @@ class RandomSearchMapper:
     name = "random"
 
     def __init__(
-        self, trials: int = 200, seed: int = 0, objective: str = "latency"
+        self,
+        trials: int = 200,
+        seed: int = 0,
+        objective: str = "latency",
+        batch_eval: Optional[bool] = None,
     ):
         if trials < 1:
             raise ValueError("trials must be >= 1")
-        if objective not in MAPPING_OBJECTIVES:
-            raise ValueError(
-                f"unknown mapping objective {objective!r}; "
-                f"available: {sorted(MAPPING_OBJECTIVES)}"
-            )
+        _resolve_objective(objective)
         self.trials = trials
         self.seed = seed
         self.objective = objective
+        self.batch_eval = batch_eval
+        self.batch_stats = BatchEvalStats()
 
-    def _random_mapping(
+    def _random_candidate(
         self,
         layer: LayerShape,
         config: AcceleratorConfig,
         rng: random.Random,
-    ) -> Mapping:
+    ) -> CandidateSpec:
         bounds = padded_bounds(layer)
         spatial: Dict[Dim, int] = {d: 1 for d in LOOP_DIMS}
         budget = config.pes
@@ -520,7 +638,7 @@ class RandomSearchMapper:
             rest //= rf[d]
             spm[d] = rng.choice(divisors(rest))
             dram[d] = rest // spm[d]
-        return Mapping.from_level_maps(
+        return CandidateSpec.from_level_maps(
             dram=dram,
             spm=spm,
             spatial=spatial,
@@ -549,7 +667,8 @@ class RandomSearchMapper:
             _stable_seed(self.seed, layer.name, config.pes, config.l1_bytes)
         )
         candidates = (
-            self._random_mapping(layer, config, rng) for _ in range(self.trials)
+            self._random_candidate(layer, config, rng)
+            for _ in range(self.trials)
         )
         return _best_of_traced(
             layer,
@@ -557,6 +676,8 @@ class RandomSearchMapper:
             candidates,
             budget=self.trials,
             objective=self.objective,
+            batch_eval=self.batch_eval,
+            stats=self.batch_stats,
         )
 
     def __call__(

@@ -21,6 +21,7 @@ import enum
 import functools
 import math
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Dict, Mapping as MappingT, Tuple
 
 from repro.mapping.factorization import smooth_pad
@@ -37,6 +38,7 @@ __all__ = [
     "Mapping",
     "MappingError",
     "padded_bounds",
+    "padded_bounds_tuple",
     "operand_tile_elements",
     "STATIONARY_CHOICES",
 ]
@@ -83,9 +85,25 @@ def _padded_bounds_cached(layer: LayerShape) -> Tuple[int, ...]:
     return tuple(smooth_pad(layer.dim(d)) for d in LOOP_DIMS)
 
 
-def padded_bounds(layer: LayerShape) -> Dict[Dim, int]:
-    """Loop bounds padded to 7-smooth integers (see ``smooth_pad``)."""
-    return dict(zip(LOOP_DIMS, _padded_bounds_cached(layer)))
+@functools.lru_cache(maxsize=4096)
+def _padded_bounds_view(layer: LayerShape) -> MappingT[Dim, int]:
+    return MappingProxyType(dict(zip(LOOP_DIMS, _padded_bounds_cached(layer))))
+
+
+def padded_bounds(layer: LayerShape) -> MappingT[Dim, int]:
+    """Loop bounds padded to 7-smooth integers (see ``smooth_pad``).
+
+    Memoized on the frozen :class:`LayerShape` (like
+    ``factorization.divisors``): candidate generators call this once per
+    candidate per level, so the returned mapping is a shared read-only
+    view — copy it (``dict(padded_bounds(layer))``) before mutating.
+    """
+    return _padded_bounds_view(layer)
+
+
+def padded_bounds_tuple(layer: LayerShape) -> Tuple[int, ...]:
+    """Padded loop bounds in ``LOOP_DIMS`` order (memoized tuple)."""
+    return _padded_bounds_cached(layer)
 
 
 def operand_tile_elements(
@@ -144,6 +162,27 @@ class Mapping:
             )
 
     # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def _trusted(
+        cls,
+        factors: MappingT[Level, MappingT[Dim, int]],
+        dram_stationary: Operand,
+        spm_stationary: Operand,
+    ) -> "Mapping":
+        """Internal fast constructor for pre-validated factor maps.
+
+        Skips ``__post_init__`` validation, so ``factors`` must be complete
+        (all four levels, all seven dims, factors >= 1) and the stationary
+        operands members of :data:`STATIONARY_CHOICES`.  Used by the
+        candidate generators, which produce valid factors by construction;
+        external callers should use :meth:`from_level_maps`.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "factors", factors)
+        object.__setattr__(self, "dram_stationary", dram_stationary)
+        object.__setattr__(self, "spm_stationary", spm_stationary)
+        return self
 
     @staticmethod
     def from_level_maps(

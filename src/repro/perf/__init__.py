@@ -17,7 +17,7 @@ See ``docs/performance.md`` for the environment knobs and measured
 numbers.
 """
 
-from repro.perf.instrumentation import StageTimers
+from repro.perf.instrumentation import BatchEvalStats, StageTimers
 from repro.perf.mapping_cache import (
     CacheStats,
     CachingMapper,
@@ -39,6 +39,7 @@ from repro.perf.signature import (
 )
 
 __all__ = [
+    "BatchEvalStats",
     "StageTimers",
     "CacheStats",
     "CachingMapper",

@@ -4,7 +4,10 @@ Speedups are measured, not asserted: every :class:`CostEvaluator` owns a
 :class:`StageTimers` that attributes wall-clock to pipeline stages
 (mapping search, cost aggregation, area/power) so cache and parallelism
 wins show up as numbers in ``perf_summary()`` / the CLI rather than
-claims in a docstring.
+claims in a docstring.  :class:`BatchEvalStats` plays the same role for
+the vectorized candidate-scoring kernels (``repro.cost.batch``): every
+batch-capable mapper owns one and records which path scored how many
+candidates in how long.
 """
 
 from __future__ import annotations
@@ -13,7 +16,105 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
-__all__ = ["StageTimers"]
+__all__ = ["StageTimers", "BatchEvalStats"]
+
+
+class BatchEvalStats:
+    """Counters/timers of the candidate-scoring inner loop.
+
+    Tracks, per mapper instance, how many candidates were scored by the
+    vectorized batch kernels versus the scalar reference path (selected
+    by ``REPRO_BATCH_EVAL=0`` or an int64-overflow fallback), and the
+    wall-clock each path consumed.  Plain attributes only, so instances
+    pickle cleanly with their mapper into worker processes.
+    """
+
+    def __init__(self) -> None:
+        self.batches = 0
+        self.batch_candidates = 0
+        self.batch_feasible = 0
+        self.batch_seconds = 0.0
+        self.scalar_searches = 0
+        self.scalar_candidates = 0
+        self.scalar_seconds = 0.0
+        self.int64_fallbacks = 0
+
+    def record_batch(
+        self, candidates: int, feasible: int, seconds: float
+    ) -> None:
+        self.batches += 1
+        self.batch_candidates += candidates
+        self.batch_feasible += feasible
+        self.batch_seconds += seconds
+
+    def record_scalar(self, candidates: int, seconds: float) -> None:
+        self.scalar_searches += 1
+        self.scalar_candidates += candidates
+        self.scalar_seconds += seconds
+
+    def record_fallback(self) -> None:
+        self.int64_fallbacks += 1
+
+    @property
+    def batch_candidates_per_second(self) -> float:
+        if self.batch_seconds <= 0:
+            return 0.0
+        return self.batch_candidates / self.batch_seconds
+
+    @property
+    def scalar_candidates_per_second(self) -> float:
+        if self.scalar_seconds <= 0:
+            return 0.0
+        return self.scalar_candidates / self.scalar_seconds
+
+    def delta_since(self, before: "BatchEvalStats") -> "BatchEvalStats":
+        """Counters accrued since ``before`` (a ``copy.copy`` snapshot).
+
+        Process-pool workers search on a *pickled copy* of the mapper, so
+        the parent's stats never see their recordings; jobs return this
+        delta for the parent to :meth:`merge` (thread pools record into
+        the shared instance directly and must not merge again).
+        """
+        delta = BatchEvalStats()
+        delta.batches = self.batches - before.batches
+        delta.batch_candidates = self.batch_candidates - before.batch_candidates
+        delta.batch_feasible = self.batch_feasible - before.batch_feasible
+        delta.batch_seconds = self.batch_seconds - before.batch_seconds
+        delta.scalar_searches = self.scalar_searches - before.scalar_searches
+        delta.scalar_candidates = (
+            self.scalar_candidates - before.scalar_candidates
+        )
+        delta.scalar_seconds = self.scalar_seconds - before.scalar_seconds
+        delta.int64_fallbacks = self.int64_fallbacks - before.int64_fallbacks
+        return delta
+
+    def merge(self, other: "BatchEvalStats") -> None:
+        """Fold another instance in (e.g. counters from a worker)."""
+        self.batches += other.batches
+        self.batch_candidates += other.batch_candidates
+        self.batch_feasible += other.batch_feasible
+        self.batch_seconds += other.batch_seconds
+        self.scalar_searches += other.scalar_searches
+        self.scalar_candidates += other.scalar_candidates
+        self.scalar_seconds += other.scalar_seconds
+        self.int64_fallbacks += other.int64_fallbacks
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "batches": self.batches,
+            "batch_candidates": self.batch_candidates,
+            "batch_feasible": self.batch_feasible,
+            "batch_seconds": self.batch_seconds,
+            "batch_candidates_per_second": self.batch_candidates_per_second,
+            "scalar_searches": self.scalar_searches,
+            "scalar_candidates": self.scalar_candidates,
+            "scalar_seconds": self.scalar_seconds,
+            "scalar_candidates_per_second": self.scalar_candidates_per_second,
+            "int64_fallbacks": self.int64_fallbacks,
+        }
 
 
 class StageTimers:
