@@ -1,0 +1,159 @@
+"""CI smoke test: SIGTERM a traced campaign, resume it, same result.
+
+Drives the full crash-recovery story end-to-end through the CLI, with a
+real process kill (not an in-process exception)::
+
+    PYTHONPATH=src python benchmarks/resume_smoke.py --out BENCH_resume.json
+
+1. Run an uninterrupted reference campaign (``--save``).
+2. Start the same campaign with ``--trace`` in a subprocess, poll its
+   checkpoint until enough budget is consumed, and SIGTERM it.
+3. Resume with ``--resume`` and assert the resumed result (trial points,
+   costs, explanations, best point, evaluation count) matches the
+   reference exactly, and that the stitched journal still renders a
+   report.
+
+If the campaign happens to finish before the kill lands (fast machine),
+the record says so and the resume/equality checks still run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _repro(*args, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+def _load_result(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    return {
+        "points": [t["point"] for t in data["trials"]],
+        "costs": [t["costs"] for t in data["trials"]],
+        "explanations": data["explanations"],
+        "best_index": data["best_index"],
+        "evaluations": data["evaluations"],
+    }
+
+
+def run(model: str, iterations: int, kill_after: int, workdir: Path) -> dict:
+    journal = workdir / "run.jsonl"
+    checkpoint = Path(str(journal) + ".ckpt")
+    reference_json = workdir / "reference.json"
+    resumed_json = workdir / "resumed.json"
+
+    explore = ("explore", model, "--iterations", str(iterations))
+    reference = _repro(*explore, "--save", str(reference_json))
+    if reference.returncode not in (0, 1):
+        raise RuntimeError(f"reference run failed:\n{reference.stderr}")
+
+    victim = subprocess.Popen(
+        [sys.executable, "-m", "repro", *explore, "--trace", str(journal)],
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    killed = False
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        if victim.poll() is not None:
+            break  # finished before the kill landed
+        if checkpoint.exists():
+            try:
+                consumed = json.loads(checkpoint.read_text())["consumed"]
+            except (json.JSONDecodeError, KeyError):
+                consumed = 0  # raced the atomic replace; retry
+            if consumed >= kill_after:
+                victim.send_signal(signal.SIGTERM)
+                killed = True
+                break
+        time.sleep(0.02)
+    victim.wait(timeout=60)
+    if not checkpoint.exists():
+        raise RuntimeError("victim exited without writing a checkpoint")
+
+    resumed = _repro(
+        *explore, "--resume", str(journal), "--save", str(resumed_json)
+    )
+    if resumed.returncode not in (0, 1):
+        raise RuntimeError(f"resume failed:\n{resumed.stderr}")
+    report = _repro("report", str(journal))
+
+    ref = _load_result(reference_json)
+    res = _load_result(resumed_json)
+    return {
+        "benchmark": "resume_smoke",
+        "model": model,
+        "iterations": iterations,
+        "python": platform.python_version(),
+        "killed_by_sigterm": killed,
+        "journal_events": sum(
+            1 for line in journal.read_text().splitlines() if line
+        ),
+        "resumed_equals_reference": ref == res,
+        "same_trials": ref["points"] == res["points"],
+        "same_best": ref["best_index"] == res["best_index"],
+        "same_evaluations": ref["evaluations"] == res["evaluations"],
+        "report_renders": report.returncode == 0,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="resnet18")
+    parser.add_argument("--iterations", type=int, default=30)
+    parser.add_argument(
+        "--kill-after", type=int, default=10,
+        help="consumed-budget threshold at which SIGTERM is sent",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_resume.json",
+        help="JSON artifact path (default: %(default)s)",
+    )
+    args = parser.parse_args()
+    with tempfile.TemporaryDirectory(prefix="resume-smoke-") as tmp:
+        record = run(
+            args.model, args.iterations, args.kill_after, Path(tmp)
+        )
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    ok = record["resumed_equals_reference"] and record["report_renders"]
+    print(
+        f"{record['model']}: killed={record['killed_by_sigterm']}, "
+        f"resumed == reference: {record['resumed_equals_reference']}, "
+        f"report renders: {record['report_renders']} -> {args.out}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

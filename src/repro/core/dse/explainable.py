@@ -25,6 +25,7 @@ capability that gives the framework its name.
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -53,8 +54,36 @@ from repro.core.dse.constraints import (
 )
 from repro.core.dse.result import DSEResult, TrialRecord, select_best
 from repro.cost.evaluator import CostEvaluator, Evaluation
+from repro.telemetry.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+    trials_from_dicts,
+    trials_to_dicts,
+    verify_against_journal,
+)
+from repro.telemetry.events import (
+    BottleneckIdentified,
+    BudgetExhausted,
+    CandidateEvaluated,
+    CandidateGenerated,
+    IncumbentUpdated,
+    MitigationPredicted,
+    RunSummary,
+    StepStarted,
+    deterministic_perf_counters,
+)
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["ExplainableDSE"]
+
+
+def _jsonable(value: object) -> object:
+    """Candidate values as JSON scalars (bundles stringify)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
 
 #: Parameters nudged upward when a hardware point cannot map the workload
 #: at all (fixed-dataflow incompatibility): more time-shared unicast rounds,
@@ -107,6 +136,8 @@ class ExplainableDSE:
         budget_aware: When False, the feasible-phase update minimizes the
             raw objective instead of ``objective x constraints budget``
             (§4.6 ablation).
+        tracer: Default telemetry tracer for :meth:`run` (overridable per
+            run); ``None`` selects the disabled ``NULL_TRACER``.
     """
 
     def __init__(
@@ -125,6 +156,7 @@ class ExplainableDSE:
         max_candidates: int = 8,
         aggregation_rule: str = "min",
         budget_aware: bool = True,
+        tracer: Optional[Tracer] = None,
     ):
         self.space = design_space
         self.evaluator = evaluator
@@ -140,28 +172,131 @@ class ExplainableDSE:
         self.max_candidates = max_candidates
         self.aggregation_rule = aggregation_rule
         self.budget_aware = budget_aware
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- public API ----------------------------------------------------------
 
-    def run(self, initial_point: Optional[DesignPoint] = None) -> DSEResult:
-        """Explore from ``initial_point`` (default: the minimum point)."""
+    def run(
+        self,
+        initial_point: Optional[DesignPoint] = None,
+        *,
+        tracer: Optional[Tracer] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[object] = None,
+    ) -> DSEResult:
+        """Explore from ``initial_point`` (default: the minimum point).
+
+        Args:
+            tracer: Telemetry tracer receiving structured events for every
+                analysis/acquisition/update decision (defaults to the
+                instance tracer, itself ``NULL_TRACER`` — a no-op — unless
+                configured).  Tracing never alters results.
+            checkpoint_path: When set, an atomic crash-safe campaign
+                snapshot is written here after every ``checkpoint_every``
+                completed attempts (and at termination), enabling
+                ``resume_from``.
+            checkpoint_every: Attempt interval between snapshots.
+            resume_from: A :class:`CampaignCheckpoint` or a path to one.
+                The campaign state (incumbent, budget, trial history,
+                acquisition bookkeeping) is restored and exploration
+                continues mid-campaign; re-evaluating the incumbent does
+                not consume budget.  When a path with a sibling journal is
+                given, the journal is replayed to verify the snapshot
+                first.
+        """
+        tracer = tracer if tracer is not None else self.tracer
         started = time.perf_counter()
-        base_evaluations = self.evaluator.evaluations
         trials: List[TrialRecord] = []
         explanations: List[str] = []
-
-        current = dict(initial_point or self.space.minimum_point())
-        self.space.validate(current)
-        current_eval = self._evaluate(current, trials, note="initial point")
-
         exhausted: Set[str] = set()
-        tried_points: Set[Tuple] = {self.space.point_key(current)}
-        attempts_without_improvement = 0
         attempt = 0
+        attempts_without_improvement = 0
 
-        while self._budget_left(base_evaluations) > 0:
+        if resume_from is not None:
+            checkpoint = self._load_resume(resume_from)
+            trials = trials_from_dicts(checkpoint.trials)
+            explanations = list(checkpoint.explanations)
+            if checkpoint.finished:
+                best = select_best(
+                    trials, self.constraints, objective=self.objective
+                )
+                return DSEResult(
+                    technique="explainable",
+                    model=self.evaluator.workload.name,
+                    trials=trials,
+                    best=best,
+                    evaluations=checkpoint.consumed,
+                    wall_seconds=time.perf_counter() - started,
+                    explanations=explanations,
+                )
+            exhausted = set(checkpoint.exhausted)
+            tried_points = {tuple(key) for key in checkpoint.tried_keys}
+            attempt = checkpoint.attempt
+            attempts_without_improvement = (
+                checkpoint.attempts_without_improvement
+            )
+            current = dict(checkpoint.current_point)
+            self.space.validate(current)
+            # Replay the incumbent through the cost model (bit-identical,
+            # and usually a cache hit) without recording a trial or
+            # consuming budget.
+            current_eval = self.evaluator.evaluate(current)
+            base_evaluations = (
+                self.evaluator.evaluations - checkpoint.consumed
+            )
+        else:
+            base_evaluations = self.evaluator.evaluations
+            current = dict(initial_point or self.space.minimum_point())
+            self.space.validate(current)
+            current_eval = self._evaluate(
+                current,
+                trials,
+                note="initial point",
+                tracer=tracer,
+                step=0,
+                candidate_index=0,
+            )
+            tried_points = {self.space.point_key(current)}
+
+        finished = False
+        while True:
+            if self._budget_left(base_evaluations) <= 0:
+                tracer.emit(
+                    BudgetExhausted(
+                        step=attempt,
+                        consumed=self.evaluator.evaluations
+                        - base_evaluations,
+                        budget=self.max_evaluations,
+                    )
+                )
+                break
             attempt += 1
-            predictions, why = self._analyze(current, current_eval)
+            tracer.emit(
+                StepStarted(
+                    step=attempt,
+                    incumbent=dict(current),
+                    objective=current_eval.costs.get(
+                        self.objective, math.inf
+                    ),
+                    feasible=all_satisfied(
+                        current_eval.costs, self.constraints
+                    ),
+                )
+            )
+            predictions, why, analysis = self._analyze(current, current_eval)
+            tracer.emit(BottleneckIdentified(step=attempt, **analysis))
+            for prediction in predictions:
+                tracer.emit(
+                    MitigationPredicted(
+                        step=attempt,
+                        parameter=prediction.parameter,
+                        value=float(prediction.value),
+                        subfunctions=list(
+                            prediction.contributing_subfunctions
+                        ),
+                    )
+                )
             candidates = self._acquire(
                 current, predictions, exhausted, tried_points
             )
@@ -176,6 +311,16 @@ class ExplainableDSE:
                 candidates = self._neighbor_fallback(current, tried_points)
                 if candidates:
                     why += "; mitigation exhausted, sampling neighbours"
+            for index, candidate in enumerate(candidates):
+                tracer.emit(
+                    CandidateGenerated(
+                        step=attempt,
+                        candidate_index=index,
+                        parameter=candidate.parameter,
+                        value=_jsonable(candidate.value),
+                        reason=candidate.reason,
+                    )
+                )
             explanations.append(
                 f"[attempt {attempt}] {why}; acquiring "
                 f"{[f'{c.parameter}={c.value}' for c in candidates]}"
@@ -185,44 +330,178 @@ class ExplainableDSE:
                     f"[attempt {attempt}] no mitigating candidates remain; "
                     "terminating"
                 )
+                finished = True
                 break
 
             evaluated: List[Tuple[_Candidate, Evaluation]] = []
-            for candidate in candidates:
+            for index, candidate in enumerate(candidates):
                 if self._budget_left(base_evaluations) <= 0:
                     break
                 tried_points.add(self.space.point_key(candidate.point))
                 evaluation = self._evaluate(
-                    candidate.point, trials, note=candidate.reason
+                    candidate.point,
+                    trials,
+                    note=candidate.reason,
+                    tracer=tracer,
+                    step=attempt,
+                    candidate_index=index,
                 )
                 evaluated.append((candidate, evaluation))
 
             new_point, new_eval, decision = self._update(
                 current, current_eval, evaluated, exhausted
             )
+            improved = self.space.point_key(new_point) != self.space.point_key(
+                current
+            )
+            tracer.emit(
+                IncumbentUpdated(
+                    step=attempt,
+                    point=dict(new_point),
+                    objective=new_eval.costs.get(self.objective, math.inf),
+                    decision=decision,
+                    improved=improved,
+                )
+            )
             explanations.append(f"[attempt {attempt}] {decision}")
-            if self.space.point_key(new_point) == self.space.point_key(current):
+            if not improved:
                 attempts_without_improvement += 1
                 if attempts_without_improvement >= self.patience:
                     explanations.append(
                         f"[attempt {attempt}] no improvement for "
                         f"{self.patience} attempts; terminating"
                     )
+                    finished = True
                     break
             else:
                 attempts_without_improvement = 0
                 exhausted.clear()
                 current, current_eval = dict(new_point), new_eval
+            if checkpoint_path and attempt % checkpoint_every == 0:
+                self._write_checkpoint(
+                    checkpoint_path,
+                    tracer,
+                    trials=trials,
+                    explanations=explanations,
+                    current=current,
+                    exhausted=exhausted,
+                    tried_points=tried_points,
+                    attempt=attempt,
+                    attempts_without_improvement=(
+                        attempts_without_improvement
+                    ),
+                    consumed=self.evaluator.evaluations - base_evaluations,
+                    finished=False,
+                )
 
+        consumed = self.evaluator.evaluations - base_evaluations
         best = select_best(trials, self.constraints, objective=self.objective)
+        tracer.emit(
+            RunSummary(
+                step=attempt,
+                technique="explainable",
+                model=self.evaluator.workload.name,
+                evaluations=consumed,
+                best_objective=best.objective if best else math.inf,
+                found_feasible=best is not None,
+                counters=self._perf_counters(),
+            )
+        )
+        if checkpoint_path:
+            self._write_checkpoint(
+                checkpoint_path,
+                tracer,
+                trials=trials,
+                explanations=explanations,
+                current=current,
+                exhausted=exhausted,
+                tried_points=tried_points,
+                attempt=attempt,
+                attempts_without_improvement=attempts_without_improvement,
+                consumed=consumed,
+                finished=finished,
+            )
+        tracer.flush()
         return DSEResult(
             technique="explainable",
             model=self.evaluator.workload.name,
             trials=trials,
             best=best,
-            evaluations=self.evaluator.evaluations - base_evaluations,
+            evaluations=consumed,
             wall_seconds=time.perf_counter() - started,
             explanations=explanations,
+        )
+
+    # -- checkpoint/resume plumbing ---------------------------------------------
+
+    def _perf_counters(self) -> Dict[str, object]:
+        """Deterministic evaluator counters (empty for duck-typed
+        evaluators without ``perf_summary``, e.g. test stubs)."""
+        perf_summary = getattr(self.evaluator, "perf_summary", None)
+        if perf_summary is None:
+            return {}
+        return deterministic_perf_counters(perf_summary())
+
+    def _load_resume(self, resume_from: object) -> CampaignCheckpoint:
+        """Load (and, when possible, journal-verify) a resume source."""
+        if isinstance(resume_from, CampaignCheckpoint):
+            checkpoint = resume_from
+        else:
+            path = str(resume_from)
+            checkpoint = load_checkpoint(path)
+            journal = path[: -len(".ckpt")] if path.endswith(".ckpt") else None
+            if journal and os.path.exists(journal):
+                verify_against_journal(checkpoint, journal)
+        if checkpoint.model != self.evaluator.workload.name:
+            raise CheckpointError(
+                f"checkpoint is for model {checkpoint.model!r}, not "
+                f"{self.evaluator.workload.name!r}"
+            )
+        if checkpoint.objective != self.objective:
+            raise CheckpointError(
+                f"checkpoint optimizes {checkpoint.objective!r}, not "
+                f"{self.objective!r}"
+            )
+        return checkpoint
+
+    def _write_checkpoint(
+        self,
+        path: str,
+        tracer: Tracer,
+        *,
+        trials: List[TrialRecord],
+        explanations: List[str],
+        current: DesignPoint,
+        exhausted: Set[str],
+        tried_points: Set[Tuple],
+        attempt: int,
+        attempts_without_improvement: int,
+        consumed: int,
+        finished: bool,
+    ) -> None:
+        # Flush-with-fsync first: the on-disk journal must cover every
+        # event the snapshot's journal_events references.
+        tracer.flush(checkpoint=True)
+        manifest = self._perf_counters().get("mapping_cache", {})
+        save_checkpoint(
+            CampaignCheckpoint(
+                model=self.evaluator.workload.name,
+                objective=self.objective,
+                max_evaluations=self.max_evaluations,
+                consumed=consumed,
+                attempt=attempt,
+                attempts_without_improvement=attempts_without_improvement,
+                finished=finished,
+                current_point=dict(current),
+                exhausted=sorted(exhausted),
+                tried_keys=[list(key) for key in sorted(tried_points)],
+                trials=trials_to_dicts(trials),
+                explanations=list(explanations),
+                rng_state=None,  # the core loop is deterministic
+                mapping_cache_manifest=manifest,
+                journal_events=tracer.events_emitted,
+            ),
+            path,
         )
 
     def run_multi_start(
@@ -295,20 +574,38 @@ class ExplainableDSE:
         return self.max_evaluations - (self.evaluator.evaluations - base)
 
     def _evaluate(
-        self, point: DesignPoint, trials: List[TrialRecord], note: str
+        self,
+        point: DesignPoint,
+        trials: List[TrialRecord],
+        note: str,
+        tracer: Tracer = NULL_TRACER,
+        step: int = 0,
+        candidate_index: int = -1,
     ) -> Evaluation:
         evaluation = self.evaluator.evaluate(point)
         utilizations = {
             c.name: c.utilization(evaluation.costs) for c in self.constraints
         }
+        feasible = all_satisfied(evaluation.costs, self.constraints)
         trials.append(
             TrialRecord(
                 index=len(trials),
                 point=dict(point),
                 costs=dict(evaluation.costs),
-                feasible=all_satisfied(evaluation.costs, self.constraints),
+                feasible=feasible,
                 mappable=evaluation.mappable,
                 utilizations=utilizations,
+                note=note,
+            )
+        )
+        tracer.emit(
+            CandidateEvaluated(
+                step=step,
+                candidate_index=candidate_index,
+                point=dict(point),
+                costs=dict(evaluation.costs),
+                feasible=feasible,
+                mappable=evaluation.mappable,
                 note=note,
             )
         )
@@ -318,8 +615,12 @@ class ExplainableDSE:
 
     def _analyze(
         self, point: DesignPoint, evaluation: Evaluation
-    ) -> Tuple[List[AggregatedPrediction], str]:
-        """Pick the critical cost and produce aggregated predictions."""
+    ) -> Tuple[List[AggregatedPrediction], str, Dict[str, object]]:
+        """Pick the critical cost and produce aggregated predictions.
+
+        Returns ``(predictions, why, analysis)`` where ``analysis`` is the
+        structured form of ``why`` — the field set of
+        :class:`~repro.telemetry.events.BottleneckIdentified`."""
         violated = violated_constraints(evaluation.costs, self.constraints)
         resource = [
             c for c in violated if c.cost_key in ("area_mm2", "power_w")
@@ -333,7 +634,7 @@ class ExplainableDSE:
 
     def _analyze_resource(
         self, point: DesignPoint, evaluation: Evaluation, constraint: Constraint
-    ) -> Tuple[List[AggregatedPrediction], str]:
+    ) -> Tuple[List[AggregatedPrediction], str, Dict[str, object]]:
         model = (
             self.area_model
             if constraint.cost_key == "area_mm2"
@@ -364,11 +665,20 @@ class ExplainableDSE:
             f"({evaluation.costs[constraint.cost_key]:.3g} vs bound "
             f"{constraint.bound:g}); mitigating via {model.name}"
         )
-        return aggregated, why
+        overshoot = constraint.utilization(evaluation.costs)
+        analysis = {
+            "critical_cost": constraint.cost_key,
+            "kind": "constraint",
+            "model": model.name,
+            "dominant": [{"name": constraint.name, "share": 1.0}],
+            "scaling": overshoot if math.isfinite(overshoot) else None,
+            "detail": why,
+        }
+        return aggregated, why, analysis
 
     def _analyze_incompatibility(
         self, point: DesignPoint, evaluation: Evaluation
-    ) -> Tuple[List[AggregatedPrediction], str]:
+    ) -> Tuple[List[AggregatedPrediction], str, Dict[str, object]]:
         """No feasible mapping exists: relax NoC/RF compatibility limits."""
         aggregated = []
         for parameter in _COMPATIBILITY_PARAMS:
@@ -395,14 +705,22 @@ class ExplainableDSE:
             f"hardware cannot map layers {unmapped[:3]}"
             f"{'...' if len(unmapped) > 3 else ''}; raising NoC/RF limits"
         )
-        return aggregated, why
+        analysis = {
+            "critical_cost": "mappability",
+            "kind": "incompatibility",
+            "model": "compatibility",
+            "dominant": [{"name": name, "share": 0.0} for name in unmapped[:3]],
+            "scaling": None,
+            "detail": why,
+        }
+        return aggregated, why, analysis
 
     def _analyze_latency(
         self,
         point: DesignPoint,
         evaluation: Evaluation,
         violated: Sequence[Constraint],
-    ) -> Tuple[List[AggregatedPrediction], str]:
+    ) -> Tuple[List[AggregatedPrediction], str, Dict[str, object]]:
         workload = self.evaluator.workload
         # Sub-function weights come from the objective model's own tree
         # values (equal to the layer latency for the latency model, the
@@ -481,7 +799,17 @@ class ExplainableDSE:
             + "; bottleneck layers: "
             + ", ".join(f"{sf.name} ({sf.weight * 100:.0f}%)" for sf in heavy)
         )
-        return aggregated, why
+        analysis = {
+            "critical_cost": self.objective,
+            "kind": "objective",
+            "model": self.latency_model.name,
+            "dominant": [
+                {"name": sf.name, "share": sf.weight} for sf in heavy
+            ],
+            "scaling": needed_scaling,
+            "detail": why,
+        }
+        return aggregated, why, analysis
 
     def _compatibility_bundle(
         self, current: DesignPoint, tried_points: Set[Tuple]

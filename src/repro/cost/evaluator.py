@@ -40,6 +40,7 @@ from repro.perf.instrumentation import StageTimers
 from repro.perf.mapping_cache import CachingMapper, MappingCache, shared_cache
 from repro.perf.parallel import WorkerPool
 from repro.perf.signature import supports_tracing
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.workloads.layers import LayerShape, Workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
@@ -119,6 +120,9 @@ class CostEvaluator:
         use_mapping_cache: Force the layer cache on/off; None enables it
             whenever the mapper supports the traced-search protocol and
             ``REPRO_MAPPING_CACHE`` is not ``"0"``.
+        tracer: Telemetry tracer; uncached evaluations run inside an
+            ``evaluate_point`` span (timings only — spans never emit
+            journal events, so traces stay deterministic).
     """
 
     def __init__(
@@ -132,12 +136,14 @@ class CostEvaluator:
         executor_mode: Optional[str] = None,
         mapping_cache: Optional[MappingCache] = None,
         use_mapping_cache: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.workload = workload
         self.mapper = mapper
         self.tech = tech
         self.freq_mhz = freq_mhz
         self.bytes_per_element = bytes_per_element
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._cache: Dict[Tuple, Evaluation] = {}
         self.evaluations = 0  # unique cost-model invocations
         self.calls = 0  # total evaluate() calls (cache hits included)
@@ -180,7 +186,8 @@ class CostEvaluator:
         if cached is not None:
             return cached
         started = time.perf_counter()
-        evaluation = self._evaluate_uncached(point)
+        with self.tracer.span("evaluate_point"):
+            evaluation = self._evaluate_uncached(point)
         self.total_seconds += time.perf_counter() - started
         self.evaluations += 1
         self._cache[key] = evaluation

@@ -3,6 +3,9 @@
 Usage::
 
     python -m repro explore resnet18 --iterations 60
+    python -m repro explore resnet18 --trace runs/resnet18.jsonl
+    python -m repro explore resnet18 --resume runs/resnet18.jsonl
+    python -m repro report runs/resnet18.jsonl --format md
     python -m repro compare efficientnetb0 --iterations 40
     python -m repro experiment table7
     python -m repro experiment fig4
@@ -85,6 +88,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="latency",
         help="mapping metric minimized by the searching mappers",
     )
+    trace_group = explore.add_mutually_exclusive_group()
+    trace_group.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL decision journal to PATH "
+             "(crash-safe checkpoint at PATH.ckpt)",
+    )
+    trace_group.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="resume an interrupted traced campaign from its journal PATH "
+             "(reads PATH.ckpt, verifies it against the journal, and "
+             "continues appending to both)",
+    )
     _add_jobs_argument(explore)
     _add_batch_eval_argument(explore)
 
@@ -113,6 +128,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(experiment)
     _add_batch_eval_argument(experiment)
+
+    report = sub.add_parser(
+        "report",
+        help="render a traced campaign's journal as an explanation "
+             "narrative",
+    )
+    report.add_argument(
+        "journal", help="JSONL journal written by 'explore --trace'"
+    )
+    report.add_argument(
+        "--format", choices=("md", "json"), default="md",
+        help="output format (default: md)",
+    )
+    report.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the report to PATH instead of stdout",
+    )
 
     sub.add_parser("list-models", help="list the benchmark models")
     return parser
@@ -155,16 +187,88 @@ def _apply_batch_eval(args) -> None:
         os.environ["REPRO_BATCH_EVAL"] = "1" if batch_eval == "on" else "0"
 
 
-def _cmd_explore(args) -> int:
+def _resolve_trace_args(parser: argparse.ArgumentParser, args):
+    """Validate ``--trace``/``--resume`` paths up front.
+
+    Malformed paths are argparse errors (clear message, exit code 2)
+    instead of mid-campaign tracebacks.  Returns ``(journal_path,
+    checkpoint_path, resume_checkpoint_path)``; all ``None`` when the run
+    is untraced.
+    """
+    from repro.telemetry import default_checkpoint_path
+
+    if args.resume is not None:
+        journal = args.resume
+        if os.path.isdir(journal):
+            parser.error(
+                f"argument --resume: {journal!r} is a directory; expected "
+                "the journal file of a previous 'explore --trace' run"
+            )
+        if not os.path.isfile(journal):
+            parser.error(
+                f"argument --resume: journal {journal!r} does not exist"
+            )
+        checkpoint = default_checkpoint_path(journal)
+        if not os.path.isfile(checkpoint):
+            parser.error(
+                f"argument --resume: checkpoint {checkpoint!r} not found "
+                "next to the journal (was the run started with --trace?)"
+            )
+        return journal, checkpoint, checkpoint
+    if args.trace is not None:
+        journal = args.trace
+        if os.path.isdir(journal):
+            parser.error(
+                f"argument --trace: {journal!r} is a directory; expected "
+                "a file path for the JSONL journal"
+            )
+        parent = os.path.dirname(os.path.abspath(journal)) or "."
+        if not os.path.isdir(parent):
+            parser.error(
+                f"argument --trace: directory {parent!r} does not exist"
+            )
+        return journal, default_checkpoint_path(journal), None
+    return None, None, None
+
+
+def _cmd_explore(args, parser: argparse.ArgumentParser) -> int:
+    journal_path, checkpoint_path, resume_path = _resolve_trace_args(
+        parser, args
+    )
+    tracer = None
+    if journal_path is not None:
+        from repro.telemetry import JsonlSink, Tracer, load_checkpoint
+
+        if resume_path is not None:
+            checkpoint = load_checkpoint(resume_path)
+            sink = JsonlSink(
+                journal_path, resume_events=checkpoint.journal_events
+            )
+            tracer = Tracer(sink, seq_start=checkpoint.journal_events)
+        else:
+            sink = JsonlSink(journal_path)
+            tracer = Tracer(sink)
     evaluator = make_evaluator(
-        args.model, mapping_mode=args.mapping, objective=args.objective
+        args.model,
+        mapping_mode=args.mapping,
+        objective=args.objective,
+        tracer=tracer,
     )
     result = run_explainable_dse(
         args.model,
         iterations=args.iterations,
         mapping_mode=args.mapping,
         evaluator=evaluator,
+        tracer=tracer,
+        checkpoint_path=checkpoint_path,
+        resume_from=resume_path,
     )
+    if tracer is not None:
+        tracer.close()
+        print(
+            f"trace journal: {journal_path} "
+            f"(checkpoint: {checkpoint_path})"
+        )
     if args.perf:
         from repro.experiments.reporting import format_run_summary
 
@@ -186,6 +290,30 @@ def _cmd_explore(args) -> int:
         save_result(result, args.save)
         print(f"saved run to {args.save}")
     return 0 if result.best is not None else 1
+
+
+def _cmd_report(args, parser: argparse.ArgumentParser) -> int:
+    if os.path.isdir(args.journal):
+        parser.error(
+            f"argument journal: {args.journal!r} is a directory; expected "
+            "a JSONL journal file"
+        )
+    if not os.path.isfile(args.journal):
+        parser.error(
+            f"argument journal: {args.journal!r} does not exist"
+        )
+    from repro.telemetry import render_report
+
+    text = render_report(args.journal, fmt=args.format)
+    if not text.endswith("\n"):
+        text += "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
 
 
 def _cmd_compare(args) -> int:
@@ -222,15 +350,26 @@ def _cmd_experiment(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list-models":
         for model in MODEL_NAMES:
             print(model)
         return 0
     _apply_jobs(args)
     _apply_batch_eval(args)
-    if args.command == "explore":
-        return _cmd_explore(args)
+    try:
+        if args.command == "explore":
+            return _cmd_explore(args, parser)
+        if args.command == "report":
+            return _cmd_report(args, parser)
+    except Exception as exc:
+        from repro.telemetry import CheckpointError, TraceEventError
+
+        if isinstance(exc, (CheckpointError, TraceEventError)):
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        raise
     if args.command == "compare":
         return _cmd_compare(args)
     return _cmd_experiment(args)

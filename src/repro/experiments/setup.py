@@ -173,9 +173,18 @@ def run_explainable_dse(
     constraints: Optional[Sequence[Constraint]] = None,
     design_space: Optional[DesignSpace] = None,
     evaluator: Optional[CostEvaluator] = None,
+    tracer=None,
+    checkpoint_path: Optional[str] = None,
+    resume_from=None,
     **dse_kwargs,
 ) -> DSEResult:
-    """Run Explainable-DSE on one benchmark model with edge defaults."""
+    """Run Explainable-DSE on one benchmark model with edge defaults.
+
+    ``tracer`` / ``checkpoint_path`` / ``resume_from`` configure the
+    telemetry subsystem (:mod:`repro.telemetry`): a structured trace of
+    every acquisition decision, crash-safe campaign snapshots, and
+    mid-campaign resume.
+    """
     space = design_space or build_edge_design_space()
     evaluator = evaluator or make_evaluator(
         model, mapping_mode=mapping_mode, top_n=top_n
@@ -187,7 +196,12 @@ def run_explainable_dse(
         max_evaluations=iterations,
         **dse_kwargs,
     )
-    result = dse.run(initial_point)
+    result = dse.run(
+        initial_point,
+        tracer=tracer,
+        checkpoint_path=checkpoint_path,
+        resume_from=resume_from,
+    )
     suffix = "fixdf" if mapping_mode == "fixed" else "codesign"
     result.technique = f"explainable-{suffix}"
     return result
@@ -203,12 +217,15 @@ def run_baseline(
     constraints: Optional[Sequence[Constraint]] = None,
     design_space: Optional[DesignSpace] = None,
     evaluator: Optional[CostEvaluator] = None,
+    tracer=None,
     **optimizer_kwargs,
 ) -> DSEResult:
     """Run one non-explainable baseline on one benchmark model.
 
     Black-box codesign baselines (paper §F) pair the optimizer with the
     Timeloop-like random mapper: pass ``mapping_mode="random-mapper"``.
+    ``tracer`` records per-trial :mod:`repro.telemetry` events so baseline
+    journals stay comparable with Explainable-DSE traces.
     """
     if technique not in BASELINE_TECHNIQUES:
         raise KeyError(
@@ -228,6 +245,7 @@ def run_baseline(
         constraints if constraints is not None else edge_constraints(model),
         max_evaluations=iterations,
         seed=seed,
+        tracer=tracer,
         **optimizer_kwargs,
     )
     result = optimizer.run()

@@ -18,6 +18,13 @@ from repro.arch.design_space import DesignPoint, DesignSpace
 from repro.core.dse.constraints import Constraint, all_satisfied
 from repro.core.dse.result import DSEResult, TrialRecord, select_best
 from repro.cost.evaluator import CostEvaluator, Evaluation
+from repro.telemetry.events import (
+    CandidateEvaluated,
+    IncumbentUpdated,
+    RunSummary,
+    deterministic_perf_counters,
+)
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["BaselineOptimizer", "penalized_objective"]
 
@@ -75,6 +82,7 @@ class BaselineOptimizer(abc.ABC):
         objective: str = "latency_ms",
         max_evaluations: int = 100,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ):
         if max_evaluations < 1:
             raise ValueError("max_evaluations must be >= 1")
@@ -84,8 +92,10 @@ class BaselineOptimizer(abc.ABC):
         self.objective = objective
         self.max_evaluations = max_evaluations
         self.seed = seed
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trials: List[TrialRecord] = []
         self._base_evaluations = 0
+        self._best_feasible = math.inf
 
     # -- template method --------------------------------------------------------
 
@@ -94,6 +104,7 @@ class BaselineOptimizer(abc.ABC):
         started = time.perf_counter()
         self._trials = []
         self._base_evaluations = self.evaluator.evaluations
+        self._best_feasible = math.inf
         try:
             self._optimize(initial_point)
         except BaselineOptimizer._BudgetExhausted:
@@ -101,6 +112,21 @@ class BaselineOptimizer(abc.ABC):
         best = select_best(
             self._trials, self.constraints, objective=self.objective
         )
+        self.tracer.emit(
+            RunSummary(
+                step=len(self._trials),
+                technique=self.name,
+                model=self.evaluator.workload.name,
+                evaluations=self.evaluator.evaluations
+                - self._base_evaluations,
+                best_objective=best.costs.get(self.objective, math.inf)
+                if best
+                else math.inf,
+                found_feasible=best is not None,
+                counters=self._perf_counters(),
+            )
+        )
+        self.tracer.flush()
         return DSEResult(
             technique=self.name,
             model=self.evaluator.workload.name,
@@ -134,18 +160,53 @@ class BaselineOptimizer(abc.ABC):
         utilizations = {
             c.name: c.utilization(evaluation.costs) for c in self.constraints
         }
+        feasible = all_satisfied(evaluation.costs, self.constraints)
+        # Baselines acquire one candidate per step, so traces stay
+        # comparable with Explainable-DSE journals: step = trial index.
+        step = len(self._trials) + 1
         self._trials.append(
             TrialRecord(
                 index=len(self._trials),
                 point=dict(point),
                 costs=dict(evaluation.costs),
-                feasible=all_satisfied(evaluation.costs, self.constraints),
+                feasible=feasible,
                 mappable=evaluation.mappable,
                 utilizations=utilizations,
                 note=note,
             )
         )
+        self.tracer.emit(
+            CandidateEvaluated(
+                step=step,
+                candidate_index=0,
+                point=dict(point),
+                costs=dict(evaluation.costs),
+                feasible=feasible,
+                mappable=evaluation.mappable,
+                note=note,
+            )
+        )
+        objective = evaluation.costs.get(self.objective, math.inf)
+        if feasible and objective < self._best_feasible:
+            self._best_feasible = objective
+            self.tracer.emit(
+                IncumbentUpdated(
+                    step=step,
+                    point=dict(point),
+                    objective=objective,
+                    decision=f"best-so-far {self.objective}={objective:.4g}",
+                    improved=True,
+                )
+            )
         return evaluation
+
+    def _perf_counters(self) -> Dict[str, object]:
+        """Deterministic evaluator counters (empty for duck-typed
+        evaluators without ``perf_summary``, e.g. test stubs)."""
+        perf_summary = getattr(self.evaluator, "perf_summary", None)
+        if perf_summary is None:
+            return {}
+        return deterministic_perf_counters(perf_summary())
 
     def _score(self, evaluation: Evaluation) -> float:
         """Penalized log-objective of an evaluation (lower is better)."""

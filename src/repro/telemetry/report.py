@@ -1,0 +1,244 @@
+"""Render a trace journal into a per-step explanation report.
+
+This is where the paper's Fig. 7/8-style narratives fall out of the
+journal for free: every acquisition step names its critical cost, the
+dominant bottleneck, the needed scaling factor, the predicted
+(parameter, value) mitigations, and the update decision, e.g.::
+
+    step 3: latency_ms dominated by conv3_x (41% of cost), scaling
+    s=2.30; proposed l2_kb -> 512; 4 candidates evaluated; updated
+    solution via l2_kb=512
+
+Two renderers share one structured intermediate (:func:`render_json`):
+``render_markdown`` for humans, ``render_json`` for dashboards and the
+LLM-agent-style consumers of per-step rationales.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.telemetry.events import (
+    BottleneckIdentified,
+    BudgetExhausted,
+    CandidateEvaluated,
+    CandidateGenerated,
+    IncumbentUpdated,
+    MitigationPredicted,
+    RunSummary,
+    SCHEMA_VERSION,
+    StepStarted,
+)
+from repro.telemetry.sinks import read_journal
+
+__all__ = ["load_journal", "render_json", "render_markdown", "render_report"]
+
+load_journal = read_journal
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _step_narrative(step: Dict[str, Any]) -> str:
+    """One-sentence explanation of an acquisition step."""
+    parts: List[str] = [f"step {step['step']}:"]
+    critical = step.get("critical_cost")
+    dominant = step.get("dominant") or []
+    if critical:
+        if step.get("kind") == "incompatibility":
+            parts.append(
+                "hardware cannot map "
+                + ", ".join(d["name"] for d in dominant)
+            )
+        elif dominant:
+            head = dominant[0]
+            parts.append(
+                f"{critical} dominated by {head['name']} "
+                f"({head['share'] * 100:.0f}% of cost)"
+            )
+        else:
+            parts.append(f"critical cost {critical}")
+    if step.get("scaling") is not None:
+        parts.append(f"scaling s={step['scaling']:.2f}")
+    predictions = step.get("predictions") or []
+    if predictions:
+        parts.append(
+            "proposed "
+            + ", ".join(
+                f"{p['parameter']} -> {_fmt(p['value'])}" for p in predictions
+            )
+        )
+    candidates = step.get("candidates") or []
+    if candidates:
+        parts.append(f"{len(candidates)} candidate(s) evaluated")
+    decision = step.get("decision")
+    if decision:
+        parts.append(decision)
+    return parts[0] + " " + "; ".join(parts[1:])
+
+
+def render_json(events: List[Any]) -> Dict[str, Any]:
+    """Fold a journal into a structured per-step report."""
+    steps: Dict[int, Dict[str, Any]] = {}
+    summary: Optional[Dict[str, Any]] = None
+    budget: Optional[Dict[str, Any]] = None
+
+    def step(number: int) -> Dict[str, Any]:
+        return steps.setdefault(
+            number,
+            {
+                "step": number,
+                "predictions": [],
+                "generated": [],
+                "candidates": [],
+            },
+        )
+
+    for event in events:
+        if isinstance(event, StepStarted):
+            entry = step(event.step)
+            entry["incumbent"] = event.incumbent
+            entry["incumbent_objective"] = event.objective
+            entry["incumbent_feasible"] = event.feasible
+        elif isinstance(event, BottleneckIdentified):
+            entry = step(event.step)
+            entry["critical_cost"] = event.critical_cost
+            entry["kind"] = event.kind
+            entry["model"] = event.model
+            entry["dominant"] = event.dominant
+            entry["scaling"] = event.scaling
+            entry["detail"] = event.detail
+        elif isinstance(event, MitigationPredicted):
+            step(event.step)["predictions"].append(
+                {
+                    "parameter": event.parameter,
+                    "value": event.value,
+                    "subfunctions": event.subfunctions,
+                }
+            )
+        elif isinstance(event, CandidateGenerated):
+            step(event.step)["generated"].append(
+                {
+                    "candidate_index": event.candidate_index,
+                    "parameter": event.parameter,
+                    "value": event.value,
+                    "reason": event.reason,
+                }
+            )
+        elif isinstance(event, CandidateEvaluated):
+            if event.step == 0:
+                entry = step(0)
+                entry["critical_cost"] = None
+                entry["decision"] = "initial point evaluated"
+            step(event.step)["candidates"].append(
+                {
+                    "candidate_index": event.candidate_index,
+                    "point": event.point,
+                    "costs": event.costs,
+                    "feasible": event.feasible,
+                    "mappable": event.mappable,
+                    "note": event.note,
+                }
+            )
+        elif isinstance(event, IncumbentUpdated):
+            entry = step(event.step)
+            entry["decision"] = event.decision
+            entry["improved"] = event.improved
+            entry["new_incumbent"] = event.point
+            entry["new_objective"] = event.objective
+        elif isinstance(event, BudgetExhausted):
+            budget = {
+                "step": event.step,
+                "consumed": event.consumed,
+                "budget": event.budget,
+            }
+        elif isinstance(event, RunSummary):
+            summary = {
+                "technique": event.technique,
+                "model": event.model,
+                "evaluations": event.evaluations,
+                "best_objective": event.best_objective,
+                "found_feasible": event.found_feasible,
+                "counters": event.counters,
+            }
+
+    ordered = [steps[k] for k in sorted(steps)]
+    for entry in ordered:
+        entry["narrative"] = _step_narrative(entry)
+    return {
+        "schema": SCHEMA_VERSION,
+        "steps": ordered,
+        "budget_exhausted": budget,
+        "summary": summary,
+    }
+
+
+def render_markdown(events: List[Any]) -> str:
+    """Render a journal as a Markdown explanation report."""
+    report = render_json(events)
+    lines: List[str] = ["# DSE explanation report", ""]
+    summary = report["summary"]
+    if summary:
+        best = summary["best_objective"]
+        lines += [
+            f"**{summary['technique']}** on **{summary['model']}** — "
+            f"{summary['evaluations']} evaluations, "
+            + (
+                f"best objective {_fmt(best)}"
+                if summary["found_feasible"]
+                else "no all-constraints-feasible design found"
+            ),
+            "",
+        ]
+    for entry in report["steps"]:
+        if entry["step"] == 0:
+            lines += [f"- {entry['narrative']}"]
+            continue
+        lines += [f"## Step {entry['step']}", "", entry["narrative"], ""]
+        if entry.get("detail"):
+            lines += [f"- analysis: {entry['detail']}"]
+        for prediction in entry["predictions"]:
+            subfunctions = ", ".join(prediction["subfunctions"][:3])
+            lines += [
+                f"- predicted: `{prediction['parameter']}` -> "
+                f"`{_fmt(prediction['value'])}`"
+                + (f" (from {subfunctions})" if subfunctions else "")
+            ]
+        for candidate in entry["candidates"]:
+            verdict = (
+                "feasible"
+                if candidate["feasible"]
+                else ("infeasible" if candidate["mappable"] else "unmappable")
+            )
+            lines += [
+                f"- candidate {candidate['candidate_index']}: "
+                f"{candidate['note']} — {verdict}"
+            ]
+        if entry.get("decision"):
+            lines += [f"- decision: {entry['decision']}"]
+        lines += [""]
+    budget = report["budget_exhausted"]
+    if budget:
+        lines += [
+            f"_Budget exhausted after {budget['consumed']} of "
+            f"{budget['budget']} evaluations._",
+            "",
+        ]
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_report(
+    journal_path: Union[str, Path], fmt: str = "md"
+) -> str:
+    """Load a journal and render it (``fmt``: ``"md"`` or ``"json"``)."""
+    events = load_journal(journal_path)
+    if fmt == "json":
+        return json.dumps(render_json(events), indent=2) + "\n"
+    if fmt == "md":
+        return render_markdown(events)
+    raise ValueError(f"unknown report format {fmt!r}; use 'md' or 'json'")

@@ -1,0 +1,158 @@
+"""Trace sinks: where emitted events go.
+
+Three implementations cover the use cases:
+
+* :class:`NullSink` — the default; every operation is a no-op, so traced
+  code paths cost one attribute lookup and a predicate when tracing is
+  off, and traced runs stay bit-identical to untraced ones.
+* :class:`RingBufferSink` — a bounded in-memory buffer for tests,
+  notebooks, and live introspection.
+* :class:`JsonlSink` — an append-only JSONL journal.  Events are
+  buffered and written at :meth:`flush`, **sorted by**
+  :func:`~repro.telemetry.events.sort_key` ``(step, phase,
+  candidate_index, seq)`` so parallel and serial runs emit identical
+  journals; a checkpoint flush additionally ``fsync``\\ s so the journal
+  on disk is never behind a checkpoint that references it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, List, Tuple, Union
+
+from repro.telemetry.events import (
+    TraceEventError,
+    decode_event,
+    encode_event,
+    sort_key,
+)
+
+__all__ = ["Sink", "NullSink", "RingBufferSink", "JsonlSink", "read_journal"]
+
+
+class Sink:
+    """Sink interface: ``record`` buffers, ``flush`` persists."""
+
+    def record(self, seq: int, event: Any) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def flush(self, checkpoint: bool = False) -> None:
+        """Persist buffered events; ``checkpoint=True`` makes the write
+        durable (fsync) where the medium supports it."""
+
+    def close(self) -> None:
+        self.flush()
+
+
+class NullSink(Sink):
+    """Discard everything (the default sink)."""
+
+    def record(self, seq: int, event: Any) -> None:
+        pass
+
+
+class RingBufferSink(Sink):
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        self._buffer: Deque[Tuple[int, Any]] = deque(maxlen=capacity)
+
+    def record(self, seq: int, event: Any) -> None:
+        self._buffer.append((seq, event))
+
+    def events(self) -> List[Any]:
+        """Buffered events in canonical journal order."""
+        return [
+            event
+            for seq, event in sorted(
+                self._buffer, key=lambda item: sort_key(item[0], item[1])
+            )
+        ]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlSink(Sink):
+    """Append-only JSONL journal with deterministic flush order.
+
+    Args:
+        path: Journal file; created (or appended to) lazily on first
+            flush.
+        resume_events: When resuming a checkpointed campaign, the number
+            of journal events the checkpoint covers.  The existing file
+            is truncated to exactly that many records — events flushed
+            after the last checkpoint belong to an attempt that never
+            completed and will be re-emitted by the resumed run.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        resume_events: int = None,
+    ):
+        self.path = str(path)
+        self._buffer: List[Tuple[int, Any]] = []
+        self.events_written = 0
+        if resume_events is not None:
+            self._truncate_to(resume_events)
+
+    def _truncate_to(self, count: int) -> None:
+        try:
+            with open(self.path) as handle:
+                lines = handle.read().splitlines()
+        except FileNotFoundError:
+            raise ValueError(
+                f"cannot resume: journal {self.path!r} does not exist"
+            ) from None
+        if len(lines) < count:
+            raise ValueError(
+                f"cannot resume: journal {self.path!r} holds {len(lines)} "
+                f"events but the checkpoint covers {count}"
+            )
+        with open(self.path, "w") as handle:
+            for line in lines[:count]:
+                handle.write(line + "\n")
+        self.events_written = count
+
+    def record(self, seq: int, event: Any) -> None:
+        self._buffer.append((seq, event))
+
+    def flush(self, checkpoint: bool = False) -> None:
+        if not self._buffer and not checkpoint:
+            return
+        self._buffer.sort(key=lambda item: sort_key(item[0], item[1]))
+        with open(self.path, "a") as handle:
+            for _, event in self._buffer:
+                handle.write(json.dumps(encode_event(event)) + "\n")
+            handle.flush()
+            if checkpoint:
+                os.fsync(handle.fileno())
+        self.events_written += len(self._buffer)
+        self._buffer.clear()
+
+
+def read_journal(path: Union[str, Path]) -> List[Any]:
+    """Decode every event of a JSONL journal, in file order.
+
+    Raises:
+        TraceEventError: on a line that is not valid JSON or an
+            undecodable record.
+    """
+    events: List[Any] = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceEventError(
+                    f"{path}:{number}: not valid JSON: {exc}"
+                ) from exc
+            events.append(decode_event(record))
+    return events

@@ -1,0 +1,87 @@
+"""The Tracer: event emission plus span timers.
+
+A :class:`Tracer` fans emitted events out to its sinks and owns a
+:class:`~repro.perf.instrumentation.StageTimers` for span timing.  Span
+durations deliberately stay **out of the journal** (they are wall-clock
+and would break the serial-vs-parallel journal identity); read them from
+:attr:`Tracer.timings` or ``CostEvaluator.perf_summary()`` instead.
+
+``NULL_TRACER`` (a tracer with no sinks) is the default everywhere, so
+untraced runs pay one truthiness check per would-be event and remain
+bit-identical to instrumented-but-disabled runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional
+
+from repro.perf.instrumentation import StageTimers
+from repro.telemetry.sinks import NullSink, RingBufferSink, Sink
+
+__all__ = ["Tracer", "NULL_TRACER"]
+
+
+class Tracer:
+    """Emit trace events to pluggable sinks and time named spans.
+
+    Args:
+        *sinks: Destinations for emitted events.  With no (non-null)
+            sinks the tracer is disabled: ``emit`` and ``span`` are
+            no-ops.
+        seq_start: First sequence number to assign; a resumed campaign
+            passes the checkpoint's journal event count so ordering stays
+            monotonic across the resume boundary.
+    """
+
+    def __init__(self, *sinks: Sink, seq_start: int = 0):
+        self.sinks: List[Sink] = list(sinks)
+        self.timings = StageTimers()
+        self._seq = seq_start
+        self.enabled = any(
+            not isinstance(sink, NullSink) for sink in self.sinks
+        )
+
+    @property
+    def events_emitted(self) -> int:
+        """Total events emitted (== last assigned sequence number)."""
+        return self._seq
+
+    def emit(self, event: Any) -> None:
+        if not self.enabled:
+            return
+        self._seq += 1
+        for sink in self.sinks:
+            sink.record(self._seq, event)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a named region into :attr:`timings` (not the journal)."""
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings.record(name, time.perf_counter() - started)
+
+    def events(self) -> List[Any]:
+        """Events buffered in the first ring-buffer sink (else empty)."""
+        for sink in self.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink.events()
+        return []
+
+    def flush(self, checkpoint: bool = False) -> None:
+        for sink in self.sinks:
+            sink.flush(checkpoint=checkpoint)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+#: Shared disabled tracer; the default for every instrumented component.
+NULL_TRACER = Tracer()

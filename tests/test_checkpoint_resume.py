@@ -1,0 +1,321 @@
+"""Tests for crash-safe checkpointing and campaign resume."""
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.core.dse.constraints import Constraint, Sense
+from repro.core.dse.explainable import ExplainableDSE
+from repro.cost.evaluator import CostEvaluator
+from repro.mapping.mapper import TopNMapper
+from repro.perf.mapping_cache import MappingCache
+from repro.telemetry import (
+    CampaignCheckpoint,
+    CheckpointError,
+    JsonlSink,
+    RunSummary,
+    Tracer,
+    default_checkpoint_path,
+    load_checkpoint,
+    read_journal,
+    save_checkpoint,
+    verify_against_journal,
+)
+
+
+def _constraints():
+    return [
+        Constraint("area", "area_mm2", 75.0),
+        Constraint("power", "power_w", 4.0),
+        Constraint("throughput", "throughput", 200.0, Sense.GEQ),
+    ]
+
+
+def _make_evaluator(workload, cls=CostEvaluator, **kwargs):
+    return cls(
+        workload,
+        TopNMapper(top_n=60),
+        mapping_cache=MappingCache(),
+        **kwargs,
+    )
+
+
+def _fingerprint(result):
+    return (
+        [t.point for t in result.trials],
+        [t.costs for t in result.trials],
+        result.explanations,
+        result.best.point if result.best else None,
+        result.best.costs if result.best else None,
+        result.evaluations,
+    )
+
+
+class KillableEvaluator(CostEvaluator):
+    """Simulates a hard mid-step kill: the Nth uncached evaluation dies."""
+
+    kill_at = None
+
+    def _evaluate_uncached(self, point):
+        if self.kill_at is not None and self.evaluations >= self.kill_at:
+            raise KeyboardInterrupt("simulated kill")
+        return super()._evaluate_uncached(point)
+
+
+def _sample_checkpoint(**overrides):
+    base = dict(
+        model="tiny",
+        objective="latency_ms",
+        max_evaluations=25,
+        consumed=12,
+        attempt=2,
+        attempts_without_improvement=0,
+        finished=False,
+        current_point={"pes": 128},
+        exhausted=["l1_bytes"],
+        tried_keys=[[0, 1], [0, 2]],
+        trials=[],
+        explanations=["[attempt 1] ..."],
+        journal_events=42,
+    )
+    base.update(overrides)
+    return CampaignCheckpoint(**base)
+
+
+class TestCheckpointFile:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        checkpoint = _sample_checkpoint()
+        save_checkpoint(checkpoint, path)
+        assert load_checkpoint(path) == checkpoint
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(_sample_checkpoint(), path)
+        save_checkpoint(_sample_checkpoint(consumed=13), path)
+        assert [p.name for p in tmp_path.iterdir()] == ["run.ckpt"]
+        assert load_checkpoint(path).consumed == 13
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "missing.ckpt")
+
+    def test_load_corrupt_raises(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text("{ not json")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_load_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(_sample_checkpoint(), path)
+        data = json.loads(path.read_text())
+        data["schema"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_default_checkpoint_path(self):
+        assert default_checkpoint_path("a/b.jsonl") == "a/b.jsonl.ckpt"
+
+
+class TestResume:
+    def _run_reference(self, edge_space, tiny_workload, budget=25):
+        evaluator = _make_evaluator(tiny_workload)
+        return ExplainableDSE(
+            edge_space, evaluator, _constraints(), max_evaluations=budget
+        ).run()
+
+    def test_resume_after_mid_step_kill_matches_uninterrupted(
+        self, tmp_path, edge_space, tiny_workload
+    ):
+        """A SIGKILL-style death mid-attempt loses nothing that matters:
+        resuming from the last checkpoint reproduces the uninterrupted
+        campaign exactly (acceptance criterion)."""
+        reference = self._run_reference(edge_space, tiny_workload)
+
+        journal = tmp_path / "run.jsonl"
+        ckpt = default_checkpoint_path(journal)
+        evaluator = _make_evaluator(tiny_workload, cls=KillableEvaluator)
+        evaluator.kill_at = 14
+        tracer = Tracer(JsonlSink(journal))
+        with pytest.raises(KeyboardInterrupt):
+            ExplainableDSE(
+                edge_space, evaluator, _constraints(), max_evaluations=25
+            ).run(tracer=tracer, checkpoint_path=ckpt)
+
+        checkpoint = load_checkpoint(ckpt)
+        assert not checkpoint.finished
+        assert checkpoint.consumed < 25
+        verify_against_journal(checkpoint, journal)
+
+        sink = JsonlSink(journal, resume_events=checkpoint.journal_events)
+        resumed_tracer = Tracer(sink, seq_start=checkpoint.journal_events)
+        evaluator2 = _make_evaluator(tiny_workload)
+        resumed = ExplainableDSE(
+            edge_space, evaluator2, _constraints(), max_evaluations=25
+        ).run(tracer=resumed_tracer, checkpoint_path=ckpt, resume_from=ckpt)
+        resumed_tracer.close()
+
+        assert _fingerprint(resumed) == _fingerprint(reference)
+        # Budget accounting: the incumbent re-evaluation on resume does
+        # not count as a trial or consume budget.
+        assert resumed.evaluations == reference.evaluations
+
+    def test_resumed_journal_matches_uninterrupted_journal(
+        self, tmp_path, edge_space, tiny_workload
+    ):
+        """The stitched journal (checkpoint prefix + resumed suffix) holds
+        the same events an uninterrupted traced run writes, up to the
+        evaluator-local counters in RunSummary."""
+        ref_journal = tmp_path / "ref.jsonl"
+        ref_tracer = Tracer(JsonlSink(ref_journal))
+        ExplainableDSE(
+            edge_space, _make_evaluator(tiny_workload), _constraints(),
+            max_evaluations=25,
+        ).run(tracer=ref_tracer)
+        ref_tracer.close()
+
+        journal = tmp_path / "killed.jsonl"
+        ckpt = default_checkpoint_path(journal)
+        evaluator = _make_evaluator(tiny_workload, cls=KillableEvaluator)
+        evaluator.kill_at = 14
+        tracer = Tracer(JsonlSink(journal))
+        with pytest.raises(KeyboardInterrupt):
+            ExplainableDSE(
+                edge_space, evaluator, _constraints(), max_evaluations=25
+            ).run(tracer=tracer, checkpoint_path=ckpt)
+        checkpoint = load_checkpoint(ckpt)
+        sink = JsonlSink(journal, resume_events=checkpoint.journal_events)
+        ExplainableDSE(
+            edge_space, _make_evaluator(tiny_workload), _constraints(),
+            max_evaluations=25,
+        ).run(
+            tracer=Tracer(sink, seq_start=checkpoint.journal_events),
+            checkpoint_path=ckpt,
+            resume_from=ckpt,
+        )
+        sink.close()
+
+        def strip_counters(events):
+            return [
+                dataclasses.replace(e, counters={})
+                if isinstance(e, RunSummary)
+                else e
+                for e in events
+            ]
+
+        assert strip_counters(read_journal(journal)) == strip_counters(
+            read_journal(ref_journal)
+        )
+
+    def test_resume_finished_campaign_returns_stored_result(
+        self, tmp_path, edge_space, tiny_workload
+    ):
+        """A campaign that terminated (patience/mitigation exhaustion) is
+        not re-explored on resume."""
+        ckpt = tmp_path / "done.ckpt"
+        evaluator = _make_evaluator(tiny_workload)
+        # Budget far beyond what the tiny space needs, so the run ends by
+        # termination, not budget exhaustion.
+        finished = ExplainableDSE(
+            edge_space, evaluator, _constraints(), max_evaluations=500
+        ).run(checkpoint_path=str(ckpt))
+        assert load_checkpoint(ckpt).finished
+
+        evaluator2 = _make_evaluator(tiny_workload)
+        resumed = ExplainableDSE(
+            edge_space, evaluator2, _constraints(), max_evaluations=500
+        ).run(resume_from=str(ckpt))
+        assert evaluator2.evaluations == 0
+        assert _fingerprint(resumed) == _fingerprint(finished)
+
+    def test_resume_with_larger_budget_continues(
+        self, tmp_path, edge_space, tiny_workload
+    ):
+        ckpt = tmp_path / "short.ckpt"
+        short = ExplainableDSE(
+            edge_space, _make_evaluator(tiny_workload), _constraints(),
+            max_evaluations=8,
+        ).run(checkpoint_path=str(ckpt))
+        assert short.evaluations == 8  # budget-limited
+        evaluator = _make_evaluator(tiny_workload)
+        longer = ExplainableDSE(
+            edge_space, evaluator, _constraints(), max_evaluations=20
+        ).run(resume_from=str(ckpt))
+        assert longer.evaluations > 8
+        assert longer.trials[:8] == short.trials[:8]
+
+    def test_model_mismatch_rejected(
+        self, tmp_path, edge_space, tiny_workload, resnet18
+    ):
+        ckpt = tmp_path / "tiny.ckpt"
+        ExplainableDSE(
+            edge_space, _make_evaluator(tiny_workload), _constraints(),
+            max_evaluations=5,
+        ).run(checkpoint_path=str(ckpt))
+        other = _make_evaluator(resnet18)
+        with pytest.raises(CheckpointError):
+            ExplainableDSE(
+                edge_space, other, _constraints(), max_evaluations=5
+            ).run(resume_from=str(ckpt))
+
+    def test_objective_mismatch_rejected(self, edge_space, tiny_workload):
+        checkpoint = _sample_checkpoint(objective="energy_mj")
+        with pytest.raises(CheckpointError):
+            ExplainableDSE(
+                edge_space, _make_evaluator(tiny_workload), _constraints(),
+                max_evaluations=5,
+            ).run(resume_from=checkpoint)
+
+
+class TestJournalVerification:
+    def _traced_run(self, tmp_path, edge_space, tiny_workload):
+        journal = tmp_path / "run.jsonl"
+        ckpt = default_checkpoint_path(journal)
+        tracer = Tracer(JsonlSink(journal))
+        ExplainableDSE(
+            edge_space, _make_evaluator(tiny_workload), _constraints(),
+            max_evaluations=10,
+        ).run(tracer=tracer, checkpoint_path=ckpt)
+        tracer.close()
+        return journal, load_checkpoint(ckpt)
+
+    def test_consistent_pair_verifies(
+        self, tmp_path, edge_space, tiny_workload
+    ):
+        journal, checkpoint = self._traced_run(
+            tmp_path, edge_space, tiny_workload
+        )
+        verify_against_journal(checkpoint, journal)
+
+    def test_truncated_journal_rejected(
+        self, tmp_path, edge_space, tiny_workload
+    ):
+        journal, checkpoint = self._traced_run(
+            tmp_path, edge_space, tiny_workload
+        )
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+        with pytest.raises(CheckpointError):
+            verify_against_journal(checkpoint, journal)
+
+    def test_tampered_incumbent_rejected(
+        self, tmp_path, edge_space, tiny_workload
+    ):
+        journal, checkpoint = self._traced_run(
+            tmp_path, edge_space, tiny_workload
+        )
+        checkpoint.current_point = dict(
+            checkpoint.current_point, pes=999999
+        )
+        with pytest.raises(CheckpointError):
+            verify_against_journal(checkpoint, journal)
+
+    def test_missing_journal_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            verify_against_journal(
+                _sample_checkpoint(), tmp_path / "none.jsonl"
+            )

@@ -28,6 +28,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_trace_and_resume_mutually_exclusive(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["explore", "resnet18", "--trace", "a.jsonl",
+                 "--resume", "b.jsonl"]
+            )
+        assert excinfo.value.code == 2
+
+    def test_report_args(self):
+        args = build_parser().parse_args(
+            ["report", "run.jsonl", "--format", "json"]
+        )
+        assert args.journal == "run.jsonl"
+        assert args.format == "json"
+
 
 class TestCommands:
     def test_list_models(self, capsys):
@@ -59,3 +74,68 @@ class TestCommands:
         )
         assert code == 0
         assert "Fig. 9" in capsys.readouterr().out
+
+
+class TestTraceResumeReport:
+    def test_trace_then_report_then_resume(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        code = main(
+            ["explore", "resnet18", "--iterations", "8",
+             "--trace", str(journal)]
+        )
+        assert code in (0, 1)
+        assert journal.exists()
+        assert (tmp_path / "run.jsonl.ckpt").exists()
+        assert "trace journal" in capsys.readouterr().out
+
+        assert main(["report", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "# DSE explanation report" in out
+        assert "## Step 1" in out
+
+        report_path = tmp_path / "report.json"
+        assert main(
+            ["report", str(journal), "--format", "json",
+             "--out", str(report_path)]
+        ) == 0
+        assert "steps" in report_path.read_text()
+
+        code = main(
+            ["explore", "resnet18", "--iterations", "14",
+             "--resume", str(journal)]
+        )
+        assert code in (0, 1)
+
+    def test_trace_into_missing_directory_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["explore", "resnet18", "--trace",
+                 str(tmp_path / "no" / "dir" / "x.jsonl")]
+            )
+        assert excinfo.value.code == 2
+
+    def test_resume_missing_journal_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["explore", "resnet18", "--resume",
+                 str(tmp_path / "missing.jsonl")]
+            )
+        assert excinfo.value.code == 2
+
+    def test_resume_journal_without_checkpoint_exits_2(self, tmp_path):
+        journal = tmp_path / "orphan.jsonl"
+        journal.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", "resnet18", "--resume", str(journal)])
+        assert excinfo.value.code == 2
+
+    def test_report_missing_journal_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["report", str(tmp_path / "none.jsonl")])
+        assert excinfo.value.code == 2
+
+    def test_report_corrupt_journal_exits_2(self, tmp_path, capsys):
+        journal = tmp_path / "bad.jsonl"
+        journal.write_text("garbage\n")
+        assert main(["report", str(journal)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
