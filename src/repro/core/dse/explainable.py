@@ -54,6 +54,8 @@ from repro.core.dse.constraints import (
 )
 from repro.core.dse.result import DSEResult, TrialRecord, select_best
 from repro.cost.evaluator import CostEvaluator, Evaluation
+from repro.resilience.errors import as_repro_error
+from repro.resilience.supervisor import FailureRateBreaker
 from repro.telemetry.checkpoint import (
     CampaignCheckpoint,
     CheckpointError,
@@ -67,6 +69,7 @@ from repro.telemetry.events import (
     BottleneckIdentified,
     BudgetExhausted,
     CandidateEvaluated,
+    CandidateFailed,
     CandidateGenerated,
     IncumbentUpdated,
     MitigationPredicted,
@@ -84,6 +87,17 @@ def _jsonable(value: object) -> object:
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     return str(value)
+
+#: Ledger costs of a quarantined candidate: infeasible under every
+#: constraint form (LEQ bounds see ``inf``, GEQ/throughput bounds see 0),
+#: so :func:`select_best` can never pick a design that was not evaluated.
+_QUARANTINE_COSTS = {
+    "latency_ms": math.inf,
+    "area_mm2": math.inf,
+    "power_w": math.inf,
+    "energy_mj": math.inf,
+    "throughput": 0.0,
+}
 
 #: Parameters nudged upward when a hardware point cannot map the workload
 #: at all (fixed-dataflow incompatibility): more time-shared unicast rounds,
@@ -212,6 +226,7 @@ class ExplainableDSE:
         exhausted: Set[str] = set()
         attempt = 0
         attempts_without_improvement = 0
+        breaker = FailureRateBreaker()
 
         if resume_from is not None:
             checkpoint = self._load_resume(resume_from)
@@ -345,8 +360,14 @@ class ExplainableDSE:
                     tracer=tracer,
                     step=attempt,
                     candidate_index=index,
+                    breaker=breaker,
                 )
-                evaluated.append((candidate, evaluation))
+                if evaluation is not None:
+                    evaluated.append((candidate, evaluation))
+                if breaker.tripped:
+                    # Abort at the attempt boundary: finish the update
+                    # with whatever evaluated, checkpoint, then raise.
+                    break
 
             new_point, new_eval, decision = self._update(
                 current, current_eval, evaluated, exhausted
@@ -372,11 +393,41 @@ class ExplainableDSE:
                         f"{self.patience} attempts; terminating"
                     )
                     finished = True
-                    break
             else:
                 attempts_without_improvement = 0
                 exhausted.clear()
                 current, current_eval = dict(new_point), new_eval
+            if breaker.tripped and not finished:
+                # Systemic fault (REPRO_MAX_FAILURE_RATE exceeded): persist
+                # a resumable snapshot, then abort instead of grinding on.
+                explanations.append(
+                    f"[attempt {attempt}] circuit breaker tripped: "
+                    f"{breaker.failures} of {breaker.total} candidate "
+                    f"evaluations failed; aborting after checkpoint"
+                )
+                if checkpoint_path:
+                    self._write_checkpoint(
+                        checkpoint_path,
+                        tracer,
+                        trials=trials,
+                        explanations=explanations,
+                        current=current,
+                        exhausted=exhausted,
+                        tried_points=tried_points,
+                        attempt=attempt,
+                        attempts_without_improvement=(
+                            attempts_without_improvement
+                        ),
+                        consumed=self.evaluator.evaluations
+                        - base_evaluations,
+                        finished=False,
+                    )
+                tracer.flush()
+                raise breaker.systemic_fault(
+                    attempt=attempt, checkpoint=checkpoint_path
+                )
+            if finished:
+                break
             if checkpoint_path and attempt % checkpoint_every == 0:
                 self._write_checkpoint(
                     checkpoint_path,
@@ -581,8 +632,35 @@ class ExplainableDSE:
         tracer: Tracer = NULL_TRACER,
         step: int = 0,
         candidate_index: int = -1,
-    ) -> Evaluation:
-        evaluation = self.evaluator.evaluate(point)
+        breaker: Optional[FailureRateBreaker] = None,
+    ) -> Optional[Evaluation]:
+        """Evaluate one point and record the trial.
+
+        With a ``breaker``, a failed evaluation quarantines the candidate
+        (infeasible trial + :class:`CandidateFailed` event) and returns
+        ``None`` instead of raising, so the campaign degrades gracefully;
+        without one (the initial point) failures propagate.
+        """
+        if breaker is None:
+            evaluation = self.evaluator.evaluate(point)
+        else:
+            try:
+                evaluation = self.evaluator.evaluate(point)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                self._quarantine(
+                    point,
+                    exc,
+                    trials,
+                    note=note,
+                    tracer=tracer,
+                    step=step,
+                    candidate_index=candidate_index,
+                )
+                breaker.record_failure()
+                return None
+            breaker.record_success()
         utilizations = {
             c.name: c.utilization(evaluation.costs) for c in self.constraints
         }
@@ -610,6 +688,53 @@ class ExplainableDSE:
             )
         )
         return evaluation
+
+    def _quarantine(
+        self,
+        point: DesignPoint,
+        exc: Exception,
+        trials: List[TrialRecord],
+        note: str,
+        tracer: Tracer,
+        step: int,
+        candidate_index: int,
+    ) -> None:
+        """Record a failed candidate as an infeasible trial + event."""
+        error = as_repro_error(exc, "candidate evaluation failed")
+        costs = dict(_QUARANTINE_COSTS)
+        for constraint in self.constraints:
+            # Whatever the constraint sense, these costs are infeasible.
+            costs.setdefault(
+                constraint.cost_key,
+                0.0 if constraint.sense.name == "GEQ" else math.inf,
+            )
+        costs.setdefault(self.objective, math.inf)
+        utilizations = {
+            c.name: c.utilization(costs) for c in self.constraints
+        }
+        trials.append(
+            TrialRecord(
+                index=len(trials),
+                point=dict(point),
+                costs=costs,
+                feasible=False,
+                mappable=False,
+                utilizations=utilizations,
+                note=f"quarantined ({type(error).__name__}): {note}",
+            )
+        )
+        tracer.emit(
+            CandidateFailed(
+                step=step,
+                candidate_index=candidate_index,
+                point=dict(point),
+                error=type(error).__name__,
+                message=str(error),
+                attempts=int(error.context.get("attempts", 1)),
+                retryable=bool(error.retryable),
+                note=note,
+            )
+        )
 
     # -- step 2-4: bottleneck analysis + aggregation -----------------------------
 

@@ -40,6 +40,9 @@ from repro.perf.instrumentation import StageTimers
 from repro.perf.mapping_cache import CachingMapper, MappingCache, shared_cache
 from repro.perf.parallel import WorkerPool
 from repro.perf.signature import supports_tracing
+from repro.resilience.errors import MapperFailureError, ReproError, is_retryable
+from repro.resilience.fault_injection import attempt_scope, inject
+from repro.resilience.supervisor import RetryPolicy
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.workloads.layers import LayerShape, Workload
 
@@ -58,12 +61,22 @@ def _search_layer_job(mapper, config: AcceleratorConfig, layer: LayerShape):
     the parent can seed its mapping cache — and merge the batch-eval
     counters, which otherwise stay on the worker's pickled mapper copy —
     with outcomes computed in workers."""
+    inject("mapper", key=layer.name)
     stats = getattr(mapper, "batch_stats", None)
     before = copy.copy(stats) if stats is not None else None
-    if supports_tracing(mapper):
-        result, trace = mapper.search_with_trace(layer, config)
-    else:
-        result, trace = mapper(layer, config), None
+    try:
+        if supports_tracing(mapper):
+            result, trace = mapper.search_with_trace(layer, config)
+        else:
+            result, trace = mapper(layer, config), None
+    except (KeyboardInterrupt, SystemExit, ReproError):
+        raise
+    except Exception as exc:
+        raise MapperFailureError(
+            f"mapping search failed: {type(exc).__name__}: {exc}",
+            layer=layer.name,
+            cause=type(exc).__name__,
+        ) from exc
     delta = stats.delta_since(before) if stats is not None else None
     return result, trace, delta
 
@@ -150,6 +163,7 @@ class CostEvaluator:
         self.total_seconds = 0.0
         self.timers = StageTimers()
         self._pool = WorkerPool(jobs=jobs, mode=executor_mode)
+        self.retry_policy = RetryPolicy.from_env()
 
         if use_mapping_cache is None:
             use_mapping_cache = (
@@ -179,19 +193,51 @@ class CostEvaluator:
         return tuple(sorted(point.items()))
 
     def evaluate(self, point: DesignPoint) -> Evaluation:
-        """Evaluate a design point (cached)."""
+        """Evaluate a design point (cached, supervised).
+
+        Transient faults (crashed/hung workers, injected chaos) are
+        retried per :attr:`retry_policy` with deterministic backoff;
+        deterministic failures propagate immediately (a
+        :class:`~repro.resilience.errors.ReproError` carries the design
+        point and attempt count).  Failed evaluations are never cached.
+        """
         self.calls += 1
         key = self._key(point)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
         started = time.perf_counter()
-        with self.tracer.span("evaluate_point"):
-            evaluation = self._evaluate_uncached(point)
+        evaluation = self._evaluate_supervised(point)
         self.total_seconds += time.perf_counter() - started
         self.evaluations += 1
         self._cache[key] = evaluation
         return evaluation
+
+    def _evaluate_supervised(self, point: DesignPoint) -> Evaluation:
+        """Run the cost model under the retry policy and the ambient
+        fault-injection attempt (the fault-free path is one plain pass,
+        bit-identical to the unsupervised pipeline)."""
+        signature = ",".join(f"{k}={v}" for k, v in sorted(point.items()))
+        attempt = 0
+        while True:
+            try:
+                with attempt_scope(attempt):
+                    with self.tracer.span("evaluate_point"):
+                        inject("evaluate", key=signature)
+                        return self._evaluate_uncached(point)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                if is_retryable(exc) and attempt < self.retry_policy.max_retries:
+                    attempt += 1
+                    self.retry_policy.sleep_before_retry(signature, attempt)
+                    continue
+                if isinstance(exc, ReproError):
+                    exc.retryable = False  # the retry budget is spent
+                    raise exc.with_context(
+                        point=dict(point), attempts=attempt + 1
+                    )
+                raise
 
     def _optimize_layers(
         self, config: AcceleratorConfig
@@ -231,7 +277,17 @@ class CostEvaluator:
         else:
             mapper = cm if cm is not None else self.mapper
             for layer in pending:
-                results[layer.name] = mapper(layer, config)
+                inject("mapper", key=layer.name)
+                try:
+                    results[layer.name] = mapper(layer, config)
+                except (KeyboardInterrupt, SystemExit, ReproError):
+                    raise
+                except Exception as exc:
+                    raise MapperFailureError(
+                        f"mapping search failed: {type(exc).__name__}: {exc}",
+                        layer=layer.name,
+                        cause=type(exc).__name__,
+                    ) from exc
         return {
             layer.name: results[layer.name] for layer in self.workload.layers
         }
@@ -383,3 +439,9 @@ class CostEvaluator:
     def close(self) -> None:
         """Release the worker pool (no-op on the serial path)."""
         self._pool.close()
+
+    def __enter__(self) -> "CostEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -364,11 +364,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "report":
             return _cmd_report(args, parser)
     except Exception as exc:
+        from repro.resilience.errors import ReproError, SystemicFaultError
         from repro.telemetry import CheckpointError, TraceEventError
 
+        if isinstance(exc, SystemicFaultError):
+            print(f"repro: error: {exc}", file=sys.stderr)
+            checkpoint = str(exc.context.get("checkpoint") or "")
+            if checkpoint:
+                journal = (
+                    checkpoint[: -len(".ckpt")]
+                    if checkpoint.endswith(".ckpt")
+                    else checkpoint
+                )
+                print(
+                    f"repro: campaign state saved; rerun with "
+                    f"--resume {journal} once the fault is fixed",
+                    file=sys.stderr,
+                )
+            return 3
         if isinstance(exc, (CheckpointError, TraceEventError)):
             print(f"repro: error: {exc}", file=sys.stderr)
             return 2
+        if isinstance(exc, ReproError):
+            # A fault the campaign could not absorb (e.g. the very first
+            # evaluation failed after all retries): structured error, no
+            # traceback, same exit code as a circuit-breaker abort.
+            print(f"repro: error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 3
         raise
     if args.command == "compare":
         return _cmd_compare(args)

@@ -28,11 +28,14 @@ import os
 import pickle
 import tempfile
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.arch.accelerator import AcceleratorConfig
+from repro.resilience.errors import CacheCorruptionError, as_repro_error
+from repro.resilience.fault_injection import inject
 from repro.perf.signature import (
     config_signature,
     layer_signature,
@@ -179,6 +182,7 @@ class MappingCache:
         path = path or self.persist_path
         if not path:
             raise ValueError("no persistence path configured")
+        inject("cache-save", key=str(path))
         payload = {
             "version": PERSIST_VERSION,
             "results": dict(self._results),
@@ -198,23 +202,61 @@ class MappingCache:
         return path
 
     def load(self, path: Optional[str] = None) -> bool:
-        """Merge a pickled cache in; returns False on any load problem
-        (a stale or corrupt warm-start file is ignored, not fatal)."""
+        """Merge a pickled cache in; returns False on any load problem.
+
+        Self-healing: a truncated/corrupt warm-start file is treated as a
+        cold miss — it is quarantined to ``<path>.corrupt`` (so the next
+        run does not trip over it and the evidence survives for
+        inspection), a one-line :class:`CacheCorruptionError` warning is
+        emitted, and the cache starts cold.  A file with a stale
+        ``PERSIST_VERSION`` is simply ignored (format evolution, not
+        corruption).
+        """
         path = path or self.persist_path
         if not path or not os.path.exists(path):
             return False
         try:
+            inject("cache-load", key=str(path))
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
-            if payload.get("version") != PERSIST_VERSION:
-                return False
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            self._quarantine_corrupt(path, exc)
+            return False
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != PERSIST_VERSION
+        ):
+            return False
+        try:
             for key, result in payload.get("results", {}).items():
                 self.put_result(key, result)
             for key, trace in payload.get("traces", {}).items():
                 self.put_trace(key, trace)
-            return True
-        except Exception:
+        except Exception as exc:
+            self._quarantine_corrupt(path, exc)
             return False
+        return True
+
+    def _quarantine_corrupt(self, path: str, exc: Exception) -> None:
+        """Move an unreadable cache file aside and warn once about it."""
+        corrupt_path: Optional[str] = str(path) + ".corrupt"
+        try:
+            os.replace(path, corrupt_path)
+        except OSError:
+            corrupt_path = None
+        error = CacheCorruptionError(
+            "mapping-cache warm-start file is corrupt: "
+            f"{type(exc).__name__}: {exc}",
+            path=str(path),
+            quarantined_to=corrupt_path,
+        )
+        warnings.warn(
+            f"{error}; continuing with a cold cache",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 class CachingMapper:
@@ -334,8 +376,18 @@ def shared_cache() -> MappingCache:
                 def _save_on_exit(cache: MappingCache = _SHARED) -> None:
                     try:
                         cache.save()
-                    except Exception:  # pragma: no cover - best effort
-                        pass
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as exc:
+                        error = as_repro_error(
+                            exc,
+                            "mapping-cache persistence failed",
+                            path=cache.persist_path,
+                        )
+                        warnings.warn(
+                            f"{error}; cache not persisted",
+                            RuntimeWarning,
+                        )
 
                 atexit.register(_save_on_exit)
         return _SHARED

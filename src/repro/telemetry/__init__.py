@@ -28,6 +28,7 @@ from repro.telemetry.events import (
     BottleneckIdentified,
     BudgetExhausted,
     CandidateEvaluated,
+    CandidateFailed,
     CandidateGenerated,
     IncumbentUpdated,
     MitigationPredicted,
@@ -58,6 +59,7 @@ __all__ = [
     "BudgetExhausted",
     "CampaignCheckpoint",
     "CandidateEvaluated",
+    "CandidateFailed",
     "CandidateGenerated",
     "CheckpointError",
     "IncumbentUpdated",

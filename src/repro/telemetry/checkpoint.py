@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.telemetry.events import (
     CandidateEvaluated,
+    CandidateFailed,
     IncumbentUpdated,
     TraceEventError,
 )
@@ -188,10 +189,13 @@ def verify_against_journal(
         )
     prefix = events[: checkpoint.journal_events]
     evaluated = [e for e in prefix if isinstance(e, CandidateEvaluated)]
-    if len(evaluated) != len(checkpoint.trials):
+    # Quarantined candidates (CandidateFailed) enter the trial ledger too.
+    failed = [e for e in prefix if isinstance(e, CandidateFailed)]
+    if len(evaluated) + len(failed) != len(checkpoint.trials):
         raise CheckpointError(
-            f"journal prefix records {len(evaluated)} evaluations but the "
-            f"checkpoint holds {len(checkpoint.trials)} trials"
+            f"journal prefix records {len(evaluated)} evaluations and "
+            f"{len(failed)} quarantined candidates but the checkpoint "
+            f"holds {len(checkpoint.trials)} trials"
         )
     incumbent: Optional[Dict[str, Any]] = None
     for event in prefix:

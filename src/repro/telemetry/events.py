@@ -42,6 +42,7 @@ __all__ = [
     "MitigationPredicted",
     "CandidateGenerated",
     "CandidateEvaluated",
+    "CandidateFailed",
     "IncumbentUpdated",
     "BudgetExhausted",
     "RunSummary",
@@ -150,6 +151,37 @@ class CandidateEvaluated:
 
 
 @dataclass(frozen=True)
+class CandidateFailed:
+    """A candidate evaluation was quarantined after exhausting retries.
+
+    Emitted *instead of* :class:`CandidateEvaluated` when the cost model
+    could not produce costs for a candidate (worker crashes, timeouts,
+    mapper failures — see :mod:`repro.resilience`).  The trial ledger
+    records the candidate as infeasible with infinite costs and the
+    campaign continues; fault-free journals never contain this event.
+
+    Attributes:
+        point: The quarantined design point.
+        error: The :class:`~repro.resilience.errors.ReproError` subclass
+            name (e.g. ``WorkerTimeoutError``).
+        message: The error's human-readable message (context included).
+        attempts: Evaluation attempts consumed before quarantine.
+        retryable: Whether the final error was still marked transient.
+    """
+
+    step: int
+    candidate_index: int
+    point: Dict[str, Any]
+    error: str
+    message: str
+    attempts: int
+    retryable: bool = False
+    note: str = ""
+
+    _phase = 1
+
+
+@dataclass(frozen=True)
 class IncumbentUpdated:
     """The step's update decision (§4.6); ``improved`` is False when the
     incumbent was kept."""
@@ -204,6 +236,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     MitigationPredicted,
     CandidateGenerated,
     CandidateEvaluated,
+    CandidateFailed,
     IncumbentUpdated,
     BudgetExhausted,
     RunSummary,

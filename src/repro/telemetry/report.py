@@ -24,6 +24,7 @@ from repro.telemetry.events import (
     BottleneckIdentified,
     BudgetExhausted,
     CandidateEvaluated,
+    CandidateFailed,
     CandidateGenerated,
     IncumbentUpdated,
     MitigationPredicted,
@@ -76,6 +77,9 @@ def _step_narrative(step: Dict[str, Any]) -> str:
     candidates = step.get("candidates") or []
     if candidates:
         parts.append(f"{len(candidates)} candidate(s) evaluated")
+    failed = step.get("failed") or []
+    if failed:
+        parts.append(f"{len(failed)} candidate(s) quarantined")
     decision = step.get("decision")
     if decision:
         parts.append(decision)
@@ -96,6 +100,7 @@ def render_json(events: List[Any]) -> Dict[str, Any]:
                 "predictions": [],
                 "generated": [],
                 "candidates": [],
+                "failed": [],
             },
         )
 
@@ -142,6 +147,17 @@ def render_json(events: List[Any]) -> Dict[str, Any]:
                     "costs": event.costs,
                     "feasible": event.feasible,
                     "mappable": event.mappable,
+                    "note": event.note,
+                }
+            )
+        elif isinstance(event, CandidateFailed):
+            step(event.step)["failed"].append(
+                {
+                    "candidate_index": event.candidate_index,
+                    "point": event.point,
+                    "error": event.error,
+                    "message": event.message,
+                    "attempts": event.attempts,
                     "note": event.note,
                 }
             )
@@ -218,6 +234,12 @@ def render_markdown(events: List[Any]) -> str:
             lines += [
                 f"- candidate {candidate['candidate_index']}: "
                 f"{candidate['note']} — {verdict}"
+            ]
+        for failure in entry["failed"]:
+            lines += [
+                f"- candidate {failure['candidate_index']}: quarantined "
+                f"after {failure['attempts']} attempt(s) — "
+                f"{failure['error']}: {failure['message']}"
             ]
         if entry.get("decision"):
             lines += [f"- decision: {entry['decision']}"]

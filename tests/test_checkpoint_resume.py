@@ -11,6 +11,7 @@ from repro.core.dse.explainable import ExplainableDSE
 from repro.cost.evaluator import CostEvaluator
 from repro.mapping.mapper import TopNMapper
 from repro.perf.mapping_cache import MappingCache
+from repro.resilience import SystemicFaultError
 from repro.telemetry import (
     CampaignCheckpoint,
     CheckpointError,
@@ -61,6 +62,17 @@ class KillableEvaluator(CostEvaluator):
     def _evaluate_uncached(self, point):
         if self.kill_at is not None and self.evaluations >= self.kill_at:
             raise KeyboardInterrupt("simulated kill")
+        return super()._evaluate_uncached(point)
+
+
+class FlakyEvaluator(CostEvaluator):
+    """Simulates a systemic fault: every evaluation from the Nth fails."""
+
+    fail_from = None
+
+    def _evaluate_uncached(self, point):
+        if self.fail_from is not None and self.evaluations >= self.fail_from:
+            raise RuntimeError("injected systemic fault")
         return super()._evaluate_uncached(point)
 
 
@@ -247,6 +259,49 @@ class TestResume:
         ).run(resume_from=str(ckpt))
         assert longer.evaluations > 8
         assert longer.trials[:8] == short.trials[:8]
+
+    def test_resume_after_breaker_abort_completes(
+        self, tmp_path, edge_space, tiny_workload, monkeypatch
+    ):
+        """A circuit-breaker abort (too many candidate failures) leaves a
+        resumable checkpoint/journal pair; resuming with a healthy
+        evaluator finishes the campaign."""
+        monkeypatch.setenv("REPRO_MAX_FAILURE_RATE", "0.2")
+        journal = tmp_path / "flaky.jsonl"
+        ckpt = default_checkpoint_path(journal)
+        evaluator = _make_evaluator(tiny_workload, cls=FlakyEvaluator)
+        evaluator.fail_from = 13
+        tracer = Tracer(JsonlSink(journal))
+        with pytest.raises(SystemicFaultError) as info:
+            ExplainableDSE(
+                edge_space, evaluator, _constraints(), max_evaluations=40
+            ).run(tracer=tracer, checkpoint_path=ckpt)
+        tracer.close()
+        assert info.value.context["checkpoint"] == ckpt
+
+        checkpoint = load_checkpoint(ckpt)
+        assert not checkpoint.finished
+        verify_against_journal(checkpoint, journal)
+        assert any(
+            "quarantined" in t.get("note", "") for t in checkpoint.trials
+        )
+
+        monkeypatch.delenv("REPRO_MAX_FAILURE_RATE")
+        sink = JsonlSink(journal, resume_events=checkpoint.journal_events)
+        resumed = ExplainableDSE(
+            edge_space, _make_evaluator(tiny_workload), _constraints(),
+            max_evaluations=40,
+        ).run(
+            tracer=Tracer(sink, seq_start=checkpoint.journal_events),
+            checkpoint_path=ckpt,
+            resume_from=ckpt,
+        )
+        sink.close()
+
+        assert resumed.best is not None
+        final = load_checkpoint(ckpt)
+        assert final.finished or final.consumed == 40
+        verify_against_journal(final, journal)
 
     def test_model_mismatch_rejected(
         self, tmp_path, edge_space, tiny_workload, resnet18
