@@ -146,6 +146,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report to PATH instead of stdout",
     )
 
+    verify = sub.add_parser(
+        "verify",
+        help="oracle-backed verification: exhaustive cost-model sweep, "
+             "bottleneck-tree invariants, fast-path differential matrix, "
+             "golden traces, and a seeded design-point fuzzer",
+    )
+    verify.add_argument(
+        "--fuzz-iters", type=int, default=250, metavar="N",
+        help="fuzz cases to run (0 disables the fuzz stage; default: 250)",
+    )
+    verify.add_argument(
+        "--fuzz-time-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock cap on the fuzz stage (default: none)",
+    )
+    verify.add_argument(
+        "--update-goldens", action="store_true",
+        help="regenerate tests/goldens/ from the current code instead of "
+             "comparing against it (review the diff before committing)",
+    )
+    verify.add_argument(
+        "--failures-dir", default="verify-failures", metavar="DIR",
+        help="directory for shrunk fuzz reproducers (default: "
+             "verify-failures)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the sweep mapping set, invariant sampling, and "
+             "fuzzer corpus (default: 0)",
+    )
+
     sub.add_parser("list-models", help="list the benchmark models")
     return parser
 
@@ -349,6 +379,24 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify import run_verify
+
+    report = run_verify(
+        fuzz_iters=args.fuzz_iters,
+        update_goldens=args.update_goldens,
+        failures_dir=args.failures_dir,
+        seed=args.seed,
+        fuzz_time_budget_s=args.fuzz_time_budget,
+        log=print,
+    )
+    print()
+    for line in report.summary_lines():
+        print(line)
+    print(f"elapsed: {report.elapsed_s:.1f}s")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -356,6 +404,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for model in MODEL_NAMES:
             print(model)
         return 0
+    if args.command == "verify":
+        return _cmd_verify(args)
     _apply_jobs(args)
     _apply_batch_eval(args)
     try:

@@ -155,6 +155,16 @@ class _BlackBoxMapperBase:
         self.trials = trials
         self.seed = seed
 
+    def _check_budget(self) -> None:
+        # Search-time guard: ``trials`` is a public attribute, so the
+        # constructor check alone cannot prevent a degenerate budget from
+        # silently producing a no-mapping result mid-campaign.
+        if self.trials < 1:
+            raise ValueError(
+                f"{type(self).__name__}: trial budget must be >= 1 to "
+                f"search, got {self.trials!r}"
+            )
+
     def _rng(self, layer: LayerShape, config: AcceleratorConfig) -> random.Random:
         return random.Random(
             (self.seed, layer.name, config.pes, config.l2_kb).__hash__()
@@ -183,6 +193,7 @@ class AnnealingMapper(_BlackBoxMapperBase):
     def __call__(
         self, layer: LayerShape, config: AcceleratorConfig
     ) -> MappingResult:
+        self._check_budget()
         rng = self._rng(layer, config)
         current = random_genome(layer, config, rng)
         current_score, best_exec, best_mapping = self._score(
@@ -251,6 +262,7 @@ class GeneticMapper(_BlackBoxMapperBase):
     def __call__(
         self, layer: LayerShape, config: AcceleratorConfig
     ) -> MappingResult:
+        self._check_budget()
         rng = self._rng(layer, config)
         evaluated = 0
         feasible = 0
@@ -325,6 +337,7 @@ class BayesianMapper(_BlackBoxMapperBase):
             expected_improvement,
         )
 
+        self._check_budget()
         rng = self._rng(layer, config)
         xs: List[List[float]] = []
         ys: List[float] = []

@@ -663,6 +663,14 @@ class RandomSearchMapper:
         # members vary per process under PYTHONHASHSEED randomization,
         # which would make the "deterministic" stream differ across
         # worker processes and runs.
+        # Re-validate at search time: the constructor check can be bypassed
+        # by mutating ``trials`` afterwards, and an exhausted budget must be
+        # a loud error, not a silent empty MappingResult.
+        if self.trials < 1:
+            raise ValueError(
+                f"RandomSearchMapper: trial budget must be >= 1 to search, "
+                f"got {self.trials!r}"
+            )
         rng = random.Random(
             _stable_seed(self.seed, layer.name, config.pes, config.l1_bytes)
         )

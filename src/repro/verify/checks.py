@@ -1,0 +1,248 @@
+"""Differential checks: production cost model vs the literal oracle.
+
+Comparisons are *exact* — float equality, not tolerances.  The oracle
+deliberately mirrors the arithmetic shapes of the production float
+formulas while deriving every integer input (iteration counts, fetch
+counts, tile bytes, group counts) by literal simulation, so any
+difference, however small, is a real semantic divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.accelerator import AcceleratorConfig, config_from_point
+from repro.cost.area import accelerator_area
+from repro.cost.energy import layer_energy
+from repro.cost.execution_info import ExecutionInfo, InfeasibleMapping
+from repro.cost.latency import evaluate_layer_mapping
+from repro.cost.power import max_power
+from repro.mapping.mapping import Mapping
+from repro.verify.corpus import structured_mappings, tiny_space, tiny_verify_workload
+from repro.verify.oracle import (
+    OracleExecution,
+    OracleInfeasible,
+    oracle_area,
+    oracle_energy,
+    oracle_layer,
+    oracle_model_costs,
+    oracle_power,
+)
+from repro.workloads.layers import OPERANDS, LayerShape, Workload
+
+__all__ = [
+    "compare_layer",
+    "compare_evaluation",
+    "compare_config_models",
+    "exhaustive_tiny_sweep",
+    "SweepReport",
+]
+
+#: Substring of the production infeasibility reason expected per oracle kind.
+_REASON_MARKERS = {
+    "pes": "PEs",
+    "rf": "register file holds",
+    "spm": "scratchpad holds",
+    "noc": "unicast groups",
+}
+
+
+def _compare_infeasible(
+    reference: InfeasibleMapping, oracle: OracleInfeasible
+) -> List[str]:
+    mismatches: List[str] = []
+    marker = _REASON_MARKERS[oracle.kind]
+    if marker not in reference.reason:
+        mismatches.append(
+            f"infeasibility kind differs: oracle={oracle.kind!r}, "
+            f"reference reason={reference.reason!r}"
+        )
+    if reference.operand != oracle.operand:
+        mismatches.append(
+            f"infeasible operand differs: reference={reference.operand}, "
+            f"oracle={oracle.operand}"
+        )
+    return mismatches
+
+
+def _compare_feasible(
+    layer: LayerShape,
+    config: AcceleratorConfig,
+    reference: ExecutionInfo,
+    oracle: OracleExecution,
+) -> List[str]:
+    mismatches: List[str] = []
+
+    def check(name: str, ref_value, oracle_value) -> None:
+        if ref_value != oracle_value:
+            mismatches.append(
+                f"{name}: reference={ref_value!r}, oracle={oracle_value!r}"
+            )
+
+    check("t_comp", reference.t_comp, oracle.t_comp)
+    check("t_dma", reference.t_dma, oracle.t_dma)
+    check("latency", reference.latency, oracle.latency)
+    check("pes_used", reference.pes_used, oracle.pes_used)
+    check("macs", reference.macs, oracle.macs)
+    check("utilization", reference.utilized_macs_fraction, oracle.utilization)
+    check("t_noc keys", list(reference.t_noc), list(oracle.t_noc))
+    for op in reference.t_noc:
+        check(f"t_noc[{op.value}]", reference.t_noc[op], oracle.t_noc.get(op))
+    for op in reference.data_noc:
+        check(
+            f"data_noc[{op.value}]",
+            reference.data_noc[op],
+            oracle.data_noc.get(op),
+        )
+    check(
+        "data_offchip keys",
+        list(reference.data_offchip),
+        list(oracle.data_offchip),
+    )
+    for op in reference.data_offchip:
+        check(
+            f"data_offchip[{op.value}]",
+            reference.data_offchip[op],
+            oracle.data_offchip.get(op),
+        )
+    for op, groups in reference.noc_groups_needed.items():
+        check(f"groups[{op.value}]", groups, oracle.noc_groups.get(op))
+    for op, nbytes in oracle.rf_bytes.items():
+        check(f"rf_bytes[{op.value}]", reference.data_rf[op], float(nbytes))
+    for op, nbytes in oracle.spm_bytes.items():
+        check(f"spm_bytes[{op.value}]", reference.data_spm[op], float(nbytes))
+
+    ref_energy = layer_energy(reference, config)
+    orc_energy = oracle_energy(oracle, config)
+    check("energy.mac_pj", ref_energy.mac_pj, orc_energy.mac_pj)
+    check("energy.rf_pj", ref_energy.rf_pj, orc_energy.rf_pj)
+    check("energy.noc_pj", ref_energy.noc_pj, orc_energy.noc_pj)
+    check("energy.spm_pj", ref_energy.spm_pj, orc_energy.spm_pj)
+    check("energy.dram_pj", ref_energy.dram_pj, orc_energy.dram_pj)
+    check("energy.total_pj", ref_energy.total_pj, orc_energy.total_pj)
+    return mismatches
+
+
+def compare_layer(
+    layer: LayerShape, mapping: Mapping, config: AcceleratorConfig
+) -> List[str]:
+    """Evaluate one triple through both models; return the mismatch list.
+
+    Empty list == exact agreement (including agreeing on *why* a mapping
+    is infeasible).
+    """
+    reference = evaluate_layer_mapping(layer, mapping, config)
+    oracle = oracle_layer(layer, mapping, config)
+    ref_infeasible = isinstance(reference, InfeasibleMapping)
+    orc_infeasible = isinstance(oracle, OracleInfeasible)
+    if ref_infeasible != orc_infeasible:
+        return [
+            "feasibility disagrees: "
+            f"reference={'infeasible: ' + reference.reason if ref_infeasible else 'feasible'}, "
+            f"oracle={'infeasible: ' + oracle.kind if orc_infeasible else 'feasible'}"
+        ]
+    if ref_infeasible:
+        return _compare_infeasible(reference, oracle)
+    return _compare_feasible(layer, config, reference, oracle)
+
+
+def compare_config_models(config: AcceleratorConfig) -> List[str]:
+    """Compare the mapping-independent area and power models exactly."""
+    mismatches: List[str] = []
+    ref_area = accelerator_area(config)
+    orc_area = oracle_area(config)
+    for name in ("pe_array_mm2", "spm_mm2", "noc_mm2", "controller_mm2", "total_mm2"):
+        ref_value = getattr(ref_area, name)
+        orc_value = getattr(orc_area, name)
+        if ref_value != orc_value:
+            mismatches.append(
+                f"area.{name}: reference={ref_value!r}, oracle={orc_value!r}"
+            )
+    ref_power = max_power(config)
+    orc_power = oracle_power(config)
+    for name in ("pe_w", "noc_w", "spm_w", "offchip_w", "total_w"):
+        ref_value = getattr(ref_power, name)
+        orc_value = getattr(orc_power, name)
+        if ref_value != orc_value:
+            mismatches.append(
+                f"power.{name}: reference={ref_value!r}, oracle={orc_value!r}"
+            )
+    return mismatches
+
+
+def compare_evaluation(evaluation, workload: Workload) -> List[str]:
+    """Compare a full :class:`~repro.cost.evaluator.Evaluation` against the
+    oracle's model-level aggregation of the same per-layer mappings."""
+    mappings = {
+        name: result.mapping
+        for name, result in evaluation.layer_results.items()
+    }
+    oracle = oracle_model_costs(workload, mappings, evaluation.config)
+    mismatches: List[str] = []
+    if evaluation.mappable != oracle.mappable:
+        mismatches.append(
+            f"mappable: reference={evaluation.mappable}, oracle={oracle.mappable}"
+        )
+    for name in ("latency_ms", "energy_mj", "area_mm2", "power_w", "throughput"):
+        ref_value = evaluation.costs[name]
+        orc_value = getattr(oracle, name)
+        if ref_value != orc_value:
+            mismatches.append(
+                f"costs[{name}]: reference={ref_value!r}, oracle={orc_value!r}"
+            )
+    mismatches.extend(compare_config_models(evaluation.config))
+    return mismatches
+
+
+@dataclass
+class SweepReport:
+    """Outcome of an exhaustive tiny-space differential sweep."""
+
+    points: int = 0
+    comparisons: int = 0
+    feasible: int = 0
+    infeasible: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def exhaustive_tiny_sweep(
+    points_per_axis: int = 2,
+    mappings_per_layer: int = 6,
+    seed: int = 0,
+    workload: Optional[Workload] = None,
+) -> SweepReport:
+    """Sweep every tiny-space point x every corpus layer x a deterministic
+    mapping set through both models; exact agreement is required.
+
+    ``points_per_axis=2`` covers the whole 64-point tiny space (each axis
+    has at most two values).
+    """
+    workload = workload if workload is not None else tiny_verify_workload()
+    per_layer: Dict[str, List[Mapping]] = {
+        layer.name: structured_mappings(layer, count=mappings_per_layer, seed=seed)
+        for layer in workload.layers
+    }
+    report = SweepReport()
+    for point in tiny_space().grid(points_per_axis):
+        config = config_from_point(point)
+        report.points += 1
+        for issue in compare_config_models(config):
+            report.mismatches.append(f"point={point}: {issue}")
+        for layer in workload.layers:
+            for index, mapping in enumerate(per_layer[layer.name]):
+                report.comparisons += 1
+                outcome = evaluate_layer_mapping(layer, mapping, config)
+                if isinstance(outcome, InfeasibleMapping):
+                    report.infeasible += 1
+                else:
+                    report.feasible += 1
+                for issue in compare_layer(layer, mapping, config):
+                    report.mismatches.append(
+                        f"point={point} layer={layer.name} mapping#{index}: {issue}"
+                    )
+    return report

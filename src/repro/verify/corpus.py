@@ -1,0 +1,155 @@
+"""Verification corpus: tiny design spaces, workloads, and mapping sets.
+
+Everything here is sized for the oracle's literal loop-nest walks: padded
+loop-bound products stay in the hundreds, so walking a full temporal level
+iteration by iteration costs microseconds rather than minutes.  The layer
+set deliberately covers every operator type plus the stride-gap case
+(1x1 kernel, stride 2) where the input halo's contiguous extent exceeds
+the distinct rows touched — historically the easiest semantics to get
+wrong on either side of the differential.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.arch.design_space import DesignSpace
+from repro.arch.parameters import Parameter
+from repro.mapping.factorization import divisors
+from repro.mapping.mapping import (
+    STATIONARY_CHOICES,
+    Mapping,
+    padded_bounds,
+)
+from repro.workloads.layers import (
+    LOOP_DIMS,
+    Dim,
+    LayerShape,
+    Workload,
+    conv2d,
+    depthwise_conv2d,
+    gemm,
+)
+
+__all__ = [
+    "tiny_space",
+    "tiny_verify_workload",
+    "campaign_workload",
+    "structured_mappings",
+    "random_mapping",
+]
+
+
+def tiny_space() -> DesignSpace:
+    """A 64-point slice of the Table 1 space for exhaustive sweeps.
+
+    Two values per capacity/bandwidth axis (the small ends trip the RF and
+    SPM feasibility gates); the input NoC's virtual unicast toggles
+    between 1 (trips the NoC-compatibility gate) and 512 (never limits).
+    """
+    params = [
+        Parameter("pes", (64, 256)),
+        Parameter("l1_bytes", (64, 512)),
+        Parameter("l2_kb", (64, 256)),
+        Parameter("offchip_bw_mbps", (2048, 25600)),
+        Parameter("noc_datawidth", (16, 128)),
+        Parameter("virt_unicast_I", (1, 512)),
+    ]
+    for op in ("W", "O", "PSUM"):
+        params.append(Parameter(f"virt_unicast_{op}", (512,)))
+    for op in ("I", "W", "O", "PSUM"):
+        params.append(Parameter(f"phys_unicast_{op}", (1,)))
+    return DesignSpace(params)
+
+
+def tiny_verify_workload() -> Workload:
+    """Four tiny layers: CONV, strided 1x1 CONV, DWCONV, GEMM."""
+    return Workload(
+        name="tiny-verify",
+        layers=(
+            conv2d("c3", 2, 4, (3, 3)),
+            conv2d("s2", 4, 4, (3, 3), kernel=(1, 1), stride=2),
+            depthwise_conv2d("dw", 4, (3, 3)),
+            gemm("g", 4, 8, 4, repeats=2),
+        ),
+        total_layers=5,
+        task="verify",
+    )
+
+
+def campaign_workload() -> Workload:
+    """The two-layer campaign workload used by the differential runner
+    (same shapes as the end-to-end DSE test fixture)."""
+    return Workload(
+        name="tiny",
+        layers=(
+            conv2d("conv", 16, 32, (14, 14)),
+            gemm("fc", 64, 32 * 14 * 14, 1),
+        ),
+        total_layers=2,
+        task="verify",
+    )
+
+
+def _single_level_mapping(layer: LayerShape, level_name: str) -> Mapping:
+    """All padded loop bounds concentrated at one level (1s elsewhere)."""
+    bounds = padded_bounds(layer)
+    levels: Dict[str, Dict[Dim, int]] = {
+        name: {d: 1 for d in LOOP_DIMS}
+        for name in ("dram", "spm", "spatial", "rf")
+    }
+    levels[level_name] = dict(bounds)
+    return Mapping.from_level_maps(
+        dram=levels["dram"],
+        spm=levels["spm"],
+        spatial=levels["spatial"],
+        rf=levels["rf"],
+    )
+
+
+def random_mapping(layer: LayerShape, rng: random.Random) -> Mapping:
+    """A uniformly random valid mapping: per dim, a random divisor chain
+    splits the padded bound across DRAM/SPM/SPATIAL/RF; stationary
+    operands are drawn independently."""
+    bounds = padded_bounds(layer)
+    dram: Dict[Dim, int] = {}
+    spm: Dict[Dim, int] = {}
+    spatial: Dict[Dim, int] = {}
+    rf: Dict[Dim, int] = {}
+    for d in LOOP_DIMS:
+        rest = bounds[d]
+        dram[d] = rng.choice(divisors(rest))
+        rest //= dram[d]
+        spm[d] = rng.choice(divisors(rest))
+        rest //= spm[d]
+        spatial[d] = rng.choice(divisors(rest))
+        rf[d] = rest // spatial[d]
+    return Mapping.from_level_maps(
+        dram=dram,
+        spm=spm,
+        spatial=spatial,
+        rf=rf,
+        dram_stationary=rng.choice(STATIONARY_CHOICES),
+        spm_stationary=rng.choice(STATIONARY_CHOICES),
+    )
+
+
+def structured_mappings(
+    layer: LayerShape, count: int = 6, seed: int = 0
+) -> List[Mapping]:
+    """A deterministic mapping set covering every feasibility branch.
+
+    Three single-level extremes (all-DRAM is always buffer-feasible,
+    all-RF overflows small register files, all-SPATIAL overflows the PE
+    array) plus ``count`` seeded random splits.
+    """
+    mappings = [
+        _single_level_mapping(layer, "dram"),
+        _single_level_mapping(layer, "rf"),
+        _single_level_mapping(layer, "spatial"),
+    ]
+    rng = random.Random(seed)
+    for _ in range(count):
+        mappings.append(random_mapping(layer, rng))
+    return mappings

@@ -1,0 +1,267 @@
+"""Differential campaign runner: every fast path vs the reference path.
+
+Runs the *same* DSE campaign through each accelerated configuration the
+perf/telemetry/resilience layers added — vectorized batch scoring, warm
+mapping cache, parallel workers, checkpoint-resume — and asserts the
+outputs are identical to the serial/scalar/cold-cache reference:
+
+* **results** (trial points/costs, explanations, incumbent, budget
+  accounting) must be byte-identical for every variant;
+* **journals** must be byte-identical for variants that share the
+  reference's counter values (parallel workers);
+* for variants whose ``RunSummary`` perf counters legitimately differ
+  (batch kernels count batches, warm caches count hits, resumed runs
+  split counters across two evaluator lifetimes), the journals must be
+  byte-identical after stripping the counters — the established
+  equivalence the checkpoint-resume tests verify.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from repro.arch.accelerator import build_edge_design_space
+from repro.core.dse.constraints import Constraint, Sense
+from repro.core.dse.explainable import ExplainableDSE
+from repro.cost.evaluator import CostEvaluator
+from repro.mapping.mapper import TopNMapper
+from repro.perf.mapping_cache import MappingCache
+from repro.telemetry import (
+    JsonlSink,
+    RunSummary,
+    Tracer,
+    default_checkpoint_path,
+    encode_event,
+    load_checkpoint,
+    read_journal,
+)
+from repro.verify.corpus import campaign_workload
+from repro.workloads.layers import Workload
+
+__all__ = ["VariantOutcome", "DifferentialReport", "run_differential"]
+
+#: Campaign settings shared by every variant (small but non-trivial: the
+#: reference finishes in a few seconds and exercises mitigation steps).
+_BUDGET = 25
+_KILL_AT = 14
+
+
+def _constraints() -> List[Constraint]:
+    return [
+        Constraint("area", "area_mm2", 75.0),
+        Constraint("power", "power_w", 4.0),
+        Constraint("throughput", "throughput", 200.0, Sense.GEQ),
+    ]
+
+
+class _KillableEvaluator(CostEvaluator):
+    """Raises mid-campaign to simulate a hard kill (for the resume leg)."""
+
+    kill_at: Optional[int] = None
+
+    def _evaluate_uncached(self, point):
+        if self.kill_at is not None and self.evaluations >= self.kill_at:
+            raise KeyboardInterrupt("differential-runner simulated kill")
+        return super()._evaluate_uncached(point)
+
+
+@dataclass
+class VariantOutcome:
+    """Comparable artifacts of one campaign variant."""
+
+    name: str
+    fingerprint: str
+    raw_journal: bytes
+    canonical_journal: bytes
+    #: Whether the raw journal (counters included) must match the baseline.
+    expect_raw_identity: bool
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of the differential matrix."""
+
+    variants: List[str] = field(default_factory=list)
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def _fingerprint(result) -> str:
+    """Canonical, exact rendering of everything a campaign decides."""
+    payload = {
+        "points": [t.point for t in result.trials],
+        "costs": [t.costs for t in result.trials],
+        "explanations": list(result.explanations),
+        "best_point": result.best.point if result.best else None,
+        "best_costs": result.best.costs if result.best else None,
+        "evaluations": result.evaluations,
+    }
+    # repr keeps float bit-patterns exact; json would, too, but chokes on
+    # the inf costs of unmappable trials unless tagged.
+    return repr(payload)
+
+
+def _canonical_journal(path: Path) -> bytes:
+    """Journal bytes with RunSummary perf counters stripped."""
+    lines = []
+    for event in read_journal(path):
+        if isinstance(event, RunSummary):
+            event = dataclasses.replace(event, counters={})
+        lines.append(json.dumps(encode_event(event), sort_keys=True))
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def _evaluator(
+    workload: Workload,
+    batch_eval: Optional[bool],
+    cache: Optional[MappingCache] = None,
+    cls=CostEvaluator,
+    **kwargs,
+) -> CostEvaluator:
+    return cls(
+        workload,
+        TopNMapper(top_n=60, batch_eval=batch_eval),
+        mapping_cache=cache if cache is not None else MappingCache(),
+        **kwargs,
+    )
+
+
+def run_differential(
+    workdir: Path,
+    workload: Optional[Workload] = None,
+    max_evaluations: int = _BUDGET,
+    log: Optional[Callable[[str], None]] = None,
+) -> DifferentialReport:
+    """Run the full differential matrix under ``workdir``.
+
+    Returns a report whose ``mismatches`` list is empty when every
+    variant reproduced the reference campaign.
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    workload = workload if workload is not None else campaign_workload()
+    space = build_edge_design_space()
+    say = log if log is not None else (lambda message: None)
+
+    def campaign(name: str, evaluator: CostEvaluator) -> VariantOutcome:
+        journal = workdir / f"{name}.jsonl"
+        tracer = Tracer(JsonlSink(journal))
+        try:
+            result = ExplainableDSE(
+                space, evaluator, _constraints(), max_evaluations=max_evaluations
+            ).run(tracer=tracer)
+        finally:
+            tracer.close()
+            evaluator.close()
+        return VariantOutcome(
+            name=name,
+            fingerprint=_fingerprint(result),
+            raw_journal=journal.read_bytes(),
+            canonical_journal=_canonical_journal(journal),
+            expect_raw_identity=False,
+        )
+
+    say("differential: baseline (serial, scalar, cold cache)")
+    baseline = campaign("baseline", _evaluator(workload, batch_eval=False))
+    outcomes = [baseline]
+
+    say("differential: batch kernels (REPRO_BATCH_EVAL path)")
+    outcomes.append(campaign("batch", _evaluator(workload, batch_eval=True)))
+
+    say("differential: parallel workers (jobs=2, thread executor)")
+    jobs = campaign(
+        "jobs2",
+        _evaluator(workload, batch_eval=False, jobs=2, executor_mode="thread"),
+    )
+    jobs.expect_raw_identity = True
+    outcomes.append(jobs)
+
+    say("differential: warm mapping cache (second run on a shared cache)")
+    shared = MappingCache()
+    ExplainableDSE(
+        space,
+        _evaluator(workload, batch_eval=False, cache=shared),
+        _constraints(),
+        max_evaluations=max_evaluations,
+    ).run()
+    outcomes.append(
+        campaign("warm-cache", _evaluator(workload, batch_eval=False, cache=shared))
+    )
+
+    say("differential: checkpoint-resume (kill mid-campaign, resume)")
+    journal = workdir / "resume.jsonl"
+    ckpt = default_checkpoint_path(journal)
+    # Checkpoints are written at attempt boundaries, so a too-early kill
+    # leaves nothing to resume from; push the kill later until one exists.
+    kill_at = min(_KILL_AT, max(2, max_evaluations // 2))
+    while True:
+        if journal.exists():
+            journal.unlink()
+        if Path(ckpt).exists():
+            Path(ckpt).unlink()
+        killable = _evaluator(workload, batch_eval=False, cls=_KillableEvaluator)
+        killable.kill_at = kill_at
+        tracer = Tracer(JsonlSink(journal))
+        try:
+            ExplainableDSE(
+                space, killable, _constraints(), max_evaluations=max_evaluations
+            ).run(tracer=tracer, checkpoint_path=ckpt)
+            raise RuntimeError(
+                "differential resume leg: the killable evaluator never fired"
+            )
+        except KeyboardInterrupt:
+            pass
+        finally:
+            tracer.close()
+            killable.close()
+        if Path(ckpt).exists():
+            break
+        kill_at += 2
+        if kill_at >= max_evaluations:
+            raise RuntimeError(
+                "differential resume leg: budget too small — the campaign "
+                "ends before its first attempt-boundary checkpoint"
+            )
+    checkpoint = load_checkpoint(ckpt)
+    sink = JsonlSink(journal, resume_events=checkpoint.journal_events)
+    resumed_tracer = Tracer(sink, seq_start=checkpoint.journal_events)
+    evaluator = _evaluator(workload, batch_eval=False)
+    try:
+        result = ExplainableDSE(
+            space, evaluator, _constraints(), max_evaluations=max_evaluations
+        ).run(tracer=resumed_tracer, checkpoint_path=ckpt, resume_from=ckpt)
+    finally:
+        resumed_tracer.close()
+        evaluator.close()
+    outcomes.append(
+        VariantOutcome(
+            name="resume",
+            fingerprint=_fingerprint(result),
+            raw_journal=journal.read_bytes(),
+            canonical_journal=_canonical_journal(journal),
+            expect_raw_identity=False,
+        )
+    )
+
+    report = DifferentialReport(variants=[o.name for o in outcomes])
+    for outcome in outcomes[1:]:
+        if outcome.fingerprint != baseline.fingerprint:
+            report.mismatches.append(
+                f"{outcome.name}: campaign results differ from baseline"
+            )
+        if outcome.canonical_journal != baseline.canonical_journal:
+            report.mismatches.append(
+                f"{outcome.name}: journal (counters stripped) differs from baseline"
+            )
+        if outcome.expect_raw_identity and outcome.raw_journal != baseline.raw_journal:
+            report.mismatches.append(
+                f"{outcome.name}: raw journal bytes differ from baseline"
+            )
+    return report

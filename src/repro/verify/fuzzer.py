@@ -1,0 +1,454 @@
+"""Deterministic design-point/mapping fuzzer with failure shrinking.
+
+Each case index derives its RNG seed from ``crc32(f"{seed}|{index}")``
+(the repository's standard PYTHONHASHSEED-stable idiom), generates a
+random small layer, a random valid mapping, and a random hardware
+configuration, and pushes the triple through:
+
+* the oracle differential (:func:`repro.verify.checks.compare_layer`);
+* the bottleneck-tree invariants (:mod:`repro.verify.invariants`) on the
+  latency tree of feasible executions.
+
+A failing case is *shrunk* — loop dims collapsed to 1, stride and
+stationaries reset, tile factors flattened into DRAM, config fields
+stepped to canonical values — as long as the failure persists, and the
+minimal reproducer is written as JSON under the failures directory
+(``verify-failures/`` by default).  Reproducers round-trip through
+:func:`replay`, so a shrunk case can be re-run in isolation.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import traceback
+import zlib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.core.bottleneck.latency_model import (
+    LayerExecutionContext,
+    build_latency_tree,
+)
+from repro.cost.execution_info import InfeasibleMapping
+from repro.cost.latency import evaluate_layer_mapping
+from repro.mapping.mapping import Level, Mapping, padded_bounds_tuple
+from repro.verify.checks import compare_layer
+from repro.verify.corpus import random_mapping
+from repro.verify.invariants import check_all
+from repro.verify.oracle import OracleCapacityError
+from repro.workloads.layers import (
+    LOOP_DIMS,
+    Dim,
+    LayerShape,
+    Operand,
+    OperatorType,
+)
+
+__all__ = ["FuzzCase", "FuzzFailure", "FuzzReport", "run_fuzz", "replay"]
+
+#: Keep padded loop-bound products small enough for the oracle's walks.
+_MAX_PADDED_PRODUCT = 2304
+
+_PES_CHOICES = (16, 64, 128, 256)
+_L1_CHOICES = (32, 64, 128, 256, 1024)
+_L2_KB_CHOICES = (16, 64, 256)
+_BW_CHOICES = (1024, 8192, 25600)
+_NOC_BITS_CHOICES = (8, 16, 64, 256)
+_PHYS_CHOICES = (1, 16, 64)
+_VIRT_CHOICES = (1, 8, 64, 512)
+
+_OPS = (Operand.I, Operand.W, Operand.O, Operand.PSUM)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated (layer, mapping, config) triple."""
+
+    index: int
+    seed: int
+    layer: LayerShape
+    mapping: Mapping
+    config: AcceleratorConfig
+
+
+@dataclass
+class FuzzFailure:
+    """A case that violated the differential or an invariant."""
+
+    index: int
+    seed: int
+    stage: str  # "oracle-diff" | "invariants" | "error"
+    messages: List[str]
+    case: FuzzCase
+    repro_path: Optional[str] = None
+    shrink_steps: int = 0
+
+
+@dataclass
+class FuzzReport:
+    cases: int = 0
+    feasible: int = 0
+    infeasible: int = 0
+    skipped: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _case_rng(seed: int, index: int) -> random.Random:
+    return random.Random(zlib.crc32(f"{seed}|{index}".encode("utf-8")))
+
+
+def _random_layer(rng: random.Random, index: int) -> LayerShape:
+    """A random small layer whose padded bounds stay oracle-walkable."""
+    while True:
+        operator = rng.choice(
+            (OperatorType.CONV, OperatorType.DWCONV, OperatorType.GEMM)
+        )
+        n = rng.choice((1, 1, 2))
+        m = rng.choice((1, 2, 4, 8))
+        if operator is OperatorType.GEMM:
+            dims = (n, m, rng.choice((1, 2, 4, 8, 16)), 1, rng.choice((1, 2, 4, 6)), 1, 1)
+            stride = 1
+        else:
+            c = 1 if operator is OperatorType.DWCONV else rng.choice((1, 2, 4))
+            oy = rng.choice((1, 2, 3, 4, 5, 6))
+            ox = rng.choice((1, 2, 3, 4))
+            fy = rng.choice((1, 2, 3))
+            fx = rng.choice((1, 2, 3))
+            dims = (n, m, c, oy, ox, fy, fx)
+            stride = rng.choice((1, 1, 2, 3))
+        layer = LayerShape(
+            name=f"fuzz{index}",
+            operator=operator,
+            dims=dims,
+            stride=stride,
+        )
+        product = 1
+        for bound in padded_bounds_tuple(layer):
+            product *= bound
+        if product <= _MAX_PADDED_PRODUCT:
+            return layer
+
+
+def _random_config(rng: random.Random) -> AcceleratorConfig:
+    return AcceleratorConfig(
+        pes=rng.choice(_PES_CHOICES),
+        l1_bytes=rng.choice(_L1_CHOICES),
+        l2_kb=rng.choice(_L2_KB_CHOICES),
+        offchip_bw_mbps=rng.choice(_BW_CHOICES),
+        noc_datawidth_bits=rng.choice(_NOC_BITS_CHOICES),
+        phys_unicast_factor={op: rng.choice(_PHYS_CHOICES) for op in _OPS},
+        virt_unicast={op: rng.choice(_VIRT_CHOICES) for op in _OPS},
+    )
+
+
+def generate_case(seed: int, index: int) -> FuzzCase:
+    rng = _case_rng(seed, index)
+    layer = _random_layer(rng, index)
+    return FuzzCase(
+        index=index,
+        seed=seed,
+        layer=layer,
+        mapping=random_mapping(layer, rng),
+        config=_random_config(rng),
+    )
+
+
+def _check_case(case: FuzzCase) -> Tuple[Optional[str], List[str], Optional[bool]]:
+    """Run all checks; returns (stage or None, messages, feasible or None).
+
+    ``None`` stage == clean; feasible is ``None`` when the case was
+    skipped for oracle capacity.
+    """
+    try:
+        mismatches = compare_layer(case.layer, case.mapping, case.config)
+    except OracleCapacityError:
+        return None, [], None
+    except Exception:
+        return "error", traceback.format_exc(limit=3).splitlines()[-3:], False
+    if mismatches:
+        return "oracle-diff", mismatches, False
+    outcome = evaluate_layer_mapping(case.layer, case.mapping, case.config)
+    if isinstance(outcome, InfeasibleMapping):
+        return None, [], False
+    try:
+        tree = build_latency_tree(
+            LayerExecutionContext(case.layer, outcome, case.config)
+        )
+        violations = check_all(tree)
+    except Exception:
+        return "error", traceback.format_exc(limit=3).splitlines()[-3:], True
+    if violations:
+        return "invariants", violations, True
+    return None, [], True
+
+
+# -- shrinking ----------------------------------------------------------------
+
+
+def _collapse_dim(case: FuzzCase, d: Dim) -> Optional[FuzzCase]:
+    """Set a loop dim to 1 in both the layer and every mapping level."""
+    if case.layer.dim(d) == 1:
+        return None
+    dims = tuple(
+        1 if dim is d else bound
+        for dim, bound in zip(LOOP_DIMS, case.layer.dims)
+    )
+    try:
+        layer = replace(case.layer, dims=dims)
+    except ValueError:
+        return None
+    factors = {
+        level: {
+            dim: 1 if dim is d else case.mapping.factors[level][dim]
+            for dim in LOOP_DIMS
+        }
+        for level in Level
+    }
+    mapping = Mapping(
+        factors=factors,
+        dram_stationary=case.mapping.dram_stationary,
+        spm_stationary=case.mapping.spm_stationary,
+    )
+    return replace(case, layer=layer, mapping=mapping)
+
+
+def _flatten_dim(case: FuzzCase, d: Dim) -> Optional[FuzzCase]:
+    """Move all of a dim's tiling into the DRAM level."""
+    total = 1
+    for level in Level:
+        total *= case.mapping.factors[level][d]
+    if case.mapping.factors[Level.DRAM][d] == total:
+        return None
+    factors = {
+        level: {
+            dim: (
+                (total if level is Level.DRAM else 1)
+                if dim is d
+                else case.mapping.factors[level][dim]
+            )
+            for dim in LOOP_DIMS
+        }
+        for level in Level
+    }
+    mapping = Mapping(
+        factors=factors,
+        dram_stationary=case.mapping.dram_stationary,
+        spm_stationary=case.mapping.spm_stationary,
+    )
+    return replace(case, mapping=mapping)
+
+
+def _shrink_candidates(case: FuzzCase):
+    for d in LOOP_DIMS:
+        candidate = _collapse_dim(case, d)
+        if candidate is not None:
+            yield candidate
+    if case.layer.stride != 1 and case.layer.operator is not OperatorType.GEMM:
+        yield replace(case, layer=replace(case.layer, stride=1))
+    for d in LOOP_DIMS:
+        candidate = _flatten_dim(case, d)
+        if candidate is not None:
+            yield candidate
+    for stat_field in ("dram_stationary", "spm_stationary"):
+        if getattr(case.mapping, stat_field) is not Operand.O:
+            yield replace(
+                case, mapping=replace(case.mapping, **{stat_field: Operand.O})
+            )
+    config = case.config
+    for name, canonical in (
+        ("pes", 64),
+        ("l1_bytes", 1024),
+        ("l2_kb", 256),
+        ("offchip_bw_mbps", 8192),
+        ("noc_datawidth_bits", 16),
+    ):
+        if getattr(config, name) != canonical:
+            yield replace(case, config=replace(config, **{name: canonical}))
+    for op in _OPS:
+        if config.phys_unicast_factor[op] != 64:
+            phys = dict(config.phys_unicast_factor)
+            phys[op] = 64
+            yield replace(case, config=replace(config, phys_unicast_factor=phys))
+        if config.virt_unicast[op] != 512:
+            virt = dict(config.virt_unicast)
+            virt[op] = 512
+            yield replace(case, config=replace(config, virt_unicast=virt))
+
+
+def shrink_case(case: FuzzCase, stage: str, max_steps: int = 200) -> Tuple[FuzzCase, int]:
+    """Greedy shrink to a fixpoint: accept any simplification that keeps
+    the same failure stage alive."""
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for candidate in _shrink_candidates(case):
+            candidate_stage, _, _ = _check_case(candidate)
+            steps += 1
+            if candidate_stage == stage:
+                case = candidate
+                progress = True
+                break
+            if steps >= max_steps:
+                break
+    return case, steps
+
+
+# -- reproducer serialization --------------------------------------------------
+
+
+def case_to_json(case: FuzzCase, stage: str, messages: List[str]) -> Dict:
+    mapping = case.mapping
+    config = case.config
+    return {
+        "schema": 1,
+        "seed": case.seed,
+        "index": case.index,
+        "stage": stage,
+        "messages": messages,
+        "layer": {
+            "name": case.layer.name,
+            "operator": case.layer.operator.value,
+            "dims": list(case.layer.dims),
+            "stride": case.layer.stride,
+        },
+        "mapping": {
+            "factors": {
+                level.value: [mapping.factors[level][d] for d in LOOP_DIMS]
+                for level in Level
+            },
+            "dram_stationary": mapping.dram_stationary.value,
+            "spm_stationary": mapping.spm_stationary.value,
+        },
+        "config": {
+            "pes": config.pes,
+            "l1_bytes": config.l1_bytes,
+            "l2_kb": config.l2_kb,
+            "offchip_bw_mbps": config.offchip_bw_mbps,
+            "noc_datawidth_bits": config.noc_datawidth_bits,
+            "phys_unicast_factor": {
+                op.value: config.phys_unicast_factor[op] for op in _OPS
+            },
+            "virt_unicast": {op.value: config.virt_unicast[op] for op in _OPS},
+            "freq_mhz": config.freq_mhz,
+            "bytes_per_element": config.bytes_per_element,
+        },
+    }
+
+
+def case_from_json(data: Dict) -> FuzzCase:
+    layer = LayerShape(
+        name=data["layer"]["name"],
+        operator=OperatorType(data["layer"]["operator"]),
+        dims=tuple(data["layer"]["dims"]),
+        stride=data["layer"]["stride"],
+    )
+    factors = {
+        level: dict(zip(LOOP_DIMS, data["mapping"]["factors"][level.value]))
+        for level in Level
+    }
+    mapping = Mapping(
+        factors=factors,
+        dram_stationary=Operand(data["mapping"]["dram_stationary"]),
+        spm_stationary=Operand(data["mapping"]["spm_stationary"]),
+    )
+    cfg = data["config"]
+    config = AcceleratorConfig(
+        pes=cfg["pes"],
+        l1_bytes=cfg["l1_bytes"],
+        l2_kb=cfg["l2_kb"],
+        offchip_bw_mbps=cfg["offchip_bw_mbps"],
+        noc_datawidth_bits=cfg["noc_datawidth_bits"],
+        phys_unicast_factor={
+            op: cfg["phys_unicast_factor"][op.value] for op in _OPS
+        },
+        virt_unicast={op: cfg["virt_unicast"][op.value] for op in _OPS},
+        freq_mhz=cfg.get("freq_mhz", 500),
+        bytes_per_element=cfg.get("bytes_per_element", 2),
+    )
+    return FuzzCase(
+        index=data["index"],
+        seed=data["seed"],
+        layer=layer,
+        mapping=mapping,
+        config=config,
+    )
+
+
+def replay(path) -> List[str]:
+    """Re-run a written reproducer; returns the (possibly empty) messages."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    stage, messages, _ = _check_case(case_from_json(data))
+    if stage is None:
+        return []
+    return [f"[{stage}] {m}" for m in messages]
+
+
+# -- the fuzz loop ------------------------------------------------------------
+
+
+def run_fuzz(
+    iterations: int,
+    seed: int = 0,
+    failures_dir="verify-failures",
+    time_budget_s: Optional[float] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run ``iterations`` deterministic fuzz cases (optionally bounded by a
+    wall-clock budget); shrink and persist every failure."""
+    report = FuzzReport()
+    failures_dir = Path(failures_dir)
+    say = log if log is not None else (lambda message: None)
+    started = time.monotonic()
+    for index in range(iterations):
+        if (
+            time_budget_s is not None
+            and time.monotonic() - started > time_budget_s
+        ):
+            say(f"fuzz: time budget reached after {report.cases} cases")
+            break
+        case = generate_case(seed, index)
+        stage, messages, feasible = _check_case(case)
+        report.cases += 1
+        if feasible is None:
+            report.skipped += 1
+        elif feasible:
+            report.feasible += 1
+        else:
+            report.infeasible += 1
+        if stage is None:
+            continue
+        say(f"fuzz: case {index} failed at stage {stage}; shrinking")
+        shrunk, steps = shrink_case(case, stage)
+        final_stage, final_messages, _ = _check_case(shrunk)
+        if final_stage != stage:  # paranoid: keep the original on drift
+            shrunk, final_messages = case, messages
+        failures_dir.mkdir(parents=True, exist_ok=True)
+        repro_path = failures_dir / f"case_{seed}_{index}.json"
+        repro_path.write_text(
+            json.dumps(
+                case_to_json(shrunk, stage, final_messages), indent=2
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        report.failures.append(
+            FuzzFailure(
+                index=index,
+                seed=seed,
+                stage=stage,
+                messages=final_messages,
+                case=shrunk,
+                repro_path=str(repro_path),
+                shrink_steps=steps,
+            )
+        )
+    return report

@@ -1,0 +1,257 @@
+"""Invariant checker for bottleneck-tree algebra.
+
+Reusable assertions over populated bottleneck trees and the analyzer's
+findings:
+
+* **recomputation**: every node's reported ``value`` equals an
+  independent post-order recomputation from the leaves (this is what
+  catches a perturbed combinator anywhere in the tree);
+* **argmax**: a finding's path descends through ``max`` nodes only via
+  children inside the analyzer's 1% tie window — the identified
+  bottleneck really is a dominating factor;
+* **mitigation**: applying a finding's predicted scaling ``s`` to its
+  factor strictly reduces that factor and never increases the root.
+
+Checkers return a list of violation strings (empty == clean); the
+``assert_*`` wrappers raise :class:`InvariantViolation`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.bottleneck.analyzer import (
+    BottleneckFinding,
+    MAX_SCALING,
+    analyze_tree,
+)
+from repro.core.bottleneck.tree import Node, NodeOp
+
+__all__ = [
+    "InvariantViolation",
+    "recompute_value",
+    "check_tree",
+    "check_findings",
+    "check_mitigation",
+    "check_all",
+    "assert_tree_invariants",
+    "scale_at_path",
+]
+
+#: The analyzer's co-bottleneck tie window (children of a max node within
+#: 1% of the peak are all considered dominating).
+_TIE_WINDOW = 0.99
+
+
+class InvariantViolation(AssertionError):
+    """A bottleneck-tree invariant does not hold."""
+
+
+def recompute_value(node: Node) -> float:
+    """Independently recompute a subtree's value from its leaves.
+
+    Deliberately does not consult ``node.value`` on internal nodes, so a
+    combinator whose evaluation was perturbed (or overridden) is exposed
+    by comparison.
+    """
+    if node.op is NodeOp.LEAF:
+        return float(node.raw_value)
+    values = [recompute_value(child) for child in node.children]
+    if node.op is NodeOp.MAX:
+        return max(values)
+    if node.op is NodeOp.ADD:
+        return sum(values)
+    if node.op is NodeOp.MUL:
+        out = 1.0
+        for v in values:
+            out *= v
+        return out
+    numerator, denominator = values
+    if denominator == 0:
+        return float("inf")
+    return numerator / denominator
+
+
+def check_tree(root: Node, require_nonnegative: bool = True) -> List[str]:
+    """Structural and recomputation invariants of a populated tree."""
+    violations: List[str] = []
+    for node in root.walk():
+        if node.op is NodeOp.LEAF:
+            if node.children:
+                violations.append(f"leaf {node.name!r} has children")
+            if node.raw_value is None:
+                violations.append(f"leaf {node.name!r} has no value")
+                continue
+        else:
+            if not node.children:
+                violations.append(f"{node.op.value} node {node.name!r} has no children")
+                continue
+            if node.op is NodeOp.DIV and len(node.children) != 2:
+                violations.append(
+                    f"div node {node.name!r} has {len(node.children)} children"
+                )
+                continue
+        reported = node.value
+        recomputed = recompute_value(node)
+        if math.isnan(reported) or (
+            reported != recomputed and not (math.isnan(recomputed) and math.isnan(reported))
+        ):
+            violations.append(
+                f"node {node.name!r} [{node.op.value}] reports {reported!r}, "
+                f"recomputation from leaves gives {recomputed!r}"
+            )
+        if require_nonnegative and not math.isnan(reported) and reported < 0:
+            violations.append(f"node {node.name!r} has negative cost {reported!r}")
+    return violations
+
+
+def _resolve_path(root: Node, path: Sequence[str]) -> Optional[Tuple[Node, ...]]:
+    """Resolve a finding path (root name first) to the chain of nodes."""
+    if not path or path[0] != root.name:
+        return None
+    chain = [root]
+    current = root
+    for name in path[1:]:
+        match = next((c for c in current.children if c.name == name), None)
+        if match is None:
+            return None
+        chain.append(match)
+        current = match
+    return tuple(chain)
+
+
+def check_findings(
+    root: Node, findings: Optional[Sequence[BottleneckFinding]] = None
+) -> List[str]:
+    """Invariants of the analyzer's findings against the tree they explain."""
+    if findings is None:
+        findings = analyze_tree(root)
+    violations: List[str] = []
+    total = root.value
+    previous_contribution = math.inf
+    for finding in findings:
+        label = " > ".join(finding.path)
+        chain = _resolve_path(root, finding.path)
+        if chain is None:
+            violations.append(f"finding path {label} does not exist in the tree")
+            continue
+        if chain[-1] is not finding.node:
+            violations.append(f"finding {label} names a different node than it holds")
+        if len(finding.path) < 2:
+            violations.append(f"finding {label} is the root (never a mitigable factor)")
+        if not 0.0 < finding.contribution <= 1.0:
+            violations.append(
+                f"finding {label} contribution {finding.contribution!r} outside (0, 1]"
+            )
+        if not 1.0 < finding.scaling <= MAX_SCALING:
+            violations.append(
+                f"finding {label} scaling {finding.scaling!r} outside (1, {MAX_SCALING}]"
+            )
+        if finding.contribution > previous_contribution:
+            violations.append(
+                f"finding {label} breaks the contribution ranking "
+                f"({finding.contribution!r} after {previous_contribution!r})"
+            )
+        previous_contribution = finding.contribution
+        # The argmax property: every max node traversed by the path must
+        # be descended through a child inside the analyzer's tie window.
+        for parent, child in zip(chain, chain[1:]):
+            if parent.op is not NodeOp.MAX:
+                continue
+            peak = max(c.value for c in parent.children)
+            if child.value < _TIE_WINDOW * peak:
+                violations.append(
+                    f"finding {label}: descends max node {parent.name!r} through "
+                    f"{child.name!r} ({child.value!r}) which is below the tie "
+                    f"window of the peak ({peak!r})"
+                )
+        if total > 0 and math.isfinite(total):
+            if finding.node.value <= 0 and not finding.inverse:
+                violations.append(
+                    f"finding {label} identifies a zero-cost factor as a bottleneck"
+                )
+    return violations
+
+
+def scale_at_path(root: Node, path: Sequence[str], factor: float) -> Node:
+    """Rebuild the tree with the node at ``path`` replaced by a leaf whose
+    value is the original subtree value times ``factor``."""
+    chain = _resolve_path(root, path)
+    if chain is None:
+        raise InvariantViolation(f"path {' > '.join(path)} not found in tree")
+
+    def rebuild(node: Node, depth: int) -> Node:
+        if depth == len(chain) - 1:
+            return Node(
+                name=node.name,
+                op=NodeOp.LEAF,
+                raw_value=node.value * factor,
+            )
+        target = chain[depth + 1]
+        children = tuple(
+            rebuild(child, depth + 1) if child is target else child
+            for child in node.children
+        )
+        return dataclasses.replace(node, children=children)
+
+    return rebuild(root, 0)
+
+
+def check_mitigation(root: Node, finding: BottleneckFinding) -> List[str]:
+    """Check that applying the predicted scaling behaves as promised.
+
+    For a direct factor, dividing its cost by ``s`` must strictly reduce
+    the factor; for an inverse factor (a denominator), multiplying it by
+    ``s`` must strictly increase it.  Either way the root cost must not
+    increase (cost trees are monotone in their factors).
+    """
+    violations: List[str] = []
+    label = " > ".join(finding.path)
+    old_factor = finding.node.value
+    if not math.isfinite(old_factor) or old_factor <= 0:
+        return violations  # nothing to scale; analyzer should not emit these
+    factor = finding.scaling if finding.inverse else 1.0 / finding.scaling
+    new_factor = old_factor * factor
+    if finding.inverse:
+        if not new_factor > old_factor:
+            violations.append(
+                f"mitigation of {label}: scaling {finding.scaling!r} does not "
+                f"increase the inverse factor ({old_factor!r} -> {new_factor!r})"
+            )
+    else:
+        if not new_factor < old_factor:
+            violations.append(
+                f"mitigation of {label}: scaling {finding.scaling!r} does not "
+                f"reduce the factor ({old_factor!r} -> {new_factor!r})"
+            )
+    old_root = root.value
+    new_root = scale_at_path(root, finding.path, factor).value
+    if new_root > old_root:
+        violations.append(
+            f"mitigation of {label}: root cost increased "
+            f"({old_root!r} -> {new_root!r})"
+        )
+    return violations
+
+
+def check_all(root: Node) -> List[str]:
+    """Run every invariant: tree recomputation, findings, and mitigations."""
+    violations = check_tree(root)
+    if violations:
+        return violations  # findings over a broken tree are meaningless
+    findings = analyze_tree(root)
+    violations.extend(check_findings(root, findings))
+    for finding in findings:
+        violations.extend(check_mitigation(root, finding))
+    return violations
+
+
+def assert_tree_invariants(root: Node) -> None:
+    """Raise :class:`InvariantViolation` unless every invariant holds."""
+    violations = check_all(root)
+    if violations:
+        raise InvariantViolation(
+            "bottleneck-tree invariants violated:\n  " + "\n  ".join(violations)
+        )

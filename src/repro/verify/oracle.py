@@ -1,0 +1,636 @@
+"""Oracle cost model: a deliberately slow, loop-nest-literal reference.
+
+This module re-derives the latency/energy/area/power semantics of
+:mod:`repro.cost` **without sharing any of its computation**.  Where the
+production model uses closed-form products and integer divisions, the
+oracle *simulates*: it walks the loop nests with :mod:`itertools.product`,
+counts buffer-refill transitions one iteration at a time, enumerates tile
+coordinates into sets, and scans halo extents index by index.  The only
+things imported from the production packages are inert data definitions
+(enums and frozen dataclass fields); every constant, table, and formula is
+restated locally so a bug in ``repro.cost`` cannot silently cancel out
+here.
+
+Shared modeling *assumptions* (intentional, from the paper's Fig. 8 /
+dMazeRunner model — the oracle validates the computation, not the model):
+
+* per-layer latency is ``max(t_comp, max t_noc, t_dma)`` (double
+  buffering overlaps the three factors);
+* an operand's buffer at a temporal level persists only across the
+  innermost run of loops irrelevant to both the level's stationary
+  operand and the operand itself — any outer-loop tick forces a refetch;
+* the input tile buffers the contiguous bounding box of its halo rows
+  and columns (not just the distinct rows touched);
+* NoC groups are counted over spatially-unrolled *index* tuples of the
+  operand's relevant dimensions.
+
+Floating-point results must match the production model bit for bit, so
+the arithmetic *shapes* of the float formulas (association order, the
+order of dict-sum accumulation) deliberately mirror the reference; the
+*inputs* to those formulas (iteration counts, fetch counts, tile bytes,
+group counts) are all derived by literal simulation.
+
+The literal walks are exponential in mapping size, so every enumeration
+is capped; :class:`OracleCapacityError` signals a point too large for the
+oracle rather than silently degrading to a closed form.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping as MappingT, Optional, Tuple, Union
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.mapping.mapping import Level, Mapping
+from repro.workloads.layers import Dim, LayerShape, Operand, OperatorType, Workload
+
+__all__ = [
+    "OracleCapacityError",
+    "OracleInfeasible",
+    "OracleExecution",
+    "OracleEnergy",
+    "OracleArea",
+    "OraclePower",
+    "OracleEvaluation",
+    "oracle_layer",
+    "oracle_energy",
+    "oracle_area",
+    "oracle_power",
+    "oracle_model_costs",
+]
+
+# -- local restatement of the problem definition ------------------------------
+# Everything below is intentionally duplicated from the production model
+# (workloads/mapping/technology); the oracle must not read computed values
+# from those modules.
+
+#: Canonical loop order (N, M, C, OY, OX, FY, FX).
+_DIMS: Tuple[Dim, ...] = (Dim.N, Dim.M, Dim.C, Dim.OY, Dim.OX, Dim.FY, Dim.FX)
+
+#: NoC/operand order used for feasibility checks and traffic sums.
+_OPS: Tuple[Operand, ...] = (Operand.I, Operand.W, Operand.O, Operand.PSUM)
+
+#: Operands with their own storage footprint (PSUM aliases O's tensor).
+_DATA_OPS: Tuple[Operand, ...] = (Operand.I, Operand.W, Operand.O)
+
+#: Hard cap on any single literal enumeration (iterations or set size).
+_MAX_ENUM = 1 << 21
+
+# 45 nm technology constants (restated; see repro.cost.technology).
+_MAC_PJ = 1.0
+_RF_REF_PJ = 0.15
+_RF_REF_BYTES = 512
+_RF_FLOOR_PJ = 0.03
+_SPM_REF_PJ = 1.0
+_SPM_REF_BYTES = 1 << 20
+_SPM_FLOOR_PJ = 0.2
+_DRAM_PJ_PER_BYTE = 100.0
+_NOC_PJ_PER_BYTE = 0.5
+_MAC_AREA_MM2 = 0.0012
+_RF_AREA_PER_BYTE = 5.0e-5
+_SPM_AREA_PER_BYTE = 8.0e-6
+_SPM_BANK_BYTES = 64 * 1024
+_SPM_BANK_AREA = 0.05
+_NOC_AREA_PER_LINK_BIT = 2.0e-5
+_CONTROLLER_AREA = 1.0
+_RF_ACCESSES_PER_MAC = 4
+_OFFCHIP_INTERFACE_PJ_PER_BYTE = 8.0
+
+
+def _dims_of(operator: OperatorType, operand: Operand) -> frozenset:
+    """Dims indexing ``operand`` (local restatement of the operand table)."""
+    if operand in (Operand.O, Operand.PSUM):
+        return frozenset({Dim.N, Dim.M, Dim.OY, Dim.OX})
+    if operand is Operand.W:
+        if operator is OperatorType.DWCONV:
+            return frozenset({Dim.M, Dim.FY, Dim.FX})
+        return frozenset({Dim.M, Dim.C, Dim.FY, Dim.FX})
+    # Input activations.
+    if operator is OperatorType.DWCONV:
+        return frozenset({Dim.N, Dim.M, Dim.OY, Dim.OX, Dim.FY, Dim.FX})
+    return frozenset({Dim.N, Dim.C, Dim.OY, Dim.OX, Dim.FY, Dim.FX})
+
+
+class OracleCapacityError(RuntimeError):
+    """The literal simulation would exceed the enumeration cap."""
+
+
+@dataclass(frozen=True)
+class OracleInfeasible:
+    """Why the oracle rejects a mapping on a hardware configuration.
+
+    ``kind`` is one of ``"pes"``, ``"rf"``, ``"spm"``, ``"noc"``.
+    """
+
+    kind: str
+    operand: Optional[Operand] = None
+
+
+@dataclass(frozen=True)
+class OracleExecution:
+    """Execution characteristics of one feasible (layer, mapping, config)."""
+
+    t_comp: float
+    t_noc: Dict[Operand, float]
+    t_dma: float
+    latency: float
+    data_offchip: Dict[Operand, float]
+    data_noc: Dict[Operand, float]
+    noc_groups: Dict[Operand, int]
+    rf_bytes: Dict[Operand, int]
+    spm_bytes: Dict[Operand, int]
+    pes_used: int
+    macs: int
+    utilization: float
+
+
+@dataclass(frozen=True)
+class OracleEnergy:
+    mac_pj: float
+    rf_pj: float
+    noc_pj: float
+    spm_pj: float
+    dram_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.mac_pj + self.rf_pj + self.noc_pj + self.spm_pj + self.dram_pj
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_pj * 1e-9
+
+
+@dataclass(frozen=True)
+class OracleArea:
+    pe_array_mm2: float
+    spm_mm2: float
+    noc_mm2: float
+    controller_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.pe_array_mm2 + self.spm_mm2 + self.noc_mm2 + self.controller_mm2
+
+
+@dataclass(frozen=True)
+class OraclePower:
+    pe_w: float
+    noc_w: float
+    spm_w: float
+    offchip_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.pe_w + self.noc_w + self.spm_w + self.offchip_w
+
+
+@dataclass(frozen=True)
+class OracleEvaluation:
+    """Model-level costs from per-layer oracle executions."""
+
+    latency_ms: float
+    energy_mj: float
+    area_mm2: float
+    power_w: float
+    throughput: float
+    mappable: bool
+
+
+# -- literal loop-nest walks ---------------------------------------------------
+
+
+def _checked_product(counts: Iterable[int]) -> int:
+    total = 1
+    for c in counts:
+        total *= c
+    if total > _MAX_ENUM:
+        raise OracleCapacityError(
+            f"enumeration of {total} iterations exceeds the oracle cap"
+        )
+    return total
+
+
+def _count_iterations(factors: MappingT[Dim, int]) -> int:
+    """Count a level's temporal iterations by walking the loop nest."""
+    _checked_product(factors[d] for d in _DIMS)
+    count = 0
+    for _ in itertools.product(*(range(factors[d]) for d in _DIMS)):
+        count += 1
+    return count
+
+
+def _count_fetches(
+    factors: MappingT[Dim, int],
+    operator: OperatorType,
+    stationary: Operand,
+    operand: Operand,
+) -> int:
+    """Count buffer refills of ``operand`` across one level's loop nest.
+
+    The level orders its loops with the dims irrelevant to both the
+    stationary operand and ``operand`` innermost (that is what "stationary"
+    means in this model).  The operand's buffer survives only while those
+    innermost loops advance; as soon as any outer loop ticks, the next
+    iteration refetches.  We walk the whole nest and count iterations
+    whose outer-index prefix differs from the previous iteration's.
+    """
+    blocked = _dims_of(operator, stationary) | _dims_of(operator, operand)
+    outer = [d for d in _DIMS if d in blocked]
+    inner = [d for d in _DIMS if d not in blocked]
+    order = outer + inner
+    _checked_product(factors[d] for d in order)
+    n_outer = len(outer)
+    fetches = 0
+    previous: Optional[Tuple[int, ...]] = None
+    for idx in itertools.product(*(range(factors[d]) for d in order)):
+        prefix = idx[:n_outer]
+        if prefix != previous:
+            fetches += 1
+            previous = prefix
+    return fetches
+
+
+def _count_spatial_groups(
+    factors: MappingT[Dim, int], operator: OperatorType, operand: Operand
+) -> int:
+    """Count distinct data streams demanded by the spatial unrolling.
+
+    Each spatially-unrolled index assignment is projected onto the
+    operand's relevant dims; PEs sharing a projection are served by
+    broadcast, so the distinct projections are the concurrent unicast
+    groups.
+    """
+    relevant = [d for d in _DIMS if d in _dims_of(operator, operand)]
+    _checked_product(factors[d] for d in _DIMS)
+    groups = set()
+    for idx in itertools.product(*(range(factors[d]) for d in _DIMS)):
+        groups.add(tuple(v for d, v in zip(_DIMS, idx) if d in relevant))
+    return len(groups)
+
+
+def _count_pes(factors: MappingT[Dim, int]) -> int:
+    """Count PEs occupied by the spatial unrolling, one PE at a time."""
+    _checked_product(factors[d] for d in _DIMS)
+    count = 0
+    for _ in itertools.product(*(range(factors[d]) for d in _DIMS)):
+        count += 1
+    return count
+
+
+def _halo_extent(points: int, kernel: int, stride: int) -> int:
+    """Contiguous input extent covered by ``points`` output positions.
+
+    Scans every (output, filter) index pair and takes the bounding box —
+    the buffer holds the contiguous range, so gaps (stride > kernel)
+    still occupy space.
+    """
+    if points * kernel > _MAX_ENUM:
+        raise OracleCapacityError("halo scan exceeds the oracle cap")
+    lo = hi = 0 * stride + 0
+    for o in range(points):
+        for f in range(kernel):
+            coord = o * stride + f
+            if coord < lo:
+                lo = coord
+            if coord > hi:
+                hi = coord
+    return hi - lo + 1
+
+
+def _tile_extents(
+    mapping: Mapping, levels: Tuple[Level, ...]
+) -> Dict[Dim, int]:
+    """Per-dim extents covered by the given (inner) levels combined."""
+    return {
+        d: math.prod(mapping.factors[level][d] for level in levels)
+        for d in _DIMS
+    }
+
+
+def _tile_elements(
+    layer: LayerShape, tile: MappingT[Dim, int], operand: Operand
+) -> int:
+    """Count elements of ``operand`` in a tile by enumerating coordinates."""
+    dwise = layer.operator is OperatorType.DWCONV
+    if operand is Operand.W:
+        channels = 1 if dwise else tile[Dim.C]
+        _checked_product((tile[Dim.M], channels, tile[Dim.FY], tile[Dim.FX]))
+        coords = set(
+            itertools.product(
+                range(tile[Dim.M]),
+                range(channels),
+                range(tile[Dim.FY]),
+                range(tile[Dim.FX]),
+            )
+        )
+        return len(coords)
+    if operand in (Operand.O, Operand.PSUM):
+        _checked_product((tile[Dim.N], tile[Dim.M], tile[Dim.OY], tile[Dim.OX]))
+        coords = set(
+            itertools.product(
+                range(tile[Dim.N]),
+                range(tile[Dim.M]),
+                range(tile[Dim.OY]),
+                range(tile[Dim.OX]),
+            )
+        )
+        return len(coords)
+    # Input activations: channels x contiguous halo bounding box.
+    channels = tile[Dim.M] if dwise else tile[Dim.C]
+    rows = _halo_extent(tile[Dim.OY], tile[Dim.FY], layer.stride)
+    cols = _halo_extent(tile[Dim.OX], tile[Dim.FX], layer.stride)
+    return tile[Dim.N] * channels * rows * cols
+
+
+def _count_macs(layer: LayerShape) -> int:
+    """Total MACs of the layer (block-counted walk over the full nest)."""
+    # Walking 10^6+ scalar MACs one by one is pointless even for an
+    # oracle; walk the three outer dims literally and multiply by the
+    # bound product of the four inner ones.
+    n, m, c, oy, ox, fy, fx = layer.dims
+    inner = oy * ox * fy * fx
+    macs = 0
+    for _ in itertools.product(range(n), range(m), range(c)):
+        macs += inner
+    return macs
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _physical_links(config: AcceleratorConfig, operand: Operand) -> int:
+    links = config.pes * config.phys_unicast_factor[operand] // 64
+    return links if links > 1 else 1
+
+
+# -- per-layer oracle ----------------------------------------------------------
+
+
+def oracle_layer(
+    layer: LayerShape, mapping: Mapping, config: AcceleratorConfig
+) -> Union[OracleExecution, OracleInfeasible]:
+    """Evaluate one (layer, mapping, hardware) triple by simulation."""
+    bpe = config.bytes_per_element
+
+    # Feasibility, in the same gate order as the production model (the
+    # first violated resource is the reported one).
+    pes_used = _count_pes(mapping.factors[Level.SPATIAL])
+    if pes_used > config.pes:
+        return OracleInfeasible("pes")
+
+    rf_tile = _tile_extents(mapping, (Level.RF,))
+    rf_bytes = {op: _tile_elements(layer, rf_tile, op) * bpe for op in _DATA_OPS}
+    if sum(rf_bytes.values()) > config.l1_bytes:
+        return OracleInfeasible("rf")
+
+    spm_tile = _tile_extents(mapping, (Level.RF, Level.SPATIAL, Level.SPM))
+    spm_bytes = {op: _tile_elements(layer, spm_tile, op) * bpe for op in _DATA_OPS}
+    if 2 * sum(spm_bytes.values()) > config.l2_kb * 1024:
+        return OracleInfeasible("spm")
+
+    groups: Dict[Operand, int] = {}
+    for op in (Operand.I, Operand.W, Operand.O):
+        groups[op] = _count_spatial_groups(
+            mapping.factors[Level.SPATIAL], layer.operator, op
+        )
+    groups[Operand.PSUM] = groups[Operand.O]
+    rounds: Dict[Operand, int] = {}
+    for op in _OPS:
+        links = _physical_links(config, op)
+        r = _ceil_div(groups[op], links)
+        if r > config.virt_unicast[op]:
+            return OracleInfeasible("noc", operand=op)
+        rounds[op] = r
+
+    # Computation: count each temporal level's iterations by walking it.
+    iters_dram = _count_iterations(mapping.factors[Level.DRAM])
+    iters_spm = _count_iterations(mapping.factors[Level.SPM])
+    iters_rf = _count_iterations(mapping.factors[Level.RF])
+    t_comp = float(iters_dram * iters_spm * iters_rf)
+
+    # NoC distribution: refills of each RF tile across the SPM loops.
+    fetches2 = {
+        op: _count_fetches(
+            mapping.factors[Level.SPM], layer.operator, mapping.spm_stationary, op
+        )
+        for op in _DATA_OPS
+    }
+    out_tiles2 = _count_spatial_groups(
+        mapping.factors[Level.SPM], layer.operator, Operand.O
+    )
+    events = {
+        Operand.I: iters_dram * fetches2[Operand.I],
+        Operand.W: iters_dram * fetches2[Operand.W],
+        Operand.O: iters_dram * fetches2[Operand.O],
+        Operand.PSUM: iters_dram
+        * max(0, fetches2[Operand.O] - out_tiles2),
+    }
+    tile_bytes_for = {
+        Operand.I: rf_bytes[Operand.I],
+        Operand.W: rf_bytes[Operand.W],
+        Operand.O: rf_bytes[Operand.O],
+        Operand.PSUM: rf_bytes[Operand.O],
+    }
+    noc_bpc = config.noc_datawidth_bits / 8.0
+    t_noc: Dict[Operand, float] = {}
+    data_noc: Dict[Operand, float] = {}
+    for op in _OPS:
+        per_event_cycles = rounds[op] * tile_bytes_for[op] / noc_bpc
+        t_noc[op] = events[op] * per_event_cycles
+        data_noc[op] = events[op] * groups[op] * tile_bytes_for[op]
+
+    # DMA: refills of each SPM tile across the DRAM loops.
+    fetches3 = {
+        op: _count_fetches(
+            mapping.factors[Level.DRAM], layer.operator, mapping.dram_stationary, op
+        )
+        for op in _DATA_OPS
+    }
+    data_offchip: Dict[Operand, float] = {
+        Operand.I: fetches3[Operand.I] * spm_bytes[Operand.I],
+        Operand.W: fetches3[Operand.W] * spm_bytes[Operand.W],
+    }
+    out_writes = fetches3[Operand.O] * spm_bytes[Operand.O]
+    full_tile = _tile_extents(mapping, tuple(Level))
+    padded_out_bytes = _tile_elements(layer, full_tile, Operand.O) * bpe
+    data_offchip[Operand.O] = float(out_writes)
+    data_offchip[Operand.PSUM] = float(max(0, out_writes - padded_out_bytes))
+    dram_bpc = config.offchip_bw_mbps / config.freq_mhz
+    t_dma = sum(data_offchip.values()) / dram_bpc
+
+    macs = _count_macs(layer)
+    latency = max(t_comp, max(t_noc.values()), t_dma)
+    utilization = macs / (t_comp * pes_used) if t_comp else 0.0
+
+    return OracleExecution(
+        t_comp=t_comp,
+        t_noc=t_noc,
+        t_dma=t_dma,
+        latency=latency,
+        data_offchip=data_offchip,
+        data_noc=data_noc,
+        noc_groups=groups,
+        rf_bytes=rf_bytes,
+        spm_bytes=spm_bytes,
+        pes_used=pes_used,
+        macs=macs,
+        utilization=utilization,
+    )
+
+
+# -- energy / area / power -----------------------------------------------------
+
+
+def _rf_energy_per_byte(rf_bytes: int) -> float:
+    scale = math.sqrt(max(rf_bytes, 1) / _RF_REF_BYTES)
+    return max(_RF_FLOOR_PJ, _RF_REF_PJ * scale)
+
+
+def _spm_energy_per_byte(spm_bytes: int) -> float:
+    scale = math.sqrt(max(spm_bytes, 1) / _SPM_REF_BYTES)
+    return max(_SPM_FLOOR_PJ, _SPM_REF_PJ * scale)
+
+
+def oracle_energy(
+    execution: OracleExecution, config: AcceleratorConfig
+) -> OracleEnergy:
+    """Energy of one layer execution (restated component accounting)."""
+    bpe = config.bytes_per_element
+    mac_pj = execution.macs * _MAC_PJ
+    rf_pj = (
+        execution.macs
+        * _RF_ACCESSES_PER_MAC
+        * bpe
+        * _rf_energy_per_byte(config.l1_bytes)
+    )
+    noc_bytes = sum(execution.data_noc.values())
+    noc_pj = noc_bytes * _NOC_PJ_PER_BYTE
+    offchip_bytes = sum(execution.data_offchip.values())
+    spm_pj = (noc_bytes + offchip_bytes) * _spm_energy_per_byte(
+        config.l2_kb * 1024
+    )
+    dram_pj = offchip_bytes * _DRAM_PJ_PER_BYTE
+    return OracleEnergy(
+        mac_pj=mac_pj,
+        rf_pj=rf_pj,
+        noc_pj=noc_pj,
+        spm_pj=spm_pj,
+        dram_pj=dram_pj,
+    )
+
+
+def oracle_area(config: AcceleratorConfig) -> OracleArea:
+    """Silicon area of the configuration (restated component accounting)."""
+    pe_array = config.pes * (
+        _MAC_AREA_MM2 + config.l1_bytes * _RF_AREA_PER_BYTE
+    )
+    l2_bytes = config.l2_kb * 1024
+    banks = max(1, _ceil_div(l2_bytes, _SPM_BANK_BYTES))
+    spm = l2_bytes * _SPM_AREA_PER_BYTE + banks * _SPM_BANK_AREA
+    total_links = sum(_physical_links(config, op) for op in _OPS)
+    noc = total_links * config.noc_datawidth_bits * _NOC_AREA_PER_LINK_BIT
+    return OracleArea(
+        pe_array_mm2=pe_array,
+        spm_mm2=spm,
+        noc_mm2=noc,
+        controller_mm2=_CONTROLLER_AREA,
+    )
+
+
+def oracle_power(config: AcceleratorConfig) -> OraclePower:
+    """Peak power of the configuration (restated component accounting)."""
+    hz = config.freq_mhz * 1e6
+    pj_to_w = hz * 1e-12
+    pe_pj = config.pes * (
+        _MAC_PJ
+        + _RF_ACCESSES_PER_MAC
+        * config.bytes_per_element
+        * _rf_energy_per_byte(config.l1_bytes)
+    )
+    noc_bpc = config.noc_datawidth_bits / 8.0
+    noc_bytes_per_cycle = sum(
+        _physical_links(config, op) * noc_bpc for op in _OPS
+    )
+    noc_pj = noc_bytes_per_cycle * _NOC_PJ_PER_BYTE
+    spm_pj = noc_bytes_per_cycle * _spm_energy_per_byte(config.l2_kb * 1024)
+    offchip_pj = (
+        config.offchip_bw_mbps / config.freq_mhz
+    ) * _OFFCHIP_INTERFACE_PJ_PER_BYTE
+    return OraclePower(
+        pe_w=pe_pj * pj_to_w,
+        noc_w=noc_pj * pj_to_w,
+        spm_w=spm_pj * pj_to_w,
+        offchip_w=offchip_pj * pj_to_w,
+    )
+
+
+# -- model-level aggregation ---------------------------------------------------
+
+
+def oracle_model_costs(
+    workload: Workload,
+    mappings: MappingT[str, Optional[Mapping]],
+    config: AcceleratorConfig,
+) -> OracleEvaluation:
+    """Aggregate per-layer oracle results into model-level costs.
+
+    Mirrors the production aggregation semantics: infeasible or missing
+    layers make the point unmappable (inf latency/energy, zero
+    throughput); otherwise cycles and energy accumulate in workload
+    order weighted by layer repeats.
+    """
+    total_cycles = 0.0
+    energy_pj: List[OracleEnergy] = []
+    mappable = True
+    for layer in workload.layers:
+        mapping = mappings.get(layer.name)
+        execution = (
+            oracle_layer(layer, mapping, config) if mapping is not None else None
+        )
+        if execution is None or isinstance(execution, OracleInfeasible):
+            mappable = False
+            continue
+        total_cycles += execution.latency * layer.repeats
+        e = oracle_energy(execution, config)
+        energy_pj.append(
+            OracleEnergy(
+                mac_pj=e.mac_pj * layer.repeats,
+                rf_pj=e.rf_pj * layer.repeats,
+                noc_pj=e.noc_pj * layer.repeats,
+                spm_pj=e.spm_pj * layer.repeats,
+                dram_pj=e.dram_pj * layer.repeats,
+            )
+        )
+
+    if mappable:
+        latency_ms = total_cycles / (config.freq_mhz * 1e3)
+        total = OracleEnergy(0.0, 0.0, 0.0, 0.0, 0.0)
+        for e in energy_pj:
+            total = OracleEnergy(
+                mac_pj=total.mac_pj + e.mac_pj,
+                rf_pj=total.rf_pj + e.rf_pj,
+                noc_pj=total.noc_pj + e.noc_pj,
+                spm_pj=total.spm_pj + e.spm_pj,
+                dram_pj=total.dram_pj + e.dram_pj,
+            )
+        energy_mj = total.total_mj
+        throughput = 1000.0 / latency_ms if latency_ms > 0 else math.inf
+    else:
+        latency_ms = math.inf
+        energy_mj = math.inf
+        throughput = 0.0
+
+    area = oracle_area(config)
+    power = oracle_power(config)
+    return OracleEvaluation(
+        latency_ms=latency_ms,
+        energy_mj=energy_mj,
+        area_mm2=area.total_mm2,
+        power_w=power.total_w,
+        throughput=throughput,
+        mappable=mappable,
+    )

@@ -374,3 +374,102 @@ class TestJournalVerification:
             verify_against_journal(
                 _sample_checkpoint(), tmp_path / "none.jsonl"
             )
+
+
+class TestResumeUnderCacheFaults:
+    """Checkpoint-resume combined with mapping-cache persistence faults
+    (``REPRO_FAULT_INJECT`` at the ``cache-save`` site).
+
+    A campaign that dies mid-step *and* fails to persist its warm mapping
+    cache must still resume exactly: the cache is a pure accelerator, so
+    a cold (or quarantined-corrupt) cache changes wall-clock, never
+    results."""
+
+    def _reference(self, edge_space, tiny_workload):
+        return ExplainableDSE(
+            edge_space,
+            _make_evaluator(tiny_workload),
+            _constraints(),
+            max_evaluations=25,
+        ).run()
+
+    def _killed_run(self, journal, cache, edge_space, tiny_workload):
+        ckpt = default_checkpoint_path(journal)
+        evaluator = KillableEvaluator(
+            tiny_workload, TopNMapper(top_n=60), mapping_cache=cache
+        )
+        evaluator.kill_at = 14
+        tracer = Tracer(JsonlSink(journal))
+        with pytest.raises(KeyboardInterrupt):
+            ExplainableDSE(
+                edge_space, evaluator, _constraints(), max_evaluations=25
+            ).run(tracer=tracer, checkpoint_path=ckpt)
+        return ckpt
+
+    def _resume(self, journal, ckpt, cache, edge_space, tiny_workload):
+        checkpoint = load_checkpoint(ckpt)
+        sink = JsonlSink(journal, resume_events=checkpoint.journal_events)
+        tracer = Tracer(sink, seq_start=checkpoint.journal_events)
+        evaluator = CostEvaluator(
+            tiny_workload, TopNMapper(top_n=60), mapping_cache=cache
+        )
+        resumed = ExplainableDSE(
+            edge_space, evaluator, _constraints(), max_evaluations=25
+        ).run(tracer=tracer, checkpoint_path=ckpt, resume_from=ckpt)
+        tracer.close()
+        return resumed
+
+    def test_injected_save_corruption_then_resume_matches(
+        self, tmp_path, edge_space, tiny_workload, monkeypatch
+    ):
+        """The warm cache dies with the campaign (its save is corrupted);
+        resuming from the checkpoint with a cold cache still reproduces
+        the uninterrupted campaign exactly."""
+        from repro.resilience.fault_injection import InjectedCorruption
+
+        reference = self._reference(edge_space, tiny_workload)
+
+        cache_path = tmp_path / "mapping_cache.pkl"
+        journal = tmp_path / "run.jsonl"
+        cache = MappingCache(persist_path=str(cache_path))
+        ckpt = self._killed_run(journal, cache, edge_space, tiny_workload)
+
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "corrupt:cache-save:1.0")
+        with pytest.raises(InjectedCorruption):
+            cache.save()
+        assert not cache_path.exists()
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+
+        # Warm-start attempt finds nothing on disk -> cold cache.
+        resume_cache = MappingCache(persist_path=str(cache_path))
+        resumed = self._resume(
+            journal, ckpt, resume_cache, edge_space, tiny_workload
+        )
+        assert _fingerprint(resumed) == _fingerprint(reference)
+
+    def test_corrupt_cache_file_quarantined_on_resume_and_matches(
+        self, tmp_path, edge_space, tiny_workload
+    ):
+        """A cache file corrupted on disk between kill and resume is
+        quarantined with a warning; the resumed campaign still matches."""
+        reference = self._reference(edge_space, tiny_workload)
+
+        cache_path = tmp_path / "mapping_cache.pkl"
+        journal = tmp_path / "run.jsonl"
+        ckpt = self._killed_run(
+            journal,
+            MappingCache(persist_path=str(cache_path)),
+            edge_space,
+            tiny_workload,
+        )
+        cache_path.write_bytes(b"\x80\x04 this is not a pickle")
+
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            resume_cache = MappingCache(persist_path=str(cache_path))
+        assert (tmp_path / "mapping_cache.pkl.corrupt").exists()
+        assert not cache_path.exists()
+
+        resumed = self._resume(
+            journal, ckpt, resume_cache, edge_space, tiny_workload
+        )
+        assert _fingerprint(resumed) == _fingerprint(reference)

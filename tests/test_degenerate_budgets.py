@@ -1,0 +1,86 @@
+"""Degenerate trial-budget behavior of every searching mapper.
+
+A zero or negative budget must be a loud ``ValueError`` — both at
+construction and at search time (the budget is a public attribute, so a
+campaign harness can zero it out after construction) — never a silent
+``MappingResult(None, None, 0, 0)`` that downstream code would read as
+"this hardware is infeasible"."""
+
+import pytest
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.mapping.blackbox_mappers import (
+    AnnealingMapper,
+    BayesianMapper,
+    GeneticMapper,
+)
+from repro.mapping.mapper import RandomSearchMapper
+from repro.workloads.layers import Operand, conv2d
+
+ALL_MAPPERS = (
+    RandomSearchMapper,
+    AnnealingMapper,
+    GeneticMapper,
+    BayesianMapper,
+)
+
+
+@pytest.fixture
+def layer():
+    return conv2d("l", 4, 8, (7, 7))
+
+
+@pytest.fixture
+def config():
+    return AcceleratorConfig(
+        pes=64,
+        l1_bytes=256,
+        l2_kb=128,
+        offchip_bw_mbps=8192,
+        noc_datawidth_bits=32,
+        phys_unicast_factor={op: 64 for op in Operand},
+        virt_unicast={op: 512 for op in Operand},
+    )
+
+
+class TestConstructorRejection:
+    @pytest.mark.parametrize("mapper_cls", ALL_MAPPERS)
+    @pytest.mark.parametrize("trials", [0, -1, -5])
+    def test_nonpositive_trials_rejected(self, mapper_cls, trials):
+        with pytest.raises(ValueError, match="trials|budget"):
+            mapper_cls(trials=trials)
+
+
+class TestSearchTimeRejection:
+    @pytest.mark.parametrize("mapper_cls", ALL_MAPPERS)
+    @pytest.mark.parametrize("trials", [0, -3])
+    def test_mutated_budget_raises_instead_of_empty_result(
+        self, mapper_cls, trials, layer, config
+    ):
+        """Bypassing the constructor check by mutating ``trials`` must not
+        silently produce a no-mapping result."""
+        mapper = mapper_cls(trials=5)
+        mapper.trials = trials
+        with pytest.raises(ValueError, match="budget"):
+            mapper(layer, config)
+
+    def test_random_search_with_trace_raises_too(self, layer, config):
+        mapper = RandomSearchMapper(trials=5)
+        mapper.trials = 0
+        with pytest.raises(ValueError, match="budget"):
+            mapper.search_with_trace(layer, config)
+
+
+class TestMinimalBudgetWorks:
+    @pytest.mark.parametrize("mapper_cls", ALL_MAPPERS)
+    def test_single_trial_returns_result(self, mapper_cls, layer, config):
+        """trials=1 is the smallest legal budget and must complete."""
+        result = mapper_cls(trials=1)(layer, config)
+        assert result.candidates_evaluated >= 1
+        assert result.feasible_candidates >= 0
+
+    def test_bayesian_budget_below_initial_samples(self, layer, config):
+        """A budget smaller than the seeding phase still terminates and
+        respects the trial count."""
+        result = BayesianMapper(trials=2, initial_samples=10)(layer, config)
+        assert result.candidates_evaluated >= 2

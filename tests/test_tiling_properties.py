@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for the tiling primitives.
+
+Two contracts the mapper stack silently leans on everywhere:
+
+* :func:`repro.mapping.dataflow.greedy_tile_counts` — chosen tile factors
+  always divide the remaining bounds (so tile products can never exceed
+  the padded dims) and the grown footprint stays within the byte budget;
+* :func:`repro.mapping.mapping.padded_bounds` — padding is 7-smooth and
+  *minimal* (no smaller 7-smooth integer would have covered the bound).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.dataflow import greedy_tile_counts
+from repro.mapping.factorization import divisors, smooth_pad
+from repro.mapping.mapping import padded_bounds, padded_bounds_tuple
+from repro.workloads.layers import LOOP_DIMS, LayerShape, OperatorType
+
+_OPERATORS = st.sampled_from(list(OperatorType))
+
+
+@st.composite
+def layers(draw):
+    operator = draw(_OPERATORS)
+    dims = tuple(draw(st.integers(1, 24)) for _ in LOOP_DIMS)
+    stride = 1 if operator is OperatorType.GEMM else draw(st.integers(1, 3))
+    return LayerShape(
+        name="prop", operator=operator, dims=dims, stride=stride
+    )
+
+
+@st.composite
+def tiling_inputs(draw):
+    layer = draw(layers())
+    bounds = padded_bounds_tuple(layer)
+    # remaining bounds at this level: any divisor of the padded bound
+    # (an upper level already claimed the complement).
+    remaining = tuple(
+        draw(st.sampled_from(divisors(bound))) for bound in bounds
+    )
+    order = draw(st.permutations(range(len(LOOP_DIMS))))
+    order = tuple(order[: draw(st.integers(0, len(LOOP_DIMS)))])
+    budget = draw(st.integers(0, 4096))
+    base_tile = tuple(draw(st.integers(1, 3)) for _ in LOOP_DIMS)
+    return layer, remaining, order, budget, base_tile
+
+
+def _footprint(layer, ext, bytes_per_element):
+    """Independent restatement of the documented I+W+O tile footprint."""
+    n, m, c, oy, ox, fy, fx = ext
+    dwise = layer.operator is OperatorType.DWCONV
+    w = m * (1 if dwise else c) * fy * fx
+    o = n * m * oy * ox
+    i = (
+        n
+        * (m if dwise else c)
+        * ((oy - 1) * layer.stride + fy)
+        * ((ox - 1) * layer.stride + fx)
+    )
+    return (i + w + o) * bytes_per_element
+
+
+class TestGreedyTileCounts:
+    @settings(max_examples=200, deadline=None)
+    @given(tiling_inputs())
+    def test_factors_divide_and_respect_bounds(self, inputs):
+        """Chosen factors divide the remaining bounds, so the product of
+        per-level tile counts can never exceed the padded dims; untouched
+        dims stay at 1."""
+        layer, remaining, order, budget, base_tile = inputs
+        chosen = greedy_tile_counts(layer, remaining, order, budget,
+                                    base_tile, 2)
+        for col, factor in enumerate(chosen):
+            assert remaining[col] % factor == 0
+            assert 1 <= factor <= remaining[col]
+            if col not in order:
+                assert factor == 1
+
+    @settings(max_examples=200, deadline=None)
+    @given(tiling_inputs())
+    def test_footprint_within_budget_or_unit(self, inputs):
+        """The grown tile fits the byte budget — except in the documented
+        degenerate case where even the unit tile overflows (the caller
+        rejects that candidate) and all factors stay 1."""
+        layer, remaining, order, budget, base_tile = inputs
+        chosen = greedy_tile_counts(layer, remaining, order, budget,
+                                    base_tile, 2)
+        ext = tuple(b * f for b, f in zip(base_tile, chosen))
+        if _footprint(layer, base_tile, 2) > budget:
+            assert chosen == (1,) * len(LOOP_DIMS)
+        else:
+            assert _footprint(layer, ext, 2) <= budget
+
+    @settings(max_examples=100, deadline=None)
+    @given(tiling_inputs())
+    def test_greedy_choices_are_maximal(self, inputs):
+        """Replay of the greedy contract: at each step of ``order``, the
+        next divisor above the chosen factor would have overflowed."""
+        layer, remaining, order, budget, base_tile = inputs
+        if _footprint(layer, base_tile, 2) > budget:
+            return
+        chosen = greedy_tile_counts(layer, remaining, order, budget,
+                                    base_tile, 2)
+        ext = list(base_tile)
+        for col in order:
+            opts = divisors(remaining[col])
+            factor = chosen[col]
+            ext[col] = base_tile[col] * factor
+            nxt = [f for f in opts if f > factor]
+            if nxt:
+                probe = list(ext)
+                probe[col] = base_tile[col] * nxt[0]
+                assert _footprint(layer, tuple(probe), 2) > budget
+
+
+class TestPaddedBounds:
+    @staticmethod
+    def _is_seven_smooth(n: int) -> bool:
+        for p in (2, 3, 5, 7):
+            while n % p == 0:
+                n //= p
+        return n == 1
+
+    @settings(max_examples=200, deadline=None)
+    @given(layers())
+    def test_padding_covers_and_is_smooth(self, layer):
+        padded = padded_bounds(layer)
+        for d in LOOP_DIMS:
+            assert padded[d] >= layer.dim(d)
+            assert self._is_seven_smooth(padded[d])
+
+    @settings(max_examples=200, deadline=None)
+    @given(layers())
+    def test_padding_is_minimal(self, layer):
+        """No smaller 7-smooth integer lies between the bound and its
+        padding (padded iterations are pure idle work, so every extra
+        unit costs utilization)."""
+        padded = padded_bounds(layer)
+        for d in LOOP_DIMS:
+            for candidate in range(layer.dim(d), padded[d]):
+                assert not self._is_seven_smooth(candidate)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(1, 2000))
+    def test_smooth_pad_agrees_with_tuple_api(self, n):
+        layer = LayerShape(
+            name="prop",
+            operator=OperatorType.GEMM,
+            dims=(1, n, 1, 1, 1, 1, 1),
+        )
+        assert padded_bounds_tuple(layer)[1] == smooth_pad(n)

@@ -1,0 +1,105 @@
+"""Tests for the deterministic design-point/mapping fuzzer."""
+
+import json
+
+import pytest
+
+import repro.verify.fuzzer as fuzzer_module
+from repro.verify.fuzzer import (
+    case_from_json,
+    case_to_json,
+    generate_case,
+    replay,
+    run_fuzz,
+    shrink_case,
+)
+from repro.workloads.layers import Dim
+
+
+class TestGeneration:
+    def test_generation_is_deterministic(self):
+        for index in (0, 7, 123):
+            assert generate_case(5, index) == generate_case(5, index)
+
+    def test_different_indices_differ(self):
+        cases = {repr(generate_case(0, i)) for i in range(20)}
+        assert len(cases) > 1
+
+    def test_case_round_trips_through_json(self):
+        case = generate_case(3, 11)
+        data = case_to_json(case, "oracle-diff", ["example"])
+        restored = case_from_json(json.loads(json.dumps(data)))
+        assert restored.layer == case.layer
+        assert restored.mapping == case.mapping
+        assert restored.config == case.config
+
+
+class TestCleanRun:
+    def test_fuzz_run_is_clean(self, tmp_path):
+        report = run_fuzz(120, seed=0, failures_dir=tmp_path)
+        assert report.cases == 120
+        assert report.feasible + report.infeasible + report.skipped == 120
+        assert report.feasible > 0
+        assert report.failures == []
+        assert report.ok
+        assert list(tmp_path.iterdir()) == []  # no repro files on success
+
+    def test_time_budget_stops_early(self, tmp_path):
+        report = run_fuzz(10_000, seed=0, failures_dir=tmp_path,
+                          time_budget_s=0.0)
+        assert report.cases < 10_000
+
+
+class TestFailurePath:
+    @pytest.fixture
+    def broken_compare(self, monkeypatch):
+        """Seed a fake divergence: any layer with FY > 1 'mismatches'."""
+
+        def fake_compare(layer, mapping, config):
+            if layer.dim(Dim.FY) > 1:
+                return [f"seeded divergence (FY={layer.dim(Dim.FY)})"]
+            return []
+
+        monkeypatch.setattr(fuzzer_module, "compare_layer", fake_compare)
+
+    def test_failures_are_shrunk_and_written(self, tmp_path, broken_compare):
+        report = run_fuzz(40, seed=0, failures_dir=tmp_path)
+        assert not report.ok
+        assert report.failures
+        for failure in report.failures:
+            assert failure.stage == "oracle-diff"
+            path = tmp_path / f"case_{failure.seed}_{failure.index}.json"
+            assert str(path) == failure.repro_path
+            data = json.loads(path.read_text())
+            assert data["stage"] == "oracle-diff"
+            assert data["messages"]
+            # shrinking collapsed everything irrelevant to the trigger:
+            # only FY (the seeded trigger) stays > 1.
+            dims = data["layer"]["dims"]
+            assert dims[5] > 1  # FY
+            assert all(d == 1 for i, d in enumerate(dims) if i != 5)
+
+    def test_shrunk_repro_replays(self, tmp_path, broken_compare):
+        report = run_fuzz(40, seed=0, failures_dir=tmp_path)
+        messages = replay(report.failures[0].repro_path)
+        assert messages
+        assert "oracle-diff" in messages[0]
+
+    def test_shrink_preserves_failure(self, broken_compare):
+        failing = next(
+            generate_case(0, i)
+            for i in range(200)
+            if generate_case(0, i).layer.dim(Dim.FY) > 1
+        )
+        shrunk, steps = shrink_case(failing, "oracle-diff")
+        assert steps > 0
+        assert shrunk.layer.dim(Dim.FY) > 1
+        assert shrunk.layer.macs <= failing.layer.macs
+
+    def test_repro_replays_clean_after_fix(self, tmp_path):
+        """Once the seeded bug is gone (no monkeypatch), the written repro
+        replays clean — the triage workflow's exit condition."""
+        case = generate_case(0, 1)
+        path = tmp_path / "case.json"
+        path.write_text(json.dumps(case_to_json(case, "oracle-diff", ["x"])))
+        assert replay(path) == []

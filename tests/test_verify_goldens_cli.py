@@ -1,0 +1,104 @@
+"""Tests for the golden traces and the `verify` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.verify.goldens import check_goldens, default_golden_dir
+
+
+class TestGoldens:
+    def test_committed_goldens_match(self, tmp_path):
+        """The pinned reference traces under tests/goldens/ reproduce on
+        the current code."""
+        report = check_goldens(tmp_path)
+        assert report.mismatches == []
+        assert report.ok and not report.updated
+
+    def test_update_then_check_round_trips(self, tmp_path):
+        golden_dir = tmp_path / "goldens"
+        updated = check_goldens(tmp_path / "w1", golden_dir=golden_dir,
+                                update=True)
+        assert updated.updated
+        assert (golden_dir / "tiny_campaign.jsonl").exists()
+        meta = json.loads((golden_dir / "tiny_campaign.json").read_text())
+        assert meta["schema"] == 1 and meta["fingerprint"]
+        checked = check_goldens(tmp_path / "w2", golden_dir=golden_dir)
+        assert checked.ok
+
+    def test_missing_goldens_reported(self, tmp_path):
+        report = check_goldens(tmp_path / "w", golden_dir=tmp_path / "empty")
+        assert not report.ok
+        assert any("missing" in m for m in report.mismatches)
+
+    def test_tampered_journal_detected(self, tmp_path):
+        golden_dir = tmp_path / "goldens"
+        check_goldens(tmp_path / "w1", golden_dir=golden_dir, update=True)
+        journal = golden_dir / "tiny_campaign.jsonl"
+        journal.write_bytes(journal.read_bytes().replace(b"0", b"1", 1))
+        report = check_goldens(tmp_path / "w2", golden_dir=golden_dir)
+        assert any("journal differs" in m for m in report.mismatches)
+
+    def test_tampered_fingerprint_detected(self, tmp_path):
+        golden_dir = tmp_path / "goldens"
+        check_goldens(tmp_path / "w1", golden_dir=golden_dir, update=True)
+        meta_path = golden_dir / "tiny_campaign.json"
+        meta = json.loads(meta_path.read_text())
+        meta["fingerprint"] = "tampered"
+        meta_path.write_text(json.dumps(meta))
+        report = check_goldens(tmp_path / "w2", golden_dir=golden_dir)
+        assert any("fingerprint differs" in m for m in report.mismatches)
+
+    def test_default_golden_dir_is_committed(self):
+        golden_dir = default_golden_dir()
+        assert (golden_dir / "tiny_campaign.jsonl").is_file()
+        assert (golden_dir / "tiny_campaign.json").is_file()
+
+
+class TestVerifyCli:
+    def test_parser_accepts_verify(self):
+        args = build_parser().parse_args(
+            ["verify", "--fuzz-iters", "10", "--seed", "3"]
+        )
+        assert args.command == "verify"
+        assert args.fuzz_iters == 10
+        assert args.seed == 3
+        assert not args.update_goldens
+
+    def test_verify_exits_zero_when_green(self, tmp_path, capsys):
+        """Acceptance criterion: the verify entry point runs the whole
+        pipeline and exits 0."""
+        code = main(
+            [
+                "verify",
+                "--fuzz-iters", "40",
+                "--failures-dir", str(tmp_path / "failures"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VERIFY PASS" in out
+        assert "sweep:" in out and "differential:" in out and "fuzz:" in out
+
+    def test_verify_exits_nonzero_on_failure(self, tmp_path, capsys,
+                                             monkeypatch):
+        """A seeded divergence must turn the exit code red."""
+        import repro.verify.fuzzer as fuzzer_module
+
+        monkeypatch.setattr(
+            fuzzer_module,
+            "compare_layer",
+            lambda layer, mapping, config: ["seeded divergence"],
+        )
+        code = main(
+            [
+                "verify",
+                "--fuzz-iters", "3",
+                "--failures-dir", str(tmp_path / "failures"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VERIFY FAIL" in out
+        assert (tmp_path / "failures").is_dir()

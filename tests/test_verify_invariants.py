@@ -1,0 +1,200 @@
+"""Tests for the bottleneck-tree invariant checker, including the
+mutation-style sweep over every combinator (satellite: each seeded
+mutant must be caught)."""
+
+import pytest
+
+from repro.core.bottleneck.analyzer import BottleneckFinding, analyze_tree
+from repro.core.bottleneck.tree import (
+    Node,
+    NodeOp,
+    add,
+    div,
+    leaf,
+    maximum,
+    mul,
+)
+from repro.verify.invariants import (
+    InvariantViolation,
+    assert_tree_invariants,
+    check_all,
+    check_findings,
+    check_mitigation,
+    check_tree,
+    recompute_value,
+    scale_at_path,
+)
+from repro.verify.runner import check_campaign_invariants
+
+
+def _sample_tree() -> Node:
+    """A tree exercising all four combinators with distinct leaf values,
+    chosen so every perturbed combinator yields a *different* value (no
+    mutant can hide behind a numerical coincidence)."""
+    return maximum(
+        "latency",
+        [
+            mul("t_comp", [leaf("dram_iters", 24.0), leaf("inner_cycles", 7.0)]),
+            add(
+                "t_noc",
+                [
+                    leaf("t_noc_I", 40.0),
+                    leaf("t_noc_W", 90.0),
+                    leaf("t_noc_O", 11.0),
+                ],
+            ),
+            div("t_dma", leaf("offchip_bytes", 600.0), leaf("dram_bpc", 4.0)),
+        ],
+    )
+
+
+class TestCheckTree:
+    def test_honest_tree_is_clean(self):
+        assert check_tree(_sample_tree()) == []
+
+    def test_real_campaign_trees_are_clean(self):
+        trees, violations = check_campaign_invariants(points=2, seed=3)
+        assert trees > 0
+        assert violations == []
+
+    def test_recompute_matches_node_value(self):
+        tree = _sample_tree()
+        for node in tree.walk():
+            assert recompute_value(node) == node.value
+
+    def test_negative_leaf_flagged(self):
+        tree = add("cost", [leaf("good", 5.0), leaf("bad", -1.0)])
+        violations = check_tree(tree)
+        assert any("negative" in v for v in violations)
+
+    def test_assert_wrapper_raises(self):
+        tree = add("cost", [leaf("good", 5.0), leaf("bad", -1.0)])
+        with pytest.raises(InvariantViolation):
+            assert_tree_invariants(tree)
+
+
+class _MutantNode(Node):
+    """A node whose combinator evaluation was perturbed — the seeded
+    mutants of the mutation test.  ``max`` becomes ``min``, ``add`` gains
+    an off-by-one, ``mul`` degrades to ``sum`` and ``div`` to ``mul``."""
+
+    @property
+    def value(self) -> float:
+        if self.op is NodeOp.LEAF:
+            return float(self.raw_value)
+        values = [c.value for c in self.children]
+        if self.op is NodeOp.MAX:
+            return min(values)
+        if self.op is NodeOp.ADD:
+            return sum(values) + 1.0
+        if self.op is NodeOp.MUL:
+            return sum(values)
+        numerator, denominator = values
+        return numerator * denominator
+
+
+def _mutate_node(root: Node, target: Node) -> Node:
+    """Clone the tree with ``target`` replaced by its mutant twin."""
+    if root is target:
+        return _MutantNode(
+            name=root.name,
+            op=root.op,
+            children=root.children,
+            raw_value=root.raw_value,
+        )
+    if not root.children:
+        return root
+    return Node(
+        name=root.name,
+        op=root.op,
+        children=tuple(_mutate_node(c, target) for c in root.children),
+        raw_value=root.raw_value,
+    )
+
+
+class TestCombinatorMutants:
+    def test_every_seeded_mutant_is_caught(self):
+        """Perturbing any single combinator anywhere in the tree must be
+        detected by the recomputation invariant."""
+        honest = _sample_tree()
+        internal = [n for n in honest.walk() if n.op is not NodeOp.LEAF]
+        assert {n.op for n in internal} == {
+            NodeOp.MAX,
+            NodeOp.ADD,
+            NodeOp.MUL,
+            NodeOp.DIV,
+        }
+        for target in internal:
+            mutant_tree = _mutate_node(honest, target)
+            # the perturbation must actually change the node's value...
+            assert mutant_tree.find(target.name).value != target.value
+            # ...and the checker must flag exactly that node.
+            violations = check_tree(mutant_tree)
+            assert violations, f"mutant at {target.name!r} not caught"
+            assert any(target.name in v for v in violations)
+
+    def test_mutant_detected_via_assert_wrapper(self):
+        honest = _sample_tree()
+        target = next(n for n in honest.walk() if n.op is NodeOp.MUL)
+        with pytest.raises(InvariantViolation):
+            assert_tree_invariants(_mutate_node(honest, target))
+
+
+class TestFindings:
+    def test_findings_of_sample_tree_are_clean(self):
+        tree = _sample_tree()
+        assert check_findings(tree) == []
+        for finding in analyze_tree(tree):
+            assert check_mitigation(tree, finding) == []
+
+    def test_bogus_path_flagged(self):
+        tree = _sample_tree()
+        findings = analyze_tree(tree)
+        bogus = BottleneckFinding(
+            node=findings[0].node,
+            path=("latency", "no_such_child"),
+            contribution=findings[0].contribution,
+            scaling=findings[0].scaling,
+        )
+        violations = check_findings(tree, [bogus])
+        assert any("does not exist" in v for v in violations)
+
+    def test_off_bottleneck_path_flagged(self):
+        """A finding pointing at a far-from-dominant max child violates
+        the argmax invariant."""
+        tree = _sample_tree()
+        weak = tree.find("t_dma")
+        assert weak.value < 0.99 * tree.value
+        finding = BottleneckFinding(
+            node=weak, path=("latency", "t_dma"), contribution=0.5, scaling=2.0
+        )
+        violations = check_findings(tree, [finding])
+        assert any("tie window" in v for v in violations)
+
+    def test_out_of_range_scaling_flagged(self):
+        tree = _sample_tree()
+        honest = analyze_tree(tree)[0]
+        bad = BottleneckFinding(
+            node=honest.node,
+            path=honest.path,
+            contribution=honest.contribution,
+            scaling=1.0,  # "no change" is not a mitigation
+        )
+        violations = check_findings(tree, [bad])
+        assert any("scaling" in v for v in violations)
+
+
+class TestScaleAtPath:
+    def test_scaling_the_bottleneck_reduces_the_root(self):
+        tree = _sample_tree()
+        finding = analyze_tree(tree)[0]
+        scaled = scale_at_path(tree, finding.path, 0.5)
+        assert scaled.value <= tree.value
+        assert scaled.find(finding.path[-1]).value == finding.node.value * 0.5
+
+    def test_unknown_path_raises(self):
+        with pytest.raises(InvariantViolation):
+            scale_at_path(_sample_tree(), ("latency", "nope"), 0.5)
+
+    def test_check_all_composes(self):
+        assert check_all(_sample_tree()) == []
