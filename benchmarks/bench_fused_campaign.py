@@ -1,0 +1,258 @@
+"""CI benchmark: fused cross-layer campaign step vs the per-layer batch path.
+
+Runs one campaign step (a cold full-model TopNMapper search over every
+ResNet18 layer) through the per-layer batch kernels (the PR 2 fast
+path) and through the fused cross-layer block (``REPRO_FUSED_EVAL``),
+checks the results are bit-identical, and writes the timings to a JSON
+artifact so CI runs can be compared over time::
+
+    PYTHONPATH=src python benchmarks/bench_fused_campaign.py \
+        --out BENCH_fused.json
+
+The acceptance floor (fused >= 3x over the per-layer batch path) is
+enforced here *and* in :mod:`benchmarks.test_perf_fused_campaign`.
+
+A chaos case rides along (``--chaos``, on by default): the campaign's
+mapping cache is backed by a cross-process cache plane, one plane
+segment is corrupted "mid-campaign" (between two campaign processes),
+and the second process must quarantine the bad segment — warning, not
+crashing — and recompute bit-identical results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+import warnings
+
+from repro.arch import build_edge_design_space, config_from_point
+from repro.cost.evaluator import CostEvaluator
+from repro.cost.fused import search_layers_fused
+from repro.mapping.mapper import TopNMapper
+from repro.perf.cache_plane import CachePlane
+from repro.perf.mapping_cache import MappingCache
+from repro.workloads import load_workload
+
+MODEL = "resnet18"
+TOP_N = 150
+REPS = 3
+MIN_SPEEDUP = 3.0
+
+
+def _mid_point():
+    point = build_edge_design_space().minimum_point()
+    point.update(
+        pes=1024,
+        l1_bytes=256,
+        l2_kb=512,
+        offchip_bw_mbps=8192,
+        noc_datawidth=128,
+    )
+    for op in ("I", "W", "O", "PSUM"):
+        point[f"phys_unicast_{op}"] = 16
+        point[f"virt_unicast_{op}"] = 64
+    return point
+
+
+def _batch_sweep(workload, config):
+    """Best-of-REPS per-layer batch-kernel search (the PR 2 path)."""
+    best_seconds = float("inf")
+    results = None
+    for _ in range(REPS):
+        mapper = TopNMapper(top_n=TOP_N, batch_eval=True)
+        start = time.perf_counter()
+        run = [mapper(layer, config) for layer in workload.layers]
+        elapsed = time.perf_counter() - start
+        if elapsed < best_seconds:
+            best_seconds, results = elapsed, run
+    return best_seconds, results
+
+
+def _fused_sweep(workload, config):
+    """Best-of-REPS fused cross-layer search (one SoA block per step)."""
+    best_seconds = float("inf")
+    results = None
+    stats = None
+    for _ in range(REPS):
+        mapper = TopNMapper(top_n=TOP_N, batch_eval=True)
+        start = time.perf_counter()
+        fused, remaining = search_layers_fused(
+            mapper, list(workload.layers), config, stats=mapper.batch_stats
+        )
+        elapsed = time.perf_counter() - start
+        if remaining:
+            raise RuntimeError(
+                f"fused path left {len(remaining)} layers unhandled"
+            )
+        if elapsed < best_seconds:
+            best_seconds = elapsed
+            results = [result for _layer, result in fused]
+            stats = mapper.batch_stats
+    return best_seconds, results, stats
+
+
+def _identical(a, b):
+    return (
+        a.mapping == b.mapping
+        and a.execution == b.execution
+        and a.candidates_evaluated == b.candidates_evaluated
+        and a.feasible_candidates == b.feasible_candidates
+    )
+
+
+def _plane_chaos(workload, point) -> dict:
+    """Corrupt a cache-plane segment between two campaign processes; the
+    second must quarantine it and still match the first bit-for-bit."""
+    with tempfile.TemporaryDirectory(prefix="fused-plane-chaos-") as plane_dir:
+        first = CostEvaluator(
+            workload,
+            TopNMapper(top_n=TOP_N, batch_eval=True),
+            mapping_cache=MappingCache(plane=CachePlane(plane_dir)),
+            fused_eval=True,
+        )
+        reference = first.evaluate(point)
+        first.close()
+
+        segments = [
+            name for name in os.listdir(plane_dir) if name.endswith(".seg")
+        ]
+        for name in segments:
+            path = os.path.join(plane_dir, name)
+            with open(path, "r+b") as handle:
+                handle.seek(os.path.getsize(path) // 2)
+                handle.write(b"\xde\xad\xbe\xef")
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            second = CostEvaluator(
+                workload,
+                TopNMapper(top_n=TOP_N, batch_eval=True),
+                mapping_cache=MappingCache(plane=CachePlane(plane_dir)),
+                fused_eval=True,
+            )
+            recomputed = second.evaluate(point)
+        quarantine_warnings = [
+            str(w.message)
+            for w in caught
+            if "cache-plane segment is corrupt" in str(w.message)
+        ]
+        plane_stats = second.mapping_cache.plane.stats
+        second.close()
+        return {
+            "segments_corrupted": len(segments),
+            "segments_quarantined": plane_stats.segments_quarantined,
+            "quarantine_warned": bool(quarantine_warnings),
+            "results_identical": recomputed.costs == reference.costs
+            and all(
+                reference.layer_results[name].latency
+                == recomputed.layer_results[name].latency
+                for name in reference.layer_results
+            ),
+        }
+
+
+def run(chaos: bool = True, chaos_only: bool = False) -> dict:
+    workload = load_workload(MODEL)
+    point = _mid_point()
+    config = config_from_point(point)
+
+    if chaos_only:
+        return {
+            "benchmark": "fused_campaign_plane_chaos",
+            "model": MODEL,
+            "top_n": TOP_N,
+            "layers": len(workload.layers),
+            "python": platform.python_version(),
+            "plane_chaos": _plane_chaos(workload, point),
+        }
+
+    batch_seconds, batch_results = _batch_sweep(workload, config)
+    fused_seconds, fused_results, fused_stats = _fused_sweep(workload, config)
+    identical = all(
+        _identical(a, b) for a, b in zip(batch_results, fused_results)
+    )
+
+    record = {
+        "benchmark": "fused_campaign",
+        "model": MODEL,
+        "top_n": TOP_N,
+        "layers": len(workload.layers),
+        "reps": REPS,
+        "python": platform.python_version(),
+        "candidates": fused_stats.fused_candidates,
+        "batch_seconds": round(batch_seconds, 4),
+        "fused_seconds": round(fused_seconds, 4),
+        "speedup": round(batch_seconds / fused_seconds, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "fused_blocks": fused_stats.fused_blocks,
+        "fused_fallbacks": fused_stats.fused_fallbacks,
+        "results_identical": identical,
+    }
+    if chaos:
+        record["plane_chaos"] = _plane_chaos(workload, point)
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default="BENCH_fused.json",
+        help="JSON artifact path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-chaos",
+        action="store_true",
+        help="skip the cache-plane corruption case",
+    )
+    parser.add_argument(
+        "--chaos-only",
+        action="store_true",
+        help="run only the cache-plane corruption case (no timing floor)",
+    )
+    args = parser.parse_args()
+    record = run(chaos=not args.no_chaos, chaos_only=args.chaos_only)
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    chaos = record.get("plane_chaos")
+    if args.chaos_only:
+        print(
+            f"{record['model']}: plane chaos: quarantined="
+            f"{chaos['segments_quarantined']}, identical="
+            f"{chaos['results_identical']} -> {args.out}"
+        )
+        return (
+            0
+            if chaos["quarantine_warned"] and chaos["results_identical"]
+            else 1
+        )
+    print(
+        f"{record['model']}: batch {record['batch_seconds']}s, "
+        f"fused {record['fused_seconds']}s ({record['speedup']}x, "
+        f"floor {MIN_SPEEDUP}x), results identical: "
+        f"{record['results_identical']}"
+        + (
+            f"; plane chaos: quarantined="
+            f"{chaos['segments_quarantined']}, identical="
+            f"{chaos['results_identical']}"
+            if chaos
+            else ""
+        )
+        + f" -> {args.out}"
+    )
+    if not record["results_identical"]:
+        return 1
+    if chaos and not (
+        chaos["quarantine_warned"] and chaos["results_identical"]
+    ):
+        return 1
+    return 0 if record["speedup"] >= MIN_SPEEDUP else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

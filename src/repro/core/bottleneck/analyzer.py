@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.core.bottleneck import compile as _compile
 from repro.core.bottleneck.tree import Node, NodeOp
 
 __all__ = ["BottleneckFinding", "analyze_tree", "DEFAULT_SCALING"]
@@ -87,7 +88,18 @@ def analyze_tree(
         specific).  The caller cross-references finding names against the
         bottleneck model's affected-parameter dictionary.
     """
-    total = root.value
+    # With REPRO_TREE_COMPILE on, one compiled pass yields every subtree
+    # value; the contribution walk below reads child values at every
+    # level, so this turns O(nodes x depth) evaluations into O(nodes).
+    # Values are bit-identical to the recursive walk either way.
+    values_by_id = _compile.evaluate_all(root) if _compile.enabled() else None
+
+    def _value(node: Node) -> float:
+        if values_by_id is not None:
+            return values_by_id[id(node)]
+        return node.value
+
+    total = _value(root)
     if total <= 0 or not math.isfinite(total):
         return []
 
@@ -113,7 +125,7 @@ def analyze_tree(
         )
         if node.op is NodeOp.LEAF:
             return
-        values = [child.value for child in node.children]
+        values = [_value(child) for child in node.children]
         if node.op is NodeOp.MAX:
             # Contribution concentrates on the arg-max child; its scaling
             # balances it against the runner-up factor.  Children tied

@@ -14,6 +14,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
+from repro.core.bottleneck import compile as _compile
+
 __all__ = ["NodeOp", "Node", "leaf", "add", "mul", "div", "maximum"]
 
 
@@ -65,9 +67,17 @@ class Node:
 
     @property
     def value(self) -> float:
-        """Evaluate the subtree (leaves must be populated)."""
+        """Evaluate the subtree (leaves must be populated).
+
+        With ``REPRO_TREE_COMPILE`` on (the default) the subtree runs
+        through the memoized flat postfix program of
+        :mod:`repro.core.bottleneck.compile` — bit-identical to the
+        recursive reference walk below, without Python recursion.
+        """
         if self.op is NodeOp.LEAF:
             return float(self.raw_value)
+        if _compile.enabled():
+            return _compile.evaluate_node(self)
         child_values = [c.value for c in self.children]
         if self.op is NodeOp.MAX:
             return max(child_values)

@@ -61,6 +61,9 @@ __all__ = [
     "int64_safe",
     "evaluate_layer_batch",
     "evaluate_layer_mappings_batch",
+    "tile_elements_rows",
+    "relevant_prod_rows",
+    "reuse_rows",
     "BatchLayerEvaluation",
     "FEASIBLE",
     "FAIL_PES",
@@ -142,6 +145,73 @@ def _tile_elements(
         Operand.W: m * w_channels * fy * fx,
         Operand.O: n_ * m * oy * ox,
     }
+
+
+def tile_elements_rows(
+    tile: np.ndarray, stride: np.ndarray, dwise: np.ndarray
+) -> Dict[Operand, np.ndarray]:
+    """Row-varying twin of :func:`_tile_elements` for fused blocks.
+
+    ``stride``/``dwise`` are per-row layer attributes; the arithmetic is
+    the scalar model's verbatim (all int64, so the ``np.where`` channel
+    selection is exact).
+    """
+    n_, m, c = tile[:, _COL[Dim.N]], tile[:, _COL[Dim.M]], tile[:, _COL[Dim.C]]
+    oy, ox = tile[:, _COL[Dim.OY]], tile[:, _COL[Dim.OX]]
+    fy, fx = tile[:, _COL[Dim.FY]], tile[:, _COL[Dim.FX]]
+    w_channels = np.where(dwise, 1, c)
+    i_channels = np.where(dwise, m, c)
+    rows = (oy - 1) * stride + fy
+    cols = (ox - 1) * stride + fx
+    return {
+        Operand.I: n_ * i_channels * rows * cols,
+        Operand.W: m * w_channels * fy * fx,
+        Operand.O: n_ * m * oy * ox,
+    }
+
+
+def relevant_prod_rows(
+    operators: Sequence[OperatorType],
+    opcode: np.ndarray,
+    factors: np.ndarray,
+    operand: Operand,
+) -> np.ndarray:
+    """Row-wise product of ``factors`` over the dims indexing ``operand``,
+    with the operator (and therefore the relevant-dim set) varying per row
+    (``opcode`` indexes ``operators``)."""
+    out = np.ones(factors.shape[0], dtype=np.int64)
+    for code, operator in enumerate(operators):
+        mask = opcode == code
+        if not mask.any():
+            continue
+        cols = [_COL[d] for d in _relevant_dims(operator, operand)]
+        out[mask] = _prod_cols(factors[mask], cols)
+    return out
+
+
+def reuse_rows(
+    operators: Sequence[OperatorType],
+    opcode: np.ndarray,
+    factors: np.ndarray,
+    codes: np.ndarray,
+    operand: Operand,
+) -> np.ndarray:
+    """Row-varying twin of :func:`_reuse`: per-row temporal reuse of
+    ``operand`` when both the stationary choice *and* the operator differ
+    row to row (masks over the operator x stationary product)."""
+    out = np.ones(factors.shape[0], dtype=np.int64)
+    for code, operator in enumerate(operators):
+        op_mask = opcode == code
+        if not op_mask.any():
+            continue
+        for st_code, stationary in enumerate(STATIONARY_CHOICES):
+            mask = op_mask & (codes == st_code)
+            if not mask.any():
+                continue
+            free = [_COL[d] for d in _free_dims(operator, stationary, operand)]
+            if free:
+                out[mask] = _prod_cols(factors[mask], free)
+    return out
 
 
 def _reuse(

@@ -37,6 +37,7 @@ from repro.cost.energy import EnergyBreakdown, layer_energy
 from repro.cost.power import PowerBreakdown, max_power
 from repro.cost.technology import TECH_45NM, TechnologyModel
 from repro.perf.instrumentation import StageTimers
+from repro.perf.knobs import fused_eval_enabled, tree_compile_enabled
 from repro.perf.mapping_cache import CachingMapper, MappingCache, shared_cache
 from repro.perf.parallel import WorkerPool
 from repro.perf.signature import supports_tracing
@@ -136,6 +137,13 @@ class CostEvaluator:
         tracer: Telemetry tracer; uncached evaluations run inside an
             ``evaluate_point`` span (timings only — spans never emit
             journal events, so traces stay deterministic).
+        fused_eval: Resolve all pending layers of a design point through
+            one fused cross-layer kernel pass (:mod:`repro.cost.fused`)
+            instead of per-layer mapper calls.  ``None`` (default) defers
+            to ``REPRO_FUSED_EVAL`` (default off); results are
+            bit-identical either way.  Only applies on the serial path —
+            a parallel worker pool takes precedence — and only to mappers
+            supporting the candidate-plan protocol.
     """
 
     def __init__(
@@ -150,6 +158,7 @@ class CostEvaluator:
         mapping_cache: Optional[MappingCache] = None,
         use_mapping_cache: Optional[bool] = None,
         tracer: Optional[Tracer] = None,
+        fused_eval: Optional[bool] = None,
     ):
         self.workload = workload
         self.mapper = mapper
@@ -163,6 +172,7 @@ class CostEvaluator:
         self.total_seconds = 0.0
         self.timers = StageTimers()
         self._pool = WorkerPool(jobs=jobs, mode=executor_mode)
+        self._fused_eval = fused_eval
         self.retry_policy = RetryPolicy.from_env()
 
         if use_mapping_cache is None:
@@ -275,6 +285,7 @@ class CostEvaluator:
                     cm.store(layer, config, result, trace)
                 results[layer.name] = result
         else:
+            pending = self._optimize_layers_fused(config, pending, results)
             mapper = cm if cm is not None else self.mapper
             for layer in pending:
                 inject("mapper", key=layer.name)
@@ -291,6 +302,63 @@ class CostEvaluator:
         return {
             layer.name: results[layer.name] for layer in self.workload.layers
         }
+
+    def _optimize_layers_fused(
+        self,
+        config: AcceleratorConfig,
+        pending: list,
+        results: Dict[str, "MappingResult"],
+    ) -> list:
+        """Serial-path fused fast path: resolve pending layers through one
+        cross-layer kernel pass (``repro.cost.fused``) when enabled.
+
+        Fills ``results`` with the fused layers' (bit-identical) outcomes
+        and returns the layers the per-layer loop must still handle —
+        everything, when the path is off, unsupported, or fails.  Fused
+        results feed the mapping cache's exact tier (the fused path skips
+        re-scorable traces); fault injection fires per layer before the
+        block evaluates, matching the per-layer loop's injection points.
+        """
+        if not pending or not fused_eval_enabled(self._fused_eval):
+            return pending
+        import repro.cost.fused as _fused
+
+        cm = self._caching_mapper
+        mapper = cm.mapper if cm is not None else self.mapper
+        if not _fused.supports_fused(mapper):
+            return pending
+        for layer in pending:
+            inject("mapper", key=layer.name)
+        try:
+            fused, remaining = _fused.search_layers_fused(
+                mapper, pending, config, stats=self.batch_eval_stats
+            )
+        except (KeyboardInterrupt, SystemExit, ReproError):
+            raise
+        except Exception as exc:
+            # The safe path must win over a fast-path defect: warn and
+            # hand every layer back to the per-layer reference loop.
+            import warnings
+
+            warnings.warn(
+                f"fused cross-layer evaluation failed "
+                f"({type(exc).__name__}: {exc}); falling back to the "
+                f"per-layer search",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            stats = self.batch_eval_stats
+            if stats is not None:
+                for _ in pending:
+                    stats.record_fused_fallback()
+            return pending
+        for layer, result in fused:
+            if cm is not None:
+                cm.misses += 1
+                cm.cache.stats.misses += 1
+                cm.store(layer, config, result, None)
+            results[layer.name] = result
+        return remaining
 
     def _evaluate_uncached(self, point: DesignPoint) -> Evaluation:
         config = config_from_point(
@@ -390,7 +458,9 @@ class CostEvaluator:
 
     def perf_summary(self) -> Dict[str, object]:
         """Instrumentation snapshot: timers, throughput, cache counters."""
+        from repro.core.bottleneck import compile as tree_compile
         from repro.cost.batch import batch_eval_enabled
+        from repro.cost.fused import supports_fused
 
         cm = self._caching_mapper
         stats = self.batch_eval_stats
@@ -398,9 +468,27 @@ class CostEvaluator:
             "supported": stats is not None,
             "enabled": stats is not None
             and batch_eval_enabled(getattr(self.mapper, "batch_eval", None)),
+            "fused_supported": supports_fused(self.mapper),
+            "fused_enabled": fused_eval_enabled(self._fused_eval)
+            and supports_fused(self.mapper),
         }
         if stats is not None:
             batch_section.update(stats.as_dict())
+        # NOTE: the tree_compile counters are process-global (the program
+        # memo outlives any one campaign), so the whole section is listed
+        # in repro.telemetry's volatile keys and never enters journals.
+        tree_section: Dict[str, object] = {
+            "enabled": tree_compile_enabled(),
+        }
+        tree_section.update(tree_compile.stats().as_dict())
+        plane = self.mapping_cache.plane if self.mapping_cache else None
+        # NOTE: the plane counters depend on which process warmed the
+        # shared segments first, so "plane" is a telemetry-volatile key.
+        plane_section: Dict[str, object] = {"enabled": plane is not None}
+        if plane is not None:
+            plane_section.update(plane.stats.as_dict())
+            plane_section["segments"] = plane.segment_count()
+            plane_section["entries"] = plane.entry_count()
         return {
             "evaluations": self.evaluations,
             "calls": self.calls,
@@ -420,8 +508,10 @@ class CostEvaluator:
                 "traces": self.mapping_cache.trace_count()
                 if self.mapping_cache
                 else 0,
+                "plane": plane_section,
             },
             "batch_eval": batch_section,
+            "tree_compile": tree_section,
         }
 
     def reset_counters(self) -> None:

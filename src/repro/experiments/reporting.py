@@ -110,6 +110,17 @@ def format_run_summary(result, evaluator=None) -> str:
                         f"({batch['int64_fallbacks']} int64 fallbacks)"
                     )
                 lines.append("batch eval: " + ", ".join(parts))
+                if batch.get("fused_blocks"):
+                    fused = (
+                        f"fused eval: {batch['fused_candidates']} candidates "
+                        f"in {batch['fused_blocks']} cross-layer blocks "
+                        f"({batch['fused_layers']} layer searches)"
+                    )
+                    if batch["fused_fallbacks"]:
+                        fused += (
+                            f", {batch['fused_fallbacks']} per-layer fallbacks"
+                        )
+                    lines.append(fused)
             else:
                 lines.append("batch eval: disabled (scalar reference path)")
     return "\n".join(lines)

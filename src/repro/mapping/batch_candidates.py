@@ -33,9 +33,15 @@ from repro.mapping.mapping import (
     Level,
     Mapping,
 )
-from repro.workloads.layers import LOOP_DIMS, Dim, Operand
+from repro.workloads.layers import (
+    LOOP_DIMS,
+    Dim,
+    LayerShape,
+    Operand,
+    OperatorType,
+)
 
-__all__ = ["CandidateSpec", "CandidateBatch"]
+__all__ = ["CandidateSpec", "CandidateBatch", "FusedCandidateBlock"]
 
 #: Stationary-operand code of each :data:`STATIONARY_CHOICES` member.
 STATIONARY_CODES = {op: i for i, op in enumerate(STATIONARY_CHOICES)}
@@ -160,3 +166,111 @@ class CandidateBatch:
     def mapping(self, i: int) -> Mapping:
         """The :class:`Mapping` object of candidate ``i``."""
         return self.specs[i].to_mapping()
+
+
+@dataclass(frozen=True)
+class FusedCandidateBlock:
+    """Every layer's candidate set of one design point, as one SoA block.
+
+    Concatenates per-layer :class:`CandidateBatch` arrays row-wise and
+    broadcasts each layer's shape attributes (stride, depthwise flag,
+    operator, MAC count) to per-row arrays, so the fused kernels in
+    :mod:`repro.cost.fused` evaluate the whole campaign step —
+    ``sum(candidates over layers)`` rows — in single array passes instead
+    of one kernel invocation per layer.
+
+    Attributes:
+        layers: The fused layers, in evaluation order.
+        batches: The originating per-layer batches (winner mappings are
+            materialized back through them).
+        offsets: Row-range bounds; layer ``k`` owns rows
+            ``offsets[k]:offsets[k + 1]``.
+        dram/spm/spatial/rf: ``(n, 7)`` int64 factor arrays (``LOOP_DIMS``
+            columns), ``n`` summed over layers.
+        dram_code/spm_code: ``(n,)`` stationary-operand codes.
+        stride: ``(n,)`` int64 per-row layer stride.
+        dwise: ``(n,)`` bool per-row depthwise flag.
+        opcode: ``(n,)`` int64 index into :attr:`operators`.
+        macs: ``(n,)`` int64 per-row layer MAC count.
+        operators: Distinct :class:`OperatorType` members present, in
+            first-appearance order (the fused kernels mask rows by code).
+    """
+
+    layers: Tuple[LayerShape, ...]
+    batches: Tuple[CandidateBatch, ...]
+    offsets: Tuple[int, ...]
+    dram: np.ndarray
+    spm: np.ndarray
+    spatial: np.ndarray
+    rf: np.ndarray
+    dram_code: np.ndarray
+    spm_code: np.ndarray
+    stride: np.ndarray
+    dwise: np.ndarray
+    opcode: np.ndarray
+    macs: np.ndarray
+    operators: Tuple[OperatorType, ...]
+
+    @classmethod
+    def from_layer_batches(
+        cls,
+        layers: Sequence[LayerShape],
+        batches: Sequence[CandidateBatch],
+    ) -> "FusedCandidateBlock":
+        """Concatenate per-layer batches into one block (row counts may
+        differ per layer; empty batches contribute an empty row range)."""
+        if len(layers) != len(batches):
+            raise ValueError(
+                f"layer/batch count mismatch: {len(layers)} layers, "
+                f"{len(batches)} batches"
+            )
+        counts = [len(b) for b in batches]
+        offsets = [0]
+        for count in counts:
+            offsets.append(offsets[-1] + count)
+        operators: list = []
+        codes = []
+        for layer in layers:
+            if layer.operator not in operators:
+                operators.append(layer.operator)
+            codes.append(operators.index(layer.operator))
+        counts_arr = np.asarray(counts, dtype=np.int64)
+
+        def _concat(field: str) -> np.ndarray:
+            return np.concatenate([getattr(b, field) for b in batches])
+
+        return cls(
+            layers=tuple(layers),
+            batches=tuple(batches),
+            offsets=tuple(offsets),
+            dram=_concat("dram"),
+            spm=_concat("spm"),
+            spatial=_concat("spatial"),
+            rf=_concat("rf"),
+            dram_code=_concat("dram_code"),
+            spm_code=_concat("spm_code"),
+            stride=np.repeat(
+                np.asarray([l.stride for l in layers], dtype=np.int64),
+                counts_arr,
+            ),
+            dwise=np.repeat(
+                np.asarray(
+                    [l.operator is OperatorType.DWCONV for l in layers],
+                    dtype=bool,
+                ),
+                counts_arr,
+            ),
+            opcode=np.repeat(np.asarray(codes, dtype=np.int64), counts_arr),
+            macs=np.repeat(
+                np.asarray([l.macs for l in layers], dtype=np.int64),
+                counts_arr,
+            ),
+            operators=tuple(operators),
+        )
+
+    def __len__(self) -> int:
+        return self.offsets[-1]
+
+    def rows(self, layer_index: int) -> slice:
+        """Row range owned by layer ``layer_index``."""
+        return slice(self.offsets[layer_index], self.offsets[layer_index + 1])

@@ -11,6 +11,7 @@ searched.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.arch.accelerator import AcceleratorConfig
@@ -67,8 +68,32 @@ def greedy_tile_counts(
     call this hundreds of times per layer search) stay off the
     dict-of-enums hot path.
     """
-    stride = layer.stride
-    dwise = layer.operator is OperatorType.DWCONV
+    # The layer enters the footprint only via its stride and whether it
+    # is depthwise, so the whole computation lives in hashable-scalar
+    # domain and memoizes across the campaign (layers repeat shapes and
+    # the greedy growth revisits the same (remaining, budget) states for
+    # every spatial unrolling).
+    return _greedy_tile_counts_cached(
+        layer.stride,
+        layer.operator is OperatorType.DWCONV,
+        tuple(remaining),
+        tuple(order),
+        byte_budget,
+        tuple(base_tile),
+        bytes_per_element,
+    )
+
+
+@functools.lru_cache(maxsize=65536)
+def _greedy_tile_counts_cached(
+    stride: int,
+    dwise: bool,
+    remaining: Tuple[int, ...],
+    order: Tuple[int, ...],
+    byte_budget: int,
+    base_tile: Tuple[int, ...],
+    bytes_per_element: int,
+) -> Tuple[int, ...]:
     chosen = [1] * len(LOOP_DIMS)
     ext = list(base_tile)
 

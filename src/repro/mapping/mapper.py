@@ -12,6 +12,7 @@ random search").
 
 from __future__ import annotations
 
+import functools
 import itertools
 import random
 import time
@@ -174,6 +175,67 @@ def _log_spaced(values: Sequence[int], keep: int) -> Tuple[int, ...]:
     return tuple(values[i] for i in sorted(picks))
 
 
+#: ``LOOP_DIMS`` column of each spatially unrollable dim.
+_SPATIAL_COLS = tuple(LOOP_DIMS.index(d) for d in SPATIAL_DIMS)
+
+
+@functools.lru_cache(maxsize=4096)
+def _spatial_unrollings_cached(
+    spatial_bounds: Tuple[int, ...],
+    pes: int,
+    max_options_per_dim: int,
+    max_combos: int,
+) -> Tuple[Tuple[int, ...], ...]:
+    """Tuple-domain core of :func:`enumerate_spatial_unrollings`, memoized.
+
+    The pruned unrolling set depends only on the padded spatial bounds
+    and the PE budget, and a campaign re-enumerates the same handful of
+    layer shapes for every design point — the same repetition hazard the
+    ``padded_bounds`` memoization addresses.  Returned tuples are in
+    ``LOOP_DIMS`` order.
+    """
+    options = []
+    for bound in spatial_bounds:
+        divs = [f for f in divisors(bound) if f <= pes]
+        options.append(_log_spaced(divs, max_options_per_dim))
+
+    combos: List[Tuple[int, Tuple[int, ...]]] = []
+    for picks in itertools.product(*options):
+        used = 1
+        for f in picks:
+            used *= f
+        if used > pes:
+            continue
+        spatial = [1] * len(LOOP_DIMS)
+        for col, f in zip(_SPATIAL_COLS, picks):
+            spatial[col] = f
+        combos.append((used, tuple(spatial)))
+
+    combos.sort(key=lambda item: -item[0])
+    # Keep a spread across utilization tiers (power-of-two buckets of PEs
+    # used), preferring high occupancy but retaining mid/low unrollings:
+    # NoC link limits often rule out the widest unrollings, and adaptive
+    # threshold adjustment (paper §4.8) must still find executable ones.
+    buckets: Dict[int, int] = {}
+    per_bucket = max(2, max_combos // 8)
+    kept: List[Tuple[int, ...]] = []
+    for used, spatial in combos:
+        if used < 2:
+            continue
+        bucket = used.bit_length()
+        if buckets.get(bucket, 0) >= per_bucket:
+            continue
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+        kept.append(spatial)
+        if len(kept) >= max_combos - 1:
+            break
+    # The purely temporal mapping is always NoC-compatible; keep it as a
+    # fallback so adaptive mapping can execute on any hardware (fixed
+    # dataflows lack this escape hatch — paper §6.2).
+    kept.append((1,) * len(LOOP_DIMS))
+    return tuple(kept)
+
+
 def enumerate_spatial_unrollings(
     layer: LayerShape,
     config: AcceleratorConfig,
@@ -190,47 +252,13 @@ def enumerate_spatial_unrollings(
     ``max_combos`` highest-occupancy ones.
     """
     bounds = padded_bounds(layer)
-    options: Dict[Dim, Tuple[int, ...]] = {}
-    for d in SPATIAL_DIMS:
-        divs = [f for f in divisors(bounds[d]) if f <= config.pes]
-        options[d] = _log_spaced(divs, max_options_per_dim)
-
-    combos: List[Tuple[int, Dict[Dim, int]]] = []
-    for picks in itertools.product(*(options[d] for d in SPATIAL_DIMS)):
-        used = 1
-        for f in picks:
-            used *= f
-        if used > config.pes:
-            continue
-        spatial = {d: 1 for d in LOOP_DIMS}
-        for d, f in zip(SPATIAL_DIMS, picks):
-            spatial[d] = f
-        combos.append((used, spatial))
-
-    combos.sort(key=lambda item: -item[0])
-    no_unrolling = {d: 1 for d in LOOP_DIMS}
-    # Keep a spread across utilization tiers (power-of-two buckets of PEs
-    # used), preferring high occupancy but retaining mid/low unrollings:
-    # NoC link limits often rule out the widest unrollings, and adaptive
-    # threshold adjustment (paper §4.8) must still find executable ones.
-    buckets: Dict[int, int] = {}
-    per_bucket = max(2, max_combos // 8)
-    kept: List[Dict[Dim, int]] = []
-    for used, spatial in combos:
-        if used < 2:
-            continue
-        bucket = used.bit_length()
-        if buckets.get(bucket, 0) >= per_bucket:
-            continue
-        buckets[bucket] = buckets.get(bucket, 0) + 1
-        kept.append(spatial)
-        if len(kept) >= max_combos - 1:
-            break
-    # The purely temporal mapping is always NoC-compatible; keep it as a
-    # fallback so adaptive mapping can execute on any hardware (fixed
-    # dataflows lack this escape hatch — paper §6.2).
-    kept.append(no_unrolling)
-    return kept
+    kept = _spatial_unrollings_cached(
+        tuple(bounds[d] for d in SPATIAL_DIMS),
+        config.pes,
+        max_options_per_dim,
+        max_combos,
+    )
+    return [dict(zip(LOOP_DIMS, spatial)) for spatial in kept]
 
 
 def _tiling_candidates(
@@ -309,9 +337,12 @@ def _candidates_for_spatial(
             )
             dram = tuple(r // f for r, f in zip(remaining1, spm))
             structure = (spatial_t, rf, spm)
-            for dram_code, dram_st in enumerate(STATIONARY_CHOICES):
-                for spm_code, spm_st in enumerate(STATIONARY_CHOICES):
-                    key = structure + (dram_st, spm_st)
+            # Dedup keys carry the int stationary codes, not the Operand
+            # members: the codes are bijective with the choices, and enum
+            # hashing dominated the structure-dedup set at scale.
+            for dram_code in range(len(STATIONARY_CHOICES)):
+                for spm_code in range(len(STATIONARY_CHOICES)):
+                    key = structure + (dram_code, spm_code)
                     yield key, CandidateSpec(
                         dram=dram,
                         spm=spm,
@@ -566,18 +597,30 @@ class TopNMapper:
         """Cache identity of this mapper (see ``repro.perf.signature``)."""
         return (self.name, self.top_n, self.max_spatial, self.objective)
 
-    def search_with_trace(
+    def candidate_plan(
         self, layer: LayerShape, config: AcceleratorConfig
-    ) -> Tuple[MappingResult, SearchTrace]:
+    ) -> Tuple[Iterable[CandidateSpec], int]:
+        """The candidate stream and evaluation budget of one search.
+
+        This is the fused-evaluation protocol (``repro.cost.fused``): a
+        caller may materialize up to ``budget`` specs from the stream and
+        score them itself; consuming the plan is exactly equivalent to
+        :meth:`search_with_trace`'s own candidate enumeration.
+        """
         spatial_choices = enumerate_spatial_unrollings(
             layer, config, max_combos=self.max_spatial
         )
-        candidates = _tiling_candidates(layer, config, spatial_choices)
+        return _tiling_candidates(layer, config, spatial_choices), self.top_n
+
+    def search_with_trace(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> Tuple[MappingResult, SearchTrace]:
+        candidates, budget = self.candidate_plan(layer, config)
         return _best_of_traced(
             layer,
             config,
             candidates,
-            budget=self.top_n,
+            budget=budget,
             objective=self.objective,
             batch_eval=self.batch_eval,
             stats=self.batch_stats,
@@ -655,15 +698,19 @@ class RandomSearchMapper:
         """Cache identity of this mapper (see ``repro.perf.signature``)."""
         return (self.name, self.trials, self.seed, self.objective)
 
-    def search_with_trace(
+    def candidate_plan(
         self, layer: LayerShape, config: AcceleratorConfig
-    ) -> Tuple[MappingResult, SearchTrace]:
-        # Deterministic per (layer, config) stream so evaluations cache.
-        # The seed is a stable digest, not tuple.__hash__: hashes of str
-        # members vary per process under PYTHONHASHSEED randomization,
-        # which would make the "deterministic" stream differ across
-        # worker processes and runs.
-        # Re-validate at search time: the constructor check can be bypassed
+    ) -> Tuple[Iterable[CandidateSpec], int]:
+        """The candidate stream and trial budget of one search (the
+        fused-evaluation protocol; see ``TopNMapper.candidate_plan``).
+
+        Deterministic per (layer, config) stream so evaluations cache.
+        The seed is a stable digest, not ``tuple.__hash__``: hashes of str
+        members vary per process under PYTHONHASHSEED randomization,
+        which would make the "deterministic" stream differ across
+        worker processes and runs.
+        """
+        # Re-validate at plan time: the constructor check can be bypassed
         # by mutating ``trials`` afterwards, and an exhausted budget must be
         # a loud error, not a silent empty MappingResult.
         if self.trials < 1:
@@ -678,11 +725,17 @@ class RandomSearchMapper:
             self._random_candidate(layer, config, rng)
             for _ in range(self.trials)
         )
+        return candidates, self.trials
+
+    def search_with_trace(
+        self, layer: LayerShape, config: AcceleratorConfig
+    ) -> Tuple[MappingResult, SearchTrace]:
+        candidates, budget = self.candidate_plan(layer, config)
         return _best_of_traced(
             layer,
             config,
             candidates,
-            budget=self.trials,
+            budget=budget,
             objective=self.objective,
             batch_eval=self.batch_eval,
             stats=self.batch_stats,

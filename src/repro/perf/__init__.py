@@ -10,14 +10,24 @@ bit-identical results versus the serial/cold path:
 * :mod:`repro.perf.parallel` — a ``REPRO_JOBS``-controlled
   process/thread pool abstraction with a serial fallback used for
   per-layer mapping optimization and (technique x model) harness runs;
+* :mod:`repro.perf.cache_plane` — a cross-process append-only segment
+  store (``REPRO_CACHE_PLANE``) the mapping cache writes through to, so
+  concurrently running processes share search outcomes;
 * :mod:`repro.perf.instrumentation` — per-stage timers and counters so
   speedups are measured, not asserted.
 
-See ``docs/performance.md`` for the environment knobs and measured
-numbers.
+:mod:`repro.perf.knobs` centralizes the validated environment switches
+(``REPRO_FUSED_EVAL``, ``REPRO_TREE_COMPILE``, ``REPRO_CACHE_PLANE``).
+See ``docs/performance.md`` for the knobs and measured numbers.
 """
 
+from repro.perf.cache_plane import CachePlane, PlaneStats
 from repro.perf.instrumentation import BatchEvalStats, StageTimers
+from repro.perf.knobs import (
+    cache_plane_dir,
+    fused_eval_enabled,
+    tree_compile_enabled,
+)
 from repro.perf.mapping_cache import (
     CacheStats,
     CachingMapper,
@@ -39,8 +49,13 @@ from repro.perf.signature import (
 )
 
 __all__ = [
+    "CachePlane",
+    "PlaneStats",
     "BatchEvalStats",
     "StageTimers",
+    "cache_plane_dir",
+    "fused_eval_enabled",
+    "tree_compile_enabled",
     "CacheStats",
     "CachingMapper",
     "MappingCache",

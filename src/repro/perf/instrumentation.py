@@ -38,6 +38,12 @@ class BatchEvalStats:
         self.scalar_candidates = 0
         self.scalar_seconds = 0.0
         self.int64_fallbacks = 0
+        self.fused_blocks = 0
+        self.fused_layers = 0
+        self.fused_candidates = 0
+        self.fused_feasible = 0
+        self.fused_seconds = 0.0
+        self.fused_fallbacks = 0
 
     def record_batch(
         self, candidates: int, feasible: int, seconds: float
@@ -55,6 +61,22 @@ class BatchEvalStats:
     def record_fallback(self) -> None:
         self.int64_fallbacks += 1
 
+    def record_fused(
+        self, layers: int, candidates: int, feasible: int, seconds: float
+    ) -> None:
+        """One fused cross-layer block: ``layers`` layer searches resolved
+        by a single SoA evaluation over ``candidates`` rows."""
+        self.fused_blocks += 1
+        self.fused_layers += layers
+        self.fused_candidates += candidates
+        self.fused_feasible += feasible
+        self.fused_seconds += seconds
+
+    def record_fused_fallback(self) -> None:
+        """One layer the fused path handed back to the per-layer search
+        (int64-unsafe candidate set, empty plan, or block failure)."""
+        self.fused_fallbacks += 1
+
     @property
     def batch_candidates_per_second(self) -> float:
         if self.batch_seconds <= 0:
@@ -66,6 +88,12 @@ class BatchEvalStats:
         if self.scalar_seconds <= 0:
             return 0.0
         return self.scalar_candidates / self.scalar_seconds
+
+    @property
+    def fused_candidates_per_second(self) -> float:
+        if self.fused_seconds <= 0:
+            return 0.0
+        return self.fused_candidates / self.fused_seconds
 
     def delta_since(self, before: "BatchEvalStats") -> "BatchEvalStats":
         """Counters accrued since ``before`` (a ``copy.copy`` snapshot).
@@ -86,6 +114,14 @@ class BatchEvalStats:
         )
         delta.scalar_seconds = self.scalar_seconds - before.scalar_seconds
         delta.int64_fallbacks = self.int64_fallbacks - before.int64_fallbacks
+        delta.fused_blocks = self.fused_blocks - before.fused_blocks
+        delta.fused_layers = self.fused_layers - before.fused_layers
+        delta.fused_candidates = (
+            self.fused_candidates - before.fused_candidates
+        )
+        delta.fused_feasible = self.fused_feasible - before.fused_feasible
+        delta.fused_seconds = self.fused_seconds - before.fused_seconds
+        delta.fused_fallbacks = self.fused_fallbacks - before.fused_fallbacks
         return delta
 
     def merge(self, other: "BatchEvalStats") -> None:
@@ -98,6 +134,12 @@ class BatchEvalStats:
         self.scalar_candidates += other.scalar_candidates
         self.scalar_seconds += other.scalar_seconds
         self.int64_fallbacks += other.int64_fallbacks
+        self.fused_blocks += other.fused_blocks
+        self.fused_layers += other.fused_layers
+        self.fused_candidates += other.fused_candidates
+        self.fused_feasible += other.fused_feasible
+        self.fused_seconds += other.fused_seconds
+        self.fused_fallbacks += other.fused_fallbacks
 
     def reset(self) -> None:
         self.__init__()
@@ -114,6 +156,13 @@ class BatchEvalStats:
             "scalar_seconds": self.scalar_seconds,
             "scalar_candidates_per_second": self.scalar_candidates_per_second,
             "int64_fallbacks": self.int64_fallbacks,
+            "fused_blocks": self.fused_blocks,
+            "fused_layers": self.fused_layers,
+            "fused_candidates": self.fused_candidates,
+            "fused_feasible": self.fused_feasible,
+            "fused_seconds": self.fused_seconds,
+            "fused_candidates_per_second": self.fused_candidates_per_second,
+            "fused_fallbacks": self.fused_fallbacks,
         }
 
 

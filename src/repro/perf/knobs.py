@@ -1,0 +1,126 @@
+"""Validated environment knobs for the campaign-wide fast paths.
+
+The perf layer is controlled by environment variables so fast paths can
+be toggled without touching call sites (``REPRO_JOBS`` set the pattern).
+Knob values arrive from shells, CI matrices, and worker environments, so
+a junk value must *never* raise deep inside an evaluation — it warns
+once (per knob, per value, like :func:`repro.perf.parallel.resolve_jobs`)
+and falls back to the safe default path.
+
+Knobs resolved here:
+
+* ``REPRO_FUSED_EVAL`` — campaign-wide fused cross-layer candidate
+  evaluation (:mod:`repro.cost.fused`).  Default off (opt-in).
+* ``REPRO_TREE_COMPILE`` — postfix-compiled bottleneck-tree evaluation
+  (:mod:`repro.core.bottleneck.compile`).  Default on; ``0`` selects
+  the recursive reference walk.
+* ``REPRO_CACHE_PLANE`` — directory of the cross-process mapping-cache
+  plane (:mod:`repro.perf.cache_plane`).  Unset/empty/``0`` disables;
+  an unusable value (e.g. a path that exists as a regular file) warns
+  and disables instead of failing the campaign.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional, Set, Tuple
+
+__all__ = [
+    "env_flag",
+    "fused_eval_enabled",
+    "tree_compile_enabled",
+    "cache_plane_dir",
+]
+
+_TRUE = frozenset({"1", "true", "on", "yes"})
+_FALSE = frozenset({"0", "false", "off", "no"})
+
+#: (knob, value) pairs already warned about (warn once per junk value).
+_WARNED: Set[Tuple[str, str]] = set()
+
+
+def _warn_once(name: str, raw: str, fallback: str) -> None:
+    if (name, raw) in _WARNED:
+        return
+    _WARNED.add((name, raw))
+    warnings.warn(
+        f"ignoring invalid {name} value {raw!r}; {fallback}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def env_flag(name: str, default: bool, override: Optional[bool] = None) -> bool:
+    """Resolve a boolean knob: explicit ``override`` wins, then the
+    environment (``1/true/on/yes`` vs ``0/false/off/no``, case
+    insensitive), then ``default``.  Junk values warn once and fall back
+    to the default rather than raising inside a worker."""
+    if override is not None:
+        return bool(override)
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in _TRUE:
+        return True
+    if value in _FALSE:
+        return False
+    _warn_once(
+        name,
+        raw,
+        f"falling back to the default path ({'on' if default else 'off'}) "
+        "— use 0/1, on/off, true/false, or yes/no",
+    )
+    return default
+
+
+def fused_eval_enabled(override: Optional[bool] = None) -> bool:
+    """Whether the fused cross-layer evaluation path is selected.
+
+    Opt-in: defaults off so campaigns change behaviour only when asked
+    (the fused path skips recording re-scorable search traces — results
+    are still bit-identical, see :mod:`repro.cost.fused`).
+    """
+    return env_flag("REPRO_FUSED_EVAL", False, override)
+
+
+def tree_compile_enabled(override: Optional[bool] = None) -> bool:
+    """Whether bottleneck trees evaluate through compiled postfix
+    programs (default) or the recursive reference walk (``0``)."""
+    return env_flag("REPRO_TREE_COMPILE", True, override)
+
+
+def cache_plane_dir() -> Optional[str]:
+    """The validated ``REPRO_CACHE_PLANE`` directory, or None.
+
+    Unset, empty, and the usual false spellings disable the plane.  A
+    value that cannot be used as a directory (it exists as a regular
+    file, or cannot be created) warns once and disables the plane — the
+    campaign continues on the per-process cache.
+    """
+    raw = os.environ.get("REPRO_CACHE_PLANE")
+    if raw is None:
+        return None
+    value = raw.strip()
+    if not value or value.lower() in _FALSE:
+        return None
+    if os.path.exists(value) and not os.path.isdir(value):
+        _warn_once(
+            "REPRO_CACHE_PLANE",
+            raw,
+            "it exists but is not a directory; continuing without the "
+            "cache plane",
+        )
+        return None
+    try:
+        os.makedirs(value, exist_ok=True)
+    except OSError as exc:
+        _warn_once(
+            "REPRO_CACHE_PLANE",
+            raw,
+            f"the directory cannot be created ({exc}); continuing "
+            "without the cache plane",
+        )
+        return None
+    return value

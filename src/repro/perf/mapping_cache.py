@@ -36,6 +36,8 @@ from typing import TYPE_CHECKING, Optional, Tuple
 from repro.arch.accelerator import AcceleratorConfig
 from repro.resilience.errors import CacheCorruptionError, as_repro_error
 from repro.resilience.fault_injection import inject
+from repro.perf.cache_plane import KIND_RESULT, KIND_TRACE, CachePlane
+from repro.perf.knobs import cache_plane_dir
 from repro.perf.signature import (
     config_signature,
     layer_signature,
@@ -103,6 +105,9 @@ class MappingCache:
             ``(mapping, execution)`` pairs, so this tier is kept small.
         persist_path: Pickle file to warm-start from (loaded when it
             exists) and to :meth:`save` to.
+        plane: Optional cross-process :class:`CachePlane`; both tiers
+            write through to it and consult it on local misses, so
+            concurrently running processes share search outcomes.
     """
 
     def __init__(
@@ -110,6 +115,7 @@ class MappingCache:
         max_results: Optional[int] = None,
         max_traces: Optional[int] = None,
         persist_path: Optional[str] = None,
+        plane: Optional[CachePlane] = None,
     ):
         self.max_results = (
             _env_int("REPRO_MAPPING_CACHE_RESULTS", 32768)
@@ -122,6 +128,7 @@ class MappingCache:
             else max_traces
         )
         self.persist_path = persist_path
+        self.plane = plane
         self._results: "OrderedDict[Tuple, MappingResult]" = OrderedDict()
         self._traces: "OrderedDict[Tuple, SearchTrace]" = OrderedDict()
         self._lock = threading.Lock()
@@ -136,9 +143,20 @@ class MappingCache:
             result = self._results.get(key)
             if result is not None:
                 self._results.move_to_end(key)
-            return result
+                return result
+        if self.plane is not None:
+            result = self.plane.get(KIND_RESULT, key)
+            if result is not None:
+                self._put_result_local(key, result)
+                return result
+        return None
 
     def put_result(self, key: Tuple, result: MappingResult) -> None:
+        self._put_result_local(key, result)
+        if self.plane is not None:
+            self.plane.put(KIND_RESULT, key, result)
+
+    def _put_result_local(self, key: Tuple, result: MappingResult) -> None:
         with self._lock:
             self._results[key] = result
             self._results.move_to_end(key)
@@ -150,9 +168,20 @@ class MappingCache:
             trace = self._traces.get(key)
             if trace is not None:
                 self._traces.move_to_end(key)
-            return trace
+                return trace
+        if self.plane is not None:
+            trace = self.plane.get(KIND_TRACE, key)
+            if trace is not None:
+                self._put_trace_local(key, trace)
+                return trace
+        return None
 
     def put_trace(self, key: Tuple, trace: SearchTrace) -> None:
+        self._put_trace_local(key, trace)
+        if self.plane is not None:
+            self.plane.put(KIND_TRACE, key, trace)
+
+    def _put_trace_local(self, key: Tuple, trace: SearchTrace) -> None:
         with self._lock:
             self._traces[key] = trace
             self._traces.move_to_end(key)
@@ -358,7 +387,10 @@ def shared_cache() -> MappingCache:
 
     Created lazily; when ``REPRO_MAPPING_CACHE_DIR`` is set the cache
     warm-starts from (and registers an atexit save to)
-    ``$REPRO_MAPPING_CACHE_DIR/mapping_cache.pkl``.
+    ``$REPRO_MAPPING_CACHE_DIR/mapping_cache.pkl``.  When
+    ``REPRO_CACHE_PLANE`` names a directory, a cross-process
+    :class:`CachePlane` is attached below both tiers so concurrently
+    running processes share search outcomes live.
     """
     global _SHARED
     with _SHARED_LOCK:
@@ -369,7 +401,9 @@ def shared_cache() -> MappingCache:
                 if persist_dir
                 else None
             )
-            _SHARED = MappingCache(persist_path=persist_path)
+            plane_dir = cache_plane_dir()
+            plane = CachePlane(plane_dir) if plane_dir else None
+            _SHARED = MappingCache(persist_path=persist_path, plane=plane)
             if persist_path:
                 import atexit
 

@@ -334,8 +334,11 @@ def decode_event(record: Dict[str, Any]) -> Any:
 # -- perf-counter sampling ----------------------------------------------------
 
 #: perf_summary() keys that vary run-to-run (wall clock, worker config)
-#: and therefore must not enter the journal.
-_VOLATILE_KEYS = frozenset({"jobs", "executor", "stages"})
+#: and therefore must not enter the journal.  ``tree_compile`` counters
+#: are process-global (the program memo outlives any one campaign) and
+#: ``plane`` counters depend on which processes warmed the shared cache
+#: plane first, so neither is run-deterministic.
+_VOLATILE_KEYS = frozenset({"jobs", "executor", "stages", "tree_compile", "plane"})
 
 
 def deterministic_perf_counters(summary: Dict[str, Any]) -> Dict[str, Any]:

@@ -2,33 +2,43 @@
 
 Runs the *same* DSE campaign through each accelerated configuration the
 perf/telemetry/resilience layers added — vectorized batch scoring, warm
-mapping cache, parallel workers, checkpoint-resume — and asserts the
-outputs are identical to the serial/scalar/cold-cache reference:
+mapping cache, parallel workers, checkpoint-resume, fused cross-layer
+evaluation (``REPRO_FUSED_EVAL``), compiled bottleneck trees
+(``REPRO_TREE_COMPILE``), and the cross-process cache plane
+(``REPRO_CACHE_PLANE``) — and asserts the outputs are identical to the
+serial/scalar/cold-cache/recursive reference:
 
 * **results** (trial points/costs, explanations, incumbent, budget
   accounting) must be byte-identical for every variant;
 * **journals** must be byte-identical for variants that share the
-  reference's counter values (parallel workers);
+  reference's counter values (parallel workers, compiled trees);
 * for variants whose ``RunSummary`` perf counters legitimately differ
   (batch kernels count batches, warm caches count hits, resumed runs
   split counters across two evaluator lifetimes), the journals must be
   byte-identical after stripping the counters — the established
   equivalence the checkpoint-resume tests verify.
+
+Every reference-side leg pins ``REPRO_TREE_COMPILE=0`` so the recursive
+tree walk stays the ground truth regardless of the ambient environment;
+the ``compiled-tree`` and ``all-on`` legs re-enable it explicitly.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.arch.accelerator import build_edge_design_space
 from repro.core.dse.constraints import Constraint, Sense
 from repro.core.dse.explainable import ExplainableDSE
 from repro.cost.evaluator import CostEvaluator
 from repro.mapping.mapper import TopNMapper
+from repro.perf.cache_plane import CachePlane
 from repro.perf.mapping_cache import MappingCache
 from repro.telemetry import (
     JsonlSink,
@@ -48,6 +58,31 @@ __all__ = ["VariantOutcome", "DifferentialReport", "run_differential"]
 #: reference finishes in a few seconds and exercises mitigation steps).
 _BUDGET = 25
 _KILL_AT = 14
+
+
+#: Environment pinned around every reference-side campaign so the
+#: recursive tree walk is the ground truth even when the ambient
+#: environment enables the compiled path.
+_REFERENCE_ENV = {"REPRO_TREE_COMPILE": "0"}
+
+
+@contextlib.contextmanager
+def _patched_env(pairs: Dict[str, Optional[str]]):
+    """Temporarily pin environment variables (None removes)."""
+    saved = {name: os.environ.get(name) for name in pairs}
+    try:
+        for name, value in pairs.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
 
 def _constraints() -> List[Constraint]:
@@ -150,13 +185,18 @@ def run_differential(
     space = build_edge_design_space()
     say = log if log is not None else (lambda message: None)
 
-    def campaign(name: str, evaluator: CostEvaluator) -> VariantOutcome:
+    def campaign(
+        name: str,
+        evaluator: CostEvaluator,
+        env: Optional[Dict[str, Optional[str]]] = None,
+    ) -> VariantOutcome:
         journal = workdir / f"{name}.jsonl"
         tracer = Tracer(JsonlSink(journal))
         try:
-            result = ExplainableDSE(
-                space, evaluator, _constraints(), max_evaluations=max_evaluations
-            ).run(tracer=tracer)
+            with _patched_env(env if env is not None else _REFERENCE_ENV):
+                result = ExplainableDSE(
+                    space, evaluator, _constraints(), max_evaluations=max_evaluations
+                ).run(tracer=tracer)
         finally:
             tracer.close()
             evaluator.close()
@@ -185,12 +225,13 @@ def run_differential(
 
     say("differential: warm mapping cache (second run on a shared cache)")
     shared = MappingCache()
-    ExplainableDSE(
-        space,
-        _evaluator(workload, batch_eval=False, cache=shared),
-        _constraints(),
-        max_evaluations=max_evaluations,
-    ).run()
+    with _patched_env(_REFERENCE_ENV):
+        ExplainableDSE(
+            space,
+            _evaluator(workload, batch_eval=False, cache=shared),
+            _constraints(),
+            max_evaluations=max_evaluations,
+        ).run()
     outcomes.append(
         campaign("warm-cache", _evaluator(workload, batch_eval=False, cache=shared))
     )
@@ -210,9 +251,10 @@ def run_differential(
         killable.kill_at = kill_at
         tracer = Tracer(JsonlSink(journal))
         try:
-            ExplainableDSE(
-                space, killable, _constraints(), max_evaluations=max_evaluations
-            ).run(tracer=tracer, checkpoint_path=ckpt)
+            with _patched_env(_REFERENCE_ENV):
+                ExplainableDSE(
+                    space, killable, _constraints(), max_evaluations=max_evaluations
+                ).run(tracer=tracer, checkpoint_path=ckpt)
             raise RuntimeError(
                 "differential resume leg: the killable evaluator never fired"
             )
@@ -234,9 +276,10 @@ def run_differential(
     resumed_tracer = Tracer(sink, seq_start=checkpoint.journal_events)
     evaluator = _evaluator(workload, batch_eval=False)
     try:
-        result = ExplainableDSE(
-            space, evaluator, _constraints(), max_evaluations=max_evaluations
-        ).run(tracer=resumed_tracer, checkpoint_path=ckpt, resume_from=ckpt)
+        with _patched_env(_REFERENCE_ENV):
+            result = ExplainableDSE(
+                space, evaluator, _constraints(), max_evaluations=max_evaluations
+            ).run(tracer=resumed_tracer, checkpoint_path=ckpt, resume_from=ckpt)
     finally:
         resumed_tracer.close()
         evaluator.close()
@@ -247,6 +290,67 @@ def run_differential(
             raw_journal=journal.read_bytes(),
             canonical_journal=_canonical_journal(journal),
             expect_raw_identity=False,
+        )
+    )
+
+    say("differential: fused cross-layer evaluation (REPRO_FUSED_EVAL path)")
+    outcomes.append(
+        campaign(
+            "fused",
+            _evaluator(workload, batch_eval=True, fused_eval=True),
+        )
+    )
+
+    say("differential: compiled bottleneck trees (REPRO_TREE_COMPILE path)")
+    compiled = campaign(
+        "compiled-tree",
+        _evaluator(workload, batch_eval=False),
+        env={"REPRO_TREE_COMPILE": "1"},
+    )
+    # The compiled walk changes no counter the journal keeps (the
+    # tree_compile section is telemetry-volatile), so the raw bytes must
+    # match the recursive reference, not just the canonical form.
+    compiled.expect_raw_identity = True
+    outcomes.append(compiled)
+
+    say("differential: cache plane (second process on a shared segment dir)")
+    plane_dir = workdir / "cache-plane-segments"
+    with _patched_env(_REFERENCE_ENV):
+        prefill = _evaluator(
+            workload,
+            batch_eval=False,
+            cache=MappingCache(plane=CachePlane(str(plane_dir))),
+        )
+        try:
+            ExplainableDSE(
+                space, prefill, _constraints(), max_evaluations=max_evaluations
+            ).run()
+        finally:
+            prefill.close()
+    # A fresh in-memory cache plus a fresh plane handle on the same
+    # directory stands in for a second concurrent process.
+    outcomes.append(
+        campaign(
+            "cache-plane",
+            _evaluator(
+                workload,
+                batch_eval=False,
+                cache=MappingCache(plane=CachePlane(str(plane_dir))),
+            ),
+        )
+    )
+
+    say("differential: all fast paths combined")
+    outcomes.append(
+        campaign(
+            "all-on",
+            _evaluator(
+                workload,
+                batch_eval=True,
+                fused_eval=True,
+                cache=MappingCache(plane=CachePlane(str(plane_dir))),
+            ),
+            env={"REPRO_TREE_COMPILE": "1"},
         )
     )
 

@@ -1,0 +1,93 @@
+"""Validation tests for the fast-path environment knobs.
+
+``REPRO_FUSED_EVAL``, ``REPRO_TREE_COMPILE``, and ``REPRO_CACHE_PLANE``
+follow the ``resolve_jobs`` contract: junk values never raise — they
+warn once (per knob, per value) and fall back to the safe path.
+"""
+
+import warnings
+
+import pytest
+
+from repro.perf import knobs
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    for name in ("REPRO_FUSED_EVAL", "REPRO_TREE_COMPILE", "REPRO_CACHE_PLANE"):
+        monkeypatch.delenv(name, raising=False)
+
+
+class TestEnvFlag:
+    def test_defaults(self):
+        assert knobs.fused_eval_enabled() is False  # opt-in
+        assert knobs.tree_compile_enabled() is True  # default on
+
+    @pytest.mark.parametrize("raw", ["1", "true", "ON", "Yes"])
+    def test_true_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_FUSED_EVAL", raw)
+        assert knobs.fused_eval_enabled() is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "OFF", "no"])
+    def test_false_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TREE_COMPILE", raw)
+        assert knobs.tree_compile_enabled() is False
+
+    def test_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSED_EVAL", "0")
+        assert knobs.fused_eval_enabled(override=True) is True
+        monkeypatch.setenv("REPRO_TREE_COMPILE", "1")
+        assert knobs.tree_compile_enabled(override=False) is False
+
+    def test_junk_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSED_EVAL", "turbo")
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="REPRO_FUSED_EVAL"):
+            assert knobs.fused_eval_enabled() is False  # safe default
+
+    def test_junk_preserves_on_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TREE_COMPILE", "sideways")
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="REPRO_TREE_COMPILE"):
+            assert knobs.tree_compile_enabled() is True  # default stays on
+
+    def test_junk_warns_only_once_per_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSED_EVAL", "banana")
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning):
+            knobs.fused_eval_enabled()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert knobs.fused_eval_enabled() is False  # silent repeat
+
+
+class TestCachePlaneDir:
+    def test_unset_disables(self):
+        assert knobs.cache_plane_dir() is None
+
+    @pytest.mark.parametrize("raw", ["", "  ", "0", "off", "false", "no"])
+    def test_empty_and_false_spellings_disable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_CACHE_PLANE", raw)
+        assert knobs.cache_plane_dir() is None
+
+    def test_directory_is_created_and_returned(self, monkeypatch, tmp_path):
+        target = tmp_path / "plane" / "nested"
+        monkeypatch.setenv("REPRO_CACHE_PLANE", str(target))
+        assert knobs.cache_plane_dir() == str(target)
+        assert target.is_dir()
+
+    def test_existing_file_warns_and_disables(self, monkeypatch, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        monkeypatch.setenv("REPRO_CACHE_PLANE", str(blocker))
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="REPRO_CACHE_PLANE"):
+            assert knobs.cache_plane_dir() is None
+
+    def test_uncreatable_path_warns_and_disables(self, monkeypatch, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("occupied")
+        monkeypatch.setenv("REPRO_CACHE_PLANE", str(blocker / "child"))
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="REPRO_CACHE_PLANE"):
+            assert knobs.cache_plane_dir() is None

@@ -3,26 +3,35 @@
 from repro.telemetry import RunSummary, read_journal
 from repro.verify.differential import _canonical_journal, run_differential
 
+#: Matrix columns, in execution order (one per accelerated path plus the
+#: serial/scalar/cold/recursive reference and the everything-on combo).
+ALL_VARIANTS = [
+    "baseline",
+    "batch",
+    "jobs2",
+    "warm-cache",
+    "resume",
+    "fused",
+    "compiled-tree",
+    "cache-plane",
+    "all-on",
+]
+
 
 class TestDifferentialMatrix:
     def test_full_matrix_is_identical(self, tmp_path):
-        """Acceptance criterion: batch, parallel, warm-cache, and resumed
-        campaigns all reproduce the serial reference — results exactly,
-        journals up to RunSummary perf counters (raw bytes for jobs2)."""
+        """Acceptance criterion: batch, parallel, warm-cache, resumed,
+        fused, compiled-tree, and cache-plane campaigns all reproduce the
+        serial reference — results exactly, journals up to RunSummary
+        perf counters (raw bytes for jobs2 and compiled-tree)."""
         report = run_differential(tmp_path, max_evaluations=12)
-        assert report.variants == [
-            "baseline",
-            "batch",
-            "jobs2",
-            "warm-cache",
-            "resume",
-        ]
+        assert report.variants == ALL_VARIANTS
         assert report.mismatches == []
         assert report.ok
 
     def test_every_variant_journal_written(self, tmp_path):
         run_differential(tmp_path, max_evaluations=12)
-        for name in ("baseline", "batch", "jobs2", "warm-cache", "resume"):
+        for name in ALL_VARIANTS:
             journal = tmp_path / f"{name}.jsonl"
             assert journal.exists() and journal.stat().st_size > 0
 
