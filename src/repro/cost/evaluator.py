@@ -37,7 +37,13 @@ from repro.cost.energy import EnergyBreakdown, layer_energy
 from repro.cost.power import PowerBreakdown, max_power
 from repro.cost.technology import TECH_45NM, TechnologyModel
 from repro.perf.instrumentation import StageTimers
-from repro.perf.knobs import fused_eval_enabled, tree_compile_enabled
+from repro.perf.knobs import (
+    fused_eval_enabled,
+    fused_shards as resolve_fused_shards,
+    shm_eval_enabled,
+    shm_min_shard_rows,
+    tree_compile_enabled,
+)
 from repro.perf.mapping_cache import CachingMapper, MappingCache, shared_cache
 from repro.perf.parallel import WorkerPool
 from repro.perf.signature import supports_tracing
@@ -141,9 +147,25 @@ class CostEvaluator:
             one fused cross-layer kernel pass (:mod:`repro.cost.fused`)
             instead of per-layer mapper calls.  ``None`` (default) defers
             to ``REPRO_FUSED_EVAL`` (default off); results are
-            bit-identical either way.  Only applies on the serial path —
-            a parallel worker pool takes precedence — and only to mappers
-            supporting the candidate-plan protocol.
+            bit-identical either way.  When enabled (or implied by
+            ``shm_eval``) and the mapper supports the candidate-plan
+            protocol, the fused path takes precedence over the
+            ``REPRO_JOBS`` worker pool — the pool still picks up any
+            layers the fused path hands back.
+        shm_eval: Shard each fused block over the persistent
+            shared-memory worker fleet (:mod:`repro.perf.shm_fleet`).
+            ``None`` defers to ``REPRO_SHM_EVAL`` (default off).
+            Implies the fused path; results stay bit-identical.
+        fused_shards: Shard count for the fleet; ``None`` defers to
+            ``REPRO_FUSED_SHARDS`` (default: the resolved job count).
+        shm_min_rows: Minimum candidate rows per shard (adaptive
+            sizing); ``None`` defers to ``REPRO_SHM_MIN_ROWS``.
+        shm_fleet: Fleet instance to dispatch to; ``None`` uses the
+            process-wide shared fleet (warm across campaigns).
+
+    All environment knobs are resolved **once, here** — per-campaign,
+    not per step — so the hot evaluation loop never re-reads the
+    environment (set knobs before constructing the evaluator).
     """
 
     def __init__(
@@ -159,6 +181,10 @@ class CostEvaluator:
         use_mapping_cache: Optional[bool] = None,
         tracer: Optional[Tracer] = None,
         fused_eval: Optional[bool] = None,
+        shm_eval: Optional[bool] = None,
+        fused_shards: Optional[int] = None,
+        shm_min_rows: Optional[int] = None,
+        shm_fleet=None,
     ):
         self.workload = workload
         self.mapper = mapper
@@ -174,6 +200,24 @@ class CostEvaluator:
         self._pool = WorkerPool(jobs=jobs, mode=executor_mode)
         self._fused_eval = fused_eval
         self.retry_policy = RetryPolicy.from_env()
+
+        # Knob resolution is hoisted out of the per-step loop: one env
+        # read per campaign, memoized on the evaluator.
+        from repro.cost.fused import supports_fused
+
+        self._shm_enabled = shm_eval_enabled(shm_eval)
+        self._fused_enabled = (
+            fused_eval_enabled(fused_eval) or self._shm_enabled
+        )
+        self._supports_fused = supports_fused(mapper)
+        self._shm_shards = resolve_fused_shards(fused_shards)
+        self._shm_min_rows = shm_min_shard_rows(shm_min_rows)
+        self._fleet = shm_fleet
+        self._fleet_stats = None
+        if self._shm_enabled:
+            from repro.perf.shm_fleet import FleetStats
+
+            self._fleet_stats = FleetStats()
 
         if use_mapping_cache is None:
             use_mapping_cache = (
@@ -255,8 +299,11 @@ class CostEvaluator:
         """Optimize every unique layer's mapping on ``config``.
 
         Cache hits (exact or re-scored) are resolved in-process; the
-        remaining searches run serially or on the worker pool.  Results
-        are keyed by layer name in workload order either way.
+        fused cross-layer path (when enabled and supported) resolves the
+        rest in one block — sharded over the shared-memory fleet when
+        ``REPRO_SHM_EVAL`` is on — and anything handed back runs
+        serially or on the worker pool.  Results are keyed by layer name
+        in workload order either way.
         """
         cm = self._caching_mapper
         results: Dict[str, "MappingResult"] = {}
@@ -268,6 +315,7 @@ class CostEvaluator:
             else:
                 pending.append(layer)
 
+        pending = self._optimize_layers_fused(config, pending, results)
         if self._pool.parallel and len(pending) > 1:
             job = partial(_search_layer_job, cm.mapper if cm else self.mapper, config)
             outcomes = self._pool.map(job, pending)
@@ -285,7 +333,6 @@ class CostEvaluator:
                     cm.store(layer, config, result, trace)
                 results[layer.name] = result
         else:
-            pending = self._optimize_layers_fused(config, pending, results)
             mapper = cm if cm is not None else self.mapper
             for layer in pending:
                 inject("mapper", key=layer.name)
@@ -309,29 +356,37 @@ class CostEvaluator:
         pending: list,
         results: Dict[str, "MappingResult"],
     ) -> list:
-        """Serial-path fused fast path: resolve pending layers through one
+        """Fused fast path: resolve pending layers through one
         cross-layer kernel pass (``repro.cost.fused``) when enabled.
 
         Fills ``results`` with the fused layers' (bit-identical) outcomes
-        and returns the layers the per-layer loop must still handle —
-        everything, when the path is off, unsupported, or fails.  Fused
-        results feed the mapping cache's exact tier (the fused path skips
-        re-scorable traces); fault injection fires per layer before the
-        block evaluates, matching the per-layer loop's injection points.
+        and returns the layers the remaining paths must still handle —
+        everything, when the path is off, unsupported, or fails.  When
+        ``REPRO_SHM_EVAL`` is on, the block is offered to the
+        shared-memory fleet first (:meth:`_block_sharder`); the fleet
+        declining or failing lands back on the inline fused kernels.
+        Fused results feed the mapping cache's exact tier (the fused path
+        skips re-scorable traces); fault injection fires per layer before
+        the block evaluates, matching the per-layer loop's injection
+        points.  The knob and ``supports_fused`` checks were resolved
+        once at construction — this gate costs two attribute reads per
+        step.
         """
-        if not pending or not fused_eval_enabled(self._fused_eval):
+        if not pending or not self._fused_enabled or not self._supports_fused:
             return pending
         import repro.cost.fused as _fused
 
         cm = self._caching_mapper
         mapper = cm.mapper if cm is not None else self.mapper
-        if not _fused.supports_fused(mapper):
-            return pending
         for layer in pending:
             inject("mapper", key=layer.name)
         try:
             fused, remaining = _fused.search_layers_fused(
-                mapper, pending, config, stats=self.batch_eval_stats
+                mapper,
+                pending,
+                config,
+                stats=self.batch_eval_stats,
+                sharder=self._block_sharder if self._shm_enabled else None,
             )
         except (KeyboardInterrupt, SystemExit, ReproError):
             raise
@@ -359,6 +414,25 @@ class CostEvaluator:
                 cm.store(layer, config, result, None)
             results[layer.name] = result
         return remaining
+
+    def _block_sharder(self, block, config):
+        """Offer a fused block to the shared-memory fleet
+        (``REPRO_SHM_EVAL``).  Returns a bit-identical
+        :class:`~repro.cost.fused.ShardedBlockEvaluation` or None when
+        the fleet declines (block below the adaptive sizing threshold,
+        fleet unhealthy) — the caller then evaluates inline."""
+        fleet = self._fleet
+        if fleet is None:
+            from repro.perf.shm_fleet import shared_fleet
+
+            fleet = self._fleet = shared_fleet()
+        return fleet.evaluate_block(
+            block,
+            config,
+            shards=self._shm_shards,
+            min_rows=self._shm_min_rows,
+            stats=self._fleet_stats,
+        )
 
     def _evaluate_uncached(self, point: DesignPoint) -> Evaluation:
         config = config_from_point(
@@ -460,7 +534,6 @@ class CostEvaluator:
         """Instrumentation snapshot: timers, throughput, cache counters."""
         from repro.core.bottleneck import compile as tree_compile
         from repro.cost.batch import batch_eval_enabled
-        from repro.cost.fused import supports_fused
 
         cm = self._caching_mapper
         stats = self.batch_eval_stats
@@ -468,9 +541,8 @@ class CostEvaluator:
             "supported": stats is not None,
             "enabled": stats is not None
             and batch_eval_enabled(getattr(self.mapper, "batch_eval", None)),
-            "fused_supported": supports_fused(self.mapper),
-            "fused_enabled": fused_eval_enabled(self._fused_eval)
-            and supports_fused(self.mapper),
+            "fused_supported": self._supports_fused,
+            "fused_enabled": self._fused_enabled and self._supports_fused,
         }
         if stats is not None:
             batch_section.update(stats.as_dict())
@@ -489,7 +561,7 @@ class CostEvaluator:
             plane_section.update(plane.stats.as_dict())
             plane_section["segments"] = plane.segment_count()
             plane_section["entries"] = plane.entry_count()
-        return {
+        summary: Dict[str, object] = {
             "evaluations": self.evaluations,
             "calls": self.calls,
             "total_seconds": self.total_seconds,
@@ -513,6 +585,17 @@ class CostEvaluator:
             "batch_eval": batch_section,
             "tree_compile": tree_section,
         }
+        # The section exists only when the knob is on, so journals of
+        # serial campaigns stay byte-identical to pre-fleet builds.
+        if self._shm_enabled and self._fleet_stats is not None:
+            shm_section: Dict[str, object] = {
+                "enabled": True,
+                "shards": self._shm_shards,
+                "min_shard_rows": self._shm_min_rows,
+            }
+            shm_section.update(self._fleet_stats.as_dict())
+            summary["shm_fleet"] = shm_section
+        return summary
 
     def reset_counters(self) -> None:
         """Zero the iteration/time/cache counters (caches are retained)."""
@@ -525,9 +608,16 @@ class CostEvaluator:
         stats = self.batch_eval_stats
         if stats is not None:
             stats.reset()
+        if self._fleet_stats is not None:
+            self._fleet_stats.reset()
 
     def close(self) -> None:
-        """Release the worker pool (no-op on the serial path)."""
+        """Release the worker pool (no-op on the serial path).
+
+        The shared-memory fleet is deliberately *not* shut down here:
+        its workers stay warm for the next campaign in this process and
+        are reaped atexit (:func:`repro.perf.shm_fleet.shared_fleet`).
+        """
         self._pool.close()
 
     def __enter__(self) -> "CostEvaluator":

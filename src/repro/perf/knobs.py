@@ -18,19 +18,35 @@ Knobs resolved here:
   plane (:mod:`repro.perf.cache_plane`).  Unset/empty/``0`` disables;
   an unusable value (e.g. a path that exists as a regular file) warns
   and disables instead of failing the campaign.
+* ``REPRO_SHM_EVAL`` — shard fused cross-layer blocks over the
+  persistent shared-memory worker fleet (:mod:`repro.perf.shm_fleet`).
+  Default off (opt-in); implies the fused path.
+* ``REPRO_FUSED_SHARDS`` — shard count for ``REPRO_SHM_EVAL`` (default:
+  the resolved ``REPRO_JOBS`` worker count; ``auto``/``0`` selects
+  ``os.cpu_count()``).
+* ``REPRO_SHM_MIN_ROWS`` — minimum candidate rows per shard before a
+  block is worth dispatching to the fleet (adaptive shard sizing; tiny
+  steps evaluate in-process to skip the dispatch overhead).
+
+Valid values are memoized per ``(knob, raw value)`` so hot paths (the
+per-node compiled-tree check, the per-step fused gate) never re-parse an
+unchanged environment; junk values stay on the uncached warn-once path.
 """
 
 from __future__ import annotations
 
 import os
 import warnings
-from typing import Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 __all__ = [
     "env_flag",
     "fused_eval_enabled",
     "tree_compile_enabled",
     "cache_plane_dir",
+    "shm_eval_enabled",
+    "fused_shards",
+    "shm_min_shard_rows",
 ]
 
 _TRUE = frozenset({"1", "true", "on", "yes"})
@@ -38,6 +54,12 @@ _FALSE = frozenset({"0", "false", "off", "no"})
 
 #: (knob, value) pairs already warned about (warn once per junk value).
 _WARNED: Set[Tuple[str, str]] = set()
+
+#: Memoized parses of *valid* values, keyed by (knob, raw, default) so an
+#: environment change is picked up immediately while repeated reads of an
+#: unchanged value cost one dict probe.  Junk values are never cached:
+#: they keep flowing through the warn-once path.
+_FLAG_CACHE: Dict[Tuple[str, str, bool], bool] = {}
 
 
 def _warn_once(name: str, raw: str, fallback: str) -> None:
@@ -61,10 +83,15 @@ def env_flag(name: str, default: bool, override: Optional[bool] = None) -> bool:
     raw = os.environ.get(name)
     if raw is None:
         return default
+    cached = _FLAG_CACHE.get((name, raw, default))
+    if cached is not None:
+        return cached
     value = raw.strip().lower()
     if value in _TRUE:
+        _FLAG_CACHE[(name, raw, default)] = True
         return True
     if value in _FALSE:
+        _FLAG_CACHE[(name, raw, default)] = False
         return False
     _warn_once(
         name,
@@ -89,6 +116,81 @@ def tree_compile_enabled(override: Optional[bool] = None) -> bool:
     """Whether bottleneck trees evaluate through compiled postfix
     programs (default) or the recursive reference walk (``0``)."""
     return env_flag("REPRO_TREE_COMPILE", True, override)
+
+
+def shm_eval_enabled(override: Optional[bool] = None) -> bool:
+    """Whether fused blocks are sharded over the shared-memory worker
+    fleet (:mod:`repro.perf.shm_fleet`).
+
+    Opt-in: defaults off.  Enabling it implies the fused cross-layer
+    path — the fleet shards the same :class:`FusedCandidateBlock` the
+    single-process fused evaluation would build, and results stay
+    bit-identical to it (and to the scalar reference).
+    """
+    return env_flag("REPRO_SHM_EVAL", False, override)
+
+
+def fused_shards(override: Optional[int] = None) -> int:
+    """The shard count used when ``REPRO_SHM_EVAL`` is on.
+
+    Explicit ``override`` wins, then ``REPRO_FUSED_SHARDS``
+    (``auto``/``0`` select ``os.cpu_count()``), then the resolved
+    ``REPRO_JOBS`` worker count — so an unconfigured fleet matches the
+    parallelism the campaign already asked for.  Junk values warn once
+    and fall back to that default.  Always at least 1.
+    """
+    from repro.perf.parallel import resolve_jobs
+
+    if override is not None:
+        return max(1, int(override))
+    raw = os.environ.get("REPRO_FUSED_SHARDS")
+    if raw is None:
+        return max(1, resolve_jobs(None))
+    value = raw.strip().lower()
+    if value in {"auto", "0"}:
+        return max(1, os.cpu_count() or 1)
+    try:
+        shards = int(value)
+    except ValueError:
+        shards = -1
+    if shards < 0:
+        _warn_once(
+            "REPRO_FUSED_SHARDS",
+            raw,
+            "falling back to the resolved REPRO_JOBS worker count — use "
+            "a positive integer or 'auto'",
+        )
+        return max(1, resolve_jobs(None))
+    return max(1, shards)
+
+
+def shm_min_shard_rows(override: Optional[int] = None) -> int:
+    """Minimum candidate rows per shard (``REPRO_SHM_MIN_ROWS``).
+
+    Blocks smaller than one shard's worth of rows evaluate in-process:
+    the fleet's dispatch overhead (segment creation + IPC) only pays
+    for itself on wide blocks.  Junk values warn once and fall back to
+    the default (4096 rows).  Always at least 1.
+    """
+    default = 4096
+    if override is not None:
+        return max(1, int(override))
+    raw = os.environ.get("REPRO_SHM_MIN_ROWS")
+    if raw is None:
+        return default
+    try:
+        rows = int(raw.strip())
+    except ValueError:
+        rows = 0
+    if rows <= 0:
+        _warn_once(
+            "REPRO_SHM_MIN_ROWS",
+            raw,
+            f"falling back to the default minimum shard size ({default} "
+            "rows) — use a positive integer",
+        )
+        return default
+    return rows
 
 
 def cache_plane_dir() -> Optional[str]:

@@ -22,6 +22,17 @@ deterministic exponential backoff (``REPRO_MAX_RETRIES``,
 pool or a hung worker, and a last-resort in-parent serial fallback for a
 task that crashed in every worker.  Fault-free runs take none of these
 paths and stay bit-identical to the unsupervised pipeline.
+
+The pool here is *per-task* parallelism: each dispatched job pickles its
+payload and cold workers re-derive warm state per campaign.  For the
+fused cross-layer evaluation there is a cheaper substrate —
+:mod:`repro.perf.shm_fleet` shards one SoA block zero-copy over a
+persistent warm worker fleet (``REPRO_SHM_EVAL``), and
+``REPRO_FUSED_SHARDS`` defaults to this module's :func:`resolve_jobs`
+so both layers agree on the hardware's worker budget.  When the fused
+path is enabled and the mapper supports it, the evaluator routes the
+step through the fleet and this pool only picks up layers the fused
+path hands back.
 """
 
 from __future__ import annotations

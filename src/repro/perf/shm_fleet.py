@@ -1,0 +1,655 @@
+"""Persistent shared-memory worker fleet for sharded fused evaluation.
+
+The fused cross-layer path (:mod:`repro.cost.fused`) collapses a whole
+campaign step into one SoA block — but PR 6 still evaluates that block
+on one core, and the ``REPRO_JOBS`` process pool pays per-task pickling
+of candidate payloads plus cold workers that re-import and re-derive
+warm state on every campaign.  This module scales the block across
+cores without either cost:
+
+* the parent materializes the block's int64/bool arrays **once** into a
+  POSIX shared-memory segment (``multiprocessing.shared_memory``);
+* long-lived workers attach **zero-copy** and each evaluates a
+  contiguous candidate-range shard with the unchanged
+  :class:`~repro.cost.fused.FusedBlockEvaluation` kernels (the kernels
+  are row-elementwise, so shard rows are bitwise equal to full-block
+  rows), writing per-row latency / feasibility / infeasibility-code
+  decision arrays into a shared output segment;
+* the parent copies the decision arrays out and selects winners itself
+  (:class:`~repro.cost.fused.ShardedBlockEvaluation`), so results are
+  **bit-identical** to the single-process fused path regardless of
+  worker count or scheduling.
+
+Workers are *warm*: they survive across steps and across campaigns,
+keeping imports, compiled bottleneck trees, ``greedy_tile_counts``
+memos, and cache-plane attachments resident, so a steady-state dispatch
+costs one small pipe message per shard instead of pickling candidate
+arrays.  Supervision follows the resilience layer's contract
+(:class:`~repro.resilience.supervisor.ShardSupervisor` +
+:class:`~repro.resilience.supervisor.RetryPolicy`): ``REPRO_TASK_TIMEOUT``
+bounds each shard, a crashed or timed-out worker is killed and its
+shard resubmitted to a sibling after deterministic backoff, an
+exhausted retry budget evaluates the shard serially in the parent, and
+any fleet-level failure falls back to the inline fused evaluation with
+a warning — an unhealthy fleet can slow a campaign down but never
+change its results or crash it.
+
+Segment hygiene: the parent owns every segment's lifecycle —
+``close()`` + ``unlink()`` in a ``finally`` and an ``atexit`` sweep for
+anything a mid-evaluation exception leaves behind — while workers only
+ever ``close()`` their attachments.  With the single resource tracker a
+``multiprocessing`` tree shares, attach-side registrations coalesce
+with the parent's create-side registration, so the parent's ``unlink``
+leaves the tracker clean and interpreter shutdown prints no leaked
+shared-memory warnings even after a worker was SIGKILLed mid-shard
+(``tests/test_shm_fleet.py`` greps a subprocess's stderr for exactly
+that).
+
+Gated behind ``REPRO_SHM_EVAL`` (:mod:`repro.perf.knobs`), shard count
+``REPRO_FUSED_SHARDS`` (default: the resolved ``REPRO_JOBS``), adaptive
+sizing via ``REPRO_SHM_MIN_ROWS`` — blocks smaller than one shard's
+worth of rows stay in-process.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import multiprocessing
+import struct
+import time
+import warnings
+from collections import deque
+from multiprocessing import connection, shared_memory
+from types import SimpleNamespace
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.resilience.supervisor import RetryPolicy, ShardSupervisor
+from repro.workloads.layers import LOOP_DIMS
+
+__all__ = ["FleetStats", "ShmFleet", "shared_fleet"]
+
+# -- segment framing -----------------------------------------------------------
+#
+# Each segment starts with a 16-byte header (magic, layout version, row
+# count) so a worker can reject a truncated or mismatched segment before
+# touching its arrays; fields follow at 8-byte-aligned offsets in a
+# fixed order, deterministic in the row count alone.
+
+_MAGIC = b"RSHM"
+_VERSION = 1
+_HEADER = struct.Struct("<4sIQ")
+
+#: (name, dtype, columns) of the input block arrays, in layout order.
+#: Names match ``FusedCandidateBlock`` attributes so the parent writes
+#: and the worker's duck-typed row view reads by the same keys.
+_IN_FIELDS: Tuple[Tuple[str, type, int], ...] = (
+    ("dram", np.int64, len(LOOP_DIMS)),
+    ("spm", np.int64, len(LOOP_DIMS)),
+    ("spatial", np.int64, len(LOOP_DIMS)),
+    ("rf", np.int64, len(LOOP_DIMS)),
+    ("dram_code", np.int64, 1),
+    ("spm_code", np.int64, 1),
+    ("stride", np.int64, 1),
+    ("opcode", np.int64, 1),
+    ("macs", np.int64, 1),
+    ("dwise", np.bool_, 1),
+)
+
+#: Per-row decision arrays the workers write back.
+_OUT_FIELDS: Tuple[Tuple[str, type, int], ...] = (
+    ("latency", np.float64, 1),
+    ("fail_code", np.int64, 1),
+    ("feasible", np.bool_, 1),
+)
+
+
+def _layout(
+    fields: Tuple[Tuple[str, type, int], ...], n: int
+) -> Tuple[Dict[str, Tuple[int, type, int]], int]:
+    """Field offsets and total byte size of a segment holding ``n`` rows."""
+    offset = _HEADER.size
+    table: Dict[str, Tuple[int, type, int]] = {}
+    for name, dtype, ncols in fields:
+        offset = (offset + 7) & ~7
+        table[name] = (offset, dtype, ncols)
+        offset += np.dtype(dtype).itemsize * n * ncols
+    return table, offset
+
+
+def _field_views(
+    buf, fields: Tuple[Tuple[str, type, int], ...], n: int
+) -> Dict[str, np.ndarray]:
+    """Zero-copy array views over a segment buffer (caller must drop them
+    before the segment can be closed)."""
+    table, _total = _layout(fields, n)
+    views: Dict[str, np.ndarray] = {}
+    for name, (offset, dtype, ncols) in table.items():
+        flat = np.frombuffer(buf, dtype=dtype, count=n * ncols, offset=offset)
+        views[name] = flat.reshape(n, ncols) if ncols > 1 else flat
+    return views
+
+
+def _write_header(buf, n: int) -> None:
+    _HEADER.pack_into(buf, 0, _MAGIC, _VERSION, n)
+
+
+def _check_header(buf, n: int) -> None:
+    magic, version, rows = _HEADER.unpack_from(buf, 0)
+    if magic != _MAGIC or version != _VERSION or rows != n:
+        raise RuntimeError(
+            f"shared-memory segment header mismatch: magic={magic!r} "
+            f"version={version} rows={rows}, expected {n} rows"
+        )
+
+
+# -- parent-side segment lifecycle --------------------------------------------
+
+#: Segments created by this process and not yet destroyed; swept at
+#: interpreter exit so an exception between create and the owning
+#: ``finally`` cannot leak a /dev/shm file.
+_LIVE_SEGMENTS: set = set()
+
+
+def _create_segment(
+    fields: Tuple[Tuple[str, type, int], ...], n: int
+) -> shared_memory.SharedMemory:
+    _table, total = _layout(fields, n)
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    _write_header(shm.buf, n)
+    _LIVE_SEGMENTS.add(shm)
+    return shm
+
+
+def _release_buffer(shm: shared_memory.SharedMemory) -> None:
+    """close() tolerating straggler array views (collect, then retry)."""
+    try:
+        shm.close()
+    except BufferError:
+        gc.collect()
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - leak-proofing only
+            pass
+
+
+def _destroy_segment(shm: shared_memory.SharedMemory) -> None:
+    """Parent-owned teardown: close the mapping and unlink the name
+    (idempotent; a double destroy or an already-gone name is fine)."""
+    _LIVE_SEGMENTS.discard(shm)
+    _release_buffer(shm)
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _sweep_segments() -> None:  # pragma: no cover - interpreter exit
+    for shm in list(_LIVE_SEGMENTS):
+        _destroy_segment(shm)
+
+
+atexit.register(_sweep_segments)
+
+
+def _write_block(shm: shared_memory.SharedMemory, block, n: int) -> None:
+    """Copy the block's SoA arrays into the input segment.  Views are
+    function-local so they are dropped before the caller can close."""
+    views = _field_views(shm.buf, _IN_FIELDS, n)
+    for name, view in views.items():
+        view[:] = getattr(block, name)
+
+
+def _read_outputs(
+    shm: shared_memory.SharedMemory, n: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Copy the decision arrays out so the segment can be destroyed."""
+    views = _field_views(shm.buf, _OUT_FIELDS, n)
+    return (
+        views["latency"].copy(),
+        views["fail_code"].copy(),
+        views["feasible"].copy(),
+    )
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _eval_range(in_shm, out_shm, n, start, stop, config, operators) -> None:
+    """Evaluate rows ``start:stop`` with the fused kernels, writing the
+    decision arrays in place.  All segment views are locals: they die on
+    return, so the caller's ``close()`` never hits a BufferError."""
+    from repro.cost.fused import FusedBlockEvaluation, _BlockRows
+
+    _check_header(in_shm.buf, n)
+    _check_header(out_shm.buf, n)
+    source = SimpleNamespace(
+        operators=operators, **_field_views(in_shm.buf, _IN_FIELDS, n)
+    )
+    evaluation = FusedBlockEvaluation(_BlockRows(source, start, stop), config)
+    out = _field_views(out_shm.buf, _OUT_FIELDS, n)
+    out["latency"][start:stop] = evaluation.latency
+    out["fail_code"][start:stop] = evaluation.fail_code
+    out["feasible"][start:stop] = evaluation.feasible
+
+
+def _run_task(task) -> None:
+    """One shard evaluation inside a worker process."""
+    from repro.resilience.fault_injection import attempt_scope, inject
+
+    (_kind, _seq, in_name, out_name, n, start, stop,
+     attempt, config, operators) = task
+    with attempt_scope(attempt, allow_kill=True):
+        in_shm = shared_memory.SharedMemory(name=in_name)
+        try:
+            out_shm = shared_memory.SharedMemory(name=out_name)
+            try:
+                # Inject while both attachments are live: a ``kill``
+                # fault here SIGKILLs a worker that is holding segment
+                # mappings, the worst case for teardown hygiene.
+                inject("shm", key=f"shard-{start}-{stop}")
+                _eval_range(in_shm, out_shm, n, start, stop, config, operators)
+            finally:
+                _release_buffer(out_shm)
+        finally:
+            _release_buffer(in_shm)
+
+
+def _worker_main(conn) -> None:
+    """Long-lived worker loop: recv task, evaluate, reply.
+
+    Replies are ``("ok", seq)`` or ``("err", seq, message)``; any
+    exception — including injected crashes — becomes an ``err`` reply so
+    the parent's supervisor decides resubmit vs serial fallback.  EOF or
+    a ``None``/``"stop"`` sentinel ends the process.  Everything the
+    worker imports or memoizes on the first task stays warm for the rest
+    of its life.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None or task == "stop":
+            return
+        seq = task[1]
+        try:
+            _run_task(task)
+            reply = ("ok", seq)
+        except Exception as exc:
+            reply = ("err", seq, f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (OSError, BrokenPipeError):  # parent went away
+            return
+
+
+# -- parent-side fleet ---------------------------------------------------------
+
+
+class FleetStats:
+    """Counters of the fleet's dispatch, warmth, and supervision activity.
+
+    Plain attributes (like :class:`~repro.perf.instrumentation.BatchEvalStats`)
+    so the evaluator can embed ``as_dict()`` into
+    ``perf_summary()["shm_fleet"]``.
+    """
+
+    def __init__(self) -> None:
+        self.blocks_sharded = 0
+        self.blocks_inline = 0
+        self.block_fallbacks = 0
+        self.shards_dispatched = 0
+        self.shard_resubmissions = 0
+        self.shard_fallbacks = 0
+        self.warm_hits = 0
+        self.cold_spawns = 0
+        self.worker_crashes = 0
+        self.worker_timeouts = 0
+        self.shm_bytes = 0
+        self.shm_seconds = 0.0
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "blocks_sharded": self.blocks_sharded,
+            "blocks_inline": self.blocks_inline,
+            "block_fallbacks": self.block_fallbacks,
+            "shards_dispatched": self.shards_dispatched,
+            "shard_resubmissions": self.shard_resubmissions,
+            "shard_fallbacks": self.shard_fallbacks,
+            "warm_hits": self.warm_hits,
+            "cold_spawns": self.cold_spawns,
+            "worker_crashes": self.worker_crashes,
+            "worker_timeouts": self.worker_timeouts,
+            "shm_bytes": self.shm_bytes,
+            "shm_seconds": self.shm_seconds,
+        }
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "served")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.served = 0  # tasks dispatched to this worker so far
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ShmFleet:
+    """A persistent, supervised set of shared-memory evaluation workers.
+
+    One fleet per process (see :func:`shared_fleet`); workers are
+    spawned on first use, reused across blocks, steps, and campaigns
+    (``warm_hits``), pruned and respawned when they die.  The only
+    public operation is :meth:`evaluate_block`, which either returns a
+    :class:`~repro.cost.fused.ShardedBlockEvaluation` bit-identical to
+    the inline fused evaluation, or ``None`` to decline (block too
+    small, fleet unhealthy) — the caller then evaluates inline.
+    """
+
+    def __init__(self, ctx: Optional[multiprocessing.context.BaseContext] = None):
+        self._ctx = ctx or multiprocessing.get_context()
+        self._workers: List[_Worker] = []
+        self._seq = 0
+        self._spawned = 0
+        self.stats = FleetStats()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _spawn(self, stats: FleetStats) -> Optional[_Worker]:
+        # Start the parent's resource tracker *before* forking so every
+        # worker inherits it: attach-side registrations then coalesce
+        # (set semantics) with the parent's create-side registration and
+        # the parent's ``unlink`` leaves the tracker clean.  A worker
+        # forked with no running tracker would lazily spawn its own,
+        # which warns about "leaked" (parent-owned, already-unlinked)
+        # segments when that worker exits.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - platform-specific
+            pass
+        parent_conn, child_conn = self._ctx.Pipe()
+        self._spawned += 1
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"repro-shm-worker-{self._spawned}",
+            daemon=True,
+        )
+        try:
+            process.start()
+        except OSError:
+            parent_conn.close()
+            child_conn.close()
+            return None
+        child_conn.close()
+        stats.cold_spawns += 1
+        worker = _Worker(process, parent_conn)
+        self._workers.append(worker)
+        return worker
+
+    def ensure(self, count: int, stats: Optional[FleetStats] = None) -> int:
+        """Prune dead workers and grow the fleet to ``count`` live ones
+        (best effort — returns the live count actually reached)."""
+        stats = stats if stats is not None else self.stats
+        for worker in list(self._workers):
+            if not worker.alive:
+                self._discard(worker)
+        while len(self._workers) < count:
+            if self._spawn(stats) is None:
+                break
+        return len(self._workers)
+
+    def _discard(self, worker: _Worker) -> None:
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=1.0)
+
+    def _kill_worker(self, worker: _Worker) -> None:
+        if worker.process.is_alive():
+            worker.process.kill()
+        self._discard(worker)
+
+    def shutdown(self) -> None:
+        """Stop every worker (idempotent; registered atexit for the
+        shared fleet)."""
+        for worker in list(self._workers):
+            try:
+                worker.conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+            worker.process.join(timeout=0.5)
+            self._discard(worker)
+        self._workers = []
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate_block(
+        self,
+        block,
+        config,
+        shards: Optional[int] = None,
+        min_rows: Optional[int] = None,
+        stats: Optional[FleetStats] = None,
+    ):
+        """Shard ``block`` over the fleet, or decline with ``None``.
+
+        Adaptive sizing: the shard count is capped so every shard holds
+        at least ``min_rows`` rows; a block smaller than two shards'
+        worth evaluates inline (``blocks_inline``).  Any fleet-level
+        failure — spawn failure, segment trouble — warns and declines
+        (``block_fallbacks``): the campaign result can never depend on
+        fleet health.
+        """
+        from repro.perf.knobs import fused_shards, shm_min_shard_rows
+
+        stats = stats if stats is not None else self.stats
+        shards = fused_shards(shards)
+        min_rows = shm_min_shard_rows(min_rows)
+        n = len(block)
+        k = min(shards, max(1, n // min_rows))
+        if k <= 1:
+            stats.blocks_inline += 1
+            return None
+        started = time.perf_counter()
+        try:
+            evaluation = self._evaluate_sharded(block, config, k, stats)
+        except Exception as exc:
+            warnings.warn(
+                f"shared-memory sharded evaluation failed ({exc}); "
+                "evaluating the fused block in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            stats.block_fallbacks += 1
+            return None
+        stats.blocks_sharded += 1
+        stats.shm_seconds += time.perf_counter() - started
+        return evaluation
+
+    def _evaluate_sharded(self, block, config, k: int, stats: FleetStats):
+        from repro.cost.fused import (
+            FusedBlockEvaluation,
+            ShardedBlockEvaluation,
+            _BlockRows,
+        )
+
+        n = len(block)
+        policy = RetryPolicy.from_env()
+        supervisor = ShardSupervisor(policy)
+        bounds = [i * n // k for i in range(k + 1)]
+        shards = [(i, bounds[i], bounds[i + 1]) for i in range(k)]
+
+        in_shm = _create_segment(_IN_FIELDS, n)
+        out_shm = _create_segment(_OUT_FIELDS, n)
+        try:
+            _write_block(in_shm, block, n)
+            stats.shm_bytes += in_shm.size + out_shm.size
+            self.ensure(k, stats)
+            if not self._workers:
+                raise RuntimeError("no fleet workers could be spawned")
+
+            pending: Deque[Tuple[int, int, int]] = deque(shards)
+            fallback: List[Tuple[int, int, int]] = []
+            done_by_worker: set = set()
+            #: conn -> (worker, shard, seq, deadline)
+            busy: Dict[object, Tuple[_Worker, Tuple[int, int, int], int,
+                                     Optional[float]]] = {}
+            remaining = {index for index, _start, _stop in shards}
+
+            def resolve_failure(shard: Tuple[int, int, int]) -> None:
+                index, start, stop = shard
+                decision = supervisor.record_failure(
+                    index, f"shm-shard-{start}-{stop}"
+                )
+                if decision == ShardSupervisor.RESUBMIT:
+                    stats.shard_resubmissions += 1
+                    pending.append(shard)
+                else:
+                    stats.shard_fallbacks += 1
+                    fallback.append(shard)
+                    remaining.discard(index)
+
+            def dispatch(worker: _Worker, shard: Tuple[int, int, int]) -> None:
+                index, start, stop = shard
+                self._seq += 1
+                task = (
+                    "eval", self._seq, in_shm.name, out_shm.name, n,
+                    start, stop, supervisor.attempt(index), config,
+                    block.operators,
+                )
+                if worker.served:
+                    stats.warm_hits += 1
+                worker.served += 1
+                try:
+                    worker.conn.send(task)
+                except (OSError, BrokenPipeError):
+                    stats.worker_crashes += 1
+                    self._kill_worker(worker)
+                    resolve_failure(shard)
+                    return
+                stats.shards_dispatched += 1
+                deadline = (
+                    time.monotonic() + policy.task_timeout
+                    if policy.task_timeout
+                    else None
+                )
+                busy[worker.conn] = (worker, shard, self._seq, deadline)
+
+            while remaining:
+                busy_workers = {entry[0] for entry in busy.values()}
+                idle = [
+                    w for w in self._workers
+                    if w not in busy_workers and w.alive
+                ]
+                while pending and idle:
+                    dispatch(idle.pop(0), pending.popleft())
+                if pending and not busy:
+                    # Every worker is gone; one respawn round, then give
+                    # the rest to the serial path.
+                    if self.ensure(min(k, len(pending)), stats) == 0:
+                        while pending:
+                            shard = pending.popleft()
+                            stats.shard_fallbacks += 1
+                            fallback.append(shard)
+                            remaining.discard(shard[0])
+                    continue
+                if not busy:
+                    break  # everything resolved
+                timeout = None
+                now = time.monotonic()
+                deadlines = [
+                    entry[3] for entry in busy.values()
+                    if entry[3] is not None
+                ]
+                if deadlines:
+                    timeout = max(0.0, min(deadlines) - now)
+                ready = connection.wait(list(busy.keys()), timeout)
+                now = time.monotonic()
+                if not ready:
+                    for conn, entry in list(busy.items()):
+                        worker, shard, _seq, deadline = entry
+                        if deadline is not None and now >= deadline:
+                            stats.worker_timeouts += 1
+                            del busy[conn]
+                            self._kill_worker(worker)
+                            resolve_failure(shard)
+                    continue
+                for conn in ready:
+                    entry = busy.pop(conn, None)
+                    if entry is None:
+                        continue
+                    worker, shard, seq, _deadline = entry
+                    try:
+                        reply = conn.recv()
+                    except (EOFError, OSError):
+                        stats.worker_crashes += 1
+                        self._kill_worker(worker)
+                        resolve_failure(shard)
+                        continue
+                    if reply[0] == "ok" and reply[1] == seq:
+                        done_by_worker.add(shard[0])
+                        remaining.discard(shard[0])
+                    else:
+                        # The worker survived but the shard failed
+                        # (injected crash, framing mismatch): it stays
+                        # in the fleet; the shard goes to the retry
+                        # ledger.
+                        stats.worker_crashes += 1
+                        resolve_failure(shard)
+
+            latency, fail_code, feasible = _read_outputs(out_shm, n)
+            # Every shard a worker did not confirm — explicit fallbacks
+            # plus anything a defensive loop exit left behind — gets the
+            # in-parent serial evaluation, so the decision arrays are
+            # complete no matter how the fleet misbehaved.
+            for index, start, stop in shards:
+                if index in done_by_worker:
+                    continue
+                view = FusedBlockEvaluation(
+                    _BlockRows(block, start, stop), config
+                )
+                latency[start:stop] = view.latency
+                fail_code[start:stop] = view.fail_code
+                feasible[start:stop] = view.feasible
+            return ShardedBlockEvaluation(
+                block, config, latency, fail_code, feasible
+            )
+        finally:
+            _destroy_segment(in_shm)
+            _destroy_segment(out_shm)
+
+
+_SHARED: Optional[ShmFleet] = None
+
+
+def shared_fleet() -> ShmFleet:
+    """The process-wide fleet singleton (spawned lazily, shut down
+    atexit).  Sharing one fleet across evaluators is what makes the
+    workers *warm*: a second campaign in the same process dispatches to
+    already-running workers."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = ShmFleet()
+        atexit.register(_SHARED.shutdown)
+    return _SHARED

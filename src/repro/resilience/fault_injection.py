@@ -21,7 +21,10 @@
 * ``site`` — a named injection point: ``evaluate`` (the cost evaluator,
   keyed by the design point), ``mapper`` (the per-layer mapping search,
   keyed by the layer name), ``cache-load`` / ``cache-save`` (mapping
-  cache persistence, keyed by the file path).
+  cache persistence, keyed by the file path), ``shm`` (a shared-memory
+  fleet worker evaluating one shard, keyed by
+  ``shard-<start>-<stop>`` — ``kill`` faults here SIGKILL the persistent
+  worker, exercising shard resubmission).
 * ``rate`` — firing probability in ``[0, 1]``.  The decision is the
   deterministic hash of ``(seed, site, key, attempt)`` — no global RNG —
   so a given campaign always faults at the same calls regardless of
@@ -69,7 +72,7 @@ __all__ = [
 
 #: Supported fault kinds and the injection sites wired into the pipeline.
 FAULT_KINDS = ("crash", "hang", "kill", "corrupt")
-FAULT_SITES = ("evaluate", "mapper", "cache-load", "cache-save")
+FAULT_SITES = ("evaluate", "mapper", "cache-load", "cache-save", "shm")
 
 ENV_VAR = "REPRO_FAULT_INJECT"
 

@@ -1,8 +1,11 @@
 """Validation tests for the fast-path environment knobs.
 
-``REPRO_FUSED_EVAL``, ``REPRO_TREE_COMPILE``, and ``REPRO_CACHE_PLANE``
+``REPRO_FUSED_EVAL``, ``REPRO_TREE_COMPILE``, ``REPRO_CACHE_PLANE``,
+``REPRO_SHM_EVAL``, ``REPRO_FUSED_SHARDS``, and ``REPRO_SHM_MIN_ROWS``
 follow the ``resolve_jobs`` contract: junk values never raise — they
-warn once (per knob, per value) and fall back to the safe path.
+warn once (per knob, per value) and fall back to the safe path.  Valid
+values are memoized per raw string (hot paths re-read knobs), junk
+values are not (clearing ``_WARNED`` must re-warn).
 """
 
 import warnings
@@ -14,7 +17,15 @@ from repro.perf import knobs
 
 @pytest.fixture(autouse=True)
 def _clean_env(monkeypatch):
-    for name in ("REPRO_FUSED_EVAL", "REPRO_TREE_COMPILE", "REPRO_CACHE_PLANE"):
+    for name in (
+        "REPRO_FUSED_EVAL",
+        "REPRO_TREE_COMPILE",
+        "REPRO_CACHE_PLANE",
+        "REPRO_SHM_EVAL",
+        "REPRO_FUSED_SHARDS",
+        "REPRO_SHM_MIN_ROWS",
+        "REPRO_JOBS",
+    ):
         monkeypatch.delenv(name, raising=False)
 
 
@@ -59,6 +70,93 @@ class TestEnvFlag:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert knobs.fused_eval_enabled() is False  # silent repeat
+
+    def test_junk_rewarns_after_warned_reset(self, monkeypatch):
+        """The valid-value memo must not swallow junk: clearing the
+        warn-once ledger re-warns (junk parses are never cached)."""
+        monkeypatch.setenv("REPRO_FUSED_EVAL", "sideways-again")
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="REPRO_FUSED_EVAL"):
+            knobs.fused_eval_enabled()
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="REPRO_FUSED_EVAL"):
+            knobs.fused_eval_enabled()
+
+    def test_valid_values_tracked_across_env_changes(self, monkeypatch):
+        """The memo is keyed by raw value, so flipping the environment is
+        picked up immediately."""
+        monkeypatch.setenv("REPRO_FUSED_EVAL", "1")
+        assert knobs.fused_eval_enabled() is True
+        monkeypatch.setenv("REPRO_FUSED_EVAL", "0")
+        assert knobs.fused_eval_enabled() is False
+        monkeypatch.delenv("REPRO_FUSED_EVAL")
+        assert knobs.fused_eval_enabled() is False
+
+
+class TestShmKnobs:
+    def test_shm_eval_defaults_off(self):
+        assert knobs.shm_eval_enabled() is False
+
+    def test_shm_eval_env_and_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_EVAL", "1")
+        assert knobs.shm_eval_enabled() is True
+        assert knobs.shm_eval_enabled(override=False) is False
+
+    def test_shm_eval_junk_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_EVAL", "warp-speed")
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="REPRO_SHM_EVAL"):
+            assert knobs.shm_eval_enabled() is False
+
+    def test_fused_shards_defaults_to_resolved_jobs(self, monkeypatch):
+        assert knobs.fused_shards() == 1  # REPRO_JOBS default is serial
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert knobs.fused_shards() == 3
+
+    def test_fused_shards_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSED_SHARDS", "5")
+        assert knobs.fused_shards() == 5
+
+    @pytest.mark.parametrize("raw", ["auto", "0", "AUTO"])
+    def test_fused_shards_auto_selects_cpu_count(self, monkeypatch, raw):
+        import os
+
+        monkeypatch.setenv("REPRO_FUSED_SHARDS", raw)
+        assert knobs.fused_shards() == max(1, os.cpu_count() or 1)
+
+    def test_fused_shards_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSED_SHARDS", "5")
+        assert knobs.fused_shards(2) == 2
+        assert knobs.fused_shards(0) == 1  # clamped to at least one
+
+    def test_fused_shards_junk_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSED_SHARDS", "many")
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="REPRO_FUSED_SHARDS"):
+            assert knobs.fused_shards() == 2
+
+    def test_fused_shards_negative_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSED_SHARDS", "-4")
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="REPRO_FUSED_SHARDS"):
+            assert knobs.fused_shards() == 1
+
+    def test_min_rows_default(self):
+        assert knobs.shm_min_shard_rows() == 4096
+
+    def test_min_rows_env_and_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_ROWS", "128")
+        assert knobs.shm_min_shard_rows() == 128
+        assert knobs.shm_min_shard_rows(7) == 7
+        assert knobs.shm_min_shard_rows(0) == 1  # clamped
+
+    @pytest.mark.parametrize("raw", ["tiny", "-1", "0"])
+    def test_min_rows_junk_warns_and_falls_back(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_SHM_MIN_ROWS", raw)
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="REPRO_SHM_MIN_ROWS"):
+            assert knobs.shm_min_shard_rows() == 4096
 
 
 class TestCachePlaneDir:
