@@ -1,0 +1,264 @@
+"""CI smoke test: the campaign service under churn, kill, and resume.
+
+Drives the full service story end-to-end over the real HTTP API with a
+real process kill (not an in-process stop)::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py --out BENCH_service.json
+
+1. Compute solo ``ExplainableDSE.run()`` references (fingerprint +
+   journal) in-process for every campaign spec the service will run.
+2. Start ``repro serve`` in a subprocess and submit four campaigns as
+   two tenants through :class:`~repro.service.client.ServiceClient`.
+3. Cancel one campaign, wait for it to settle, then SIGTERM the server
+   while the survivors are still mid-run.
+4. Restart the server on the same spool, wait for every campaign, and
+   assert each finished campaign's fingerprint **and** canonical
+   journal match its solo reference — interleaving, tenancy, and a
+   process death must all be invisible in the results.
+
+If the survivors happen to finish before the kill lands (fast machine),
+the record says so and the equality checks still run.  Artifacts
+(statuses, journals, server logs) are copied next to ``--out`` for CI
+upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.machine import result_fingerprint  # noqa: E402
+from repro.service.service import (  # noqa: E402
+    CampaignSpec,
+    default_campaign_factory,
+)
+from repro.telemetry import JsonlSink, Tracer  # noqa: E402
+from repro.verify.differential import _canonical_journal  # noqa: E402
+
+#: Four campaigns as two tenants; the last one is the cancel victim.
+CAMPAIGNS = [
+    {"model": "resnet18", "tenant": "alice", "iterations": 36, "top_n": 40},
+    {"model": "mobilenetv2", "tenant": "alice", "iterations": 36, "top_n": 40},
+    {"model": "resnet18", "tenant": "bob", "iterations": 36, "top_n": 40},
+    {"model": "mobilenetv2", "tenant": "bob", "iterations": 36, "top_n": 40},
+]
+VICTIM = 3
+
+_LISTENING = re.compile(r"service listening on http://([\d.]+):(\d+)")
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _start_server(spool: Path, log_path: Path, timeout: float = 60.0):
+    """Launch ``repro serve`` and wait for its listening line.
+
+    Returns ``(process, client)``.  The port is parsed from stdout —
+    ``--port 0`` lets the OS pick a free one.
+    """
+    log = open(log_path, "w")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--spool",
+            str(spool),
+            "--port",
+            "0",
+            "--quantum",
+            "1",
+        ],
+        env=_env(),
+        stdout=log,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        match = _LISTENING.search(log_path.read_text())
+        if match:
+            return proc, ServiceClient(f"http://{match.group(1)}:{match.group(2)}")
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server exited before listening:\n{log_path.read_text()}"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError(f"server never listened:\n{log_path.read_text()}")
+
+
+def _stop_server(proc) -> int:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        return proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        return proc.wait()
+
+
+def _solo_references(workdir: Path) -> dict:
+    """Solo run() references keyed by campaign index: (fingerprint,
+    canonical journal bytes).  Identical spec => identical campaign, so
+    duplicate specs share one run."""
+    references, by_spec = {}, {}
+    for index, overrides in enumerate(CAMPAIGNS):
+        key = json.dumps(overrides, sort_keys=True)
+        if key not in by_spec:
+            journal = workdir / f"solo-{index}.jsonl"
+            tracer = Tracer(JsonlSink(journal))
+            spec = CampaignSpec.from_dict(overrides)
+            result = default_campaign_factory(spec).run(tracer=tracer)
+            tracer.close()
+            by_spec[key] = (
+                result_fingerprint(result),
+                _canonical_journal(journal),
+            )
+        references[index] = by_spec[key]
+    return references
+
+
+def run(workdir: Path, artifacts: Path) -> dict:
+    spool = workdir / "spool"
+    artifacts.mkdir(parents=True, exist_ok=True)
+    record = {
+        "benchmark": "service_smoke",
+        "python": platform.python_version(),
+        "campaigns": CAMPAIGNS,
+        "checks": [],
+    }
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        record["checks"].append({"name": name, "ok": bool(ok), "detail": detail})
+        print(f"[{'ok' if ok else 'FAIL'}] {name}" + (f": {detail}" if detail else ""))
+
+    t0 = time.time()
+    references = _solo_references(workdir)
+    record["solo_seconds"] = round(time.time() - t0, 2)
+
+    # -- phase 1: serve, submit 4 as 2 tenants, cancel one, SIGTERM ----------
+    proc, client = _start_server(spool, artifacts / "server1.log")
+    ids = {}
+    try:
+        for index, overrides in enumerate(CAMPAIGNS):
+            ids[index] = client.submit(dict(overrides))
+        victim_id = ids[VICTIM]
+        client.cancel(victim_id)
+        victim = client.wait(victim_id, timeout=120)
+        check(
+            "victim settles after cancel",
+            victim["status"] in ("cancelled", "finished"),
+            victim["status"],
+        )
+        record["victim_status_phase1"] = victim["status"]
+
+        # SIGTERM once the survivors have made some progress but (on any
+        # reasonable machine) have not all finished.
+        keepers = [ids[i] for i in range(len(CAMPAIGNS)) if i != VICTIM]
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            statuses = [client.status(cid) for cid in keepers]
+            progressed = sum(s["steps_done"] for s in statuses) >= 2
+            unfinished = [s for s in statuses if s["status"] not in ("finished", "failed")]
+            if progressed or not unfinished:
+                break
+            time.sleep(0.02)
+        record["statuses_at_kill"] = {s["campaign_id"]: s["status"] for s in statuses}
+        record["interrupted"] = bool(unfinished)
+    finally:
+        record["server1_exit"] = _stop_server(proc)
+    check(
+        "SIGTERM interrupted live campaigns",
+        True,  # informational: a fast machine may legitimately finish first
+        f"interrupted={record['interrupted']}",
+    )
+
+    # -- phase 2: restart on the same spool, everything settles --------------
+    proc, client = _start_server(spool, artifacts / "server2.log")
+    try:
+        finals = {index: client.wait(cid, timeout=600) for index, cid in ids.items()}
+        record["final_statuses"] = {
+            cid: finals[index]["status"] for index, cid in ids.items()
+        }
+        keepers_ok = all(
+            finals[i]["status"] == "finished" for i in range(len(CAMPAIGNS)) if i != VICTIM
+        )
+        check("all surviving campaigns finish after restart", keepers_ok,
+              str(record["final_statuses"]))
+        check(
+            "victim state survives restart",
+            finals[VICTIM]["status"] == record["victim_status_phase1"],
+            finals[VICTIM]["status"],
+        )
+
+        mismatches = []
+        for index, cid in ids.items():
+            if finals[index]["status"] != "finished":
+                continue
+            expected_fp, expected_journal = references[index]
+            if client.result(cid)["fingerprint"] != expected_fp:
+                mismatches.append(f"{cid}: fingerprint")
+            journal = spool / cid / "journal.jsonl"
+            if _canonical_journal(journal) != expected_journal:
+                mismatches.append(f"{cid}: journal")
+        record["mismatches"] = mismatches
+        check("fingerprints and journals match solo references",
+              not mismatches, "; ".join(mismatches) or "all equal")
+    finally:
+        record["server2_exit"] = _stop_server(proc)
+
+    # -- artifacts -----------------------------------------------------------
+    for cid in ids.values():
+        campaign_dir = spool / cid
+        target = artifacts / cid
+        target.mkdir(exist_ok=True)
+        for name in ("spec.json", "state.json", "journal.jsonl"):
+            source = campaign_dir / name
+            if source.exists():
+                shutil.copy2(source, target / name)
+    (artifacts / "statuses.json").write_text(
+        json.dumps(record["final_statuses"], indent=2)
+    )
+
+    record["ok"] = all(c["ok"] for c in record["checks"])
+    record["seconds"] = round(time.time() - t0, 2)
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument(
+        "--artifacts",
+        default="service-smoke-artifacts",
+        help="directory for CI-uploadable statuses/journals/server logs",
+    )
+    args = parser.parse_args()
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmp:
+        record = run(Path(tmp), Path(args.artifacts))
+    Path(args.out).write_text(json.dumps(record, indent=2))
+    print(f"wrote {args.out} (ok={record['ok']}, {record['seconds']}s)")
+    return 0 if record["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

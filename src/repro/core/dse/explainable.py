@@ -61,32 +61,18 @@ from repro.telemetry.checkpoint import (
     CheckpointError,
     load_checkpoint,
     save_checkpoint,
-    trials_from_dicts,
     trials_to_dicts,
     verify_against_journal,
 )
 from repro.telemetry.events import (
-    BottleneckIdentified,
-    BudgetExhausted,
     CandidateEvaluated,
     CandidateFailed,
-    CandidateGenerated,
-    IncumbentUpdated,
-    MitigationPredicted,
-    RunSummary,
-    StepStarted,
     deterministic_perf_counters,
 )
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["ExplainableDSE"]
 
-
-def _jsonable(value: object) -> object:
-    """Candidate values as JSON scalars (bundles stringify)."""
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    return str(value)
 
 #: Ledger costs of a quarantined candidate: infeasible under every
 #: constraint form (LEQ bounds see ``inf``, GEQ/throughput bounds see 0),
@@ -219,269 +205,24 @@ class ExplainableDSE:
                 given, the journal is replayed to verify the snapshot
                 first.
         """
-        tracer = tracer if tracer is not None else self.tracer
-        started = time.perf_counter()
-        trials: List[TrialRecord] = []
-        explanations: List[str] = []
-        exhausted: Set[str] = set()
-        attempt = 0
-        attempts_without_improvement = 0
-        breaker = FailureRateBreaker()
+        # The step loop lives in repro.service.machine: run() drives the
+        # same CampaignStateMachine the campaign service schedules, so a
+        # straight run and a service-interleaved (or killed-and-resumed)
+        # campaign are bit-identical by construction.
+        from repro.service.machine import CampaignState, CampaignStateMachine
 
-        if resume_from is not None:
-            checkpoint = self._load_resume(resume_from)
-            trials = trials_from_dicts(checkpoint.trials)
-            explanations = list(checkpoint.explanations)
-            if checkpoint.finished:
-                best = select_best(
-                    trials, self.constraints, objective=self.objective
-                )
-                return DSEResult(
-                    technique="explainable",
-                    model=self.evaluator.workload.name,
-                    trials=trials,
-                    best=best,
-                    evaluations=checkpoint.consumed,
-                    wall_seconds=time.perf_counter() - started,
-                    explanations=explanations,
-                )
-            exhausted = set(checkpoint.exhausted)
-            tried_points = {tuple(key) for key in checkpoint.tried_keys}
-            attempt = checkpoint.attempt
-            attempts_without_improvement = (
-                checkpoint.attempts_without_improvement
-            )
-            current = dict(checkpoint.current_point)
-            self.space.validate(current)
-            # Replay the incumbent through the cost model (bit-identical,
-            # and usually a cache hit) without recording a trial or
-            # consuming budget.
-            current_eval = self.evaluator.evaluate(current)
-            base_evaluations = (
-                self.evaluator.evaluations - checkpoint.consumed
-            )
-        else:
-            base_evaluations = self.evaluator.evaluations
-            current = dict(initial_point or self.space.minimum_point())
-            self.space.validate(current)
-            current_eval = self._evaluate(
-                current,
-                trials,
-                note="initial point",
-                tracer=tracer,
-                step=0,
-                candidate_index=0,
-            )
-            tried_points = {self.space.point_key(current)}
-
-        finished = False
-        while True:
-            if self._budget_left(base_evaluations) <= 0:
-                tracer.emit(
-                    BudgetExhausted(
-                        step=attempt,
-                        consumed=self.evaluator.evaluations
-                        - base_evaluations,
-                        budget=self.max_evaluations,
-                    )
-                )
-                break
-            attempt += 1
-            tracer.emit(
-                StepStarted(
-                    step=attempt,
-                    incumbent=dict(current),
-                    objective=current_eval.costs.get(
-                        self.objective, math.inf
-                    ),
-                    feasible=all_satisfied(
-                        current_eval.costs, self.constraints
-                    ),
-                )
-            )
-            predictions, why, analysis = self._analyze(current, current_eval)
-            tracer.emit(BottleneckIdentified(step=attempt, **analysis))
-            for prediction in predictions:
-                tracer.emit(
-                    MitigationPredicted(
-                        step=attempt,
-                        parameter=prediction.parameter,
-                        value=float(prediction.value),
-                        subfunctions=list(
-                            prediction.contributing_subfunctions
-                        ),
-                    )
-                )
-            candidates = self._acquire(
-                current, predictions, exhausted, tried_points
-            )
-            if not current_eval.mappable:
-                candidates = (
-                    self._compatibility_bundle(current, tried_points)
-                    + candidates
-                )[: self.max_candidates]
-            if not candidates:
-                # §4.3: when bottleneck information is exhausted the DSE
-                # resorts to its black-box counterpart — neighbour moves.
-                candidates = self._neighbor_fallback(current, tried_points)
-                if candidates:
-                    why += "; mitigation exhausted, sampling neighbours"
-            for index, candidate in enumerate(candidates):
-                tracer.emit(
-                    CandidateGenerated(
-                        step=attempt,
-                        candidate_index=index,
-                        parameter=candidate.parameter,
-                        value=_jsonable(candidate.value),
-                        reason=candidate.reason,
-                    )
-                )
-            explanations.append(
-                f"[attempt {attempt}] {why}; acquiring "
-                f"{[f'{c.parameter}={c.value}' for c in candidates]}"
-            )
-            if not candidates:
-                explanations.append(
-                    f"[attempt {attempt}] no mitigating candidates remain; "
-                    "terminating"
-                )
-                finished = True
-                break
-
-            evaluated: List[Tuple[_Candidate, Evaluation]] = []
-            for index, candidate in enumerate(candidates):
-                if self._budget_left(base_evaluations) <= 0:
-                    break
-                tried_points.add(self.space.point_key(candidate.point))
-                evaluation = self._evaluate(
-                    candidate.point,
-                    trials,
-                    note=candidate.reason,
-                    tracer=tracer,
-                    step=attempt,
-                    candidate_index=index,
-                    breaker=breaker,
-                )
-                if evaluation is not None:
-                    evaluated.append((candidate, evaluation))
-                if breaker.tripped:
-                    # Abort at the attempt boundary: finish the update
-                    # with whatever evaluated, checkpoint, then raise.
-                    break
-
-            new_point, new_eval, decision = self._update(
-                current, current_eval, evaluated, exhausted
-            )
-            improved = self.space.point_key(new_point) != self.space.point_key(
-                current
-            )
-            tracer.emit(
-                IncumbentUpdated(
-                    step=attempt,
-                    point=dict(new_point),
-                    objective=new_eval.costs.get(self.objective, math.inf),
-                    decision=decision,
-                    improved=improved,
-                )
-            )
-            explanations.append(f"[attempt {attempt}] {decision}")
-            if not improved:
-                attempts_without_improvement += 1
-                if attempts_without_improvement >= self.patience:
-                    explanations.append(
-                        f"[attempt {attempt}] no improvement for "
-                        f"{self.patience} attempts; terminating"
-                    )
-                    finished = True
-            else:
-                attempts_without_improvement = 0
-                exhausted.clear()
-                current, current_eval = dict(new_point), new_eval
-            if breaker.tripped and not finished:
-                # Systemic fault (REPRO_MAX_FAILURE_RATE exceeded): persist
-                # a resumable snapshot, then abort instead of grinding on.
-                explanations.append(
-                    f"[attempt {attempt}] circuit breaker tripped: "
-                    f"{breaker.failures} of {breaker.total} candidate "
-                    f"evaluations failed; aborting after checkpoint"
-                )
-                if checkpoint_path:
-                    self._write_checkpoint(
-                        checkpoint_path,
-                        tracer,
-                        trials=trials,
-                        explanations=explanations,
-                        current=current,
-                        exhausted=exhausted,
-                        tried_points=tried_points,
-                        attempt=attempt,
-                        attempts_without_improvement=(
-                            attempts_without_improvement
-                        ),
-                        consumed=self.evaluator.evaluations
-                        - base_evaluations,
-                        finished=False,
-                    )
-                tracer.flush()
-                raise breaker.systemic_fault(
-                    attempt=attempt, checkpoint=checkpoint_path
-                )
-            if finished:
-                break
-            if checkpoint_path and attempt % checkpoint_every == 0:
-                self._write_checkpoint(
-                    checkpoint_path,
-                    tracer,
-                    trials=trials,
-                    explanations=explanations,
-                    current=current,
-                    exhausted=exhausted,
-                    tried_points=tried_points,
-                    attempt=attempt,
-                    attempts_without_improvement=(
-                        attempts_without_improvement
-                    ),
-                    consumed=self.evaluator.evaluations - base_evaluations,
-                    finished=False,
-                )
-
-        consumed = self.evaluator.evaluations - base_evaluations
-        best = select_best(trials, self.constraints, objective=self.objective)
-        tracer.emit(
-            RunSummary(
-                step=attempt,
-                technique="explainable",
-                model=self.evaluator.workload.name,
-                evaluations=consumed,
-                best_objective=best.objective if best else math.inf,
-                found_feasible=best is not None,
-                counters=self._perf_counters(),
-            )
+        machine = CampaignStateMachine(
+            self,
+            initial_point,
+            tracer=tracer,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
         )
-        if checkpoint_path:
-            self._write_checkpoint(
-                checkpoint_path,
-                tracer,
-                trials=trials,
-                explanations=explanations,
-                current=current,
-                exhausted=exhausted,
-                tried_points=tried_points,
-                attempt=attempt,
-                attempts_without_improvement=attempts_without_improvement,
-                consumed=consumed,
-                finished=finished,
-            )
-        tracer.flush()
-        return DSEResult(
-            technique="explainable",
-            model=self.evaluator.workload.name,
-            trials=trials,
-            best=best,
-            evaluations=consumed,
-            wall_seconds=time.perf_counter() - started,
-            explanations=explanations,
-        )
+        machine.start()
+        while machine.state is CampaignState.RUNNING:
+            machine.step()
+        return machine.result()
 
     # -- checkpoint/resume plumbing ---------------------------------------------
 

@@ -9,6 +9,8 @@ Usage::
     python -m repro compare efficientnetb0 --iterations 40
     python -m repro experiment table7
     python -m repro experiment fig4
+    python -m repro serve --spool runs/spool
+    python -m repro submit resnet18 --server http://127.0.0.1:8321 --wait
     python -m repro list-models
 
 The heavyweight matrix experiments (fig9/fig10/fig11/fig12/table2/table3)
@@ -174,6 +176,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="seed for the sweep mapping set, invariant sampling, and "
              "fuzzer corpus (default: 0)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service: accept DSE submissions over HTTP "
+             "and interleave tenants' campaigns over one shared worker "
+             "fleet",
+    )
+    serve.add_argument(
+        "--spool", default="service-spool", metavar="DIR",
+        help="per-campaign spool directory (journals, checkpoints, "
+             "status); restarting on the same spool resumes unfinished "
+             "campaigns (default: service-spool)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (0 picks a free one; the bound address is printed "
+             "on startup)",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=None, metavar="N",
+        help="campaigns interleaving at once "
+             "(default: $REPRO_SERVICE_MAX_CONCURRENT or 4)",
+    )
+    serve.add_argument(
+        "--quantum", type=int, default=None, metavar="N",
+        help="steps per unit of tenant weight per scheduler turn "
+             "(default: $REPRO_SERVICE_STEP_QUANTUM or 1)",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=int, default=None, metavar="N",
+        help="default per-tenant total step budget "
+             "(default: $REPRO_TENANT_QUOTA or unlimited)",
+    )
+    _add_jobs_argument(serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign to a running campaign service"
+    )
+    submit.add_argument("model", choices=MODEL_NAMES)
+    submit.add_argument(
+        "--server", required=True, metavar="URL",
+        help="service base URL, e.g. http://127.0.0.1:8321",
+    )
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--iterations", type=int, default=40)
+    submit.add_argument(
+        "--mapping", choices=("codesign", "fixed"), default="codesign"
+    )
+    submit.add_argument(
+        "--objective",
+        choices=sorted(MAPPING_OBJECTIVES),
+        default="latency",
+    )
+    submit.add_argument(
+        "--weight", type=int, default=None,
+        help="tenant scheduling weight (steps per turn scale with it)",
+    )
+    submit.add_argument(
+        "--quota", type=int, default=None,
+        help="tenant total step budget (0 = unlimited)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the campaign settles and print its outcome",
+    )
+    submit.add_argument(
+        "--follow", action="store_true",
+        help="stream the campaign's journal to stdout until it settles "
+             "(implies --wait)",
     )
 
     sub.add_parser("list-models", help="list the benchmark models")
@@ -397,6 +470,91 @@ def _cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import CampaignService
+    from repro.service.http import ServiceEndpoint
+
+    async def serve() -> None:
+        service = CampaignService(
+            args.spool,
+            max_concurrent=args.max_concurrent,
+            quantum=args.quantum,
+            default_quota=(
+                "env" if args.tenant_quota is None else args.tenant_quota
+            ),
+        )
+        await service.start()
+        endpoint = ServiceEndpoint(service, host=args.host, port=args.port)
+        await endpoint.start()
+        # The smoke harness and scripts parse this line for the port.
+        print(
+            f"service listening on http://{args.host}:{endpoint.port} "
+            f"(spool: {args.spool})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print(
+            "service: stopping at the next slice boundary "
+            "(campaigns stay resumable)",
+            flush=True,
+        )
+        await endpoint.stop()
+        await service.stop()
+
+    asyncio.run(serve())
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.server)
+    spec = {
+        "model": args.model,
+        "tenant": args.tenant,
+        "iterations": args.iterations,
+        "mapping_mode": args.mapping,
+        "objective": args.objective,
+    }
+    if args.weight is not None:
+        spec["tenant_weight"] = args.weight
+    if args.quota is not None:
+        spec["tenant_quota"] = args.quota
+    try:
+        campaign_id = client.submit(spec)
+        print(f"submitted {campaign_id} (tenant: {args.tenant})")
+        if args.follow:
+            for line in client.stream_journal(campaign_id, follow=True):
+                print(line)
+        if args.wait or args.follow:
+            status = client.wait(campaign_id)
+            print(f"campaign {campaign_id}: {status['status']} after "
+                  f"{status['steps_done']} steps")
+            if status["status"] == "finished":
+                result = client.result(campaign_id)
+                print(f"best point: {result['best_point']}")
+                print(f"evaluations: {result['evaluations']}")
+                return 0
+            return 1
+    except ServiceClientError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"repro: error: cannot reach service at {args.server}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -406,6 +564,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "serve":
+        _apply_jobs(args)
+        return _cmd_serve(args)
     _apply_jobs(args)
     _apply_batch_eval(args)
     try:

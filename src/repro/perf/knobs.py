@@ -27,6 +27,12 @@ Knobs resolved here:
 * ``REPRO_SHM_MIN_ROWS`` — minimum candidate rows per shard before a
   block is worth dispatching to the fleet (adaptive shard sizing; tiny
   steps evaluate in-process to skip the dispatch overhead).
+* ``REPRO_SERVICE_MAX_CONCURRENT`` — campaign-service admission cap:
+  how many campaigns interleave at once (:mod:`repro.service`).
+* ``REPRO_SERVICE_STEP_QUANTUM`` — acquisition attempts granted per
+  unit of tenant weight per scheduler turn.
+* ``REPRO_TENANT_QUOTA`` — default per-tenant total step budget;
+  unset/``0``/``none``/``unlimited`` means no quota.
 
 Valid values are memoized per ``(knob, raw value)`` so hot paths (the
 per-node compiled-tree check, the per-step fused gate) never re-parse an
@@ -47,6 +53,9 @@ __all__ = [
     "shm_eval_enabled",
     "fused_shards",
     "shm_min_shard_rows",
+    "service_max_concurrent",
+    "service_step_quantum",
+    "tenant_step_quota",
 ]
 
 _TRUE = frozenset({"1", "true", "on", "yes"})
@@ -60,6 +69,9 @@ _WARNED: Set[Tuple[str, str]] = set()
 #: unchanged value cost one dict probe.  Junk values are never cached:
 #: they keep flowing through the warn-once path.
 _FLAG_CACHE: Dict[Tuple[str, str, bool], bool] = {}
+
+#: Same contract for integer-valued knobs: only valid parses are cached.
+_INT_CACHE: Dict[Tuple[str, str], Optional[int]] = {}
 
 
 def _warn_once(name: str, raw: str, fallback: str) -> None:
@@ -191,6 +203,90 @@ def shm_min_shard_rows(override: Optional[int] = None) -> int:
         )
         return default
     return rows
+
+
+def _positive_int_knob(name: str, default: int, override: Optional[int]) -> int:
+    """Shared parser for positive-integer service knobs: explicit
+    ``override`` wins, junk values warn once and fall back to
+    ``default``, results are always at least 1."""
+    if override is not None:
+        return max(1, int(override))
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    cached = _INT_CACHE.get((name, raw))
+    if cached is not None:
+        return cached
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        value = 0
+    if value <= 0:
+        _warn_once(
+            name,
+            raw,
+            f"falling back to the default ({default}) — use a positive "
+            "integer",
+        )
+        return default
+    _INT_CACHE[(name, raw)] = value
+    return value
+
+
+def service_max_concurrent(override: Optional[int] = None) -> int:
+    """Campaign-service admission cap (``REPRO_SERVICE_MAX_CONCURRENT``).
+
+    How many campaigns may be resident (interleaving over the shared
+    worker fleet) at once; further submissions wait in submission order.
+    Junk values warn once and fall back to the default (4).
+    """
+    return _positive_int_knob("REPRO_SERVICE_MAX_CONCURRENT", 4, override)
+
+
+def service_step_quantum(override: Optional[int] = None) -> int:
+    """Steps granted per unit of tenant weight per scheduler turn
+    (``REPRO_SERVICE_STEP_QUANTUM``).
+
+    The default (1) interleaves at acquisition-attempt granularity —
+    the finest slicing the checkpoint schema supports.  Junk values
+    warn once and fall back to the default.
+    """
+    return _positive_int_knob("REPRO_SERVICE_STEP_QUANTUM", 1, override)
+
+
+def tenant_step_quota(override: Optional[int] = "env") -> Optional[int]:
+    """Default per-tenant total step budget (``REPRO_TENANT_QUOTA``).
+
+    ``None`` (the default when unset) means unlimited; so do ``0``,
+    ``none``, and ``unlimited``.  A tenant that exhausts its quota is
+    starved — its campaigns park at a checkpoint — never failed.  Junk
+    values warn once and fall back to unlimited.
+    """
+    if override != "env":
+        return None if override is None else max(1, int(override))
+    raw = os.environ.get("REPRO_TENANT_QUOTA")
+    if raw is None:
+        return None
+    cached = _INT_CACHE.get(("REPRO_TENANT_QUOTA", raw))
+    if cached is not None:
+        return cached
+    value = raw.strip().lower()
+    if value in {"", "0", "none", "unlimited"}:
+        return None
+    try:
+        quota = int(value)
+    except ValueError:
+        quota = -1
+    if quota < 0:
+        _warn_once(
+            "REPRO_TENANT_QUOTA",
+            raw,
+            "falling back to no quota (unlimited) — use a positive "
+            "integer, or 0/none/unlimited",
+        )
+        return None
+    _INT_CACHE[("REPRO_TENANT_QUOTA", raw)] = quota
+    return quota
 
 
 def cache_plane_dir() -> Optional[str]:

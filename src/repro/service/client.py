@@ -1,0 +1,131 @@
+"""A tiny urllib client for the campaign-service HTTP API.
+
+Used by ``repro-experiments submit`` and the service smoke benchmark;
+kept to the stdlib so driving a remote service needs nothing beyond the
+repository itself.  Synchronous by design — callers are CLIs and test
+harnesses, not event loops.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(RuntimeError):
+    """An HTTP error response from the service (carries the status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.http.ServiceEndpoint`.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8321`` (no trailing slash
+            needed).
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode()).get("error", "")
+            except Exception:  # noqa: BLE001 - best-effort error body
+                message = exc.reason
+            raise ServiceClientError(exc.code, message) from None
+
+    # -- API -----------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def submit(self, spec: Dict[str, Any]) -> str:
+        """Submit a campaign spec dict; returns the campaign id."""
+        return self._request("POST", "/v1/campaigns", spec)["campaign_id"]
+
+    def list_campaigns(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/campaigns")["campaigns"]
+
+    def status(self, campaign_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/campaigns/{campaign_id}")
+
+    def cancel(self, campaign_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/v1/campaigns/{campaign_id}/cancel")
+
+    def result(self, campaign_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/campaigns/{campaign_id}/result")
+
+    def grant_quota(self, tenant: str, extra_steps: int) -> Dict[str, Any]:
+        return self._request(
+            "POST",
+            f"/v1/tenants/{tenant}/quota",
+            {"extra_steps": extra_steps},
+        )
+
+    def journal(self, campaign_id: str, offset: int = 0) -> List[str]:
+        """The campaign's journal lines from ``offset`` (no follow)."""
+        return list(self.stream_journal(campaign_id, offset=offset))
+
+    def stream_journal(
+        self, campaign_id: str, offset: int = 0, follow: bool = False
+    ) -> Iterator[str]:
+        """Yield journal lines; ``follow=True`` tails until settled."""
+        url = (
+            f"{self.base_url}/v1/campaigns/{campaign_id}/journal"
+            f"?offset={offset}&follow={'1' if follow else '0'}"
+        )
+        timeout = None if follow else self.timeout
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            for raw in response:
+                line = raw.decode().rstrip("\n")
+                if line:
+                    yield line
+
+    def wait(
+        self,
+        campaign_id: str,
+        timeout: float = 600.0,
+        poll: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the campaign settles; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(campaign_id)
+            if status["status"] in ("finished", "cancelled", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} still {status['status']} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,254 @@
+"""A stdlib-only JSON/HTTP surface for the campaign service.
+
+:class:`ServiceEndpoint` serves a small HTTP/1.1 API over
+``asyncio.start_server`` — no web framework, no new runtime
+dependencies — delegating every operation to an in-process
+:class:`~repro.service.service.CampaignService`:
+
+=======  =================================  =================================
+Method   Path                               Meaning
+=======  =================================  =================================
+GET      ``/v1/healthz``                    liveness probe
+POST     ``/v1/campaigns``                  submit (body: CampaignSpec JSON)
+GET      ``/v1/campaigns``                  list all campaigns
+GET      ``/v1/campaigns/{id}``             status (incl. SLO + tenant state)
+GET      ``/v1/campaigns/{id}/result``      finished campaign's outcome
+POST     ``/v1/campaigns/{id}/cancel``      cancel at next attempt boundary
+GET      ``/v1/campaigns/{id}/journal``     journal lines
+                                            (``?offset=N&follow=0|1``)
+POST     ``/v1/tenants/{name}/quota``       grant quota
+                                            (body: ``{"extra_steps": N}``)
+=======  =================================  =================================
+
+Journal streaming with ``follow=1`` uses chunked transfer encoding and
+tails the campaign's journal until it settles; journals grow only at
+attempt boundaries, so followers always see whole attempts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.service import CampaignService, CampaignSpec, ServiceError
+
+__all__ = ["ServiceEndpoint"]
+
+_MAX_BODY = 1 << 20
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+def _response(status: int, payload: Dict[str, Any]) -> bytes:
+    body = (json.dumps(payload) + "\n").encode()
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    return head.encode() + body
+
+
+class ServiceEndpoint:
+    """Serve one :class:`CampaignService` over HTTP.
+
+    Args:
+        service: The (already started) in-process service.
+        host: Bind address (default loopback).
+        port: Bind port; ``0`` picks a free one — read :attr:`port`
+            after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        service: CampaignService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+                await self._dispatch(method, target, body, writer)
+            except _HttpError as exc:
+                writer.write(
+                    _response(exc.status, {"error": exc.message})
+                )
+            except ServiceError as exc:
+                status = 404 if "unknown campaign" in str(exc) else 409
+                writer.write(_response(status, {"error": str(exc)}))
+            except Exception as exc:  # noqa: BLE001 - must answer the client
+                writer.write(
+                    _response(500, {"error": f"{type(exc).__name__}: {exc}"})
+                )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Optional[Dict[str, Any]]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, target = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad Content-Length") from None
+        if content_length > _MAX_BODY:
+            raise _HttpError(400, "request body too large")
+        body = None
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise _HttpError(400, f"body is not valid JSON: {exc}")
+        return method, target, body
+
+    async def _dispatch(
+        self,
+        method: str,
+        target: str,
+        body: Optional[Dict[str, Any]],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        url = urlsplit(target)
+        segments = [s for s in url.path.split("/") if s]
+        query = parse_qs(url.query)
+        service = self.service
+
+        if segments == ["v1", "healthz"] and method == "GET":
+            writer.write(_response(200, {"ok": True}))
+            return
+        if segments == ["v1", "campaigns"]:
+            if method == "POST":
+                if not isinstance(body, dict) or "model" not in body:
+                    raise _HttpError(400, "body must be a CampaignSpec with 'model'")
+                try:
+                    spec = CampaignSpec.from_dict(body)
+                except TypeError as exc:
+                    raise _HttpError(400, f"bad spec: {exc}") from None
+                campaign_id = await service.submit(spec)
+                writer.write(_response(200, {"campaign_id": campaign_id}))
+                return
+            if method == "GET":
+                writer.write(
+                    _response(200, {"campaigns": service.list_campaigns()})
+                )
+                return
+            raise _HttpError(405, f"{method} not allowed here")
+        if len(segments) == 3 and segments[:2] == ["v1", "campaigns"]:
+            campaign_id = segments[2]
+            if method == "GET":
+                writer.write(_response(200, service.status(campaign_id)))
+                return
+            raise _HttpError(405, f"{method} not allowed here")
+        if len(segments) == 4 and segments[:2] == ["v1", "campaigns"]:
+            campaign_id, action = segments[2], segments[3]
+            if action == "cancel" and method == "POST":
+                writer.write(
+                    _response(200, await service.cancel(campaign_id))
+                )
+                return
+            if action == "result" and method == "GET":
+                writer.write(_response(200, service.result(campaign_id)))
+                return
+            if action == "journal" and method == "GET":
+                offset = int(query.get("offset", ["0"])[0])
+                follow = query.get("follow", ["0"])[0] in ("1", "true")
+                await self._stream_journal(
+                    writer, campaign_id, offset, follow
+                )
+                return
+            raise _HttpError(404, f"unknown action {action!r}")
+        if (
+            len(segments) == 4
+            and segments[:2] == ["v1", "tenants"]
+            and segments[3] == "quota"
+            and method == "POST"
+        ):
+            extra = int((body or {}).get("extra_steps", 0))
+            writer.write(
+                _response(200, service.grant_quota(segments[2], extra))
+            )
+            return
+        raise _HttpError(404, f"no route for {method} {url.path}")
+
+    async def _stream_journal(
+        self,
+        writer: asyncio.StreamWriter,
+        campaign_id: str,
+        offset: int,
+        follow: bool,
+    ) -> None:
+        service = self.service
+        service.journal_path(campaign_id)  # raises 404 for unknown ids
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        async for line in service.stream_journal(
+            campaign_id, offset=offset, follow=follow
+        ):
+            chunk = (line + "\n").encode()
+            writer.write(f"{len(chunk):x}\r\n".encode() + chunk + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")

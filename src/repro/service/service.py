@@ -1,0 +1,547 @@
+"""The campaign service: async DSE-as-a-service over one shared fleet.
+
+:class:`CampaignService` accepts campaign submissions from multiple
+tenants and interleaves their acquisition attempts over the process-wide
+shared-memory worker fleet (:func:`repro.perf.shm_fleet.shared_fleet` is
+the default executor plane: every campaign's fused blocks dispatch to
+the same warm workers).  Scheduling is delegated to the deterministic
+:class:`~repro.service.scheduler.CampaignScheduler`; execution is
+delegated to :class:`~repro.service.machine.CampaignStateMachine`, the
+same object a straight ``ExplainableDSE.run()`` drives — so a campaign
+that ran through the service is bit-identical to one that ran alone.
+
+Slices execute strictly one at a time (``asyncio.to_thread`` keeps the
+event loop responsive while a slice computes): parallelism comes from
+the fleet *within* a step, and the one-slice-at-a-time rule is what
+makes the interleaving — and therefore every journal — deterministic.
+
+Every campaign gets its own spool directory keyed by campaign id::
+
+    <spool>/<campaign_id>/spec.json           submission record
+    <spool>/<campaign_id>/journal.jsonl       telemetry journal
+    <spool>/<campaign_id>/journal.jsonl.ckpt  resumable checkpoint
+    <spool>/<campaign_id>/state.json          service-level status
+
+Per-campaign journal files are what let N campaigns trace concurrently:
+:class:`~repro.telemetry.sinks.JsonlSink` assumes one campaign per file
+(its resume truncation rewinds the whole file), so the service never
+shares a journal between campaigns and takes the sink's exclusive lock
+against accidental collisions.  A service process that dies (SIGTERM,
+SIGKILL, power loss) restarts from the spool: campaigns resume from
+their checkpoints and finish with the same fingerprints an uninterrupted
+service — or a solo run — would produce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, AsyncIterator, Callable, Dict, List, Optional
+
+from repro.service.machine import (
+    CampaignState,
+    CampaignStateMachine,
+    result_fingerprint,
+)
+from repro.service.scheduler import CampaignScheduler, SchedulerError
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignService",
+    "ServiceError",
+    "default_campaign_factory",
+]
+
+
+class ServiceError(RuntimeError):
+    """An invalid service operation (unknown campaign, wrong state)."""
+
+
+@dataclass
+class CampaignSpec:
+    """One campaign submission.
+
+    ``shm_eval`` defaults on: service campaigns share the process-wide
+    warm worker fleet unless a submission opts out.  ``tenant_quota``
+    is the tenant's total step budget (``None`` defers to the service
+    default, ``0`` means unlimited) and ``tenant_weight`` scales the
+    steps granted per scheduler turn; both update the tenant record at
+    submission time.
+    """
+
+    model: str
+    tenant: str = "default"
+    iterations: int = 40
+    mapping_mode: str = "codesign"
+    objective: str = "latency"
+    top_n: int = 150
+    tenant_weight: Optional[int] = None
+    tenant_quota: Optional[int] = None
+    shm_eval: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def default_campaign_factory(spec: CampaignSpec):
+    """Build the :class:`ExplainableDSE` for one submission.
+
+    Edge design space, Table 1 constraints, and a fresh evaluator per
+    campaign (own mapping cache — interleaved campaigns must not warm
+    each other's caches, or their journals would diverge from solo
+    runs).  ``shm_eval=True`` routes fused blocks to the shared fleet.
+    """
+    # Heavy imports stay out of module import time (and out of the
+    # machine/scheduler import graph).
+    from repro.arch.accelerator import build_edge_design_space
+    from repro.core.dse.explainable import ExplainableDSE
+    from repro.experiments.setup import edge_constraints, make_evaluator
+
+    evaluator = make_evaluator(
+        spec.model,
+        mapping_mode=spec.mapping_mode,
+        top_n=spec.top_n,
+        objective=spec.objective,
+        shm_eval=spec.shm_eval,
+    )
+    return ExplainableDSE(
+        build_edge_design_space(),
+        evaluator,
+        edge_constraints(spec.model),
+        max_evaluations=spec.iterations,
+    )
+
+
+@dataclass
+class _CampaignRecord:
+    """Service-side bookkeeping for one campaign."""
+
+    campaign_id: str
+    spec: CampaignSpec
+    machine: Optional[CampaignStateMachine] = None
+    sink: Any = None
+    status: str = "queued"
+    error: Optional[str] = None
+    cancel_requested: bool = False
+    steps_done: int = 0
+    slices: int = 0
+    fingerprint: Optional[str] = None
+    outcome: Optional[Dict[str, Any]] = None
+    done_event: Optional[asyncio.Event] = None
+
+
+#: Campaign states the service reports as settled.
+_TERMINAL = {"finished", "cancelled", "failed"}
+
+
+class CampaignService:
+    """Async multi-tenant campaign service over one shared worker fleet.
+
+    Args:
+        spool_dir: Root of the per-campaign spool (created on start;
+            restarting on the same spool resumes unfinished campaigns).
+        max_concurrent / quantum / default_quota: Scheduler policy
+            (``None`` reads the ``REPRO_SERVICE_*`` / ``REPRO_TENANT_*``
+            knobs).
+        campaign_factory: ``spec -> ExplainableDSE`` (default:
+            :func:`default_campaign_factory`).
+    """
+
+    def __init__(
+        self,
+        spool_dir: os.PathLike,
+        *,
+        max_concurrent: Optional[int] = None,
+        quantum: Optional[int] = None,
+        default_quota: Optional[int] = "env",
+        campaign_factory: Optional[Callable] = None,
+    ):
+        self.spool = Path(spool_dir)
+        self.scheduler = CampaignScheduler(
+            quantum=quantum,
+            max_concurrent=max_concurrent,
+            default_quota=default_quota,
+        )
+        self._factory = campaign_factory or default_campaign_factory
+        self._records: Dict[str, _CampaignRecord] = {}
+        self._counter = 0
+        self._wake: Optional[asyncio.Event] = None
+        self._loop_task: Optional[asyncio.Task] = None
+        self._stopping = False
+        #: (campaign_id, steps) slices in dispatch order, for tests.
+        self.slice_log: List[tuple] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Create the spool, recover prior campaigns, start scheduling."""
+        if self._loop_task is not None:
+            raise ServiceError("service already started")
+        self.spool.mkdir(parents=True, exist_ok=True)
+        self._wake = asyncio.Event()
+        self._stopping = False
+        self._recover()
+        self._loop_task = asyncio.create_task(self._run_loop())
+
+    async def stop(self) -> None:
+        """Stop at the next slice boundary; every running campaign is
+        left checkpointed and resumable (a later :meth:`start` on the
+        same spool continues it)."""
+        if self._loop_task is None:
+            return
+        self._stopping = True
+        self._wake.set()
+        await self._loop_task
+        self._loop_task = None
+        for record in self._records.values():
+            self._close_sink(record)
+
+    async def drained(self) -> None:
+        """Wait until no submitted campaign can still make progress."""
+        while True:
+            if self.scheduler.idle or self.scheduler.starved:
+                return
+            await asyncio.sleep(0.02)
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild records from the spool after a restart (or crash)."""
+        tenants_path = self.spool / "tenants.json"
+        if tenants_path.exists():
+            for entry in json.loads(tenants_path.read_text()):
+                tenant = self.scheduler.register_tenant(
+                    entry["tenant"],
+                    weight=entry.get("weight"),
+                    quota=entry.get("quota"),
+                )
+                tenant.steps_used = int(entry.get("steps_used", 0))
+        for path in sorted(self.spool.iterdir()):
+            spec_path = path / "spec.json"
+            if not spec_path.is_file():
+                continue
+            campaign_id = path.name
+            spec = CampaignSpec.from_dict(json.loads(spec_path.read_text()))
+            record = _CampaignRecord(campaign_id=campaign_id, spec=spec)
+            record.done_event = asyncio.Event()
+            state_path = path / "state.json"
+            if state_path.exists():
+                state = json.loads(state_path.read_text())
+                record.status = state.get("status", "queued")
+                record.error = state.get("error")
+                record.steps_done = int(state.get("steps_done", 0))
+                record.fingerprint = state.get("fingerprint")
+                record.outcome = state.get("outcome")
+            self._records[campaign_id] = record
+            self._counter = max(self._counter, int(campaign_id[1:]) + 1)
+            if record.status in _TERMINAL:
+                record.done_event.set()
+                continue
+            record.status = "queued"
+            record.machine = None  # rebuilt (and resumed) at first slice
+            self._register_tenant(spec)
+            self.scheduler.submit(campaign_id, spec.tenant)
+
+    # -- API -----------------------------------------------------------------
+
+    def _register_tenant(self, spec: CampaignSpec) -> None:
+        quota = "default"
+        if spec.tenant_quota is not None:
+            quota = None if spec.tenant_quota == 0 else spec.tenant_quota
+        self.scheduler.register_tenant(
+            spec.tenant, weight=spec.tenant_weight, quota=quota
+        )
+
+    async def submit(self, spec: CampaignSpec) -> str:
+        """Queue a campaign; returns its id (``c0001``, ``c0002``, ...)."""
+        if self._loop_task is None:
+            raise ServiceError("service is not running")
+        campaign_id = f"c{self._counter:04d}"
+        self._counter += 1
+        campaign_dir = self.spool / campaign_id
+        campaign_dir.mkdir(parents=True)
+        (campaign_dir / "spec.json").write_text(
+            json.dumps(spec.to_dict(), indent=2)
+        )
+        record = _CampaignRecord(campaign_id=campaign_id, spec=spec)
+        record.done_event = asyncio.Event()
+        self._records[campaign_id] = record
+        self._register_tenant(spec)
+        self.scheduler.submit(campaign_id, spec.tenant)
+        self._persist_state(record)
+        self._wake.set()
+        return campaign_id
+
+    def _record(self, campaign_id: str) -> _CampaignRecord:
+        try:
+            return self._records[campaign_id]
+        except KeyError:
+            raise ServiceError(
+                f"unknown campaign {campaign_id!r}"
+            ) from None
+
+    def status(self, campaign_id: str) -> Dict[str, Any]:
+        """Campaign status, including the resilience layer's SLO view."""
+        record = self._record(campaign_id)
+        tenant = self.scheduler.tenant(record.spec.tenant)
+        status = record.status
+        if status not in _TERMINAL and tenant.quota_exhausted:
+            status = "starved"
+        payload = {
+            "campaign_id": campaign_id,
+            "tenant": record.spec.tenant,
+            "model": record.spec.model,
+            "status": status,
+            "steps_done": record.steps_done,
+            "slices": record.slices,
+            "error": record.error,
+            "tenant_state": tenant.as_dict(),
+            "slo": record.machine.slo_snapshot() if record.machine else None,
+        }
+        if record.machine is not None:
+            payload["consumed"] = record.machine.consumed
+        return payload
+
+    def list_campaigns(self) -> List[Dict[str, Any]]:
+        return [self.status(cid) for cid in sorted(self._records)]
+
+    async def cancel(self, campaign_id: str) -> Dict[str, Any]:
+        """Cancel at the next attempt boundary (immediate when queued)."""
+        record = self._record(campaign_id)
+        if record.status in _TERMINAL:
+            raise ServiceError(
+                f"campaign {campaign_id!r} is already {record.status}"
+            )
+        record.cancel_requested = True
+        if record.machine is None and record.status == "queued":
+            try:
+                phase = self.scheduler.campaign_phase(campaign_id)
+            except SchedulerError:
+                phase = "waiting"
+            if phase == "waiting":
+                self.scheduler.remove(campaign_id)
+                self._settle(record, "cancelled")
+                record.done_event.set()
+        self._wake.set()
+        return self.status(campaign_id)
+
+    def result(self, campaign_id: str) -> Dict[str, Any]:
+        """The finished campaign's outcome (fingerprint + best point)."""
+        record = self._record(campaign_id)
+        if record.status != "finished" or record.outcome is None:
+            raise ServiceError(
+                f"no result: campaign {campaign_id!r} is {record.status}"
+            )
+        return dict(record.outcome, fingerprint=record.fingerprint)
+
+    async def wait(self, campaign_id: str) -> Dict[str, Any]:
+        """Wait until the campaign settles; returns its final status."""
+        record = self._record(campaign_id)
+        await record.done_event.wait()
+        return self.status(campaign_id)
+
+    def journal_path(self, campaign_id: str) -> Path:
+        self._record(campaign_id)
+        return self.spool / campaign_id / "journal.jsonl"
+
+    async def stream_journal(
+        self, campaign_id: str, offset: int = 0, follow: bool = False
+    ) -> AsyncIterator[str]:
+        """Yield journal lines from ``offset`` (a line number).
+
+        With ``follow=True`` the stream tails the file until the
+        campaign settles; journals only grow at attempt boundaries, so
+        a follower sees whole attempts, never torn events.
+        """
+        record = self._record(campaign_id)
+        path = self.journal_path(campaign_id)
+        position = offset
+        while True:
+            lines = []
+            if path.exists():
+                with open(path) as handle:
+                    lines = handle.read().splitlines()
+            for line in lines[position:]:
+                yield line
+            position = max(position, len(lines))
+            if not follow or record.done_event.is_set():
+                return
+            await asyncio.sleep(0.05)
+
+    # -- scheduling loop -----------------------------------------------------
+
+    async def _run_loop(self) -> None:
+        while not self._stopping:
+            self._sweep_cancellations()
+            decision = self.scheduler.next_slice()
+            if decision is None:
+                self._wake.clear()
+                if self._stopping:
+                    return
+                await self._wake.wait()
+                continue
+            record = self._records[decision.campaign_id]
+            self.slice_log.append((decision.campaign_id, decision.steps))
+            record.slices += 1
+            steps_done, done = await asyncio.to_thread(
+                self._run_slice, record, decision.steps
+            )
+            record.steps_done += steps_done
+            self.scheduler.report(
+                decision.campaign_id, steps_done, done=done
+            )
+            self._persist_state(record)
+            self._persist_tenants()
+            if record.status in _TERMINAL:
+                record.done_event.set()
+
+    def _sweep_cancellations(self) -> None:
+        """Settle cancel requests for campaigns not currently sliced —
+        queued ones, and parked ones a starved tenant would never get
+        another slice for.  Runs on the loop thread between slices, so
+        no machine is concurrently executing."""
+        for record in self._records.values():
+            if not record.cancel_requested or record.status in _TERMINAL:
+                continue
+            machine = record.machine
+            if machine is not None and not machine.state.terminal:
+                machine.cancel()
+            try:
+                self.scheduler.remove(record.campaign_id)
+            except SchedulerError:
+                pass
+            self._settle(record, "cancelled")
+            record.done_event.set()
+
+    def _run_slice(self, record: _CampaignRecord, steps: int):
+        """Run up to ``steps`` attempts of one campaign (worker thread).
+
+        Returns ``(steps_done, done)``.  The machine is always left at
+        an attempt boundary: FINISHED/CANCELLED/FAILED, or paused into
+        CHECKPOINTED with its snapshot on disk.
+        """
+        done_steps = 0
+        try:
+            machine = record.machine
+            if machine is None:
+                machine = record.machine = self._build_machine(record)
+            if machine.state is CampaignState.PENDING:
+                record.status = "running"
+                machine.start()
+            elif machine.state is CampaignState.CHECKPOINTED:
+                record.status = "running"
+                machine.resume()
+            while (
+                machine.state is CampaignState.RUNNING
+                and done_steps < steps
+                and not record.cancel_requested
+            ):
+                machine.step()
+                done_steps += 1
+            if record.cancel_requested and not machine.state.terminal:
+                machine.cancel()
+            elif machine.state is CampaignState.RUNNING:
+                machine.pause()
+                record.status = "checkpointed"
+        except BaseException as exc:
+            record.error = f"{type(exc).__name__}: {exc}"
+            self._settle(record, "failed")
+            return done_steps, True
+        if machine.state is CampaignState.FINISHED:
+            result = machine.result()
+            record.fingerprint = result_fingerprint(result)
+            record.outcome = {
+                "best_point": result.best.point if result.best else None,
+                "best_costs": result.best.costs if result.best else None,
+                "evaluations": result.evaluations,
+                "trials": len(result.trials),
+            }
+            self._settle(record, "finished")
+            return done_steps, True
+        if machine.state is CampaignState.CANCELLED:
+            self._settle(record, "cancelled")
+            return done_steps, True
+        return done_steps, False
+
+    def _build_machine(self, record: _CampaignRecord) -> CampaignStateMachine:
+        from repro.telemetry.checkpoint import load_checkpoint
+        from repro.telemetry.sinks import JsonlSink
+        from repro.telemetry.tracer import Tracer
+
+        campaign_dir = self.spool / record.campaign_id
+        journal = campaign_dir / "journal.jsonl"
+        ckpt = str(journal) + ".ckpt"
+        dse = self._factory(record.spec)
+        if os.path.exists(ckpt):
+            checkpoint = load_checkpoint(ckpt)
+            sink = JsonlSink(
+                journal,
+                resume_events=checkpoint.journal_events,
+                exclusive=True,
+            )
+            tracer = Tracer(sink, seq_start=checkpoint.journal_events)
+            machine = CampaignStateMachine(
+                dse,
+                tracer=tracer,
+                checkpoint_path=ckpt,
+                resume_from=checkpoint,
+            )
+        else:
+            # A journal without a checkpoint is an orphan of a crash
+            # before the first attempt completed: restart from scratch.
+            if journal.exists():
+                journal.unlink()
+            sink = JsonlSink(journal, exclusive=True)
+            tracer = Tracer(sink)
+            machine = CampaignStateMachine(
+                dse, tracer=tracer, checkpoint_path=ckpt
+            )
+        record.sink = sink
+        return machine
+
+    # -- persistence ---------------------------------------------------------
+
+    def _settle(self, record: _CampaignRecord, status: str) -> None:
+        # Runs on the worker thread too, so it must not touch asyncio
+        # primitives: done_event is set by the loop after the slice.
+        record.status = status
+        self._close_sink(record)
+        self._persist_state(record)
+
+    def _close_sink(self, record: _CampaignRecord) -> None:
+        if record.sink is not None:
+            try:
+                record.sink.close()
+            finally:
+                record.sink = None
+
+    def _persist_state(self, record: _CampaignRecord) -> None:
+        state = {
+            "status": record.status,
+            "steps_done": record.steps_done,
+            "error": record.error,
+            "fingerprint": record.fingerprint,
+            "outcome": record.outcome,
+        }
+        path = self.spool / record.campaign_id / "state.json"
+        path.write_text(json.dumps(state, indent=2))
+
+    def _persist_tenants(self) -> None:
+        payload = [t.as_dict() for t in self.scheduler.tenants()]
+        (self.spool / "tenants.json").write_text(json.dumps(payload, indent=2))
+
+    def grant_quota(self, tenant: str, extra_steps: int) -> Dict[str, Any]:
+        """Raise a tenant's step budget and wake the scheduler."""
+        state = self.scheduler.grant_quota(tenant, extra_steps)
+        self._persist_tenants()
+        if self._wake is not None:
+            self._wake.set()
+        return state.as_dict()

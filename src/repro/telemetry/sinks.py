@@ -30,7 +30,14 @@ from repro.telemetry.events import (
     sort_key,
 )
 
-__all__ = ["Sink", "NullSink", "RingBufferSink", "JsonlSink", "read_journal"]
+__all__ = [
+    "Sink",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "JournalLockedError",
+    "read_journal",
+]
 
 
 class Sink:
@@ -76,8 +83,22 @@ class RingBufferSink(Sink):
         return len(self._buffer)
 
 
+class JournalLockedError(RuntimeError):
+    """Another live process holds the journal's exclusive lock."""
+
+
 class JsonlSink(Sink):
     """Append-only JSONL journal with deterministic flush order.
+
+    A journal holds exactly **one campaign**: the resume-truncation
+    contract below rewinds the *file* to the checkpoint's event count,
+    which only makes sense when every record in the file belongs to the
+    resuming campaign.  Anything running several campaigns at once (the
+    campaign service, concurrent CLI invocations) must route each one to
+    its own journal path — the service keys journals by campaign id —
+    and can pass ``exclusive=True`` to turn an accidental collision into
+    an immediate :class:`JournalLockedError` instead of interleaved or
+    truncated records.
 
     Args:
         path: Journal file; created (or appended to) lazily on first
@@ -87,18 +108,83 @@ class JsonlSink(Sink):
             is truncated to exactly that many records — events flushed
             after the last checkpoint belong to an attempt that never
             completed and will be re-emitted by the resumed run.
+        exclusive: Take a ``<path>.lock`` pidfile for the sink's
+            lifetime.  A lock held by a live process raises
+            :class:`JournalLockedError`; a stale lock (its pid is dead —
+            e.g. the previous service process was SIGKILLed) is stolen.
+            Released by :meth:`close`.
     """
 
     def __init__(
         self,
         path: Union[str, Path],
         resume_events: int = None,
+        exclusive: bool = False,
     ):
         self.path = str(path)
         self._buffer: List[Tuple[int, Any]] = []
         self.events_written = 0
+        self._lock_path = self.path + ".lock" if exclusive else None
+        if self._lock_path is not None:
+            self._acquire_lock()
         if resume_events is not None:
             self._truncate_to(resume_events)
+
+    def _acquire_lock(self) -> None:
+        while True:
+            try:
+                fd = os.open(
+                    self._lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                holder = self._lock_holder()
+                if holder is not None:
+                    raise JournalLockedError(
+                        f"journal {self.path!r} is locked by live pid "
+                        f"{holder}; one campaign per journal file"
+                    ) from None
+                # Stale (dead or unreadable holder): steal and retry so a
+                # concurrent stealer still funnels through O_EXCL.
+                try:
+                    os.unlink(self._lock_path)
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(fd, "w") as handle:
+                handle.write(str(os.getpid()))
+            return
+
+    def _lock_holder(self) -> int:
+        """The live pid holding the lock, or None when the lock is stale."""
+        try:
+            with open(self._lock_path) as handle:
+                pid = int(handle.read().strip())
+        except (OSError, ValueError):
+            return None
+        # Our own pid counts as live too: a second sink on the same
+        # journal within one process is exactly the collision to reject.
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return None
+        except PermissionError:
+            return pid  # alive, owned by someone else
+        return pid
+
+    def _release_lock(self) -> None:
+        if self._lock_path is None:
+            return
+        try:
+            os.unlink(self._lock_path)
+        except FileNotFoundError:
+            pass
+        self._lock_path = None
+
+    def close(self) -> None:
+        try:
+            self.flush()
+        finally:
+            self._release_lock()
 
     def _truncate_to(self, count: int) -> None:
         try:

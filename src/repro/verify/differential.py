@@ -131,18 +131,16 @@ class DifferentialReport:
 
 
 def _fingerprint(result) -> str:
-    """Canonical, exact rendering of everything a campaign decides."""
-    payload = {
-        "points": [t.point for t in result.trials],
-        "costs": [t.costs for t in result.trials],
-        "explanations": list(result.explanations),
-        "best_point": result.best.point if result.best else None,
-        "best_costs": result.best.costs if result.best else None,
-        "evaluations": result.evaluations,
-    }
-    # repr keeps float bit-patterns exact; json would, too, but chokes on
-    # the inf costs of unmappable trials unless tagged.
-    return repr(payload)
+    """Canonical, exact rendering of everything a campaign decides.
+
+    One shared definition (:func:`repro.service.machine
+    .result_fingerprint`) serves the differential matrix, the campaign
+    service's result responses, and the service smoke test, so
+    "identical fingerprints" always means the same comparison.
+    """
+    from repro.service.machine import result_fingerprint
+
+    return result_fingerprint(result)
 
 
 def _canonical_journal(path: Path) -> bytes:

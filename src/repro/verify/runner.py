@@ -7,9 +7,11 @@ Stage order (cheapest diagnostics first):
    mapper-optimized executions;
 3. **differential** — the fast-path campaign matrix (batch / parallel /
    warm cache / resume) against the serial reference;
-4. **goldens** — the reference campaign against the pinned traces under
+4. **service** — N campaigns through the campaign service (interleaved,
+   service stopped and resumed mid-run) against solo runs;
+5. **goldens** — the reference campaign against the pinned traces under
    ``tests/goldens/`` (or regeneration with ``update_goldens=True``);
-5. **fuzz** — the seeded design-point/mapping fuzzer, shrunk failures
+6. **fuzz** — the seeded design-point/mapping fuzzer, shrunk failures
    written under ``failures_dir``.
 
 Used by ``python -m repro.experiments.cli verify`` and the CI `verify`
@@ -38,6 +40,7 @@ from repro.verify.differential import DifferentialReport, run_differential
 from repro.verify.fuzzer import FuzzReport, run_fuzz
 from repro.verify.goldens import GoldenReport, check_goldens
 from repro.verify.invariants import check_all
+from repro.verify.service_leg import ServiceReport, run_service_differential
 
 __all__ = ["VerifyReport", "check_campaign_invariants", "run_verify"]
 
@@ -50,6 +53,7 @@ class VerifyReport:
     invariant_trees: int = 0
     invariant_violations: List[str] = field(default_factory=list)
     differential: Optional[DifferentialReport] = None
+    service: Optional[ServiceReport] = None
     goldens: Optional[GoldenReport] = None
     fuzz: Optional[FuzzReport] = None
     elapsed_s: float = 0.0
@@ -60,6 +64,7 @@ class VerifyReport:
             (self.sweep is None or self.sweep.ok)
             and not self.invariant_violations
             and (self.differential is None or self.differential.ok)
+            and (self.service is None or self.service.ok)
             and (self.goldens is None or self.goldens.ok)
             and (self.fuzz is None or self.fuzz.ok)
         )
@@ -82,6 +87,14 @@ class VerifyReport:
                 f"differential: {len(self.differential.variants)} variants "
                 f"({', '.join(self.differential.variants)}), "
                 f"{len(self.differential.mismatches)} mismatches"
+            )
+        if self.service is not None:
+            lines.append(
+                f"service: {self.service.campaigns} campaigns over "
+                f"{self.service.slices} slices "
+                f"(interleaved={self.service.interleaved}, "
+                f"restarted={self.service.restarted}), "
+                f"{len(self.service.mismatches)} mismatches"
             )
         if self.goldens is not None:
             if self.goldens.updated:
@@ -173,6 +186,9 @@ def run_verify(
 
         say("verify: differential campaign matrix")
         report.differential = run_differential(base / "differential", log=log)
+
+        say("verify: campaign service differential (interleave + restart)")
+        report.service = run_service_differential(base / "service", log=log)
 
         say("verify: golden traces")
         report.goldens = check_goldens(

@@ -25,6 +25,9 @@ def _clean_env(monkeypatch):
         "REPRO_FUSED_SHARDS",
         "REPRO_SHM_MIN_ROWS",
         "REPRO_JOBS",
+        "REPRO_SERVICE_MAX_CONCURRENT",
+        "REPRO_SERVICE_STEP_QUANTUM",
+        "REPRO_TENANT_QUOTA",
     ):
         monkeypatch.delenv(name, raising=False)
 
@@ -157,6 +160,79 @@ class TestShmKnobs:
         knobs._WARNED.clear()
         with pytest.warns(RuntimeWarning, match="REPRO_SHM_MIN_ROWS"):
             assert knobs.shm_min_shard_rows() == 4096
+
+
+class TestServiceKnobs:
+    def test_defaults(self):
+        assert knobs.service_max_concurrent() == 4
+        assert knobs.service_step_quantum() == 1
+        assert knobs.tenant_step_quota() is None  # unlimited
+
+    def test_env_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_MAX_CONCURRENT", "8")
+        monkeypatch.setenv("REPRO_SERVICE_STEP_QUANTUM", "3")
+        monkeypatch.setenv("REPRO_TENANT_QUOTA", "50")
+        assert knobs.service_max_concurrent() == 8
+        assert knobs.service_step_quantum() == 3
+        assert knobs.tenant_step_quota() == 50
+
+    def test_overrides_win(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_MAX_CONCURRENT", "8")
+        monkeypatch.setenv("REPRO_SERVICE_STEP_QUANTUM", "3")
+        assert knobs.service_max_concurrent(2) == 2
+        assert knobs.service_step_quantum(5) == 5
+        assert knobs.tenant_step_quota(9) == 9
+        assert knobs.tenant_step_quota(None) is None
+
+    @pytest.mark.parametrize("raw", ["0", "none", "unlimited", "NONE", ""])
+    def test_quota_unlimited_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TENANT_QUOTA", raw)
+        assert knobs.tenant_step_quota() is None
+
+    @pytest.mark.parametrize(
+        "name,func,fallback",
+        [
+            ("REPRO_SERVICE_MAX_CONCURRENT", "service_max_concurrent", 4),
+            ("REPRO_SERVICE_STEP_QUANTUM", "service_step_quantum", 1),
+        ],
+    )
+    def test_junk_warns_and_falls_back(
+        self, monkeypatch, name, func, fallback
+    ):
+        monkeypatch.setenv(name, "lots")
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning, match=name):
+            assert getattr(knobs, func)() == fallback
+
+    def test_quota_junk_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TENANT_QUOTA", "infinite")
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="REPRO_TENANT_QUOTA"):
+            assert knobs.tenant_step_quota() is None
+
+    def test_junk_warns_once_per_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_STEP_QUANTUM", "-2")
+        knobs._WARNED.clear()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            knobs.service_step_quantum()
+            knobs.service_step_quantum()
+        assert len(caught) == 1
+
+    def test_valid_values_memoized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_MAX_CONCURRENT", "6")
+        knobs._INT_CACHE.clear()
+        assert knobs.service_max_concurrent() == 6
+        assert ("REPRO_SERVICE_MAX_CONCURRENT", "6") in knobs._INT_CACHE
+        # Junk is never cached: it keeps flowing through warn-once.
+        monkeypatch.setenv("REPRO_SERVICE_MAX_CONCURRENT", "junk")
+        knobs._WARNED.clear()
+        with pytest.warns(RuntimeWarning):
+            knobs.service_max_concurrent()
+        assert (
+            "REPRO_SERVICE_MAX_CONCURRENT",
+            "junk",
+        ) not in knobs._INT_CACHE
 
 
 class TestCachePlaneDir:

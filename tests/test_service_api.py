@@ -1,0 +1,393 @@
+"""End-to-end tests for the campaign service, HTTP endpoint, and the
+per-campaign journal routing (one campaign per journal file, exclusive
+lock against collisions)."""
+
+import asyncio
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.arch import build_edge_design_space
+from repro.core.dse.constraints import Constraint, Sense
+from repro.core.dse.explainable import ExplainableDSE
+from repro.cost.evaluator import CostEvaluator
+from repro.mapping.mapper import TopNMapper
+from repro.perf.mapping_cache import MappingCache
+from repro.service.machine import result_fingerprint
+from repro.service.service import CampaignService, CampaignSpec, ServiceError
+from repro.telemetry import JsonlSink, Tracer
+from repro.telemetry.sinks import JournalLockedError
+
+
+def _constraints():
+    return [
+        Constraint("area", "area_mm2", 75.0),
+        Constraint("power", "power_w", 4.0),
+        Constraint("throughput", "throughput", 200.0, Sense.GEQ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def factory(tiny_workload):
+    def build(spec):
+        return ExplainableDSE(
+            build_edge_design_space(),
+            CostEvaluator(
+                tiny_workload,
+                TopNMapper(top_n=60),
+                mapping_cache=MappingCache(),
+            ),
+            _constraints(),
+            max_evaluations=spec.iterations,
+        )
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def solo(factory, tmp_path_factory):
+    """Solo run() references keyed by iteration budget."""
+    references = {}
+
+    def reference(budget):
+        if budget not in references:
+            journal = (
+                tmp_path_factory.mktemp("solo") / f"solo-{budget}.jsonl"
+            )
+            tracer = Tracer(JsonlSink(journal))
+            result = factory(
+                CampaignSpec(model="tiny", iterations=budget)
+            ).run(tracer=tracer)
+            tracer.close()
+            references[budget] = (
+                result_fingerprint(result),
+                journal.read_bytes(),
+            )
+        return references[budget]
+
+    return reference
+
+
+class TestServiceLifecycle:
+    def test_interleaved_campaigns_match_solo(
+        self, factory, solo, tmp_path
+    ):
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            ids = [
+                await service.submit(
+                    CampaignSpec(model="tiny", tenant=t, iterations=12)
+                )
+                for t in ("alice", "bob", "alice")
+            ]
+            statuses = [await service.wait(cid) for cid in ids]
+            await service.stop()
+            return service, ids, statuses
+
+        service, ids, statuses = asyncio.run(run())
+        expected_fp, expected_journal = solo(12)
+        assert [s["status"] for s in statuses] == ["finished"] * 3
+        for cid in ids:
+            assert service.result(cid)["fingerprint"] == expected_fp
+            journal = tmp_path / "spool" / cid / "journal.jsonl"
+            # Identical config => byte-identical journal, per campaign,
+            # despite the interleaving.
+            assert journal.read_bytes() == expected_journal
+        # The scheduler actually interleaved the two tenants.
+        first_two = {cid for cid, _ in service.slice_log[:2]}
+        assert len(first_two) == 2
+
+    def test_restart_resumes_from_checkpoint(
+        self, factory, solo, tmp_path
+    ):
+        """Service stopped mid-run; a fresh service on the same spool
+        finishes every campaign with the solo fingerprint."""
+
+        async def phase1():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            ids = [
+                await service.submit(
+                    CampaignSpec(model="tiny", tenant=t, iterations=12)
+                )
+                for t in ("alice", "bob")
+            ]
+            while len(service.slice_log) < 3:
+                await asyncio.sleep(0.01)
+            await service.stop()
+            return ids, [service.status(c)["status"] for c in ids]
+
+        async def phase2(ids):
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            for cid in ids:
+                await service.wait(cid)
+            results = {cid: service.result(cid) for cid in ids}
+            await service.stop()
+            return results
+
+        ids, mid_statuses = asyncio.run(phase1())
+        assert any(s in ("checkpointed", "queued") for s in mid_statuses)
+        results = asyncio.run(phase2(ids))
+        expected_fp, _ = solo(12)
+        for cid in ids:
+            assert results[cid]["fingerprint"] == expected_fp
+
+    def test_cancel_running_campaign(self, factory, tmp_path):
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            keep = await service.submit(
+                CampaignSpec(model="tiny", tenant="alice", iterations=12)
+            )
+            victim = await service.submit(
+                CampaignSpec(model="tiny", tenant="bob", iterations=12)
+            )
+            while len(service.slice_log) < 2:
+                await asyncio.sleep(0.01)
+            await service.cancel(victim)
+            victim_status = await service.wait(victim)
+            keep_status = await service.wait(keep)
+            await service.stop()
+            return service, keep, victim, keep_status, victim_status
+
+        service, keep, victim, keep_status, victim_status = asyncio.run(
+            run()
+        )
+        assert victim_status["status"] == "cancelled"
+        assert keep_status["status"] == "finished"
+        with pytest.raises(ServiceError):
+            service.result(victim)
+
+    def test_quota_starves_visibly(self, factory, tmp_path):
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool",
+                campaign_factory=factory,
+                quantum=1,
+                default_quota=None,
+            )
+            await service.start()
+            cid = await service.submit(
+                CampaignSpec(
+                    model="tiny",
+                    tenant="alice",
+                    iterations=12,
+                    tenant_quota=1,
+                )
+            )
+            for _ in range(400):
+                await asyncio.sleep(0.01)
+                if service.status(cid)["status"] == "starved":
+                    break
+            starved = service.status(cid)
+            service.grant_quota("alice", 100)
+            final = await service.wait(cid)
+            await service.stop()
+            return starved, final
+
+        starved, final = asyncio.run(run())
+        assert starved["status"] == "starved"
+        assert starved["tenant_state"]["quota_exhausted"] is True
+        assert final["status"] == "finished"
+
+    def test_status_carries_slo_state(self, factory, tmp_path):
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            cid = await service.submit(
+                CampaignSpec(model="tiny", tenant="alice", iterations=10)
+            )
+            final = await service.wait(cid)
+            await service.stop()
+            return final
+
+        final = asyncio.run(run())
+        assert final["slo"]["breaker"]["tripped"] is False
+        assert final["slo"]["quarantined_trials"] == 0
+        assert final["tenant_state"]["tenant"] == "alice"
+
+    def test_unknown_campaign_raises(self, factory, tmp_path):
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory
+            )
+            await service.start()
+            try:
+                with pytest.raises(ServiceError):
+                    service.status("c9999")
+                with pytest.raises(ServiceError):
+                    service.result("c9999")
+            finally:
+                await service.stop()
+
+        asyncio.run(run())
+
+
+class TestHttpEndpoint:
+    def test_full_http_round_trip(self, factory, solo, tmp_path):
+        from repro.service.client import ServiceClient, ServiceClientError
+        from repro.service.http import ServiceEndpoint
+
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            endpoint = ServiceEndpoint(service)  # port 0: pick free port
+            await endpoint.start()
+            client = ServiceClient(f"http://127.0.0.1:{endpoint.port}")
+
+            assert (await asyncio.to_thread(client.healthz)) == {"ok": True}
+            cid = await asyncio.to_thread(
+                client.submit,
+                {"model": "tiny", "tenant": "alice", "iterations": 10},
+            )
+            final = await asyncio.to_thread(client.wait, cid, 300)
+            assert final["status"] == "finished"
+            result = await asyncio.to_thread(client.result, cid)
+            listed = await asyncio.to_thread(client.list_campaigns)
+            assert [c["campaign_id"] for c in listed] == [cid]
+            journal_lines = await asyncio.to_thread(client.journal, cid)
+            with pytest.raises(ServiceClientError) as missing:
+                await asyncio.to_thread(client.status, "c9999")
+            assert missing.value.status == 404
+
+            await endpoint.stop()
+            await service.stop()
+            return cid, result, journal_lines
+
+        cid, result, journal_lines = asyncio.run(run())
+        expected_fp, expected_journal = solo(10)
+        assert result["fingerprint"] == expected_fp
+        # The journal stream serves exactly the solo journal's records.
+        assert journal_lines == (
+            expected_journal.decode().strip().splitlines()
+        )
+
+    def test_journal_offset_and_bad_requests(self, factory, tmp_path):
+        import urllib.request
+
+        from repro.service.client import ServiceClient, ServiceClientError
+        from repro.service.http import ServiceEndpoint
+
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            endpoint = ServiceEndpoint(service)
+            await endpoint.start()
+            base = f"http://127.0.0.1:{endpoint.port}"
+            client = ServiceClient(base)
+            cid = await asyncio.to_thread(
+                client.submit, {"model": "tiny", "iterations": 8}
+            )
+            await asyncio.to_thread(client.wait, cid, 300)
+            full = await asyncio.to_thread(client.journal, cid)
+            tail = await asyncio.to_thread(client.journal, cid, 5)
+            assert tail == full[5:]
+
+            with pytest.raises(ServiceClientError) as bad:
+                await asyncio.to_thread(client.submit, {"tenant": "x"})
+            assert bad.value.status == 400
+
+            def bad_route():
+                try:
+                    urllib.request.urlopen(f"{base}/v1/nope", timeout=10)
+                except urllib.error.HTTPError as exc:
+                    return exc.code
+
+            assert (await asyncio.to_thread(bad_route)) == 404
+            await endpoint.stop()
+            await service.stop()
+
+        asyncio.run(run())
+
+
+class TestJournalExclusivity:
+    def test_second_sink_on_same_journal_rejected(self, tmp_path):
+        journal = tmp_path / "one.jsonl"
+        sink = JsonlSink(journal, exclusive=True)
+        with pytest.raises(JournalLockedError):
+            JsonlSink(journal, exclusive=True)
+        sink.close()
+        # Lock released on close: the path is reusable.
+        JsonlSink(journal, exclusive=True).close()
+
+    def test_stale_lock_from_dead_process_is_stolen(self, tmp_path):
+        journal = tmp_path / "stale.jsonl"
+        # A real pid that is certainly dead by the time we check.
+        proc = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(proc.stdout.strip())
+        (tmp_path / "stale.jsonl.lock").write_text(str(dead_pid))
+        sink = JsonlSink(journal, exclusive=True)  # steals, no raise
+        sink.close()
+
+    def test_unreadable_lock_is_stolen(self, tmp_path):
+        journal = tmp_path / "junk.jsonl"
+        (tmp_path / "junk.jsonl.lock").write_text("not-a-pid")
+        JsonlSink(journal, exclusive=True).close()
+
+    def test_service_routes_journals_per_campaign(self, factory, tmp_path):
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            ids = [
+                await service.submit(
+                    CampaignSpec(model="tiny", tenant="t", iterations=8)
+                )
+                for _ in range(2)
+            ]
+            for cid in ids:
+                await service.wait(cid)
+            await service.stop()
+            return ids
+
+        ids = asyncio.run(run())
+        journals = [
+            tmp_path / "spool" / cid / "journal.jsonl" for cid in ids
+        ]
+        assert all(j.exists() for j in journals)
+        assert len({str(j) for j in journals}) == 2
+        # Each journal decodes cleanly on its own — no interleaving.
+        for journal in journals:
+            for line in journal.read_text().splitlines():
+                json.loads(line)
+
+
+class TestSpecRoundTrip:
+    def test_spec_dict_round_trip(self):
+        spec = CampaignSpec(
+            model="resnet18",
+            tenant="alice",
+            iterations=7,
+            tenant_weight=2,
+            tenant_quota=30,
+            shm_eval=False,
+        )
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_ignores_unknown_keys(self):
+        spec = CampaignSpec.from_dict({"model": "m", "bogus": 1})
+        assert spec.model == "m"

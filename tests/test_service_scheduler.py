@@ -1,0 +1,161 @@
+"""Tests for the deterministic multi-tenant campaign scheduler."""
+
+import pytest
+
+from repro.service.scheduler import CampaignScheduler, SchedulerError
+
+
+def _drain(scheduler, budgets):
+    """Run the scheduler to completion against per-campaign step budgets;
+    returns the slice sequence as ``(campaign_id, steps)`` tuples."""
+    remaining = dict(budgets)
+    sequence = []
+    while True:
+        decision = scheduler.next_slice()
+        if decision is None:
+            return sequence
+        sequence.append((decision.campaign_id, decision.steps))
+        done_steps = min(decision.steps, remaining[decision.campaign_id])
+        remaining[decision.campaign_id] -= done_steps
+        done = remaining[decision.campaign_id] <= 0
+        scheduler.report(decision.campaign_id, done_steps, done=done)
+
+
+class TestDeterminism:
+    def test_same_submissions_same_slices(self):
+        def build():
+            s = CampaignScheduler(quantum=1, default_quota=None)
+            s.submit("a1", "alice")
+            s.submit("b1", "bob")
+            s.submit("a2", "alice")
+            return _drain(s, {"a1": 3, "b1": 2, "a2": 4})
+
+        assert build() == build()
+
+    def test_round_robin_interleaves_tenants(self):
+        s = CampaignScheduler(quantum=1, default_quota=None)
+        s.submit("a1", "alice")
+        s.submit("b1", "bob")
+        sequence = _drain(s, {"a1": 2, "b1": 2})
+        assert [c for c, _ in sequence] == ["a1", "b1", "a1", "b1"]
+
+    def test_campaigns_within_tenant_round_robin(self):
+        s = CampaignScheduler(quantum=1, default_quota=None)
+        s.submit("a1", "alice")
+        s.submit("a2", "alice")
+        sequence = _drain(s, {"a1": 2, "a2": 2})
+        assert [c for c, _ in sequence] == ["a1", "a2", "a1", "a2"]
+
+    def test_weight_scales_slice_size(self):
+        s = CampaignScheduler(quantum=2, default_quota=None)
+        s.register_tenant("alice", weight=3)
+        s.register_tenant("bob", weight=1)
+        s.submit("a1", "alice")
+        s.submit("b1", "bob")
+        sequence = _drain(s, {"a1": 10, "b1": 10})
+        sizes = {c: n for c, n in sequence}
+        assert sizes["a1"] == 6  # quantum 2 x weight 3
+        assert sizes["b1"] == 2
+
+
+class TestQuota:
+    def test_quota_parks_not_fails(self):
+        s = CampaignScheduler(quantum=1, default_quota=None)
+        s.register_tenant("alice", quota=2)
+        s.submit("a1", "alice")
+        first = s.next_slice()
+        s.report("a1", first.steps)
+        second = s.next_slice()
+        s.report("a1", second.steps)
+        assert s.next_slice() is None  # parked, not removed
+        assert s.starved
+        assert not s.idle
+        assert s.campaign_phase("a1") == "resident"
+        assert s.tenant("alice").quota_exhausted
+
+    def test_grant_quota_unparks(self):
+        s = CampaignScheduler(quantum=1, default_quota=None)
+        s.register_tenant("alice", quota=1)
+        s.submit("a1", "alice")
+        decision = s.next_slice()
+        s.report("a1", decision.steps)
+        assert s.next_slice() is None
+        s.grant_quota("alice", 5)
+        assert s.next_slice().campaign_id == "a1"
+
+    def test_slice_clipped_to_quota_remainder(self):
+        s = CampaignScheduler(quantum=5, default_quota=None)
+        s.register_tenant("alice", quota=3)
+        s.submit("a1", "alice")
+        assert s.next_slice().steps == 3
+
+    def test_default_quota_applies_to_new_tenants(self):
+        s = CampaignScheduler(quantum=1, default_quota=4)
+        s.submit("a1", "alice")
+        assert s.tenant("alice").quota == 4
+
+    def test_starved_only_when_work_blocked_on_quota(self):
+        s = CampaignScheduler(quantum=1, default_quota=None)
+        s.submit("a1", "alice")
+        assert not s.starved  # runnable with quota
+        _drain(s, {"a1": 1})
+        assert not s.starved  # idle, not starved
+
+
+class TestAdmission:
+    def test_max_concurrent_caps_residency(self):
+        s = CampaignScheduler(quantum=1, max_concurrent=2, default_quota=None)
+        for i in range(4):
+            s.submit(f"c{i}", "alice")
+        first = s.next_slice()
+        assert first.campaign_id == "c0"
+        assert s.campaign_phase("c2") == "waiting"
+        assert s.campaign_phase("c3") == "waiting"
+        s.report("c0", 1, done=True)
+        second = s.next_slice()
+        assert second.campaign_id == "c1"
+        s.report("c1", 1, done=True)
+        # Finished campaigns free admission slots in submission order.
+        assert s.next_slice().campaign_id == "c2"
+
+    def test_submission_order_preserved_across_tenants(self):
+        s = CampaignScheduler(quantum=1, max_concurrent=1, default_quota=None)
+        s.submit("b1", "bob")
+        s.submit("a1", "alice")
+        assert s.next_slice().campaign_id == "b1"
+
+
+class TestGuards:
+    def test_duplicate_submit_rejected(self):
+        s = CampaignScheduler(default_quota=None)
+        s.submit("c", "alice")
+        with pytest.raises(SchedulerError):
+            s.submit("c", "bob")
+
+    def test_unknown_campaign_rejected(self):
+        s = CampaignScheduler(default_quota=None)
+        with pytest.raises(SchedulerError):
+            s.remove("nope")
+        with pytest.raises(SchedulerError):
+            s.campaign_phase("nope")
+
+    def test_one_slice_in_flight(self):
+        s = CampaignScheduler(quantum=1, default_quota=None)
+        s.submit("c", "alice")
+        s.next_slice()
+        with pytest.raises(SchedulerError):
+            s.next_slice()
+
+    def test_report_requires_in_flight(self):
+        s = CampaignScheduler(default_quota=None)
+        s.submit("c", "alice")
+        with pytest.raises(SchedulerError):
+            s.report("c", 1)
+
+    def test_remove_cancels_in_flight(self):
+        s = CampaignScheduler(quantum=1, default_quota=None)
+        s.submit("c", "alice")
+        s.next_slice()
+        s.remove("c")
+        assert s.idle
+        assert s.campaign_phase("c") == "done"
