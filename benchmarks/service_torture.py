@@ -1,0 +1,388 @@
+"""Crash-recovery torture: SIGKILL the service at every fault site.
+
+The deterministic fault plan (``REPRO_FAULT_INJECT`` with ``step=N``
+kill specs, no randomness) murders the *server process* at each of the
+four service-layer fault sites in turn — after the submission record is
+spooled (``submit``), just before a response is written
+(``http-response``), between scheduler slices (``slice``), and during
+state persistence (``spool-write``) — restarting it on the same spool
+every time::
+
+    PYTHONPATH=src python benchmarks/service_torture.py --out BENCH_torture.json
+
+After the kills, a fault-free server drains everything and the record
+asserts:
+
+1. Every campaign reaches a terminal status and its result fingerprint
+   **and** canonical journal equal an uninterrupted solo
+   ``ExplainableDSE.run()`` reference.
+2. The idempotent re-submits across kills never created a duplicate
+   campaign (one spool directory per idempotency key).
+3. A campaign submitted with an impossibly small deadline settles as
+   ``expired`` and, after an extension, finishes with the straight-run
+   fingerprint.
+4. A campaign that only ever ran under the fault-free server produces a
+   journal *byte-identical* to its solo reference (the service is
+   invisible, not just equivalent).
+
+Artifacts (kill schedule, statuses, journals, server logs) are copied
+next to ``--out`` for CI upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import (  # noqa: E402
+    ServiceClient,
+    ServiceClientError,
+)
+from repro.service.machine import result_fingerprint  # noqa: E402
+from repro.service.service import (  # noqa: E402
+    CampaignSpec,
+    default_campaign_factory,
+)
+from repro.telemetry import JsonlSink, Tracer  # noqa: E402
+from repro.verify.differential import _canonical_journal  # noqa: E402
+
+#: Campaigns driven through the kills (idempotency key "torture-<i>").
+CAMPAIGNS = [
+    {"model": "resnet18", "tenant": "alice", "iterations": 16, "top_n": 40},
+    {"model": "mobilenetv2", "tenant": "bob", "iterations": 16, "top_n": 40},
+    {"model": "resnet18", "tenant": "bob", "iterations": 16, "top_n": 40},
+]
+#: Submitted only under the fault-free server: its journal must be
+#: byte-identical to the solo reference.
+BYTE_LEG = {
+    "model": "mobilenetv2", "tenant": "alice", "iterations": 12, "top_n": 40,
+}
+#: Submitted with an impossibly small deadline, expired, then extended.
+DEADLINE_LEG = {
+    "model": "resnet18", "tenant": "alice", "iterations": 12, "top_n": 40,
+}
+
+#: The deterministic kill schedule: one server incarnation per site.
+KILL_SCHEDULE = [
+    {"phase": "submit", "inject": "kill:submit:step=1"},
+    {"phase": "http-response", "inject": "kill:http-response:step=1"},
+    {"phase": "slice", "inject": "kill:slice:step=6"},
+    {"phase": "spool-write", "inject": "kill:spool-write:step=6"},
+]
+
+_LISTENING = re.compile(r"service listening on http://([\d.]+):(\d+)")
+
+
+def _env(fault_inject=None):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    env.pop("REPRO_FAULT_INJECT", None)
+    if fault_inject:
+        env["REPRO_FAULT_INJECT"] = fault_inject
+    return env
+
+
+def _start_server(
+    spool: Path,
+    log_path: Path,
+    fault_inject=None,
+    timeout: float = 60.0,
+    retries: int = 0,
+):
+    """Launch ``repro serve`` (optionally with a fault plan) and wait
+    for its listening line; returns ``(process, client)``."""
+    log = open(log_path, "w")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--spool", str(spool), "--port", "0", "--quantum", "1",
+        ],
+        env=_env(fault_inject),
+        stdout=log,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        match = _LISTENING.search(log_path.read_text())
+        if match:
+            client = ServiceClient(
+                f"http://{match.group(1)}:{match.group(2)}",
+                retries=retries,
+            )
+            return proc, client
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server exited before listening:\n{log_path.read_text()}"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError(f"server never listened:\n{log_path.read_text()}")
+
+
+def _await_kill(proc, timeout: float = 600.0) -> int:
+    """Wait for the injected SIGKILL to land; returns the exit code."""
+    try:
+        return proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+        raise RuntimeError("server outlived its kill schedule")
+
+
+def _try_submit(client, overrides, key, **kwargs):
+    """Submit tolerant of the server dying mid-request: the idempotency
+    key makes the replay safe in the next incarnation."""
+    try:
+        return client.submit(
+            dict(overrides), idempotency_key=key, **kwargs
+        )
+    except ServiceClientError:
+        return None
+
+
+def _solo_references(workdir: Path) -> dict:
+    """(fingerprint, raw journal bytes, canonical journal) per distinct
+    spec, keyed by (model, iterations, top_n)."""
+    references = {}
+    for overrides in CAMPAIGNS + [BYTE_LEG, DEADLINE_LEG]:
+        key = (
+            overrides["model"], overrides["iterations"], overrides["top_n"]
+        )
+        if key in references:
+            continue
+        journal = workdir / ("solo-%s-%d.jsonl" % (key[0], key[1]))
+        tracer = Tracer(JsonlSink(journal))
+        result = default_campaign_factory(
+            CampaignSpec.from_dict(overrides)
+        ).run(tracer=tracer)
+        tracer.close()
+        references[key] = (
+            result_fingerprint(result),
+            journal.read_bytes(),
+            _canonical_journal(journal),
+        )
+    return references
+
+
+def _ref_of(references, overrides):
+    return references[
+        (overrides["model"], overrides["iterations"], overrides["top_n"])
+    ]
+
+
+def run(workdir: Path, artifacts: Path) -> dict:
+    spool = workdir / "spool"
+    artifacts.mkdir(parents=True, exist_ok=True)
+    record = {
+        "benchmark": "service_torture",
+        "python": platform.python_version(),
+        "campaigns": CAMPAIGNS,
+        "kill_schedule": KILL_SCHEDULE,
+        "checks": [],
+        "phases": [],
+    }
+    (artifacts / "kill_schedule.json").write_text(
+        json.dumps(KILL_SCHEDULE, indent=2)
+    )
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        record["checks"].append(
+            {"name": name, "ok": bool(ok), "detail": detail}
+        )
+        print(
+            f"[{'ok' if ok else 'FAIL'}] {name}"
+            + (f": {detail}" if detail else "")
+        )
+
+    t0 = time.time()
+    references = _solo_references(workdir)
+    record["solo_seconds"] = round(time.time() - t0, 2)
+
+    ids = {}
+
+    for phase_no, entry in enumerate(KILL_SCHEDULE):
+        phase = entry["phase"]
+        log_path = artifacts / f"server-{phase_no}-{phase}.log"
+        proc, client = _start_server(spool, log_path, entry["inject"])
+        phase_record = {"phase": phase, "inject": entry["inject"]}
+        # Every phase (idempotently) re-submits every campaign: whichever
+        # submits the previous incarnation's death swallowed are replayed
+        # here, and the dedup path must hand back the same campaign.
+        for index, overrides in enumerate(CAMPAIGNS):
+            campaign_id = _try_submit(client, overrides, f"torture-{index}")
+            if campaign_id is not None:
+                previous = ids.get(index)
+                if previous is not None and previous != campaign_id:
+                    check(
+                        f"phase {phase}: idempotent replay of torture-"
+                        f"{index} returned {campaign_id}, expected "
+                        f"{previous}",
+                        False,
+                    )
+                ids[index] = campaign_id
+        exit_code = _await_kill(proc)
+        phase_record["exit_code"] = exit_code
+        record["phases"].append(phase_record)
+        check(
+            f"phase {phase}: injected kill landed (SIGKILL)",
+            exit_code == -signal.SIGKILL,
+            f"exit={exit_code}",
+        )
+
+    spec_dirs = sorted(
+        p.name for p in spool.iterdir() if (p / "spec.json").is_file()
+    )
+    check(
+        "idempotent re-submits created no duplicate campaigns",
+        len(spec_dirs) <= len(CAMPAIGNS),
+        f"{len(spec_dirs)} campaign dirs after {len(KILL_SCHEDULE)} kills",
+    )
+
+    # -- fault-free drain -----------------------------------------------------
+    proc, client = _start_server(
+        spool, artifacts / "server-final.log", retries=2
+    )
+    try:
+        for index, overrides in enumerate(CAMPAIGNS):
+            ids[index] = client.submit(
+                dict(overrides), idempotency_key=f"torture-{index}"
+            )
+        byte_id = client.submit(
+            dict(BYTE_LEG), idempotency_key="torture-byte-leg"
+        )
+        deadline_id = client.submit(
+            dict(DEADLINE_LEG),
+            idempotency_key="torture-deadline-leg",
+            deadline_s=1e-6,
+        )
+
+        finals = {
+            index: client.wait(cid, timeout=900)
+            for index, cid in ids.items()
+        }
+        record["final_statuses"] = {
+            cid: finals[index]["status"] for index, cid in ids.items()
+        }
+        check(
+            "all tortured campaigns finish after the fault-free restart",
+            all(f["status"] == "finished" for f in finals.values()),
+            str(record["final_statuses"]),
+        )
+
+        mismatches = []
+        for index, cid in ids.items():
+            if finals[index]["status"] != "finished":
+                continue
+            expected_fp, _raw, expected_canonical = _ref_of(
+                references, CAMPAIGNS[index]
+            )
+            if client.result(cid)["fingerprint"] != expected_fp:
+                mismatches.append(f"{cid}: fingerprint")
+            journal = spool / cid / "journal.jsonl"
+            if _canonical_journal(journal) != expected_canonical:
+                mismatches.append(f"{cid}: journal")
+        record["mismatches"] = mismatches
+        check(
+            "fingerprints and canonical journals equal solo references",
+            not mismatches,
+            "; ".join(mismatches) or "all equal",
+        )
+
+        # Deadline leg: expire, extend, finish with the straight-run
+        # fingerprint (bit-identical resume from the forced checkpoint).
+        expired = client.wait(deadline_id, timeout=900)
+        check(
+            "deadline leg settles as expired",
+            expired["status"] == "expired",
+            expired["status"],
+        )
+        client.extend_deadline(deadline_id, 3600.0)
+        deadline_final = client.wait(deadline_id, timeout=900)
+        expected_fp, _raw, expected_canonical = _ref_of(
+            references, DEADLINE_LEG
+        )
+        deadline_ok = (
+            deadline_final["status"] == "finished"
+            and client.result(deadline_id)["fingerprint"] == expected_fp
+            and _canonical_journal(spool / deadline_id / "journal.jsonl")
+            == expected_canonical
+        )
+        check(
+            "expired-then-extended campaign matches the straight run",
+            deadline_ok,
+            deadline_final["status"],
+        )
+
+        # Byte leg: never interrupted, so the service must be invisible
+        # down to the raw journal bytes.
+        byte_final = client.wait(byte_id, timeout=900)
+        _fp, expected_raw, _canonical = _ref_of(references, BYTE_LEG)
+        byte_journal = spool / byte_id / "journal.jsonl"
+        check(
+            "fault-free campaign journal is byte-identical to solo",
+            byte_final["status"] == "finished"
+            and byte_journal.read_bytes() == expected_raw,
+            byte_final["status"],
+        )
+
+        record["healthz"] = client.healthz()
+        settled = {**ids, "byte": byte_id, "deadline": deadline_id}
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            record["final_server_exit"] = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            record["final_server_exit"] = proc.wait()
+
+    # -- artifacts -----------------------------------------------------------
+    for cid in settled.values():
+        campaign_dir = spool / cid
+        target = artifacts / cid
+        target.mkdir(exist_ok=True)
+        for name in ("spec.json", "state.json", "journal.jsonl"):
+            source = campaign_dir / name
+            if source.exists():
+                shutil.copy2(source, target / name)
+    (artifacts / "statuses.json").write_text(
+        json.dumps(record["final_statuses"], indent=2)
+    )
+
+    record["ok"] = all(c["ok"] for c in record["checks"])
+    record["seconds"] = round(time.time() - t0, 2)
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_torture.json")
+    parser.add_argument(
+        "--artifacts",
+        default="service-torture-artifacts",
+        help="directory for CI-uploadable kill schedule/journals/logs",
+    )
+    args = parser.parse_args()
+    with tempfile.TemporaryDirectory(prefix="service-torture-") as tmp:
+        record = run(Path(tmp), Path(args.artifacts))
+    Path(args.out).write_text(json.dumps(record, indent=2))
+    print(f"wrote {args.out} (ok={record['ok']}, {record['seconds']}s)")
+    return 0 if record["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

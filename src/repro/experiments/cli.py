@@ -211,6 +211,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-tenant total step budget "
              "(default: $REPRO_TENANT_QUOTA or unlimited)",
     )
+    serve.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="waiting-queue bound; submissions past it are shed with 503 "
+             "(default: $REPRO_SERVICE_MAX_QUEUE or 64)",
+    )
+    serve.add_argument(
+        "--tenant-inflight", type=int, default=None, metavar="N",
+        help="per-tenant in-flight campaign cap; submissions past it are "
+             "shed with 429 (default: $REPRO_SERVICE_TENANT_INFLIGHT or 8)",
+    )
+    serve.add_argument(
+        "--overload-slice-s", type=float, default=2.0, metavar="SECONDS",
+        help="slice-latency watermark; above it the scheduler quantum is "
+             "clamped to one attempt (default: 2.0)",
+    )
     _add_jobs_argument(serve)
 
     submit = sub.add_parser(
@@ -238,6 +253,16 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--quota", type=int, default=None,
         help="tenant total step budget (0 = unlimited)",
+    )
+    submit.add_argument(
+        "--deadline-s", type=float, default=None, metavar="SECONDS",
+        help="processing budget; the campaign settles as 'expired' when "
+             "cumulative slice time exceeds it (extendable later)",
+    )
+    submit.add_argument(
+        "--idempotency-key", default=None, metavar="KEY",
+        help="makes the submit at-most-once (the server dedups replays) "
+             "and therefore safe to retry on transient failures",
     )
     submit.add_argument(
         "--wait", action="store_true",
@@ -485,6 +510,9 @@ def _cmd_serve(args) -> int:
             default_quota=(
                 "env" if args.tenant_quota is None else args.tenant_quota
             ),
+            max_queue=args.max_queue,
+            tenant_inflight=args.tenant_inflight,
+            overload_slice_s=args.overload_slice_s,
         )
         await service.start()
         endpoint = ServiceEndpoint(service, host=args.host, port=args.port)
@@ -528,7 +556,11 @@ def _cmd_submit(args) -> int:
     if args.quota is not None:
         spec["tenant_quota"] = args.quota
     try:
-        campaign_id = client.submit(spec)
+        campaign_id = client.submit(
+            spec,
+            idempotency_key=args.idempotency_key,
+            deadline_s=args.deadline_s,
+        )
         print(f"submitted {campaign_id} (tenant: {args.tenant})")
         if args.follow:
             for line in client.stream_journal(campaign_id, follow=True):

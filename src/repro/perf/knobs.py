@@ -33,6 +33,11 @@ Knobs resolved here:
   unit of tenant weight per scheduler turn.
 * ``REPRO_TENANT_QUOTA`` — default per-tenant total step budget;
   unset/``0``/``none``/``unlimited`` means no quota.
+* ``REPRO_SERVICE_MAX_QUEUE`` — bound on the service's waiting queue:
+  submissions past it are shed with HTTP 503 + ``Retry-After`` instead
+  of queueing unboundedly.
+* ``REPRO_SERVICE_TENANT_INFLIGHT`` — per-tenant cap on unsettled
+  campaigns; submissions past it are shed with HTTP 429.
 
 Valid values are memoized per ``(knob, raw value)`` so hot paths (the
 per-node compiled-tree check, the per-step fused gate) never re-parse an
@@ -55,6 +60,8 @@ __all__ = [
     "shm_min_shard_rows",
     "service_max_concurrent",
     "service_step_quantum",
+    "service_max_queue",
+    "service_tenant_inflight",
     "tenant_step_quota",
 ]
 
@@ -252,6 +259,30 @@ def service_step_quantum(override: Optional[int] = None) -> int:
     warn once and fall back to the default.
     """
     return _positive_int_knob("REPRO_SERVICE_STEP_QUANTUM", 1, override)
+
+
+def service_max_queue(override: Optional[int] = None) -> int:
+    """Bound on the campaign-service waiting queue
+    (``REPRO_SERVICE_MAX_QUEUE``).
+
+    Submissions arriving while this many campaigns are already waiting
+    for admission are *shed* — rejected with HTTP 503 and a
+    ``Retry-After`` hint — instead of queueing without bound.  Junk
+    values warn once and fall back to the default (64).
+    """
+    return _positive_int_knob("REPRO_SERVICE_MAX_QUEUE", 64, override)
+
+
+def service_tenant_inflight(override: Optional[int] = None) -> int:
+    """Per-tenant cap on unsettled campaigns
+    (``REPRO_SERVICE_TENANT_INFLIGHT``).
+
+    A tenant already holding this many queued/running/starved campaigns
+    has further submissions shed with HTTP 429 (the tenant's fault, so
+    the global queue bound stays available to other tenants).  Junk
+    values warn once and fall back to the default (8).
+    """
+    return _positive_int_knob("REPRO_SERVICE_TENANT_INFLIGHT", 8, override)
 
 
 def tenant_step_quota(override: Optional[int] = "env") -> Optional[int]:

@@ -274,6 +274,13 @@ def _worker_main(conn) -> None:
             return
         if task is None or task == "stop":
             return
+        if isinstance(task, tuple) and task and task[0] == "ping":
+            # Watchdog liveness probe: answer immediately, no evaluation.
+            try:
+                conn.send(("pong", task[1]))
+            except (OSError, BrokenPipeError):
+                return
+            continue
         seq = task[1]
         try:
             _run_task(task)
@@ -361,6 +368,8 @@ class ShmFleet:
         self._workers: List[_Worker] = []
         self._seq = 0
         self._spawned = 0
+        #: Largest live fleet ever reached; the watchdog's respawn target.
+        self._high_water = 0
         self.stats = FleetStats()
 
     # -- lifecycle ------------------------------------------------------------
@@ -409,7 +418,65 @@ class ShmFleet:
         while len(self._workers) < count:
             if self._spawn(stats) is None:
                 break
+        self._high_water = max(self._high_water, len(self._workers))
         return len(self._workers)
+
+    def health(self) -> Dict[str, int]:
+        """A passive fleet-health snapshot (no pruning, no respawns)."""
+        return {
+            "workers": len(self._workers),
+            "workers_live": sum(1 for w in self._workers if w.alive),
+            "high_water": self._high_water,
+            "spawned_total": self._spawned,
+        }
+
+    def heartbeat(self, ping_timeout: float = 1.0) -> Dict[str, int]:
+        """Active watchdog pass: prune dead workers, kill wedged ones,
+        respawn back to the fleet's high-water size.
+
+        A worker is *wedged* when it holds no in-flight shard (the fleet
+        is strictly idle between blocks) yet fails to answer a ping
+        within ``ping_timeout`` — any reply counts as alive.  Returns
+        the :meth:`health` snapshot plus ``pruned`` / ``wedged`` /
+        ``respawned`` counts; callers (the campaign service runs this
+        between scheduler slices) surface them as SLO counters.
+        """
+        pruned = 0
+        for worker in list(self._workers):
+            if not worker.alive:
+                self._discard(worker)
+                pruned += 1
+        pinged = []
+        for worker in list(self._workers):
+            self._seq += 1
+            try:
+                worker.conn.send(("ping", self._seq))
+                pinged.append(worker)
+            except (OSError, BrokenPipeError):
+                self._discard(worker)
+                pruned += 1
+        wedged = 0
+        deadline = time.monotonic() + max(0.0, ping_timeout)
+        for worker in pinged:
+            remaining = max(0.0, deadline - time.monotonic())
+            alive = False
+            try:
+                if worker.conn.poll(remaining):
+                    worker.conn.recv()
+                    alive = True
+            except (EOFError, OSError):
+                alive = False
+            if not alive:
+                wedged += 1
+                self._kill_worker(worker)
+        respawned = 0
+        while len(self._workers) < self._high_water:
+            if self._spawn(self.stats) is None:
+                break
+            respawned += 1
+        health = self.health()
+        health.update(pruned=pruned, wedged=wedged, respawned=respawned)
+        return health
 
     def _discard(self, worker: _Worker) -> None:
         if worker in self._workers:

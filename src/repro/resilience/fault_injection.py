@@ -24,7 +24,21 @@
   cache persistence, keyed by the file path), ``shm`` (a shared-memory
   fleet worker evaluating one shard, keyed by
   ``shard-<start>-<stop>`` — ``kill`` faults here SIGKILL the persistent
-  worker, exercising shard resubmission).
+  worker, exercising shard resubmission), plus the four *service-layer*
+  sites wired into :mod:`repro.service`: ``submit`` (after the spooled
+  submission record is written, keyed by the idempotency key / campaign
+  id), ``slice`` (between scheduler slices, keyed by the campaign id),
+  ``spool-write`` (per-campaign state persistence, keyed by the campaign
+  id or ``tenants``), and ``http-response`` (just before an endpoint
+  response is written, keyed by the request path).  Unlike the
+  evaluation sites, the service sites run with ``allow_kill`` enabled:
+  a ``kill`` fault there SIGKILLs the *server* process by design — the
+  spool makes server death recoverable, and the torture harness
+  (``benchmarks/service_torture.py``) exercises exactly that.  The
+  ambient attempt at these sites is the server-side retry correlator
+  (idempotent-submit replay count, per-campaign slice index, per-record
+  persist count, per-process response count), so rate-based faults
+  re-roll on client retries just like evaluation retries re-roll.
 * ``rate`` — firing probability in ``[0, 1]``.  The decision is the
   deterministic hash of ``(seed, site, key, attempt)`` — no global RNG —
   so a given campaign always faults at the same calls regardless of
@@ -72,7 +86,17 @@ __all__ = [
 
 #: Supported fault kinds and the injection sites wired into the pipeline.
 FAULT_KINDS = ("crash", "hang", "kill", "corrupt")
-FAULT_SITES = ("evaluate", "mapper", "cache-load", "cache-save", "shm")
+FAULT_SITES = (
+    "evaluate",
+    "mapper",
+    "cache-load",
+    "cache-save",
+    "shm",
+    "submit",
+    "slice",
+    "spool-write",
+    "http-response",
+)
 
 ENV_VAR = "REPRO_FAULT_INJECT"
 

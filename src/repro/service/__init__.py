@@ -40,9 +40,12 @@ __all__ = [
     "CampaignService",
     "CampaignSpec",
     "ServiceError",
+    "UnknownCampaignError",
+    "ServiceOverloadError",
     "default_campaign_factory",
     "ServiceEndpoint",
     "ServiceClient",
+    "ServiceClientError",
 ]
 
 _LAZY = {
@@ -53,9 +56,12 @@ _LAZY = {
     "CampaignService": "repro.service.service",
     "CampaignSpec": "repro.service.service",
     "ServiceError": "repro.service.service",
+    "UnknownCampaignError": "repro.service.service",
+    "ServiceOverloadError": "repro.service.service",
     "default_campaign_factory": "repro.service.service",
     "ServiceEndpoint": "repro.service.http",
     "ServiceClient": "repro.service.client",
+    "ServiceClientError": "repro.service.client",
 }
 
 

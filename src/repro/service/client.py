@@ -1,28 +1,73 @@
 """A tiny urllib client for the campaign-service HTTP API.
 
-Used by ``repro-experiments submit`` and the service smoke benchmark;
-kept to the stdlib so driving a remote service needs nothing beyond the
+Used by ``repro-experiments submit`` and the service benchmarks; kept
+to the stdlib so driving a remote service needs nothing beyond the
 repository itself.  Synchronous by design — callers are CLIs and test
 harnesses, not event loops.
+
+The client is built for a service that sheds load and a network that
+drops connections:
+
+* Every transport failure surfaces as :class:`ServiceClientError` —
+  connection refused/reset and socket timeouts get ``status=None`` and
+  ``retryable=True``; HTTP error responses carry their status and the
+  server's ``Retry-After`` hint when one was sent.  Raw
+  ``urllib.error`` never leaks to callers.
+* Idempotent requests (GETs, and submits carrying an
+  ``idempotency_key``) are retried with the repository's deterministic
+  exponential backoff (:class:`~repro.resilience.supervisor
+  .RetryPolicy`), honoring ``Retry-After`` when the server's hint is
+  larger than the local backoff.
+* :meth:`submit` generates no key on its own: at-most-once submission
+  is opt-in, because only the caller knows whether two identical specs
+  are one campaign retried or two campaigns requested.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.resilience.supervisor import RetryPolicy
+
 __all__ = ["ServiceClient", "ServiceClientError"]
+
+#: HTTP statuses an idempotent retry can plausibly outlive.
+_RETRYABLE_STATUSES = frozenset({429, 500, 503})
+
+#: Campaign statuses the service reports as settled.
+_TERMINAL_STATUSES = ("finished", "cancelled", "failed", "expired")
 
 
 class ServiceClientError(RuntimeError):
-    """An HTTP error response from the service (carries the status)."""
+    """An error talking to the service.
 
-    def __init__(self, status: int, message: str):
-        super().__init__(f"HTTP {status}: {message}")
+    Attributes:
+        status: The HTTP status code, or ``None`` when no response
+            arrived at all (connection refused/reset, socket timeout).
+        retryable: Whether an idempotent retry of the same request can
+            plausibly succeed.
+        retry_after: The server's ``Retry-After`` hint in seconds, when
+            one was sent (shed submissions send it).
+    """
+
+    def __init__(
+        self,
+        status: Optional[int],
+        message: str,
+        *,
+        retryable: bool = False,
+        retry_after: Optional[float] = None,
+    ):
+        label = f"HTTP {status}" if status is not None else "no response"
+        super().__init__(f"{label}: {message}")
         self.status = status
+        self.retryable = retryable
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -32,13 +77,29 @@ class ServiceClient:
         base_url: e.g. ``http://127.0.0.1:8321`` (no trailing slash
             needed).
         timeout: Per-request socket timeout in seconds.
+        retries: Retries for idempotent requests (``None`` reads
+            ``REPRO_MAX_RETRIES``).
+        backoff: First-retry backoff in seconds, doubling per retry
+            with deterministic jitter (``None`` reads
+            ``REPRO_RETRY_BACKOFF``).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.policy = RetryPolicy.from_env(
+            max_retries=retries, backoff_base=backoff
+        )
 
-    def _request(
+    # -- transport -----------------------------------------------------------
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -62,16 +123,99 @@ class ServiceClient:
                 message = json.loads(exc.read().decode()).get("error", "")
             except Exception:  # noqa: BLE001 - best-effort error body
                 message = exc.reason
-            raise ServiceClientError(exc.code, message) from None
+            retry_after = None
+            if exc.headers is not None:
+                raw = exc.headers.get("Retry-After")
+                if raw is not None:
+                    try:
+                        retry_after = float(raw)
+                    except ValueError:
+                        pass
+            raise ServiceClientError(
+                exc.code,
+                message,
+                retryable=exc.code in _RETRYABLE_STATUSES,
+                retry_after=retry_after,
+            ) from None
+        except urllib.error.URLError as exc:
+            reason = exc.reason
+            raise ServiceClientError(
+                None,
+                f"{type(reason).__name__ if reason else 'URLError'}: "
+                f"{reason}",
+                retryable=True,
+            ) from None
+        except (
+            TimeoutError,
+            ConnectionError,
+            http.client.HTTPException,
+        ) as exc:
+            raise ServiceClientError(
+                None, f"{type(exc).__name__}: {exc}", retryable=True
+            ) from None
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        *,
+        idempotent: Optional[bool] = None,
+    ) -> Dict[str, Any]:
+        """One logical request; idempotent ones survive transient
+        failures via bounded retries with deterministic backoff."""
+        if idempotent is None:
+            idempotent = method == "GET"
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServiceClientError as exc:
+                attempt += 1
+                if (
+                    not idempotent
+                    or not exc.retryable
+                    or attempt > self.policy.max_retries
+                ):
+                    raise
+                delay = self.policy.backoff_seconds(
+                    f"{method} {path}", attempt
+                )
+                if exc.retry_after is not None:
+                    delay = max(delay, exc.retry_after)
+                if delay > 0:
+                    time.sleep(delay)
 
     # -- API -----------------------------------------------------------------
 
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/healthz")
 
-    def submit(self, spec: Dict[str, Any]) -> str:
-        """Submit a campaign spec dict; returns the campaign id."""
-        return self._request("POST", "/v1/campaigns", spec)["campaign_id"]
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        *,
+        idempotency_key: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> str:
+        """Submit a campaign spec dict; returns the campaign id.
+
+        With an ``idempotency_key`` (here or in the spec) the submit is
+        at-most-once — the server dedups replays — which makes it safe
+        to retry, so transient failures and shed responses (429/503,
+        honoring ``Retry-After``) are retried automatically.  Without a
+        key a failed submit raises immediately: the caller cannot know
+        whether the campaign landed.
+        """
+        spec = dict(spec)
+        if idempotency_key is not None:
+            spec.setdefault("idempotency_key", idempotency_key)
+        if deadline_s is not None:
+            spec.setdefault("deadline_s", deadline_s)
+        idempotent = spec.get("idempotency_key") is not None
+        return self._request(
+            "POST", "/v1/campaigns", spec, idempotent=idempotent
+        )["campaign_id"]
 
     def list_campaigns(self) -> List[Dict[str, Any]]:
         return self._request("GET", "/v1/campaigns")["campaigns"]
@@ -81,6 +225,17 @@ class ServiceClient:
 
     def cancel(self, campaign_id: str) -> Dict[str, Any]:
         return self._request("POST", f"/v1/campaigns/{campaign_id}/cancel")
+
+    def extend_deadline(
+        self, campaign_id: str, extra_s: float
+    ) -> Dict[str, Any]:
+        """Grant the campaign more processing budget (re-queues an
+        ``expired`` campaign from its checkpoint)."""
+        return self._request(
+            "POST",
+            f"/v1/campaigns/{campaign_id}/deadline",
+            {"extra_s": extra_s},
+        )
 
     def result(self, campaign_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/campaigns/{campaign_id}/result")
@@ -97,35 +252,92 @@ class ServiceClient:
         return list(self.stream_journal(campaign_id, offset=offset))
 
     def stream_journal(
-        self, campaign_id: str, offset: int = 0, follow: bool = False
+        self,
+        campaign_id: str,
+        offset: int = 0,
+        follow: bool = False,
+        idle_timeout: float = 10.0,
     ) -> Iterator[str]:
-        """Yield journal lines; ``follow=True`` tails until settled."""
-        url = (
-            f"{self.base_url}/v1/campaigns/{campaign_id}/journal"
-            f"?offset={offset}&follow={'1' if follow else '0'}"
-        )
-        timeout = None if follow else self.timeout
-        with urllib.request.urlopen(url, timeout=timeout) as response:
-            for raw in response:
-                line = raw.decode().rstrip("\n")
-                if line:
-                    yield line
+        """Yield journal lines; ``follow=True`` tails until settled.
+
+        A followed stream is long-lived, so it gets its own resilience:
+        reads are bounded by ``idle_timeout`` and a quiet or broken
+        stream reconnects transparently from the current line offset
+        (journal lines are append-only, so offset-based resume never
+        duplicates or tears a line).  Timeouts reconnect indefinitely —
+        a quiet journal is normal, attempts can be slow — while hard
+        connection failures are bounded by the retry budget.
+        """
+        position = offset
+        failures = 0
+        while True:
+            url = (
+                f"{self.base_url}/v1/campaigns/{campaign_id}/journal"
+                f"?offset={position}&follow={'1' if follow else '0'}"
+            )
+            timeout = idle_timeout if follow else self.timeout
+            try:
+                with urllib.request.urlopen(url, timeout=timeout) as resp:
+                    for raw in resp:
+                        line = raw.decode().rstrip("\n")
+                        if line:
+                            position += 1
+                            failures = 0
+                            yield line
+                return  # clean end of stream: the campaign settled
+            except urllib.error.HTTPError as exc:
+                try:
+                    message = json.loads(exc.read().decode()).get(
+                        "error", ""
+                    )
+                except Exception:  # noqa: BLE001 - best-effort error body
+                    message = exc.reason
+                raise ServiceClientError(exc.code, message) from None
+            except TimeoutError:
+                if not follow:
+                    raise ServiceClientError(
+                        None, "journal read timed out", retryable=True
+                    ) from None
+                continue  # idle stream: reconnect from `position`
+            except (
+                urllib.error.URLError,
+                ConnectionError,
+                http.client.HTTPException,
+            ) as exc:
+                failures += 1
+                if not follow or failures > self.policy.max_retries:
+                    raise ServiceClientError(
+                        None,
+                        f"{type(exc).__name__}: {exc}",
+                        retryable=True,
+                    ) from None
+                self.policy.sleep_before_retry(
+                    f"journal {campaign_id}", failures
+                )
 
     def wait(
         self,
         campaign_id: str,
         timeout: float = 600.0,
         poll: float = 0.2,
+        poll_max: float = 2.0,
     ) -> Dict[str, Any]:
-        """Poll until the campaign settles; returns its final status."""
+        """Poll until the campaign settles; returns its final status.
+
+        Polling backs off exponentially from ``poll`` to ``poll_max``
+        so long campaigns don't hammer the service with status GETs.
+        """
         deadline = time.monotonic() + timeout
+        delay = max(0.01, poll)
         while True:
             status = self.status(campaign_id)
-            if status["status"] in ("finished", "cancelled", "failed"):
+            if status["status"] in _TERMINAL_STATUSES:
                 return status
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise TimeoutError(
                     f"campaign {campaign_id} still {status['status']} "
                     f"after {timeout}s"
                 )
-            time.sleep(poll)
+            time.sleep(min(delay, deadline - now))
+            delay = min(delay * 2, poll_max)

@@ -181,7 +181,8 @@ class CampaignStateMachine:
 
     def slo_snapshot(self) -> dict:
         """Per-campaign SLO state: the resilience layer's view of this
-        campaign (circuit breaker, quarantined trials, retry posture)."""
+        campaign (circuit breaker, quarantined trials, retry posture,
+        attempt progress)."""
         quarantined = sum(
             1 for t in self.trials if t.note.startswith("quarantined")
         )
@@ -189,6 +190,10 @@ class CampaignStateMachine:
             "breaker": self.breaker.as_dict(),
             "quarantined_trials": quarantined,
             "trials": len(self.trials),
+            "attempt": self.attempt,
+            "attempts_without_improvement": (
+                self.attempts_without_improvement
+            ),
         }
 
     # -- lifecycle -----------------------------------------------------------

@@ -123,6 +123,14 @@ class CampaignScheduler:
         self._ring = 0
         #: The slice currently in flight (at most one).
         self._in_flight: Optional[str] = None
+        #: Overload pressure: when True (the service's slice-latency
+        #: watermark tripped), every slice is clamped to one attempt so
+        #: latency-sensitive campaigns stop waiting behind fat quanta.
+        #: Shrinking the quantum never changes journal bytes — the flush
+        #: partition invariance of the state machine guarantees that —
+        #: so pressure can flap freely without hurting determinism of
+        #: results.
+        self.pressure = False
 
     # -- tenants -------------------------------------------------------------
 
@@ -178,6 +186,23 @@ class CampaignScheduler:
         self._tenant_of[campaign_id] = tenant
         self._waiting.append(campaign_id)
 
+    def readmit(self, campaign_id: str) -> None:
+        """Re-queue a previously removed/finished campaign (the expired
+        -with-fresh-deadline path): it rejoins the waiting queue at the
+        back, exactly like a new submission of the same id."""
+        tenant = self._tenant_of.get(campaign_id)
+        if tenant is None:
+            raise SchedulerError(f"unknown campaign {campaign_id!r}")
+        if (
+            campaign_id in self._waiting
+            or campaign_id in self._resident
+        ):
+            raise SchedulerError(
+                f"campaign {campaign_id!r} is still scheduled"
+            )
+        self._finished.discard(campaign_id)
+        self._waiting.append(campaign_id)
+
     def remove(self, campaign_id: str) -> None:
         """Drop a campaign (cancelled/failed) wherever it is."""
         tenant = self._tenant_of.get(campaign_id)
@@ -222,7 +247,7 @@ class CampaignScheduler:
             if not tenant.runnable or tenant.quota_exhausted:
                 continue
             campaign_id = tenant.runnable.popleft()
-            steps = self.quantum * tenant.weight
+            steps = 1 if self.pressure else self.quantum * tenant.weight
             if tenant.quota_left is not None:
                 steps = min(steps, tenant.quota_left)
             self._ring = (self._ring + offset + 1) % len(order)
@@ -255,6 +280,11 @@ class CampaignScheduler:
     def idle(self) -> bool:
         """No waiting or resident campaigns remain."""
         return not self._waiting and not self._resident
+
+    @property
+    def waiting_count(self) -> int:
+        """Campaigns queued for admission (the shed-bound population)."""
+        return len(self._waiting)
 
     @property
     def starved(self) -> bool:

@@ -36,11 +36,16 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import os
+import time
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, AsyncIterator, Callable, Dict, List, Optional
 
+from repro.resilience.errors import WorkerCrashError
+from repro.resilience.fault_injection import attempt_scope, inject
 from repro.service.machine import (
     CampaignState,
     CampaignStateMachine,
@@ -52,12 +57,42 @@ __all__ = [
     "CampaignSpec",
     "CampaignService",
     "ServiceError",
+    "UnknownCampaignError",
+    "ServiceOverloadError",
     "default_campaign_factory",
 ]
 
 
 class ServiceError(RuntimeError):
-    """An invalid service operation (unknown campaign, wrong state)."""
+    """An invalid service operation (wrong state, bad argument).
+
+    ``http_status`` is the explicit HTTP mapping the endpoint uses —
+    no substring matching on messages.  Subclasses refine it.
+    """
+
+    http_status = 409
+
+
+class UnknownCampaignError(ServiceError):
+    """A campaign (or tenant) id the service has never seen."""
+
+    http_status = 404
+
+
+class ServiceOverloadError(ServiceError):
+    """A submission shed by admission control.
+
+    ``http_status`` is 429 when the *tenant's* in-flight cap was hit
+    (the tenant's own backlog is the problem) and 503 when the global
+    waiting queue is full (the service as a whole is overloaded).
+    ``retry_after`` is the server's backoff hint in seconds, surfaced
+    as the ``Retry-After`` response header.
+    """
+
+    def __init__(self, message: str, *, status: int, retry_after: float):
+        super().__init__(message)
+        self.http_status = int(status)
+        self.retry_after = float(retry_after)
 
 
 @dataclass
@@ -70,6 +105,18 @@ class CampaignSpec:
     default, ``0`` means unlimited) and ``tenant_weight`` scales the
     steps granted per scheduler turn; both update the tenant record at
     submission time.
+
+    ``deadline_s`` is the campaign's wall-clock *processing* budget:
+    the cumulative time the service may spend executing its slices.
+    It is checked only at slice/attempt boundaries; a campaign that
+    overruns settles as ``expired`` through a forced checkpoint, so
+    :meth:`CampaignService.extend_deadline` (or a service restart plus
+    an extension) completes it bit-identically later.
+
+    ``idempotency_key`` makes submission at-most-once: the service
+    remembers the key in the spooled submission record, and a retried
+    submit with the same key returns the existing campaign id instead
+    of starting a second campaign.
     """
 
     model: str
@@ -81,6 +128,8 @@ class CampaignSpec:
     tenant_weight: Optional[int] = None
     tenant_quota: Optional[int] = None
     shm_eval: bool = True
+    deadline_s: Optional[float] = None
+    idempotency_key: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -104,6 +153,7 @@ def default_campaign_factory(spec: CampaignSpec):
     from repro.arch.accelerator import build_edge_design_space
     from repro.core.dse.explainable import ExplainableDSE
     from repro.experiments.setup import edge_constraints, make_evaluator
+    from repro.perf.mapping_cache import MappingCache
 
     evaluator = make_evaluator(
         spec.model,
@@ -111,6 +161,11 @@ def default_campaign_factory(spec: CampaignSpec):
         top_n=spec.top_n,
         objective=spec.objective,
         shm_eval=spec.shm_eval,
+        # An explicit private cache: CachingMapper would otherwise fall
+        # back to the process-global shared_cache(), whose entry gauge
+        # (and, for same-model campaigns, hits) leaks into RunSummary
+        # and breaks byte-identity with solo runs.
+        mapping_cache=MappingCache(),
     )
     return ExplainableDSE(
         build_edge_design_space(),
@@ -136,10 +191,19 @@ class _CampaignRecord:
     fingerprint: Optional[str] = None
     outcome: Optional[Dict[str, Any]] = None
     done_event: Optional[asyncio.Event] = None
+    #: Runtime deadline budget (starts as ``spec.deadline_s``; deadline
+    #: extensions move it without rewriting the submission record).
+    deadline_s: Optional[float] = None
+    #: Cumulative slice wall time charged against the deadline.
+    elapsed_s: float = 0.0
+    #: Per-record spool-write sequence (the fault-injection attempt).
+    persist_seq: int = 0
 
 
-#: Campaign states the service reports as settled.
-_TERMINAL = {"finished", "cancelled", "failed"}
+#: Campaign states the service reports as settled.  ``expired`` is
+#: terminal for waiting/recovery purposes but reversible: a fresh
+#: deadline re-queues the campaign from its forced checkpoint.
+_TERMINAL = {"finished", "cancelled", "failed", "expired"}
 
 
 class CampaignService:
@@ -151,6 +215,16 @@ class CampaignService:
         max_concurrent / quantum / default_quota: Scheduler policy
             (``None`` reads the ``REPRO_SERVICE_*`` / ``REPRO_TENANT_*``
             knobs).
+        max_queue / tenant_inflight: Admission control —
+            submissions past the global waiting-queue bound are shed
+            with 503, past the per-tenant in-flight cap with 429
+            (``None`` reads ``REPRO_SERVICE_MAX_QUEUE`` /
+            ``REPRO_SERVICE_TENANT_INFLIGHT``).
+        overload_slice_s: Slice-latency watermark in seconds; when the
+            exponentially weighted moving average of slice wall time
+            exceeds it, the scheduler quantum is clamped to one attempt
+            (load is *absorbed* by finer slicing before any shedding
+            happens).
         campaign_factory: ``spec -> ExplainableDSE`` (default:
             :func:`default_campaign_factory`).
     """
@@ -162,14 +236,25 @@ class CampaignService:
         max_concurrent: Optional[int] = None,
         quantum: Optional[int] = None,
         default_quota: Optional[int] = "env",
+        max_queue: Optional[int] = None,
+        tenant_inflight: Optional[int] = None,
+        overload_slice_s: float = 2.0,
         campaign_factory: Optional[Callable] = None,
     ):
+        from repro.perf.knobs import (
+            service_max_queue,
+            service_tenant_inflight,
+        )
+
         self.spool = Path(spool_dir)
         self.scheduler = CampaignScheduler(
             quantum=quantum,
             max_concurrent=max_concurrent,
             default_quota=default_quota,
         )
+        self.max_queue = service_max_queue(max_queue)
+        self.tenant_inflight = service_tenant_inflight(tenant_inflight)
+        self.overload_slice_s = float(overload_slice_s)
         self._factory = campaign_factory or default_campaign_factory
         self._records: Dict[str, _CampaignRecord] = {}
         self._counter = 0
@@ -178,6 +263,26 @@ class CampaignService:
         self._stopping = False
         #: (campaign_id, steps) slices in dispatch order, for tests.
         self.slice_log: List[tuple] = []
+        #: idempotency key -> campaign id (rebuilt from the spool).
+        self._idempotency: Dict[str, str] = {}
+        #: idempotency key -> times a submit replayed it (the ambient
+        #: fault-injection attempt, so injected submit faults re-roll on
+        #: client retries exactly like evaluation retries re-roll).
+        self._submit_replays: Dict[str, int] = {}
+        #: EWMA of slice wall seconds (None until the first slice).
+        self._ewma_slice_s: Optional[float] = None
+        #: Resilience counters surfaced through ``healthz()``.
+        self.counters: Dict[str, int] = {
+            "shed_429": 0,
+            "shed_503": 0,
+            "expired": 0,
+            "deadline_extensions": 0,
+            "dedup_hits": 0,
+            "slice_faults": 0,
+            "spool_write_faults": 0,
+            "fleet_restarts": 0,
+            "fleet_wedged": 0,
+        }
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -214,10 +319,29 @@ class CampaignService:
     # -- recovery ------------------------------------------------------------
 
     def _recover(self) -> None:
-        """Rebuild records from the spool after a restart (or crash)."""
+        """Rebuild records from the spool after a restart (or crash).
+
+        Every spool file is treated as possibly torn: the service's own
+        writes are atomic (write-temp/rename), but a SIGKILL may still
+        leave artifacts from older writers or a full disk.  A corrupt
+        ``tenants.json`` starts tenants fresh; a corrupt ``state.json``
+        degrades to "unknown, resume from checkpoint"; a corrupt
+        ``spec.json`` means the campaign cannot be rebuilt and is
+        skipped with a warning (its directory is preserved for
+        inspection).
+        """
         tenants_path = self.spool / "tenants.json"
         if tenants_path.exists():
-            for entry in json.loads(tenants_path.read_text()):
+            try:
+                entries = json.loads(tenants_path.read_text())
+            except (json.JSONDecodeError, OSError) as exc:
+                warnings.warn(
+                    f"ignoring corrupt tenants record {tenants_path}: "
+                    f"{exc}",
+                    RuntimeWarning,
+                )
+                entries = []
+            for entry in entries:
                 tenant = self.scheduler.register_tenant(
                     entry["tenant"],
                     weight=entry.get("weight"),
@@ -229,19 +353,38 @@ class CampaignService:
             if not spec_path.is_file():
                 continue
             campaign_id = path.name
-            spec = CampaignSpec.from_dict(json.loads(spec_path.read_text()))
+            try:
+                spec = CampaignSpec.from_dict(
+                    json.loads(spec_path.read_text())
+                )
+            except (json.JSONDecodeError, OSError, TypeError) as exc:
+                warnings.warn(
+                    f"skipping campaign {campaign_id}: corrupt submission "
+                    f"record ({exc})",
+                    RuntimeWarning,
+                )
+                continue
             record = _CampaignRecord(campaign_id=campaign_id, spec=spec)
             record.done_event = asyncio.Event()
+            record.deadline_s = spec.deadline_s
             state_path = path / "state.json"
             if state_path.exists():
-                state = json.loads(state_path.read_text())
+                try:
+                    state = json.loads(state_path.read_text())
+                except (json.JSONDecodeError, OSError):
+                    state = {}
                 record.status = state.get("status", "queued")
                 record.error = state.get("error")
                 record.steps_done = int(state.get("steps_done", 0))
                 record.fingerprint = state.get("fingerprint")
                 record.outcome = state.get("outcome")
+                record.elapsed_s = float(state.get("elapsed_s", 0.0))
+                if "deadline_s" in state:
+                    record.deadline_s = state["deadline_s"]
             self._records[campaign_id] = record
             self._counter = max(self._counter, int(campaign_id[1:]) + 1)
+            if spec.idempotency_key:
+                self._idempotency[spec.idempotency_key] = campaign_id
             if record.status in _TERMINAL:
                 record.done_event.set()
                 continue
@@ -260,31 +403,87 @@ class CampaignService:
             spec.tenant, weight=spec.tenant_weight, quota=quota
         )
 
+    def _retry_after_hint(self) -> float:
+        """Server backoff hint for shed submissions: the expected time
+        to drain one queue position, floored at 1s and capped at 60s."""
+        per_slice = self._ewma_slice_s if self._ewma_slice_s else 0.5
+        backlog = self.scheduler.waiting_count + 1
+        return float(min(60, max(1, math.ceil(per_slice * backlog))))
+
     async def submit(self, spec: CampaignSpec) -> str:
-        """Queue a campaign; returns its id (``c0001``, ``c0002``, ...)."""
+        """Queue a campaign; returns its id (``c0001``, ``c0002``, ...).
+
+        Order of checks matters for at-most-once semantics: an
+        idempotent *replay* short-circuits before admission control, so
+        a client retrying a submission that already landed can never be
+        shed for the load its own first attempt created.  Fresh
+        submissions are shed with 429 when the tenant's in-flight cap is
+        hit, 503 when the global waiting queue is full.  The spooled
+        submission record is durable *before* the ``submit`` fault site
+        fires, so a kill there leaves a campaign the client's idempotent
+        retry re-discovers.
+        """
         if self._loop_task is None:
             raise ServiceError("service is not running")
+        key = spec.idempotency_key
+        if key and key in self._idempotency:
+            self.counters["dedup_hits"] += 1
+            replay = self._submit_replays.get(key, 0) + 1
+            self._submit_replays[key] = replay
+            # The original submit may have crashed between queueing the
+            # campaign and waking the loop: re-wake on every replay.
+            self._wake.set()
+            with attempt_scope(replay, allow_kill=True):
+                inject("submit", key=key)
+            return self._idempotency[key]
+        inflight = sum(
+            1
+            for r in self._records.values()
+            if r.spec.tenant == spec.tenant and r.status not in _TERMINAL
+        )
+        if inflight >= self.tenant_inflight:
+            self.counters["shed_429"] += 1
+            raise ServiceOverloadError(
+                f"tenant {spec.tenant!r} has {inflight} campaigns in "
+                f"flight (cap {self.tenant_inflight})",
+                status=429,
+                retry_after=self._retry_after_hint(),
+            )
+        if self.scheduler.waiting_count >= self.max_queue:
+            self.counters["shed_503"] += 1
+            raise ServiceOverloadError(
+                f"waiting queue is full "
+                f"({self.scheduler.waiting_count}/{self.max_queue})",
+                status=503,
+                retry_after=self._retry_after_hint(),
+            )
         campaign_id = f"c{self._counter:04d}"
         self._counter += 1
         campaign_dir = self.spool / campaign_id
         campaign_dir.mkdir(parents=True)
-        (campaign_dir / "spec.json").write_text(
-            json.dumps(spec.to_dict(), indent=2)
+        self._write_atomic(
+            campaign_dir / "spec.json", json.dumps(spec.to_dict(), indent=2)
         )
         record = _CampaignRecord(campaign_id=campaign_id, spec=spec)
         record.done_event = asyncio.Event()
+        record.deadline_s = spec.deadline_s
         self._records[campaign_id] = record
+        if key:
+            self._idempotency[key] = campaign_id
+            self._submit_replays.setdefault(key, 0)
         self._register_tenant(spec)
         self.scheduler.submit(campaign_id, spec.tenant)
         self._persist_state(record)
         self._wake.set()
+        with attempt_scope(0, allow_kill=True):
+            inject("submit", key=key or campaign_id)
         return campaign_id
 
     def _record(self, campaign_id: str) -> _CampaignRecord:
         try:
             return self._records[campaign_id]
         except KeyError:
-            raise ServiceError(
+            raise UnknownCampaignError(
                 f"unknown campaign {campaign_id!r}"
             ) from None
 
@@ -295,6 +494,9 @@ class CampaignService:
         status = record.status
         if status not in _TERMINAL and tenant.quota_exhausted:
             status = "starved"
+        remaining = None
+        if record.deadline_s is not None:
+            remaining = max(0.0, record.deadline_s - record.elapsed_s)
         payload = {
             "campaign_id": campaign_id,
             "tenant": record.spec.tenant,
@@ -303,12 +505,76 @@ class CampaignService:
             "steps_done": record.steps_done,
             "slices": record.slices,
             "error": record.error,
+            "deadline_s": record.deadline_s,
+            "elapsed_s": record.elapsed_s,
+            "deadline_remaining_s": remaining,
             "tenant_state": tenant.as_dict(),
             "slo": record.machine.slo_snapshot() if record.machine else None,
         }
         if record.machine is not None:
             payload["consumed"] = record.machine.consumed
         return payload
+
+    def extend_deadline(
+        self, campaign_id: str, extra_s: float
+    ) -> Dict[str, Any]:
+        """Grant more processing budget.  An ``expired`` campaign
+        rejoins the scheduler queue and resumes bit-identically from
+        its forced checkpoint; a live campaign just gets more runway."""
+        record = self._record(campaign_id)
+        extra = float(extra_s)
+        if not extra > 0:
+            raise ServiceError("deadline extension must be positive")
+        if record.status in _TERMINAL and record.status != "expired":
+            raise ServiceError(
+                f"campaign {campaign_id!r} is already {record.status}"
+            )
+        if record.deadline_s is None:
+            record.deadline_s = record.elapsed_s + extra
+        else:
+            record.deadline_s = max(
+                record.deadline_s, record.elapsed_s
+            ) + extra
+        self.counters["deadline_extensions"] += 1
+        if record.status == "expired":
+            record.status = "queued"
+            record.machine = None  # rebuilt from the forced checkpoint
+            record.done_event.clear()
+            try:
+                self.scheduler.readmit(campaign_id)
+            except SchedulerError:
+                # Expired before this service incarnation ever saw it
+                # (recovered-terminal): submit it like a new campaign.
+                self._register_tenant(record.spec)
+                self.scheduler.submit(campaign_id, record.spec.tenant)
+        self._persist_state(record)
+        if self._wake is not None:
+            self._wake.set()
+        return self.status(campaign_id)
+
+    def healthz(self) -> Dict[str, Any]:
+        """Service health: load, overload state, resilience counters,
+        and the shared fleet's worker census (``None`` when no shared
+        fleet has been spawned in this process)."""
+        from repro.perf import shm_fleet as _shm
+
+        fleet = getattr(_shm, "_SHARED", None)
+        active = sum(
+            1 for r in self._records.values() if r.status not in _TERMINAL
+        )
+        return {
+            "status": "overloaded" if self.scheduler.pressure else "ok",
+            "campaigns": len(self._records),
+            "active": active,
+            "waiting": self.scheduler.waiting_count,
+            "max_queue": self.max_queue,
+            "tenant_inflight": self.tenant_inflight,
+            "ewma_slice_s": self._ewma_slice_s,
+            "overload_slice_s": self.overload_slice_s,
+            "pressure": self.scheduler.pressure,
+            "counters": dict(self.counters),
+            "fleet": fleet.health() if fleet is not None else None,
+        }
 
     def list_campaigns(self) -> List[Dict[str, Any]]:
         return [self.status(cid) for cid in sorted(self._records)]
@@ -389,19 +655,98 @@ class CampaignService:
                 await self._wake.wait()
                 continue
             record = self._records[decision.campaign_id]
+            if self._deadline_expired(record):
+                # The budget ran out while the campaign sat in the
+                # queue; it is already at an attempt boundary, so park
+                # it without running the slice.
+                self.scheduler.report(decision.campaign_id, 0, done=True)
+                self._expire(record)
+                self._persist_tenants()
+                continue
             self.slice_log.append((decision.campaign_id, decision.steps))
             record.slices += 1
+            try:
+                # The ambient attempt is the campaign's slice index, so
+                # rate-based faults re-roll on the rescheduled slice.
+                with attempt_scope(record.slices, allow_kill=True):
+                    inject("slice", key=decision.campaign_id)
+            except WorkerCrashError:
+                self.counters["slice_faults"] += 1
+                self.scheduler.report(decision.campaign_id, 0, done=False)
+                continue
+            started = time.monotonic()
             steps_done, done = await asyncio.to_thread(
                 self._run_slice, record, decision.steps
             )
+            self._charge_slice(record, time.monotonic() - started)
             record.steps_done += steps_done
             self.scheduler.report(
                 decision.campaign_id, steps_done, done=done
             )
+            if not done and self._deadline_expired(record):
+                self.scheduler.remove(record.campaign_id)
+                self._expire(record)
             self._persist_state(record)
             self._persist_tenants()
             if record.status in _TERMINAL:
                 record.done_event.set()
+            self._heartbeat_fleet()
+
+    # -- deadlines & overload ------------------------------------------------
+
+    @staticmethod
+    def _deadline_expired(record: _CampaignRecord) -> bool:
+        return (
+            record.deadline_s is not None
+            and record.elapsed_s >= record.deadline_s
+        )
+
+    def _expire(self, record: _CampaignRecord) -> None:
+        """Settle an over-budget campaign as ``expired``.
+
+        Runs on the loop thread between slices, so the machine is
+        parked at an attempt boundary: the last slice's
+        ``machine.pause()`` already forced its checkpoint to disk.
+        Dropping the machine (its sink is closed by ``_settle``) means a
+        deadline extension rebuilds it from that checkpoint with a
+        fresh sink — the same path a service restart takes — which is
+        exactly why resuming later is bit-identical.
+        """
+        record.machine = None
+        self.counters["expired"] += 1
+        self._settle(record, "expired")
+        record.done_event.set()
+
+    def _charge_slice(self, record: _CampaignRecord, elapsed: float) -> None:
+        """Charge slice wall time to the campaign's deadline budget and
+        to the overload watermark's moving average."""
+        record.elapsed_s += elapsed
+        if self._ewma_slice_s is None:
+            self._ewma_slice_s = elapsed
+        else:
+            self._ewma_slice_s = 0.3 * elapsed + 0.7 * self._ewma_slice_s
+        self.scheduler.pressure = self._ewma_slice_s > self.overload_slice_s
+
+    def _heartbeat_fleet(self) -> None:
+        """Between slices, ping the shared fleet's workers and replace
+        dead or wedged ones.  The fleet is strictly idle here (slices
+        run one at a time and each drains its own dispatches), so any
+        worker that fails to answer a ping is wedged, not busy."""
+        from repro.perf import shm_fleet as _shm
+
+        fleet = getattr(_shm, "_SHARED", None)
+        if fleet is None:
+            return
+        try:
+            report = fleet.heartbeat()
+        except Exception as exc:  # pragma: no cover - defensive
+            warnings.warn(
+                f"fleet heartbeat failed: {type(exc).__name__}: {exc}",
+                RuntimeWarning,
+            )
+            return
+        self.counters["fleet_wedged"] += report.get("wedged", 0)
+        self.counters["fleet_restarts"] += report.get("respawned", 0)
 
     def _sweep_cancellations(self) -> None:
         """Settle cancel requests for campaigns not currently sliced —
@@ -429,6 +774,10 @@ class CampaignService:
         CHECKPOINTED with its snapshot on disk.
         """
         done_steps = 0
+        slice_start = time.monotonic()
+        budget = None
+        if record.deadline_s is not None:
+            budget = max(0.0, record.deadline_s - record.elapsed_s)
         try:
             machine = record.machine
             if machine is None:
@@ -446,6 +795,13 @@ class CampaignService:
             ):
                 machine.step()
                 done_steps += 1
+                # Deadlines are honored at attempt boundaries only: a
+                # fat quantum stops early rather than overrunning the
+                # budget by a whole slice.
+                if budget is not None and (
+                    time.monotonic() - slice_start >= budget
+                ):
+                    break
             if record.cancel_requested and not machine.state.terminal:
                 machine.cancel()
             elif machine.state is CampaignState.RUNNING:
@@ -523,6 +879,14 @@ class CampaignService:
             finally:
                 record.sink = None
 
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        """Write-temp-then-rename so a SIGKILL mid-write can never
+        leave a torn JSON file for recovery to trip over."""
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
     def _persist_state(self, record: _CampaignRecord) -> None:
         state = {
             "status": record.status,
@@ -530,13 +894,35 @@ class CampaignService:
             "error": record.error,
             "fingerprint": record.fingerprint,
             "outcome": record.outcome,
+            "deadline_s": record.deadline_s,
+            "elapsed_s": record.elapsed_s,
         }
+        record.persist_seq += 1
+        try:
+            # Ambient attempt = per-record persist count, so rate-based
+            # spool faults re-roll on the next persist of this record.
+            with attempt_scope(record.persist_seq, allow_kill=True):
+                inject("spool-write", key=record.campaign_id)
+        except WorkerCrashError:
+            # Skip this persist: state.json is one write stale, which
+            # recovery already tolerates (resume from the checkpoint).
+            self.counters["spool_write_faults"] += 1
+            return
         path = self.spool / record.campaign_id / "state.json"
-        path.write_text(json.dumps(state, indent=2))
+        self._write_atomic(path, json.dumps(state, indent=2))
 
     def _persist_tenants(self) -> None:
+        self._tenants_seq = getattr(self, "_tenants_seq", 0) + 1
+        try:
+            with attempt_scope(self._tenants_seq, allow_kill=True):
+                inject("spool-write", key="tenants")
+        except WorkerCrashError:
+            self.counters["spool_write_faults"] += 1
+            return
         payload = [t.as_dict() for t in self.scheduler.tenants()]
-        (self.spool / "tenants.json").write_text(json.dumps(payload, indent=2))
+        self._write_atomic(
+            self.spool / "tenants.json", json.dumps(payload, indent=2)
+        )
 
     def grant_quota(self, tenant: str, extra_steps: int) -> Dict[str, Any]:
         """Raise a tenant's step budget and wake the scheduler."""

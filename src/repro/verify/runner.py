@@ -93,7 +93,8 @@ class VerifyReport:
                 f"service: {self.service.campaigns} campaigns over "
                 f"{self.service.slices} slices "
                 f"(interleaved={self.service.interleaved}, "
-                f"restarted={self.service.restarted}), "
+                f"restarted={self.service.restarted}, "
+                f"expired_resumed={self.service.expired_resumed}), "
                 f"{len(self.service.mismatches)} mismatches"
             )
         if self.goldens is not None:

@@ -45,6 +45,7 @@ class ServiceReport:
     slices: int = 0
     interleaved: bool = False
     restarted: bool = False
+    expired_resumed: bool = False
     mismatches: List[str] = field(default_factory=list)
 
     @property
@@ -53,6 +54,7 @@ class ServiceReport:
             not self.mismatches
             and self.interleaved
             and self.restarted
+            and self.expired_resumed
             and self.campaigns == len(_CAMPAIGNS)
         )
 
@@ -136,8 +138,31 @@ async def _drive_service(spool: Path, factory) -> tuple:
     await resumed.start()
     for cid in ids:
         await resumed.wait(cid)
+    # Deadline leg: a campaign with an impossibly small processing
+    # budget expires at its first attempt boundary (through a forced
+    # checkpoint); a deadline extension must resume it to the same
+    # fingerprint and journal a straight run produces.  Its budget
+    # matches _CAMPAIGNS[1], so references[1] is its solo reference.
+    expired_id = await resumed.submit(
+        CampaignSpec(
+            model="service-leg",
+            tenant="alice",
+            iterations=_CAMPAIGNS[1][1],
+            deadline_s=1e-6,
+        )
+    )
+    expired_status = (await resumed.wait(expired_id))["status"]
+    resumed.extend_deadline(expired_id, 3600.0)
+    await resumed.wait(expired_id)
     await resumed.stop()
-    return ids, first_slices + list(resumed.slice_log), restarted, resumed
+    return (
+        ids,
+        first_slices + list(resumed.slice_log),
+        restarted,
+        resumed,
+        expired_id,
+        expired_status,
+    )
 
 
 def run_service_differential(
@@ -159,9 +184,14 @@ def run_service_differential(
             "stop + resume mid-run"
         )
         spool = workdir / "spool"
-        ids, slice_log, restarted, resumed = asyncio.run(
-            _drive_service(spool, _make_factory())
-        )
+        (
+            ids,
+            slice_log,
+            restarted,
+            resumed,
+            expired_id,
+            expired_status,
+        ) = asyncio.run(_drive_service(spool, _make_factory()))
 
     report.campaigns = len(ids)
     report.slices = len(slice_log)
@@ -200,6 +230,35 @@ def run_service_differential(
             report.mismatches.append(
                 f"campaign {cid}: canonical journal diverged from the "
                 "solo run"
+            )
+
+    # Expired-then-resumed leg: same reference as campaign index 1.
+    expected_fp, expected_journal = references[1]
+    final = resumed.status(expired_id)
+    if expired_status != "expired":
+        report.mismatches.append(
+            f"deadline campaign {expired_id}: settled {expired_status!r} "
+            "instead of expiring"
+        )
+    elif final["status"] != "finished":
+        report.mismatches.append(
+            f"deadline campaign {expired_id}: ended {final['status']} "
+            f"after extension ({final['error']})"
+        )
+    else:
+        report.expired_resumed = True
+        if resumed.result(expired_id)["fingerprint"] != expected_fp:
+            report.mismatches.append(
+                f"deadline campaign {expired_id}: fingerprint diverged "
+                "from the straight run after expire + extend"
+            )
+        if (
+            _canonical_journal(spool / expired_id / "journal.jsonl")
+            != expected_journal
+        ):
+            report.mismatches.append(
+                f"deadline campaign {expired_id}: canonical journal "
+                "diverged from the straight run after expire + extend"
             )
     say(
         f"service: done ({report.campaigns} campaigns, {report.slices} "

@@ -251,7 +251,10 @@ class TestHttpEndpoint:
             await endpoint.start()
             client = ServiceClient(f"http://127.0.0.1:{endpoint.port}")
 
-            assert (await asyncio.to_thread(client.healthz)) == {"ok": True}
+            health = await asyncio.to_thread(client.healthz)
+            assert health["ok"] is True
+            assert health["status"] == "ok"
+            assert health["counters"]["shed_429"] == 0
             cid = await asyncio.to_thread(
                 client.submit,
                 {"model": "tiny", "tenant": "alice", "iterations": 10},

@@ -114,7 +114,13 @@ class TestStepDriven:
         )
         machine.start()
         snapshot = machine.slo_snapshot()
-        assert set(snapshot) == {"breaker", "quarantined_trials", "trials"}
+        assert set(snapshot) == {
+            "breaker",
+            "quarantined_trials",
+            "trials",
+            "attempt",
+            "attempts_without_improvement",
+        }
         assert snapshot["quarantined_trials"] == 0
         assert snapshot["breaker"]["tripped"] is False
 

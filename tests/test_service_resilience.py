@@ -1,0 +1,697 @@
+"""Service-grade resilience: admission control and shedding, deadline
+expiry and extension, HTTP request hardening, the idempotent retrying
+client, and the service-layer fault-injection sites.
+
+White-box shed tests pin ``service._loop_task`` to a sentinel task so
+nothing drains the scheduler between submissions — the queue/in-flight
+counts the shed decisions see are then exact, not racy.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.arch import build_edge_design_space
+from repro.core.dse.constraints import Constraint, Sense
+from repro.core.dse.explainable import ExplainableDSE
+from repro.cost.evaluator import CostEvaluator
+from repro.mapping.mapper import TopNMapper
+from repro.perf.mapping_cache import MappingCache
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.http import ServiceEndpoint
+from repro.service.machine import result_fingerprint
+from repro.service.service import (
+    CampaignService,
+    CampaignSpec,
+    ServiceError,
+    ServiceOverloadError,
+    UnknownCampaignError,
+)
+from repro.telemetry import JsonlSink, Tracer
+
+
+def _constraints():
+    return [
+        Constraint("area", "area_mm2", 75.0),
+        Constraint("power", "power_w", 4.0),
+        Constraint("throughput", "throughput", 200.0, Sense.GEQ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def factory(tiny_workload):
+    def build(spec):
+        return ExplainableDSE(
+            build_edge_design_space(),
+            CostEvaluator(
+                tiny_workload,
+                TopNMapper(top_n=60),
+                mapping_cache=MappingCache(),
+            ),
+            _constraints(),
+            max_evaluations=spec.iterations,
+        )
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def solo(factory, tmp_path_factory):
+    """Solo run() references keyed by iteration budget."""
+    references = {}
+
+    def reference(budget):
+        if budget not in references:
+            journal = (
+                tmp_path_factory.mktemp("solo") / f"solo-{budget}.jsonl"
+            )
+            tracer = Tracer(JsonlSink(journal))
+            result = factory(
+                CampaignSpec(model="tiny", iterations=budget)
+            ).run(tracer=tracer)
+            tracer.close()
+            references[budget] = (
+                result_fingerprint(result),
+                journal.read_bytes(),
+            )
+        return references[budget]
+
+    return reference
+
+
+def _parked_service(tmp_path, factory, **kwargs):
+    """A service whose scheduler never drains: submissions pile up
+    exactly where admission control counts them."""
+    service = CampaignService(
+        tmp_path / "spool", campaign_factory=factory, **kwargs
+    )
+    service.spool.mkdir(parents=True, exist_ok=True)
+    service._wake = asyncio.Event()
+    service._loop_task = asyncio.current_task()  # sentinel: "running"
+    return service
+
+
+class TestAdmissionControl:
+    def test_tenant_inflight_cap_sheds_429(self, factory, tmp_path):
+        async def run():
+            service = _parked_service(
+                tmp_path, factory, tenant_inflight=2, max_queue=100
+            )
+            for _ in range(2):
+                await service.submit(
+                    CampaignSpec(model="tiny", tenant="alice", iterations=4)
+                )
+            with pytest.raises(ServiceOverloadError) as shed:
+                await service.submit(
+                    CampaignSpec(model="tiny", tenant="alice", iterations=4)
+                )
+            # Another tenant is unaffected by alice's backlog.
+            await service.submit(
+                CampaignSpec(model="tiny", tenant="bob", iterations=4)
+            )
+            return service, shed.value
+
+        service, exc = asyncio.run(run())
+        assert exc.http_status == 429
+        assert exc.retry_after >= 1.0
+        assert service.counters["shed_429"] == 1
+        assert service.healthz()["counters"]["shed_429"] == 1
+
+    def test_full_queue_sheds_503(self, factory, tmp_path):
+        async def run():
+            service = _parked_service(
+                tmp_path, factory, tenant_inflight=100, max_queue=2
+            )
+            for tenant in ("a", "b"):
+                await service.submit(
+                    CampaignSpec(model="tiny", tenant=tenant, iterations=4)
+                )
+            with pytest.raises(ServiceOverloadError) as shed:
+                await service.submit(
+                    CampaignSpec(model="tiny", tenant="c", iterations=4)
+                )
+            return service, shed.value
+
+        service, exc = asyncio.run(run())
+        assert exc.http_status == 503
+        assert exc.retry_after >= 1.0
+        assert service.counters["shed_503"] == 1
+
+    def test_idempotent_submit_dedups(self, factory, tmp_path):
+        async def run():
+            service = _parked_service(tmp_path, factory)
+            spec = CampaignSpec(
+                model="tiny", iterations=4, idempotency_key="job-1"
+            )
+            first = await service.submit(spec)
+            second = await service.submit(spec)
+            other = await service.submit(
+                CampaignSpec(
+                    model="tiny", iterations=4, idempotency_key="job-2"
+                )
+            )
+            return service, first, second, other
+
+        service, first, second, other = asyncio.run(run())
+        assert first == second
+        assert other != first
+        assert service.counters["dedup_hits"] == 1
+
+    def test_overload_pressure_clamps_quantum(self, factory, tmp_path):
+        async def run():
+            service = _parked_service(
+                tmp_path, factory, quantum=4, overload_slice_s=0.5
+            )
+            record = type("R", (), {"elapsed_s": 0.0})()
+            service._charge_slice(record, 2.0)  # way over the watermark
+            assert service.scheduler.pressure is True
+            assert service.healthz()["status"] == "overloaded"
+            # Recovery: fast slices pull the EWMA back under.
+            for _ in range(20):
+                service._charge_slice(record, 0.01)
+            assert service.scheduler.pressure is False
+            return service
+
+        asyncio.run(run())
+
+    def test_unknown_campaign_is_its_own_error(self, factory, tmp_path):
+        async def run():
+            service = _parked_service(tmp_path, factory)
+            with pytest.raises(UnknownCampaignError) as missing:
+                service.status("c9999")
+            assert missing.value.http_status == 404
+            assert isinstance(missing.value, ServiceError)
+
+        asyncio.run(run())
+
+
+class TestDeadlines:
+    def test_expire_then_extend_matches_straight_run(
+        self, factory, solo, tmp_path
+    ):
+        """A campaign that blows an impossibly small deadline settles as
+        ``expired`` through a forced checkpoint; extending the deadline
+        finishes it bit-identically to a straight run."""
+
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            cid = await service.submit(
+                CampaignSpec(model="tiny", iterations=8, deadline_s=1e-6)
+            )
+            expired = await service.wait(cid)
+            assert expired["status"] == "expired"
+            assert expired["deadline_remaining_s"] == 0.0
+            # The forced checkpoint is on disk and result() refuses.
+            assert (tmp_path / "spool" / cid / "journal.jsonl.ckpt").exists()
+            with pytest.raises(ServiceError):
+                service.result(cid)
+            service.extend_deadline(cid, 3600.0)
+            final = await service.wait(cid)
+            result = service.result(cid)
+            await service.stop()
+            return service, cid, final, result
+
+        service, cid, final, result = asyncio.run(run())
+        assert final["status"] == "finished"
+        assert service.counters["expired"] == 1
+        assert service.counters["deadline_extensions"] == 1
+        expected_fp, expected_journal = solo(8)
+        assert result["fingerprint"] == expected_fp
+        # Canonical journals (RunSummary perf counters stripped — wall
+        # time legitimately differs across expire/resume) must match.
+        from repro.verify.differential import _canonical_journal
+
+        journal = tmp_path / "spool" / cid / "journal.jsonl"
+        solo_journal = tmp_path / "solo-ref.jsonl"
+        solo_journal.write_bytes(expected_journal)
+        assert _canonical_journal(journal) == _canonical_journal(
+            solo_journal
+        )
+
+    def test_expired_survives_restart_then_extension(
+        self, factory, solo, tmp_path
+    ):
+        """``expired`` is spooled: a fresh service reports it, and an
+        extension there resumes it (the scheduler never saw it)."""
+
+        async def phase1():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            cid = await service.submit(
+                CampaignSpec(model="tiny", iterations=8, deadline_s=1e-6)
+            )
+            await service.wait(cid)
+            await service.stop()
+            return cid
+
+        async def phase2(cid):
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            assert service.status(cid)["status"] == "expired"
+            service.extend_deadline(cid, 3600.0)
+            final = await service.wait(cid)
+            result = service.result(cid)
+            await service.stop()
+            return final, result
+
+        cid = asyncio.run(phase1())
+        final, result = asyncio.run(phase2(cid))
+        assert final["status"] == "finished"
+        assert result["fingerprint"] == solo(8)[0]
+
+    def test_deadline_header_applies_when_body_has_none(
+        self, factory, tmp_path
+    ):
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            endpoint = ServiceEndpoint(service)
+            await endpoint.start()
+            base = f"http://127.0.0.1:{endpoint.port}"
+            client = ServiceClient(base)
+
+            def submit_with_header():
+                request = urllib.request.Request(
+                    f"{base}/v1/campaigns",
+                    data=json.dumps(
+                        {"model": "tiny", "iterations": 8}
+                    ).encode(),
+                    headers={
+                        "Content-Type": "application/json",
+                        "X-Repro-Deadline": "1e-6",
+                    },
+                    method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=30) as resp:
+                    return json.loads(resp.read().decode())["campaign_id"]
+
+            cid = await asyncio.to_thread(submit_with_header)
+            expired = await asyncio.to_thread(client.wait, cid, 300)
+            assert expired["status"] == "expired"
+            assert expired["deadline_s"] == pytest.approx(1e-6)
+            extended = await asyncio.to_thread(
+                client.extend_deadline, cid, 3600.0
+            )
+            assert extended["status"] in ("queued", "running", "finished")
+            final = await asyncio.to_thread(client.wait, cid, 300)
+            assert final["status"] == "finished"
+            await endpoint.stop()
+            await service.stop()
+
+        asyncio.run(run())
+
+
+def _raw_http(port, payload: bytes, timeout: float = 10.0) -> bytes:
+    """One raw TCP exchange with the endpoint; returns whatever the
+    server sent back (empty if it just closed the connection)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as s:
+        s.sendall(payload)
+        s.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            data = s.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    return b"".join(chunks)
+
+
+class TestHttpHardening:
+    @pytest.fixture()
+    def endpoint(self, factory, tmp_path):
+        """A started service+endpoint pair torn down after the test."""
+        state = {}
+
+        async def start():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            endpoint = ServiceEndpoint(service)
+            await endpoint.start()
+            state.update(service=service, endpoint=endpoint)
+
+        async def stop():
+            await state["endpoint"].stop()
+            await state["service"].stop()
+
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        asyncio.run_coroutine_threadsafe(start(), loop).result(60)
+        try:
+            yield state["endpoint"]
+        finally:
+            asyncio.run_coroutine_threadsafe(stop(), loop).result(60)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10)
+            loop.close()
+
+    def test_oversized_body_rejected(self, endpoint):
+        reply = _raw_http(
+            endpoint.port,
+            b"POST /v1/campaigns HTTP/1.1\r\n"
+            b"Content-Length: 1048577\r\n\r\n",
+        )
+        assert reply.startswith(b"HTTP/1.1 400")
+        assert b"too large" in reply
+
+    def test_malformed_json_body_rejected(self, endpoint):
+        body = b"{not json"
+        reply = _raw_http(
+            endpoint.port,
+            b"POST /v1/campaigns HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body,
+        )
+        assert reply.startswith(b"HTTP/1.1 400")
+        assert b"not valid JSON" in reply
+
+    def test_truncated_request_line_rejected(self, endpoint):
+        reply = _raw_http(endpoint.port, b"GET\r\n\r\n")
+        assert reply.startswith(b"HTTP/1.1 400")
+        assert b"malformed request line" in reply
+
+    def test_unknown_method_and_path(self, endpoint):
+        reply = _raw_http(
+            endpoint.port, b"BREW /v1/campaigns HTTP/1.1\r\n\r\n"
+        )
+        assert reply.startswith(b"HTTP/1.1 405")
+        reply = _raw_http(endpoint.port, b"GET /v2/nope HTTP/1.1\r\n\r\n")
+        assert reply.startswith(b"HTTP/1.1 404")
+
+    def test_bad_content_length_rejected(self, endpoint):
+        reply = _raw_http(
+            endpoint.port,
+            b"POST /v1/campaigns HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        )
+        assert reply.startswith(b"HTTP/1.1 400")
+
+    def test_shed_response_carries_retry_after(self, factory, tmp_path):
+        async def run():
+            service = _parked_service(
+                tmp_path, factory, tenant_inflight=1, max_queue=100
+            )
+            endpoint = ServiceEndpoint(service)
+            await endpoint.start()
+            base = f"http://127.0.0.1:{endpoint.port}"
+
+            def submit():
+                request = urllib.request.Request(
+                    f"{base}/v1/campaigns",
+                    data=json.dumps(
+                        {"model": "tiny", "tenant": "t", "iterations": 4}
+                    ).encode(),
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=30) as resp:
+                    return json.loads(resp.read().decode())
+
+            await asyncio.to_thread(submit)
+            try:
+                await asyncio.to_thread(submit)
+                raise AssertionError("second submit was not shed")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 429
+                assert int(exc.headers["Retry-After"]) >= 1
+            await endpoint.stop()
+
+        asyncio.run(run())
+
+
+class _ScriptedServer:
+    """A one-thread TCP server that plays a fixed per-connection script:
+    ``"reset"`` closes without answering, an int answers that HTTP
+    status, a dict answers 200 with that JSON body.  Records every
+    request body it manages to read."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self._sock.settimeout(30)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        for step in self.script:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            with conn:
+                conn.settimeout(10)
+                raw = b""
+                try:
+                    while b"\r\n\r\n" not in raw:
+                        raw += conn.recv(65536)
+                    head, _, body = raw.partition(b"\r\n\r\n")
+                    length = 0
+                    for line in head.split(b"\r\n"):
+                        if line.lower().startswith(b"content-length:"):
+                            length = int(line.split(b":", 1)[1])
+                    while len(body) < length:
+                        body += conn.recv(65536)
+                    self.requests.append(body)
+                except OSError:
+                    pass
+                if step == "reset":
+                    continue  # close without a response
+                if isinstance(step, int):
+                    payload = json.dumps({"error": "scripted"}).encode()
+                    status = step
+                    extra = b"Retry-After: 0\r\n" if step in (429, 503) else b""
+                else:
+                    payload = json.dumps(step).encode()
+                    status = 200
+                    extra = b""
+                conn.sendall(
+                    b"HTTP/1.1 %d X\r\nContent-Type: application/json\r\n"
+                    b"Content-Length: %d\r\n%sConnection: close\r\n\r\n%s"
+                    % (status, len(payload), extra, payload)
+                )
+        self._sock.close()
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TestClientResilience:
+    def test_connection_refused_wraps_as_client_error(self):
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # now guaranteed closed
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}", timeout=2, retries=0
+        )
+        with pytest.raises(ServiceClientError) as err:
+            client.healthz()
+        assert err.value.status is None
+        assert err.value.retryable is True
+
+    def test_idempotent_submit_survives_flaky_transport(self):
+        server = _ScriptedServer(["reset", 503, {"campaign_id": "c0042"}])
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.port}",
+                timeout=5,
+                retries=3,
+                backoff=0.01,
+            )
+            cid = client.submit(
+                {"model": "tiny", "iterations": 4},
+                idempotency_key="retry-me",
+            )
+        finally:
+            server.close()
+        assert cid == "c0042"
+        # The dropped connection never delivered a body; both retries
+        # replayed the same idempotency key.
+        bodies = [json.loads(b) for b in server.requests if b]
+        assert len(bodies) >= 2
+        assert {b["idempotency_key"] for b in bodies} == {"retry-me"}
+
+    def test_submit_without_key_never_retries(self):
+        server = _ScriptedServer(["reset", {"campaign_id": "c9999"}])
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.port}",
+                timeout=5,
+                retries=3,
+                backoff=0.01,
+            )
+            with pytest.raises(ServiceClientError) as err:
+                client.submit({"model": "tiny", "iterations": 4})
+        finally:
+            server.close()
+        assert err.value.status is None
+        assert err.value.retryable is True  # retryable, but not idempotent
+
+    def test_non_retryable_status_fails_fast(self):
+        server = _ScriptedServer([404])
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.port}",
+                timeout=5,
+                retries=3,
+                backoff=0.01,
+            )
+            with pytest.raises(ServiceClientError) as err:
+                client.status("c0000")
+        finally:
+            server.close()
+        assert err.value.status == 404
+        assert err.value.retryable is False
+        assert len(server.requests) == 1
+
+    def test_wait_polls_with_exponential_backoff(self, monkeypatch):
+        client = ServiceClient("http://example.invalid")
+        statuses = iter(
+            [{"status": "running"}] * 4 + [{"status": "finished"}]
+        )
+        monkeypatch.setattr(
+            client, "status", lambda cid: next(statuses)
+        )
+        delays = []
+        monkeypatch.setattr(time, "sleep", delays.append)
+        final = client.wait("c0001", timeout=60, poll=0.2, poll_max=2.0)
+        assert final["status"] == "finished"
+        assert delays == [0.2, 0.4, 0.8, 1.6]
+
+    def test_wait_returns_on_expired(self, monkeypatch):
+        client = ServiceClient("http://example.invalid")
+        monkeypatch.setattr(
+            client, "status", lambda cid: {"status": "expired"}
+        )
+        assert client.wait("c0001", timeout=5)["status"] == "expired"
+
+
+class TestServiceFaultSites:
+    def test_injected_slice_crash_is_absorbed(
+        self, factory, solo, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULT_INJECT", "crash:slice:step=1:seed=101"
+        )
+
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            cid = await service.submit(
+                CampaignSpec(model="tiny", iterations=8)
+            )
+            final = await service.wait(cid)
+            result = service.result(cid)
+            await service.stop()
+            return service, final, result
+
+        service, final, result = asyncio.run(run())
+        assert final["status"] == "finished"
+        assert service.counters["slice_faults"] == 1
+        assert result["fingerprint"] == solo(8)[0]
+
+    def test_injected_spool_write_crash_is_absorbed(
+        self, factory, solo, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULT_INJECT", "crash:spool-write:step=2:seed=102"
+        )
+
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            cid = await service.submit(
+                CampaignSpec(model="tiny", iterations=8)
+            )
+            final = await service.wait(cid)
+            result = service.result(cid)
+            await service.stop()
+            return service, final, result
+
+        service, final, result = asyncio.run(run())
+        assert final["status"] == "finished"
+        assert service.counters["spool_write_faults"] == 1
+        assert result["fingerprint"] == solo(8)[0]
+
+    def test_submit_crash_then_idempotent_retry_dedups(
+        self, factory, tmp_path, monkeypatch
+    ):
+        """A crash after the submission record is durable answers 500;
+        the client's idempotent retry lands on the dedup path and gets
+        the already-created campaign id."""
+        monkeypatch.setenv(
+            "REPRO_FAULT_INJECT", "crash:submit:step=1:seed=103"
+        )
+
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            endpoint = ServiceEndpoint(service)
+            await endpoint.start()
+            client = ServiceClient(
+                f"http://127.0.0.1:{endpoint.port}",
+                retries=3,
+                backoff=0.01,
+            )
+            cid = await asyncio.to_thread(
+                client.submit,
+                {"model": "tiny", "iterations": 8},
+                idempotency_key="faulty-submit",
+            )
+            final = await asyncio.to_thread(client.wait, cid, 300)
+            await endpoint.stop()
+            await service.stop()
+            return service, final
+
+        service, final = asyncio.run(run())
+        assert final["status"] == "finished"
+        assert service.counters["dedup_hits"] == 1
+
+    def test_http_response_crash_then_get_retry(
+        self, factory, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULT_INJECT", "crash:http-response:step=1:seed=104"
+        )
+
+        async def run():
+            service = _parked_service(tmp_path, factory)
+            endpoint = ServiceEndpoint(service)
+            await endpoint.start()
+            client = ServiceClient(
+                f"http://127.0.0.1:{endpoint.port}",
+                retries=3,
+                backoff=0.01,
+            )
+            health = await asyncio.to_thread(client.healthz)
+            await endpoint.stop()
+            return health
+
+        health = asyncio.run(run())
+        assert health["ok"] is True
