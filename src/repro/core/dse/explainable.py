@@ -402,6 +402,33 @@ class ExplainableDSE:
                 breaker.record_failure()
                 return None
             breaker.record_success()
+        return self._record_trial(
+            point,
+            evaluation,
+            trials,
+            note=note,
+            tracer=tracer,
+            step=step,
+            candidate_index=candidate_index,
+        )
+
+    def _record_trial(
+        self,
+        point: DesignPoint,
+        evaluation: Evaluation,
+        trials: List[TrialRecord],
+        note: str,
+        tracer: Tracer = NULL_TRACER,
+        step: int = 0,
+        candidate_index: int = -1,
+    ) -> Evaluation:
+        """Record one successful evaluation: trial ledger + event.
+
+        Shared by :meth:`_evaluate` (inline evaluation) and the ask/tell
+        protocol (:class:`repro.optim.protocol.ExplainableEngine`), whose
+        driver evaluates externally and tells the result back — both
+        paths must write byte-identical ledgers and journals.
+        """
         utilizations = {
             c.name: c.utilization(evaluation.costs) for c in self.constraints
         }

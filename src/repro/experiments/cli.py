@@ -274,6 +274,41 @@ def build_parser() -> argparse.ArgumentParser:
              "(implies --wait)",
     )
 
+    pareto = sub.add_parser(
+        "pareto",
+        help="multi-objective frontier: drive Explainable-DSE through the "
+             "ask/tell protocol with a journaled Pareto archive, or "
+             "replay an existing frontier journal",
+    )
+    pareto.add_argument(
+        "model", nargs="?", choices=MODEL_NAMES, default=None,
+        help="benchmark model to explore (omit with --replay)",
+    )
+    pareto.add_argument("--iterations", type=int, default=40)
+    pareto.add_argument(
+        "--mapping", choices=("codesign", "fixed"), default="codesign"
+    )
+    pareto.add_argument(
+        "--capacity", type=int, default=64, metavar="N",
+        help="frontier size cap; crowding-pruned beyond it (default: 64)",
+    )
+    pareto.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="write the archive's insert/evict journal to PATH "
+             "(replayable with --replay)",
+    )
+    pareto.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="rebuild and print the frontier from an existing archive "
+             "journal instead of running a campaign",
+    )
+    pareto.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the frontier snapshot as JSON to PATH",
+    )
+    _add_jobs_argument(pareto)
+    _add_batch_eval_argument(pareto)
+
     sub.add_parser("list-models", help="list the benchmark models")
     return parser
 
@@ -444,6 +479,60 @@ def _cmd_report(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_pareto(args, parser: argparse.ArgumentParser) -> int:
+    import json as _json
+
+    from repro.experiments.pareto import format_frontier
+    from repro.optim.archive import ParetoArchive
+
+    if args.replay is not None:
+        if args.model is not None:
+            parser.error("--replay takes no model (it reads the journal)")
+        if not os.path.isfile(args.replay):
+            parser.error(f"argument --replay: {args.replay!r} does not exist")
+        archive = ParetoArchive.replay(args.replay, capacity=args.capacity)
+    else:
+        if args.model is None:
+            parser.error("a model is required unless --replay is given")
+        from repro.core.dse.explainable import ExplainableDSE
+        from repro.experiments.setup import (
+            build_edge_design_space,
+            edge_constraints,
+            make_evaluator,
+        )
+        from repro.optim import DriverLoop, ExplainableEngine, ParetoArchive
+
+        evaluator = make_evaluator(args.model, mapping_mode=args.mapping)
+        dse = ExplainableDSE(
+            build_edge_design_space(),
+            evaluator,
+            edge_constraints(args.model),
+            max_evaluations=args.iterations,
+        )
+        archive = ParetoArchive(
+            capacity=args.capacity,
+            journal_path=args.journal,
+            truncate=args.journal is not None,
+        )
+        result = DriverLoop(
+            ExplainableEngine(dse), archive=archive
+        ).run(None)
+        archive.flush()
+        print(
+            f"explainable on {args.model}: {result.evaluations} "
+            f"evaluations via ask/tell"
+        )
+        if args.journal:
+            print(f"frontier journal: {args.journal}")
+    print(format_frontier(archive))
+    if args.out:
+        with open(args.out, "w") as handle:
+            _json.dump(archive.snapshot(), handle, indent=2)
+            handle.write("\n")
+        print(f"frontier snapshot written to {args.out}")
+    return 0
+
+
 def _cmd_compare(args) -> int:
     runner = ComparisonRunner(iterations=args.iterations)
     print(fig3.run(runner, model=args.model).format())
@@ -608,6 +697,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_explore(args, parser)
         if args.command == "report":
             return _cmd_report(args, parser)
+        if args.command == "pareto":
+            return _cmd_pareto(args, parser)
     except Exception as exc:
         from repro.resilience.errors import ReproError, SystemicFaultError
         from repro.telemetry import CheckpointError, TraceEventError

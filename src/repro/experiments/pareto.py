@@ -11,12 +11,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.dse.result import DSEResult, TrialRecord
 from repro.experiments.reporting import format_table
+from repro.optim.archive import DEFAULT_OBJECTIVES, ParetoArchive
 
-__all__ = ["ParetoFront", "pareto_front", "dominates"]
+__all__ = [
+    "ParetoFront",
+    "archive_from_results",
+    "dominates",
+    "format_frontier",
+    "pareto_front",
+]
 
 
 def dominates(
@@ -96,3 +103,47 @@ def pareto_front(
         front.append(candidate)
     front.sort(key=lambda t: t.costs.get(cost_keys[0], math.inf))
     return ParetoFront(cost_keys=tuple(cost_keys), points=front)
+
+
+def archive_from_results(
+    results: Iterable[DSEResult],
+    capacity: Optional[int] = 64,
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    journal_path=None,
+) -> ParetoArchive:
+    """Feed one or more runs' trial ledgers into a :class:`ParetoArchive`.
+
+    Unlike :func:`pareto_front` (a one-shot post-hoc extraction), the
+    archive is incremental and capacity-bounded, journals every insert
+    and eviction when ``journal_path`` is given, and applies the same
+    deterministic crowding prune the campaign service uses — so an
+    offline rebuild matches the service's live frontier exactly.
+    """
+    archive = ParetoArchive(
+        capacity=capacity,
+        objectives=tuple(objectives),
+        journal_path=journal_path,
+        truncate=journal_path is not None,
+    )
+    for result in results:
+        for trial in result.trials:
+            archive.insert_trial(trial)
+    archive.flush()
+    return archive
+
+
+def format_frontier(archive: ParetoArchive) -> str:
+    """Render an archive's frontier as the standard experiments table."""
+    rows = {}
+    for entry in archive.frontier():
+        rows[f"#{entry.seq}"] = {
+            key: value
+            for key, value in zip(archive.objectives, entry.vector)
+        }
+    return (
+        f"Pareto frontier over {', '.join(archive.objectives)} "
+        f"({len(archive)} points)\n"
+        + format_table(
+            rows, columns=list(archive.objectives), row_header="entry"
+        )
+    )

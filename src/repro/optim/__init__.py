@@ -1,6 +1,11 @@
 """Non-explainable baseline optimizers the paper compares against."""
 
 from repro.optim.annealing import SimulatedAnnealing
+from repro.optim.archive import (
+    DEFAULT_OBJECTIVES,
+    FrontierEntry,
+    ParetoArchive,
+)
 from repro.optim.base import BaselineOptimizer, penalized_objective
 from repro.optim.bayesian import BayesianOptimization
 from repro.optim.gaussian_process import GaussianProcess, expected_improvement
@@ -9,20 +14,35 @@ from repro.optim.grid import GridSearch
 from repro.optim.hybrid import HybridDSE
 from repro.optim.hypermapper import HyperMapperDSE
 from repro.optim.local_search import LocalSearch
+from repro.optim.protocol import (
+    DriverLoop,
+    EvalResult,
+    ExplainableEngine,
+    Proposal,
+    SearchEngine,
+)
 from repro.optim.random_search import RandomSearch
 from repro.optim.reinforcement import ReinforcementLearningDSE
 
 __all__ = [
     "BaselineOptimizer",
     "BayesianOptimization",
+    "DEFAULT_OBJECTIVES",
+    "DriverLoop",
+    "EvalResult",
+    "ExplainableEngine",
+    "FrontierEntry",
     "GaussianProcess",
     "GeneticAlgorithm",
     "GridSearch",
     "HybridDSE",
     "HyperMapperDSE",
     "LocalSearch",
+    "ParetoArchive",
+    "Proposal",
     "RandomSearch",
     "ReinforcementLearningDSE",
+    "SearchEngine",
     "SimulatedAnnealing",
     "expected_improvement",
     "penalized_objective",

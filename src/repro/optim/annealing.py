@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.arch.design_space import DesignPoint
 from repro.optim.base import BaselineOptimizer
+from repro.optim.protocol import Proposal
 
 __all__ = ["SimulatedAnnealing"]
 
@@ -58,14 +59,16 @@ class SimulatedAnnealing(BaselineOptimizer):
             out[param.name] = param.values[new_idx]
         return out
 
-    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+    def _propose(self, initial_point: Optional[DesignPoint]):
         rng = random.Random(self.seed)
         current = dict(initial_point or self.space.random_point(rng))
-        current_score = self._score(self._evaluate(current, note="initial"))
+        evaluation = yield Proposal(current, "initial")
+        current_score = self._score(evaluation)
         temperature = self.initial_temperature
         while self.budget_left > 0:
             candidate = self._neighbor(current, rng)
-            score = self._score(self._evaluate(candidate, note="sa-move"))
+            evaluation = yield Proposal(candidate, "sa-move")
+            score = self._score(evaluation)
             delta = score - current_score
             if delta <= 0 or rng.random() < math.exp(
                 -delta / max(temperature, 1e-9)

@@ -1,0 +1,303 @@
+"""Multi-objective Pareto archive with a crash-safe JSONL journal.
+
+The incumbent-update rule of every engine tracks one best point under one
+scalar objective; codesign decisions want the whole latency/energy/area/
+power frontier (the Being-ahead-style (resource, -performance) framing in
+PAPERS.md).  :class:`ParetoArchive` accumulates that frontier from any
+trial stream:
+
+* **Non-domination** over a fixed objective tuple (all costs minimized),
+  with deterministic tie-breaking: an entry whose objective vector equals
+  an existing one is rejected (the earliest insert wins), and duplicate
+  design points are idempotent no-ops — so crash replay through the same
+  trial stream reconstructs the archive exactly.
+* **Crowding-pruned capacity**: past ``capacity`` entries the archive
+  evicts the minimum-crowding entry (NSGA-II crowding distance; boundary
+  points are infinitely crowded and never pruned before interior ones),
+  breaking ties by evicting the newest entry.
+* **JSONL journal**: every accepted insert and every eviction appends one
+  record (buffered until :meth:`flush`), using the telemetry tagged-float
+  codec, so :meth:`replay` rebuilds the archive bit-identically — the
+  service's ``GET /v1/campaigns/{id}/frontier`` serves settled campaigns
+  from this journal without rebuilding the machine.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.events import _decode_value, _encode_value
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "FrontierEntry",
+    "ParetoArchive",
+]
+
+#: The codesign frontier axes, all minimized.
+DEFAULT_OBJECTIVES: Tuple[str, ...] = (
+    "latency_ms",
+    "energy_mj",
+    "area_mm2",
+    "power_w",
+)
+
+
+@dataclass(frozen=True)
+class FrontierEntry:
+    """One non-dominated design on the archive's frontier."""
+
+    seq: int
+    point: Dict[str, Any]
+    costs: Dict[str, float]
+    vector: Tuple[float, ...]
+    note: str = ""
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better
+    somewhere (minimization)."""
+    better = False
+    for ai, bi in zip(a, b):
+        if ai > bi:
+            return False
+        if ai < bi:
+            better = True
+    return better
+
+
+class ParetoArchive:
+    """A capacity-bounded, journaled Pareto frontier.
+
+    Args:
+        capacity: Maximum frontier size (``None`` = unbounded); past it
+            the minimum-crowding entry is evicted.
+        objectives: Cost keys spanning the frontier (all minimized).
+        journal_path: When set, accepted inserts and evictions are
+            journaled there as JSONL on :meth:`flush`.  An existing
+            journal is replayed into the archive unless ``truncate``.
+        truncate: Discard any existing journal instead of replaying it
+            (the resume path: the machine re-feeds the restored trial
+            ledger, rewriting the journal deterministically).
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = 64,
+        objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+        journal_path: Optional[os.PathLike] = None,
+        truncate: bool = False,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.objectives = tuple(objectives)
+        if not self.objectives:
+            raise ValueError("objectives must be non-empty")
+        self.journal_path = Path(journal_path) if journal_path else None
+        self._entries: List[FrontierEntry] = []
+        self._next_seq = 0
+        self._pending: List[Dict[str, Any]] = []
+        if self.journal_path is not None:
+            if truncate:
+                # Truncate to an empty file (not unlink): an empty
+                # journal is a valid, replayable "no frontier yet".
+                self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+                self.journal_path.write_text("")
+            elif self.journal_path.exists():
+                self._replay_file(self.journal_path)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def replay(
+        cls,
+        journal_path: os.PathLike,
+        capacity: Optional[int] = 64,
+        objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    ) -> "ParetoArchive":
+        """Rebuild an archive from its journal (read-only: the rebuilt
+        archive does not write back to ``journal_path``)."""
+        archive = cls(capacity=capacity, objectives=objectives)
+        archive._replay_file(Path(journal_path))
+        return archive
+
+    def _replay_file(self, path: Path) -> None:
+        """Apply journaled ops; a torn trailing line (the write the
+        crash interrupted) is tolerated and ignored."""
+        try:
+            lines = path.read_text().splitlines()
+        except OSError:
+            return
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break  # torn trailing write
+                raise
+            self._apply(record)
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        op = record.get("op")
+        if op == "insert":
+            point = _decode_value(record["point"])
+            costs = _decode_value(record["costs"])
+            entry = FrontierEntry(
+                seq=int(record["seq"]),
+                point=point,
+                costs=costs,
+                vector=self._vector(costs),
+                note=record.get("note", ""),
+            )
+            self._entries.append(entry)
+            self._next_seq = max(self._next_seq, entry.seq + 1)
+        elif op == "evict":
+            seq = int(record["seq"])
+            self._entries = [e for e in self._entries if e.seq != seq]
+        else:
+            raise ValueError(f"unknown archive journal op {op!r}")
+
+    # -- insertion -----------------------------------------------------------
+
+    def _vector(self, costs: Dict[str, float]) -> Tuple[float, ...]:
+        return tuple(
+            float(costs.get(key, math.inf)) for key in self.objectives
+        )
+
+    @staticmethod
+    def _point_key(point: Dict[str, Any]) -> str:
+        return json.dumps(_encode_value(point), sort_keys=True)
+
+    def insert_trial(self, trial) -> bool:
+        """Insert a :class:`~repro.core.dse.result.TrialRecord`; only
+        feasible, mappable trials enter the frontier."""
+        if not (trial.feasible and trial.mappable):
+            return False
+        return self.insert(trial.point, trial.costs, note=trial.note)
+
+    def insert(
+        self, point: Dict[str, Any], costs: Dict[str, float], note: str = ""
+    ) -> bool:
+        """Offer one design to the frontier; returns True when accepted.
+
+        Rejections (in order): a non-finite objective vector, a point
+        already on the frontier (idempotence), a vector dominated by —
+        or equal to — an existing entry's.  Acceptance evicts every
+        entry the new vector dominates, then prunes to capacity.
+        """
+        vector = self._vector(costs)
+        if not all(math.isfinite(v) for v in vector):
+            return False
+        key = self._point_key(point)
+        for entry in self._entries:
+            if self._point_key(entry.point) == key:
+                return False
+            if entry.vector == vector or _dominates(entry.vector, vector):
+                return False
+        for entry in [
+            e for e in self._entries if _dominates(vector, e.vector)
+        ]:
+            self._evict(entry, "dominated")
+        entry = FrontierEntry(
+            seq=self._next_seq,
+            point=dict(point),
+            costs=dict(costs),
+            vector=vector,
+            note=note,
+        )
+        self._next_seq += 1
+        self._entries.append(entry)
+        self._journal(
+            {
+                "op": "insert",
+                "seq": entry.seq,
+                "point": _encode_value(entry.point),
+                "costs": _encode_value(entry.costs),
+                "note": entry.note,
+            }
+        )
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._evict(self._prune_victim(), "crowding")
+        return True
+
+    def _evict(self, entry: FrontierEntry, reason: str) -> None:
+        self._entries.remove(entry)
+        self._journal({"op": "evict", "seq": entry.seq, "reason": reason})
+
+    def _prune_victim(self) -> FrontierEntry:
+        """The minimum-crowding entry (NSGA-II crowding distance over
+        the frontier); ties evict the newest entry."""
+        crowding = self._crowding()
+        return min(self._entries, key=lambda e: (crowding[e.seq], -e.seq))
+
+    def _crowding(self) -> Dict[int, float]:
+        distances = {entry.seq: 0.0 for entry in self._entries}
+        for axis in range(len(self.objectives)):
+            ordered = sorted(
+                self._entries, key=lambda e: (e.vector[axis], e.seq)
+            )
+            low = ordered[0].vector[axis]
+            high = ordered[-1].vector[axis]
+            distances[ordered[0].seq] = math.inf
+            distances[ordered[-1].seq] = math.inf
+            if high <= low:
+                continue
+            for i in range(1, len(ordered) - 1):
+                span = (
+                    ordered[i + 1].vector[axis] - ordered[i - 1].vector[axis]
+                )
+                distances[ordered[i].seq] += span / (high - low)
+        return distances
+
+    # -- journaling ----------------------------------------------------------
+
+    def _journal(self, record: Dict[str, Any]) -> None:
+        if self.journal_path is not None:
+            self._pending.append(record)
+
+    def flush(self) -> None:
+        """Append buffered journal records (one fsync-free write per
+        flush; callers flush at attempt boundaries)."""
+        if self.journal_path is None or not self._pending:
+            return
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.journal_path, "a") as handle:
+            for record in self._pending:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._pending = []
+
+    # -- views ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def frontier(self) -> List[FrontierEntry]:
+        """Frontier entries in insertion (seq) order."""
+        return sorted(self._entries, key=lambda e: e.seq)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Canonical JSON-ready view of the frontier, in seq order —
+        the payload of ``GET /v1/campaigns/{id}/frontier`` and the
+        comparison form of the equivalence tests."""
+        return [
+            {
+                "seq": entry.seq,
+                "point": dict(entry.point),
+                "costs": dict(entry.costs),
+                "objectives": {
+                    key: entry.vector[i]
+                    for i, key in enumerate(self.objectives)
+                },
+                "note": entry.note,
+            }
+            for entry in self.frontier()
+        ]

@@ -5,6 +5,22 @@ HyperMapper-like constrained BO, ConfuciuX-like RL) is a black-box
 optimizer over the hardware design space: it sees only the scalar costs of
 evaluated points — never *why* a point is slow — which is precisely the
 limitation the paper attributes their excessive sampling to (§2).
+
+Each baseline expresses its acquisition strategy as a *proposal
+generator* (:meth:`BaselineOptimizer._propose`): a generator that yields
+:class:`~repro.optim.protocol.Proposal` objects (or lists of them, for
+result-independent batches like a GA generation) and receives the
+corresponding :class:`~repro.cost.evaluator.Evaluation` (or list) back at
+the yield.  The same generator is driven two ways:
+
+* ``run()`` — the legacy inline loop: evaluate each proposal immediately
+  (:meth:`_optimize` is the generic driver).
+* ``ask()``/``tell()`` — the inverted :class:`~repro.optim.protocol
+  .SearchEngine` protocol: an external driver evaluates.
+
+Because both paths execute the identical generator code, budget checks,
+and RNG draws, they are bit-identical by construction — and proven so by
+``tests/test_ask_tell_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -12,12 +28,13 @@ from __future__ import annotations
 import abc
 import math
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Generator, List, Optional, Sequence, Union
 
 from repro.arch.design_space import DesignPoint, DesignSpace
 from repro.core.dse.constraints import Constraint, all_satisfied
 from repro.core.dse.result import DSEResult, TrialRecord, select_best
 from repro.cost.evaluator import CostEvaluator, Evaluation
+from repro.optim.protocol import EvalResult, Proposal, SearchEngine
 from repro.telemetry.events import (
     CandidateEvaluated,
     IncumbentUpdated,
@@ -31,6 +48,10 @@ __all__ = ["BaselineOptimizer", "penalized_objective"]
 #: Penalty weight per unit of constraint over-utilization, applied to the
 #: log-domain objective of unconstrained optimizers.
 PENALTY_WEIGHT = 10.0
+
+#: What ``_propose`` yields: one proposal (evaluated serially, the reply
+#: is its Evaluation) or a batch (the reply is the list of Evaluations).
+ProposalRequest = Union[Proposal, List[Proposal]]
 
 
 def penalized_objective(
@@ -60,12 +81,13 @@ def penalized_objective(
     return score
 
 
-class BaselineOptimizer(abc.ABC):
+class BaselineOptimizer(SearchEngine):
     """Base class: budget accounting, trial recording, result assembly.
 
-    Subclasses implement :meth:`_optimize`, calling :meth:`_evaluate` for
-    every acquisition; the budget is enforced there (an exhausted budget
-    raises :class:`_BudgetExhausted`, which ``run`` absorbs).
+    Subclasses implement :meth:`_propose`, a generator yielding
+    :class:`Proposal` requests; the budget is enforced at evaluation
+    boundaries (an exhausted budget raises :class:`_BudgetExhausted` in
+    the inline path, or ends the ask/tell stream in the protocol path).
     """
 
     #: Short label used in experiment tables.
@@ -96,19 +118,36 @@ class BaselineOptimizer(abc.ABC):
         self._trials: List[TrialRecord] = []
         self._base_evaluations = 0
         self._best_feasible = math.inf
+        # Ask/tell protocol state (populated by start()).
+        self._gen: Optional[Generator] = None
+        self._gen_primed = False
+        self._pending: List[Proposal] = []
+        self._outstanding: List[Proposal] = []
+        self._replies: List[Evaluation] = []
+        self._batch_request = False
+        self._done = False
+        self._final: Optional[DSEResult] = None
+        self._started_at = 0.0
 
     # -- template method --------------------------------------------------------
 
     def run(self, initial_point: Optional[DesignPoint] = None) -> DSEResult:
         """Run the optimizer until the evaluation budget is exhausted."""
         started = time.perf_counter()
-        self._trials = []
-        self._base_evaluations = self.evaluator.evaluations
-        self._best_feasible = math.inf
+        self._reset()
         try:
             self._optimize(initial_point)
         except BaselineOptimizer._BudgetExhausted:
             pass
+        return self._finalize(started)
+
+    def _reset(self) -> None:
+        self._trials = []
+        self._base_evaluations = self.evaluator.evaluations
+        self._best_feasible = math.inf
+
+    def _finalize(self, started: float) -> DSEResult:
+        """Shared run epilogue: best selection, summary event, result."""
         best = select_best(
             self._trials, self.constraints, objective=self.objective
         )
@@ -136,9 +175,156 @@ class BaselineOptimizer(abc.ABC):
             wall_seconds=time.perf_counter() - started,
         )
 
-    @abc.abstractmethod
     def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
-        """Acquisition loop; call :meth:`_evaluate` per candidate."""
+        """The inline driver: evaluate each proposal as it is yielded.
+
+        A mid-batch budget exhaustion raises out of the evaluation —
+        abandoning the generator mid-yield, exactly as the imperative
+        loops used to unwind.
+        """
+        gen = self._propose(initial_point)
+        try:
+            request = next(gen)
+        except StopIteration:
+            return
+        while True:
+            reply: Union[Evaluation, List[Evaluation]]
+            if isinstance(request, Proposal):
+                reply = self._evaluate(request.point, note=request.note)
+            else:
+                reply = [
+                    self._evaluate(p.point, note=p.note) for p in request
+                ]
+            try:
+                request = gen.send(reply)
+            except StopIteration:
+                return
+
+    @abc.abstractmethod
+    def _propose(
+        self, initial_point: Optional[DesignPoint]
+    ) -> Generator[ProposalRequest, object, None]:
+        """Acquisition generator; yield :class:`Proposal` requests and
+        receive their :class:`Evaluation` replies at the yield."""
+
+    # -- ask/tell protocol -------------------------------------------------------
+
+    def start(self, initial_point: Optional[DesignPoint] = None) -> None:
+        self._started_at = time.perf_counter()
+        self._reset()
+        self._gen = self._propose(initial_point)
+        self._gen_primed = False
+        self._pending = []
+        self._outstanding = []
+        self._replies = []
+        self._batch_request = False
+        self._done = False
+        self._final = None
+
+    @property
+    def finished(self) -> bool:
+        return self._done
+
+    def result(self) -> DSEResult:
+        if not self._done or self._final is None:
+            raise RuntimeError("result() is only valid once finished")
+        return self._final
+
+    @property
+    def step_hint(self) -> int:
+        return len(self._trials) + 1
+
+    def ask(self, n: int) -> List[DesignPoint]:
+        if n <= 0:
+            raise ValueError(f"ask(n) requires n >= 1, got {n}")
+        if self._gen is None:
+            raise RuntimeError("start() must be called before ask()")
+        if self._done:
+            return []
+        if self._outstanding:
+            # Partial tell pending: serve more of the current request
+            # only (never advance the generator past unanswered asks).
+            return self._serve(n)
+        if self.budget_left <= 0:
+            # The legacy raise-before-evaluate: whatever the generator
+            # still holds is abandoned unevaluated.
+            self._conclude()
+            return []
+        while not self._pending and not self._done:
+            self._advance()
+        if self._done:
+            return []
+        return self._serve(n)
+
+    def _serve(self, n: int) -> List[DesignPoint]:
+        count = min(n, max(0, self.budget_left), len(self._pending))
+        served = self._pending[:count]
+        del self._pending[:count]
+        self._outstanding.extend(served)
+        return [dict(p.point) for p in served]
+
+    def _advance(self) -> None:
+        """Resume the proposal generator with the completed replies."""
+        assert self._gen is not None
+        try:
+            if not self._gen_primed:
+                self._gen_primed = True
+                request = next(self._gen)
+            else:
+                reply: object
+                if self._batch_request:
+                    reply = self._replies
+                else:
+                    reply = self._replies[0] if self._replies else None
+                request = self._gen.send(reply)
+        except (StopIteration, BaselineOptimizer._BudgetExhausted):
+            self._conclude()
+            return
+        self._replies = []
+        if isinstance(request, Proposal):
+            self._batch_request = False
+            self._pending = [request]
+        else:
+            self._batch_request = True
+            self._pending = list(request)
+
+    def tell(self, results: Sequence[EvalResult]) -> None:
+        if self._gen is None:
+            raise RuntimeError("start() must be called before tell()")
+        results = list(results)
+        if not results:
+            return
+        if len(results) > len(self._outstanding):
+            raise ValueError(
+                f"tell() got {len(results)} results but only "
+                f"{len(self._outstanding)} points are outstanding"
+            )
+        for res in results:
+            proposal = self._outstanding[0]
+            if self.space.point_key(res.point) != self.space.point_key(
+                proposal.point
+            ):
+                raise ValueError(
+                    "stale tell: result for a point that was never asked "
+                    "(or out of ask order)"
+                )
+            self._outstanding.pop(0)
+            if res.error is not None:
+                # Baselines have no quarantine path: failures propagate,
+                # as they did from the legacy inline loop.
+                raise res.error
+            self._record(proposal.point, res.evaluation, proposal.note)
+            self._replies.append(res.evaluation)
+
+    def _conclude(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._pending = []
+        self._outstanding = []
+        if self._gen is not None:
+            self._gen.close()
+        self._final = self._finalize(self._started_at)
 
     # -- helpers -------------------------------------------------------------------
 
@@ -157,6 +343,18 @@ class BaselineOptimizer(abc.ABC):
         if self.budget_left <= 0:
             raise BaselineOptimizer._BudgetExhausted()
         evaluation = self.evaluator.evaluate(point)
+        self._record(point, evaluation, note)
+        return evaluation
+
+    def _record(
+        self, point: DesignPoint, evaluation: Evaluation, note: str
+    ) -> None:
+        """Record one evaluation: trial ledger, events, incumbent.
+
+        Shared verbatim by the inline path (:meth:`_evaluate`) and the
+        ask/tell path (:meth:`tell`), which is what makes the two
+        drivers journal-identical.
+        """
         utilizations = {
             c.name: c.utilization(evaluation.costs) for c in self.constraints
         }
@@ -198,7 +396,6 @@ class BaselineOptimizer(abc.ABC):
                     improved=True,
                 )
             )
-        return evaluation
 
     def _perf_counters(self) -> Dict[str, object]:
         """Deterministic evaluator counters (empty for duck-typed

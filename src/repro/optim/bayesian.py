@@ -17,6 +17,7 @@ import numpy as np
 from repro.arch.design_space import DesignPoint
 from repro.optim.base import BaselineOptimizer
 from repro.optim.gaussian_process import GaussianProcess, expected_improvement
+from repro.optim.protocol import Proposal
 
 __all__ = ["BayesianOptimization"]
 
@@ -68,24 +69,26 @@ class BayesianOptimization(BaselineOptimizer):
 
     # -- main loop -----------------------------------------------------------------
 
-    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+    def _propose(self, initial_point: Optional[DesignPoint]):
         rng = random.Random(self.seed)
         observed_x: List[List[float]] = []
         observed_y: List[float] = []
         points: List[DesignPoint] = []
 
-        def observe(point: DesignPoint, note: str) -> None:
-            evaluation = self._evaluate(point, note=note)
+        def observe(point: DesignPoint, evaluation) -> None:
+            # Runs after the yield resumes, so a budget unwind skips the
+            # appends exactly like the old exception did.
             observed_x.append(self._features(point))
             observed_y.append(self._score(evaluation))
             points.append(dict(point))
 
         if initial_point is not None:
-            observe(initial_point, "initial")
+            observe(initial_point, (yield Proposal(initial_point, "initial")))
         for _ in range(self.initial_samples):
             if self.budget_left <= 0:
                 return
-            observe(self.space.random_point(rng), "bo-init")
+            point = self.space.random_point(rng)
+            observe(point, (yield Proposal(point, "bo-init")))
 
         while self.budget_left > 0:
             keep = min(len(observed_x), self.max_train_points)
@@ -99,4 +102,5 @@ class BayesianOptimization(BaselineOptimizer):
             features = np.array([self._features(c) for c in candidates])
             mean, var = gp.predict(features)
             ei = expected_improvement(mean, var, best_score)
-            observe(candidates[int(np.argmax(ei))], "bo-ei")
+            chosen = candidates[int(np.argmax(ei))]
+            observe(chosen, (yield Proposal(chosen, "bo-ei")))

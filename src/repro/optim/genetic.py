@@ -12,6 +12,7 @@ from typing import List, Optional, Tuple
 
 from repro.arch.design_space import DesignPoint
 from repro.optim.base import BaselineOptimizer
+from repro.optim.protocol import Proposal
 
 __all__ = ["GeneticAlgorithm"]
 
@@ -71,20 +72,22 @@ class GeneticAlgorithm(BaselineOptimizer):
                 out[i] = rng.randrange(param.cardinality)
         return tuple(out)
 
-    def _fitness(self, genome: Tuple[int, ...]) -> float:
-        point = self.space.from_indices(genome)
-        return -self._score(self._evaluate(point, note="ga"))
-
     # -- main loop -----------------------------------------------------------------
 
-    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+    def _propose(self, initial_point: Optional[DesignPoint]):
+        # Each generation's fitness sweep is one batch proposal: no RNG
+        # draw or budget check separates the evaluations, so batch order
+        # equals the old one-at-a-time order.
         rng = random.Random(self.seed)
         population: List[Tuple[int, ...]] = [
             self._random_genome(rng) for _ in range(self.population_size)
         ]
         if initial_point is not None:
             population[0] = self.space.to_indices(initial_point)
-        fitness = [self._fitness(g) for g in population]
+        evaluations = yield [
+            Proposal(self.space.from_indices(g), "ga") for g in population
+        ]
+        fitness = [-self._score(e) for e in evaluations]
 
         def _tournament_pick() -> Tuple[int, ...]:
             contenders = rng.sample(
@@ -106,4 +109,7 @@ class GeneticAlgorithm(BaselineOptimizer):
                     child = parent_a
                 next_population.append(self._mutate(child, rng))
             population = next_population
-            fitness = [self._fitness(g) for g in population]
+            evaluations = yield [
+                Proposal(self.space.from_indices(g), "ga") for g in population
+            ]
+            fitness = [-self._score(e) for e in evaluations]

@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.arch.design_space import DesignPoint
 from repro.optim.base import BaselineOptimizer
+from repro.optim.protocol import Proposal
 
 __all__ = ["GridSearch"]
 
@@ -34,9 +35,11 @@ class GridSearch(BaselineOptimizer):
             size *= min(self.points_per_axis, param.cardinality)
         return size
 
-    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+    def _propose(self, initial_point: Optional[DesignPoint]):
+        # No loop budget check: the grid is bounded, and the evaluation
+        # boundary (inline raise / ask budget gate) terminates the walk.
         total = self._grid_size()
         stride = max(1, total // self.max_evaluations)
         grid = self.space.grid(self.points_per_axis)
         for point in itertools.islice(grid, 0, None, stride):
-            self._evaluate(point, note="grid")
+            yield Proposal(point, "grid")

@@ -23,6 +23,7 @@ from repro.optim.gaussian_process import (
     expected_improvement,
     normal_cdf,
 )
+from repro.optim.protocol import Proposal
 
 __all__ = ["HyperMapperDSE"]
 
@@ -68,7 +69,7 @@ class HyperMapperDSE(BaselineOptimizer):
             return math.log(cap)
         return math.log(min(value, cap))
 
-    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+    def _propose(self, initial_point: Optional[DesignPoint]):
         rng = random.Random(self.seed)
         xs: List[List[float]] = []
         objective_log: List[float] = []
@@ -76,8 +77,10 @@ class HyperMapperDSE(BaselineOptimizer):
         feasible_objectives: List[float] = []
         points: List[DesignPoint] = []
 
-        def observe(point: DesignPoint, note: str) -> None:
-            evaluation = self._evaluate(point, note=note)
+        def observe(point: DesignPoint, evaluation) -> None:
+            # Runs after the yield resumes: the trial is already in the
+            # ledger (both drivers record before resuming), so the
+            # feasibility read below is identical either way.
             xs.append(self._features(point))
             latency = evaluation.costs.get(self.objective, math.inf)
             objective_log.append(self._log_clamp(latency, cap=1e9))
@@ -92,11 +95,12 @@ class HyperMapperDSE(BaselineOptimizer):
                 feasible_objectives.append(objective_log[-1])
 
         if initial_point is not None:
-            observe(initial_point, "initial")
+            observe(initial_point, (yield Proposal(initial_point, "initial")))
         for _ in range(self.initial_samples):
             if self.budget_left <= 0:
                 return
-            observe(self.space.random_point(rng), "hm-init")
+            point = self.space.random_point(rng)
+            observe(point, (yield Proposal(point, "hm-init")))
 
         while self.budget_left > 0:
             keep = min(len(xs), self.max_train_points)
@@ -128,4 +132,5 @@ class HyperMapperDSE(BaselineOptimizer):
                 acquisition = acquisition * normal_cdf(
                     -c_mean / np.sqrt(c_var)
                 )
-            observe(candidates[int(np.argmax(acquisition))], "hm-ei")
+            chosen = candidates[int(np.argmax(acquisition))]
+            observe(chosen, (yield Proposal(chosen, "hm-ei")))

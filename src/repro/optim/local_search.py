@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.arch.design_space import DesignPoint
 from repro.optim.base import BaselineOptimizer
+from repro.optim.protocol import Proposal
 
 __all__ = ["LocalSearch"]
 
@@ -35,28 +36,39 @@ class LocalSearch(BaselineOptimizer):
             raise ValueError("restarts must be >= 0")
         self.restarts = restarts
 
-    def _climb(self, start: DesignPoint) -> None:
-        """Greedy descent from ``start`` until a local optimum."""
+    def _climb(self, start: DesignPoint):
+        """Greedy descent from ``start`` until a local optimum.
+
+        The neighbour sweep is one batch proposal: steepest descent needs
+        every neighbour's score anyway, and the scores are compared in
+        enumeration order, so batch evaluation is decision-identical to
+        the old one-at-a-time loop.
+        """
         current = dict(start)
-        current_score = self._score(self._evaluate(current, note="ls-start"))
+        evaluation = yield Proposal(current, "ls-start")
+        current_score = self._score(evaluation)
         while True:
             best_neighbor: Optional[DesignPoint] = None
             best_score = current_score
-            for neighbor in self.space.neighbors(current):
-                score = self._score(
-                    self._evaluate(neighbor, note="ls-neighbor")
-                )
-                if score < best_score:
-                    best_neighbor, best_score = neighbor, score
+            neighbors = list(self.space.neighbors(current))
+            if neighbors:
+                evaluations = yield [
+                    Proposal(neighbor, "ls-neighbor")
+                    for neighbor in neighbors
+                ]
+                for neighbor, evaluation in zip(neighbors, evaluations):
+                    score = self._score(evaluation)
+                    if score < best_score:
+                        best_neighbor, best_score = neighbor, score
             if best_neighbor is None:
                 return  # local optimum
             current, current_score = best_neighbor, best_score
 
-    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+    def _propose(self, initial_point: Optional[DesignPoint]):
         rng = random.Random(self.seed)
         start = dict(initial_point or self.space.minimum_point())
-        self._climb(start)
+        yield from self._climb(start)
         for _ in range(self.restarts):
             if self.budget_left <= 0:
                 return
-            self._climb(self.space.random_point(rng))
+            yield from self._climb(self.space.random_point(rng))

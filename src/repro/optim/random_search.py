@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.arch.design_space import DesignPoint
 from repro.optim.base import BaselineOptimizer
+from repro.optim.protocol import Proposal
 
 __all__ = ["RandomSearch"]
 
@@ -21,12 +22,12 @@ class RandomSearch(BaselineOptimizer):
 
     name = "random"
 
-    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+    def _propose(self, initial_point: Optional[DesignPoint]):
         rng = random.Random(self.seed)
         seen = set()
         if initial_point is not None:
             seen.add(self.space.point_key(initial_point))
-            self._evaluate(initial_point, note="initial")
+            yield Proposal(dict(initial_point), "initial")
         misses = 0
         while self.budget_left > 0 and misses < 1000:
             point = self.space.random_point(rng)
@@ -36,4 +37,4 @@ class RandomSearch(BaselineOptimizer):
                 continue
             misses = 0
             seen.add(key)
-            self._evaluate(point, note="random")
+            yield Proposal(point, "random")

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.arch.design_space import DesignPoint
 from repro.optim.base import BaselineOptimizer
+from repro.optim.protocol import Proposal
 
 __all__ = ["ReinforcementLearningDSE"]
 
@@ -82,7 +83,10 @@ class ReinforcementLearningDSE(BaselineOptimizer):
 
     # -- main loop -----------------------------------------------------------------
 
-    def _optimize(self, initial_point: Optional[DesignPoint]) -> None:
+    def _propose(self, initial_point: Optional[DesignPoint]):
+        # Episodes yield serially (not as one batch): the policy sampling
+        # interleaves with per-episode budget checks, and each sample
+        # must see the live budget exactly where the old loop did.
         rng = np.random.default_rng(self.seed)
         logits = [
             np.zeros(param.cardinality) for param in self.space.parameters
@@ -97,7 +101,7 @@ class ReinforcementLearningDSE(BaselineOptimizer):
                     break
                 actions = self._sample(logits, rng)
                 point = self.space.from_indices(actions)
-                evaluation = self._evaluate(point, note="rl-episode")
+                evaluation = yield Proposal(point, "rl-episode")
                 batch.append((actions, self._reward(evaluation)))
             if not batch:
                 break

@@ -240,6 +240,10 @@ class ServiceClient:
     def result(self, campaign_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/campaigns/{campaign_id}/result")
 
+    def frontier(self, campaign_id: str) -> Dict[str, Any]:
+        """The campaign's Pareto frontier (any status; may be empty)."""
+        return self._request("GET", f"/v1/campaigns/{campaign_id}/frontier")
+
     def grant_quota(self, tenant: str, extra_steps: int) -> Dict[str, Any]:
         return self._request(
             "POST",

@@ -297,6 +297,9 @@ class ServiceEndpoint:
             if action == "result" and method == "GET":
                 self._send(writer, 200, service.result(campaign_id), path)
                 return
+            if action == "frontier" and method == "GET":
+                self._send(writer, 200, service.frontier(campaign_id), path)
+                return
             if action == "journal" and method == "GET":
                 offset = int(query.get("offset", ["0"])[0])
                 follow = query.get("follow", ["0"])[0] in ("1", "true")

@@ -141,6 +141,7 @@ class CampaignStateMachine:
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1,
         resume_from: Optional[object] = None,
+        archive=None,
     ):
         self.dse = dse
         self.initial_point = initial_point
@@ -148,6 +149,13 @@ class CampaignStateMachine:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.resume_from = resume_from
+        #: Optional :class:`repro.optim.archive.ParetoArchive` fed every
+        #: feasible trial at attempt boundaries.  On resume the caller
+        #: passes a *fresh* (truncated) archive and the machine re-feeds
+        #: the restored trial ledger, which reconstructs the frontier —
+        #: and its journal — deterministically.
+        self.archive = archive
+        self._archive_fed = 0
 
         self.state = CampaignState.PENDING
         self.error: Optional[BaseException] = None
@@ -226,6 +234,7 @@ class CampaignStateMachine:
                         wall_seconds=time.perf_counter() - self._started,
                         explanations=self.explanations,
                     )
+                    self._feed_archive()
                     self.state = CampaignState.FINISHED
                     return self.state
                 self.exhausted = set(checkpoint.exhausted)
@@ -265,6 +274,7 @@ class CampaignStateMachine:
             self.state = CampaignState.FAILED
             self.error = exc
             raise
+        self._feed_archive()
         self.state = CampaignState.RUNNING
         return self.state
 
@@ -276,6 +286,52 @@ class CampaignStateMachine:
         is ready), or raises after transitioning to ``FAILED`` when the
         failure-rate circuit breaker trips (a resumable checkpoint is
         written first when configured).
+
+        The attempt is split into :meth:`begin_attempt` (budget gate,
+        analysis, acquisition — paper steps 1-5), the candidate
+        evaluation loop, and :meth:`finish_attempt` (incumbent update,
+        patience, breaker, checkpoint — step 6), so the ask/tell
+        protocol (:class:`repro.optim.protocol.ExplainableEngine`) can
+        interpose an external evaluator between the same two halves and
+        stay bit-identical by construction.
+        """
+        candidates = self.begin_attempt()
+        if candidates is None:
+            return self.state
+        dse = self.dse
+        attempt = self.attempt
+        evaluated = []
+        for index, candidate in enumerate(candidates):
+            if dse._budget_left(self.base_evaluations) <= 0:
+                break
+            self.tried_points.add(dse.space.point_key(candidate.point))
+            evaluation = dse._evaluate(
+                candidate.point,
+                self.trials,
+                note=candidate.reason,
+                tracer=self.tracer,
+                step=attempt,
+                candidate_index=index,
+                breaker=self.breaker,
+            )
+            if evaluation is not None:
+                evaluated.append((candidate, evaluation))
+            if self.breaker.tripped:
+                # Abort at the attempt boundary: finish the update with
+                # whatever evaluated, checkpoint, then raise.
+                break
+        return self.finish_attempt(evaluated)
+
+    def begin_attempt(self):
+        """Steps 1-5 of one attempt: budget gate, bottleneck analysis,
+        and candidate acquisition.
+
+        Returns the acquired candidate list, or ``None`` when the
+        attempt terminated the campaign instead (budget exhausted, or no
+        mitigating candidates remain) — the state is then FINISHED and
+        the result is ready.  A non-``None`` return leaves an attempt
+        *open*: the caller must evaluate (a budget-capped prefix of) the
+        candidates and close the attempt with :meth:`finish_attempt`.
         """
         if self.state is not CampaignState.RUNNING:
             raise CampaignStateError(
@@ -292,7 +348,8 @@ class CampaignStateMachine:
                     budget=dse.max_evaluations,
                 )
             )
-            return self._terminate()
+            self._terminate()
+            return None
         self.attempt += 1
         attempt = self.attempt
         current, current_eval = self.current, self.current_eval
@@ -349,29 +406,26 @@ class CampaignStateMachine:
                 "terminating"
             )
             self.finished = True
-            return self._terminate()
+            self._terminate()
+            return None
+        return candidates
 
-        evaluated = []
-        for index, candidate in enumerate(candidates):
-            if dse._budget_left(self.base_evaluations) <= 0:
-                break
-            self.tried_points.add(dse.space.point_key(candidate.point))
-            evaluation = dse._evaluate(
-                candidate.point,
-                self.trials,
-                note=candidate.reason,
-                tracer=tracer,
-                step=attempt,
-                candidate_index=index,
-                breaker=self.breaker,
+    def finish_attempt(self, evaluated) -> CampaignState:
+        """Step 6 of one attempt: incumbent update, patience, breaker.
+
+        ``evaluated`` is the ``(candidate, evaluation)`` list for the
+        candidates of the attempt opened by :meth:`begin_attempt` that
+        were successfully evaluated (quarantined candidates are already
+        recorded in the trial ledger and excluded here).
+        """
+        if self.state is not CampaignState.RUNNING:
+            raise CampaignStateError(
+                f"cannot step a {self.state.value} campaign"
             )
-            if evaluation is not None:
-                evaluated.append((candidate, evaluation))
-            if self.breaker.tripped:
-                # Abort at the attempt boundary: finish the update with
-                # whatever evaluated, checkpoint, then raise.
-                break
-
+        dse = self.dse
+        tracer = self.tracer
+        attempt = self.attempt
+        current, current_eval = self.current, self.current_eval
         new_point, new_eval, decision = dse._update(
             current, current_eval, evaluated, self.exhausted
         )
@@ -400,6 +454,7 @@ class CampaignStateMachine:
             self.attempts_without_improvement = 0
             self.exhausted.clear()
             self.current, self.current_eval = dict(new_point), new_eval
+        self._feed_archive()
         if self.breaker.tripped and not self.finished:
             # Systemic fault (REPRO_MAX_FAILURE_RATE exceeded): persist a
             # resumable snapshot, then abort instead of grinding on.
@@ -487,9 +542,21 @@ class CampaignStateMachine:
 
     # -- internals -----------------------------------------------------------
 
+    def _feed_archive(self) -> None:
+        """Feed trials recorded since the last boundary to the Pareto
+        archive (no-op without one).  Inserts are idempotent, so crash
+        replay through this path is safe."""
+        if self.archive is None:
+            return
+        for trial in self.trials[self._archive_fed:]:
+            self.archive.insert_trial(trial)
+        self._archive_fed = len(self.trials)
+        self.archive.flush()
+
     def _terminate(self) -> CampaignState:
         """The post-loop epilogue of ``run()``: summary event, final
         checkpoint, flush, result construction."""
+        self._feed_archive()
         dse = self.dse
         consumed = dse.evaluator.evaluations - self.base_evaluations
         best = select_best(

@@ -21,6 +21,7 @@ Every campaign gets its own spool directory keyed by campaign id::
     <spool>/<campaign_id>/journal.jsonl       telemetry journal
     <spool>/<campaign_id>/journal.jsonl.ckpt  resumable checkpoint
     <spool>/<campaign_id>/state.json          service-level status
+    <spool>/<campaign_id>/frontier.jsonl      Pareto-archive journal
 
 Per-campaign journal files are what let N campaigns trace concurrently:
 :class:`~repro.telemetry.sinks.JsonlSink` assumes one campaign per file
@@ -608,6 +609,32 @@ class CampaignService:
             )
         return dict(record.outcome, fingerprint=record.fingerprint)
 
+    def frontier(self, campaign_id: str) -> Dict[str, Any]:
+        """The campaign's Pareto frontier over the default objectives.
+
+        Live campaigns read the in-memory archive; settled or recovered
+        campaigns replay ``frontier.jsonl`` from the spool, so the
+        answer is identical across a service restart.
+        """
+        from repro.optim.archive import DEFAULT_OBJECTIVES, ParetoArchive
+
+        record = self._record(campaign_id)
+        machine = record.machine
+        if machine is not None and machine.archive is not None:
+            snapshot = machine.archive.snapshot()
+        else:
+            path = self.spool / campaign_id / "frontier.jsonl"
+            if path.exists():
+                snapshot = ParetoArchive.replay(path).snapshot()
+            else:
+                snapshot = []
+        return {
+            "campaign_id": campaign_id,
+            "objectives": list(DEFAULT_OBJECTIVES),
+            "size": len(snapshot),
+            "frontier": snapshot,
+        }
+
     async def wait(self, campaign_id: str) -> Dict[str, Any]:
         """Wait until the campaign settles; returns its final status."""
         record = self._record(campaign_id)
@@ -828,6 +855,7 @@ class CampaignService:
         return done_steps, False
 
     def _build_machine(self, record: _CampaignRecord) -> CampaignStateMachine:
+        from repro.optim.archive import ParetoArchive
         from repro.telemetry.checkpoint import load_checkpoint
         from repro.telemetry.sinks import JsonlSink
         from repro.telemetry.tracer import Tracer
@@ -836,6 +864,13 @@ class CampaignService:
         journal = campaign_dir / "journal.jsonl"
         ckpt = str(journal) + ".ckpt"
         dse = self._factory(record.spec)
+        # The frontier journal is always rebuilt from the trial ledger:
+        # on resume the machine re-feeds every checkpointed trial into a
+        # truncated archive, so a kill/restart reconstructs the exact
+        # same frontier a straight-through run would have journaled.
+        archive = ParetoArchive(
+            journal_path=campaign_dir / "frontier.jsonl", truncate=True
+        )
         if os.path.exists(ckpt):
             checkpoint = load_checkpoint(ckpt)
             sink = JsonlSink(
@@ -849,6 +884,7 @@ class CampaignService:
                 tracer=tracer,
                 checkpoint_path=ckpt,
                 resume_from=checkpoint,
+                archive=archive,
             )
         else:
             # A journal without a checkpoint is an orphan of a crash
@@ -858,7 +894,7 @@ class CampaignService:
             sink = JsonlSink(journal, exclusive=True)
             tracer = Tracer(sink)
             machine = CampaignStateMachine(
-                dse, tracer=tracer, checkpoint_path=ckpt
+                dse, tracer=tracer, checkpoint_path=ckpt, archive=archive
             )
         record.sink = sink
         return machine

@@ -25,6 +25,7 @@ from repro.telemetry.checkpoint import (
 )
 from repro.telemetry.events import (
     SCHEMA_VERSION,
+    AskIssued,
     BottleneckIdentified,
     BudgetExhausted,
     CandidateEvaluated,
@@ -34,6 +35,7 @@ from repro.telemetry.events import (
     MitigationPredicted,
     RunSummary,
     StepStarted,
+    TellRecorded,
     TraceEventError,
     decode_event,
     deterministic_perf_counters,
@@ -55,6 +57,7 @@ from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = [
     "SCHEMA_VERSION",
+    "AskIssued",
     "BottleneckIdentified",
     "BudgetExhausted",
     "CampaignCheckpoint",
@@ -70,6 +73,7 @@ __all__ = [
     "RingBufferSink",
     "RunSummary",
     "StepStarted",
+    "TellRecorded",
     "TraceEventError",
     "Tracer",
     "decode_event",

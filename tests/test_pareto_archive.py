@@ -1,0 +1,165 @@
+"""Property tests for the multi-objective Pareto archive.
+
+Hypothesis drives random cost streams through :class:`ParetoArchive` and
+checks the structural invariants the rest of the system leans on:
+
+* the *unbounded* frontier set is invariant under insertion order;
+* after every insert (and its evictions) no frontier entry dominates
+  another, and no rejected-but-dominating vector survives outside;
+* a journal replay rebuilds the live archive bit-identically, including
+  through capacity-pruned (crowding) evictions and torn trailing writes.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim.archive import DEFAULT_OBJECTIVES, ParetoArchive
+
+# Small value grids force plenty of domination/equality collisions.
+_COST = st.sampled_from([1.0, 2.0, 3.0, 5.0, 8.0])
+_VECTOR = st.tuples(_COST, _COST, _COST, _COST)
+_STREAM = st.lists(_VECTOR, min_size=0, max_size=24)
+
+
+def _costs(vector):
+    return dict(zip(DEFAULT_OBJECTIVES, vector))
+
+
+def _point(index):
+    return {"id": index}
+
+
+def _fill(archive, stream):
+    for index, vector in enumerate(stream):
+        archive.insert(_point(index), _costs(vector))
+    return archive
+
+
+def _frontier_vectors(archive):
+    return sorted(entry.vector for entry in archive.frontier())
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=_STREAM, seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_frontier_set_is_insertion_order_invariant(stream, seed):
+    import random
+
+    shuffled = list(enumerate(stream))
+    random.Random(seed).shuffle(shuffled)
+    a = ParetoArchive(capacity=None)
+    for index, vector in enumerate(stream):
+        a.insert(_point(index), _costs(vector))
+    b = ParetoArchive(capacity=None)
+    for index, vector in shuffled:
+        b.insert(_point(index), _costs(vector))
+    assert _frontier_vectors(a) == _frontier_vectors(b)
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=_STREAM, capacity=st.integers(min_value=1, max_value=6))
+def test_non_domination_invariant_after_every_insert(stream, capacity):
+    archive = ParetoArchive(capacity=capacity)
+    for index, vector in enumerate(stream):
+        archive.insert(_point(index), _costs(vector))
+        entries = archive.frontier()
+        assert len(entries) <= capacity
+        for a in entries:
+            for b in entries:
+                if a.seq == b.seq:
+                    continue
+                # No entry dominates (or equals) another.
+                assert a.vector != b.vector
+                assert not all(
+                    x <= y for x, y in zip(a.vector, b.vector)
+                ) or all(x == y for x, y in zip(a.vector, b.vector))
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=_STREAM, capacity=st.integers(min_value=1, max_value=6))
+def test_journal_replay_rebuilds_live_archive(tmp_path_factory, stream, capacity):
+    workdir = tmp_path_factory.mktemp("archive")
+    journal = workdir / "frontier.jsonl"
+    live = ParetoArchive(capacity=capacity, journal_path=journal, truncate=True)
+    _fill(live, stream)
+    live.flush()
+    rebuilt = ParetoArchive.replay(journal, capacity=capacity)
+    assert rebuilt.snapshot() == live.snapshot()
+
+
+def test_duplicate_point_is_idempotent():
+    archive = ParetoArchive(capacity=None)
+    assert archive.insert({"x": 1}, _costs((1.0, 2.0, 3.0, 4.0)))
+    assert not archive.insert({"x": 1}, _costs((1.0, 2.0, 3.0, 4.0)))
+    assert len(archive) == 1
+
+
+def test_equal_vector_earliest_wins():
+    archive = ParetoArchive(capacity=None)
+    assert archive.insert({"x": 1}, _costs((1.0, 2.0, 3.0, 4.0)))
+    assert not archive.insert({"x": 2}, _costs((1.0, 2.0, 3.0, 4.0)))
+    assert [entry.point for entry in archive.frontier()] == [{"x": 1}]
+
+
+def test_dominating_insert_evicts_dominated():
+    archive = ParetoArchive(capacity=None)
+    archive.insert({"x": 1}, _costs((2.0, 2.0, 2.0, 2.0)))
+    archive.insert({"x": 2}, _costs((1.0, 1.0, 1.0, 1.0)))
+    assert [entry.point for entry in archive.frontier()] == [{"x": 2}]
+
+
+def test_non_finite_vector_rejected():
+    archive = ParetoArchive(capacity=None)
+    costs = _costs((1.0, 2.0, 3.0, 4.0))
+    costs["latency_ms"] = math.inf
+    assert not archive.insert({"x": 1}, costs)
+    assert not archive.insert({"x": 2}, {})  # all axes default to inf
+    assert len(archive) == 0
+
+
+def test_torn_trailing_journal_line_tolerated(tmp_path):
+    journal = tmp_path / "frontier.jsonl"
+    live = ParetoArchive(capacity=None, journal_path=journal, truncate=True)
+    live.insert({"x": 1}, _costs((1.0, 2.0, 3.0, 4.0)))
+    live.insert({"x": 2}, _costs((2.0, 1.0, 3.0, 4.0)))
+    live.flush()
+    with open(journal, "a") as handle:
+        handle.write('{"op": "insert", "seq": 99')  # interrupted write
+    rebuilt = ParetoArchive.replay(journal)
+    assert rebuilt.snapshot() == live.snapshot()
+
+
+def test_torn_interior_journal_line_raises(tmp_path):
+    journal = tmp_path / "frontier.jsonl"
+    live = ParetoArchive(capacity=None, journal_path=journal, truncate=True)
+    live.insert({"x": 1}, _costs((1.0, 2.0, 3.0, 4.0)))
+    live.flush()
+    lines = journal.read_text().splitlines()
+    journal.write_text("{broken\n" + "\n".join(lines) + "\n")
+    with pytest.raises(json.JSONDecodeError):
+        ParetoArchive.replay(journal)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ParetoArchive(capacity=0)
+    with pytest.raises(ValueError):
+        ParetoArchive(objectives=())
+
+
+def test_insert_trial_requires_feasible_and_mappable():
+    from repro.core.dse.result import TrialRecord
+
+    archive = ParetoArchive(capacity=None)
+    costs = _costs((1.0, 2.0, 3.0, 4.0))
+    infeasible = TrialRecord(
+        index=0, point={"x": 1}, costs=costs, feasible=False, mappable=True
+    )
+    feasible = TrialRecord(
+        index=1, point={"x": 2}, costs=costs, feasible=True, mappable=True
+    )
+    assert not archive.insert_trial(infeasible)
+    assert archive.insert_trial(feasible)

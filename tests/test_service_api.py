@@ -321,6 +321,159 @@ class TestHttpEndpoint:
         asyncio.run(run())
 
 
+class TestFrontierEndpoint:
+    """GET /v1/campaigns/{id}/frontier: the journaled Pareto archive."""
+
+    def _expected_frontier(self, factory, budget):
+        """The frontier a solo run's trial ledger produces."""
+        from repro.experiments.pareto import archive_from_results
+
+        result = factory(CampaignSpec(model="tiny", iterations=budget)).run()
+        return archive_from_results([result]).snapshot()
+
+    def test_frontier_http_round_trip(self, factory, tmp_path):
+        from repro.service.client import ServiceClient
+        from repro.service.http import ServiceEndpoint
+
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            endpoint = ServiceEndpoint(service)
+            await endpoint.start()
+            client = ServiceClient(f"http://127.0.0.1:{endpoint.port}")
+            cid = await asyncio.to_thread(
+                client.submit, {"model": "tiny", "iterations": 12}
+            )
+            await asyncio.to_thread(client.wait, cid, 300)
+            payload = await asyncio.to_thread(client.frontier, cid)
+            await endpoint.stop()
+            await service.stop()
+            return cid, payload
+
+        cid, payload = asyncio.run(run())
+        assert payload["campaign_id"] == cid
+        assert payload["objectives"] == [
+            "latency_ms",
+            "energy_mj",
+            "area_mm2",
+            "power_w",
+        ]
+        expected = self._expected_frontier(factory, 12)
+        assert payload["size"] == len(expected) > 0
+        assert payload["frontier"] == expected
+        assert (tmp_path / "spool" / cid / "frontier.jsonl").exists()
+
+    def test_empty_frontier_is_200(self, tiny_workload, tmp_path):
+        """A campaign with no feasible design serves an empty frontier,
+        not an error."""
+        from repro.service.client import ServiceClient
+        from repro.service.http import ServiceEndpoint
+
+        def hopeless_factory(spec):
+            return ExplainableDSE(
+                build_edge_design_space(),
+                CostEvaluator(
+                    tiny_workload,
+                    TopNMapper(top_n=60),
+                    mapping_cache=MappingCache(),
+                ),
+                [Constraint("area", "area_mm2", 1e-6)],
+                max_evaluations=spec.iterations,
+            )
+
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool",
+                campaign_factory=hopeless_factory,
+                quantum=1,
+            )
+            await service.start()
+            endpoint = ServiceEndpoint(service)
+            await endpoint.start()
+            client = ServiceClient(f"http://127.0.0.1:{endpoint.port}")
+            cid = await asyncio.to_thread(
+                client.submit, {"model": "tiny", "iterations": 6}
+            )
+            await asyncio.to_thread(client.wait, cid, 300)
+            payload = await asyncio.to_thread(client.frontier, cid)
+            await endpoint.stop()
+            await service.stop()
+            return payload
+
+        payload = asyncio.run(run())
+        assert payload["size"] == 0
+        assert payload["frontier"] == []
+
+    def test_frontier_unknown_campaign_404(self, factory, tmp_path):
+        from repro.service.client import ServiceClient, ServiceClientError
+        from repro.service.http import ServiceEndpoint
+
+        async def run():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory
+            )
+            await service.start()
+            endpoint = ServiceEndpoint(service)
+            await endpoint.start()
+            client = ServiceClient(f"http://127.0.0.1:{endpoint.port}")
+            with pytest.raises(ServiceClientError) as missing:
+                await asyncio.to_thread(client.frontier, "c9999")
+            await endpoint.stop()
+            await service.stop()
+            return missing.value.status
+
+        assert asyncio.run(run()) == 404
+
+    def test_frontier_identical_across_restart(self, factory, tmp_path):
+        """Kill the service mid-campaign; the resumed run — and a later
+        cold recovery serving from frontier.jsonl — produce the exact
+        frontier an uninterrupted run would."""
+
+        async def phase1():
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            cid = await service.submit(
+                CampaignSpec(model="tiny", tenant="alice", iterations=12)
+            )
+            while len(service.slice_log) < 2:
+                await asyncio.sleep(0.01)
+            await service.stop()
+            return cid
+
+        async def phase2(cid):
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            await service.wait(cid)
+            frontier = service.frontier(cid)
+            await service.stop()
+            return frontier
+
+        async def phase3(cid):
+            # A third service on the same spool recovers the campaign as
+            # settled (no live machine) and must serve the identical
+            # frontier by replaying frontier.jsonl.
+            service = CampaignService(
+                tmp_path / "spool", campaign_factory=factory, quantum=1
+            )
+            await service.start()
+            frontier = service.frontier(cid)
+            await service.stop()
+            return frontier
+
+        cid = asyncio.run(phase1())
+        resumed = asyncio.run(phase2(cid))
+        recovered = asyncio.run(phase3(cid))
+        expected = self._expected_frontier(factory, 12)
+        assert resumed["frontier"] == expected
+        assert recovered["frontier"] == expected
+
+
 class TestJournalExclusivity:
     def test_second_sink_on_same_journal_rejected(self, tmp_path):
         journal = tmp_path / "one.jsonl"
